@@ -1,0 +1,72 @@
+// Package-level benchmarks: one testing.B benchmark per paper table
+// and figure. Each benchmark runs the corresponding experiment at a
+// reduced (Quick) scale and reports the headline value as a custom
+// metric, so `go test -bench=. -benchmem` regenerates the whole
+// evaluation sweep.
+package main
+
+import (
+	"testing"
+
+	"accelflow/internal/experiments"
+)
+
+func benchExperiment(b *testing.B, id string, metric string) {
+	run, ok := experiments.Registry[id]
+	if !ok {
+		b.Fatalf("unknown experiment %q", id)
+	}
+	opts := experiments.Options{Requests: 150, Seed: 1, Quick: true}
+	// The throughput searches simulate many load points per call; keep
+	// a single bench iteration within a few seconds.
+	if id == "fig14" || id == "fig15" {
+		opts.Requests = 60
+	}
+	var last *experiments.Result
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := run(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	b.StopTimer()
+	if metric != "" {
+		if v, ok := last.Values[metric]; ok {
+			b.ReportMetric(v, metric)
+		}
+	}
+}
+
+func BenchmarkFig1Breakdown(b *testing.B) { benchExperiment(b, "fig1", "avg/app_share") }
+func BenchmarkFig3Overhead(b *testing.B)  { benchExperiment(b, "fig3", "") }
+func BenchmarkTab1(b *testing.B)          { benchExperiment(b, "tab1", "") }
+func BenchmarkQ2(b *testing.B)            { benchExperiment(b, "q2", "SocialNet") }
+func BenchmarkFig5Sizes(b *testing.B)     { benchExperiment(b, "fig5", "") }
+func BenchmarkTab2(b *testing.B)          { benchExperiment(b, "tab2", "") }
+func BenchmarkTab3(b *testing.B)          { benchExperiment(b, "tab3", "") }
+func BenchmarkTab4(b *testing.B)          { benchExperiment(b, "tab4", "") }
+func BenchmarkFig11Latency(b *testing.B)  { benchExperiment(b, "fig11", "reduction_p99/RELIEF") }
+func BenchmarkFig12Loads(b *testing.B)    { benchExperiment(b, "fig12", "reduction/15k") }
+func BenchmarkFig13Ablation(b *testing.B) { benchExperiment(b, "fig13", "reduction/AccelFlow") }
+func BenchmarkFig14Tput(b *testing.B)     { benchExperiment(b, "fig14", "ratio/relief") }
+func BenchmarkFig15Coarse(b *testing.B)   { benchExperiment(b, "fig15", "avg_ratio") }
+func BenchmarkFig16Sls(b *testing.B)      { benchExperiment(b, "fig16", "reduction_vs_relief") }
+func BenchmarkFig17Components(b *testing.B) {
+	benchExperiment(b, "fig17", "avg_orch_share")
+}
+func BenchmarkGlueInstrs(b *testing.B)  { benchExperiment(b, "glue", "mean_instrs") }
+func BenchmarkUtilization(b *testing.B) { benchExperiment(b, "util", "TCP") }
+func BenchmarkEnergy(b *testing.B)      { benchExperiment(b, "energy", "energy_reduction") }
+func BenchmarkEvents(b *testing.B)      { benchExperiment(b, "events", "peak/fallback_pct") }
+func BenchmarkFig18Chiplets(b *testing.B) {
+	benchExperiment(b, "fig18", "increase_6v2")
+}
+func BenchmarkSens2Latency(b *testing.B) { benchExperiment(b, "sens2", "increase_6c_100v60") }
+func BenchmarkFig19PEs(b *testing.B)     { benchExperiment(b, "fig19", "increase_2pe") }
+func BenchmarkFig20Generations(b *testing.B) {
+	benchExperiment(b, "fig20", "")
+}
+func BenchmarkSens5Speedups(b *testing.B) { benchExperiment(b, "sens5", "1.00x/gain") }
+func BenchmarkArea(b *testing.B)          { benchExperiment(b, "area", "combined_frac") }

@@ -1,0 +1,67 @@
+// Command accelsim regenerates the AccelFlow paper's tables and
+// figures from the simulator.
+//
+// Usage:
+//
+//	accelsim -exp fig11            # one experiment
+//	accelsim -exp all              # everything (slow)
+//	accelsim -list                 # show experiment IDs
+//	accelsim -exp fig14 -n 800     # smaller request budget
+//	accelsim -exp fig11 -quick     # CI-sized run
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"accelflow/internal/experiments"
+)
+
+func main() {
+	var (
+		exp   = flag.String("exp", "", "experiment ID (see -list), or 'all'")
+		n     = flag.Int("n", 2500, "request budget per simulation")
+		seed  = flag.Int64("seed", 1, "RNG seed")
+		quick = flag.Bool("quick", false, "shrink workloads for a fast pass")
+		list  = flag.Bool("list", false, "list experiment IDs")
+	)
+	flag.Parse()
+
+	if *list || *exp == "" {
+		fmt.Println("experiments:")
+		for _, id := range experiments.IDs() {
+			fmt.Printf("  %s\n", id)
+		}
+		if *exp == "" {
+			fmt.Println("\nrun with -exp <id> or -exp all")
+		}
+		return
+	}
+
+	opts := experiments.Options{Requests: *n, Seed: *seed, Quick: *quick}
+	ids := []string{*exp}
+	if *exp == "all" {
+		ids = experiments.IDs()
+	}
+	failed := 0
+	for _, id := range ids {
+		run, ok := experiments.Registry[id]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q; try -list\n", id)
+			os.Exit(2)
+		}
+		res, err := run(opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", id, err)
+			failed++
+			continue
+		}
+		fmt.Printf("=== %s ===\n%s\n", id, strings.TrimRight(res.Text, "\n"))
+		fmt.Println()
+	}
+	if failed > 0 {
+		os.Exit(1)
+	}
+}

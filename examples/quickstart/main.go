@@ -1,0 +1,66 @@
+// Quickstart: build the paper's Listing 1 trace with the public builder
+// API, run it through an AccelFlow server, and print what happened.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"accelflow/internal/config"
+	"accelflow/internal/engine"
+	"accelflow/internal/sim"
+	"accelflow/internal/trace"
+)
+
+func main() {
+	// 1. Construct the trace of Fig. 4a / Listing 1: receive a function
+	// request — TCP, Decr, RPC, Dser, then "if compressed: transform
+	// JSON->string and decompress", then the load balancer.
+	funcReq, err := trace.New("func_req").
+		Seq(config.TCP, config.Decr, config.RPC, config.Dser).
+		Branch(trace.CondCompressed,
+			trace.Sub().Trans(trace.FmtJSON, trace.FmtString).Seq(config.Dcmp),
+			nil).
+		Seq(config.LdB).
+		Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(funcReq)
+
+	// 2. The 8-byte binary encoding (§IV-A: 4 bits per accelerator).
+	syms := trace.NewMapSymbols()
+	bin, err := funcReq.Encode(syms)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nencoded: %x (%d bytes of the %d-byte budget)\n\n", bin, len(bin), trace.MaxTraceBytes)
+
+	// 3. Build an AccelFlow server (Table III parameters) and submit
+	// one request whose payload is compressed, and one that is not.
+	k := sim.NewKernel()
+	eng, err := engine.New(k, config.Default(), engine.AccelFlow(), 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := eng.Register([]*trace.Program{funcReq}, nil); err != nil {
+		log.Fatal(err)
+	}
+	for _, pComp := range []float64{0, 1} {
+		job := &engine.Job{
+			Service: "quickstart",
+			Steps: []engine.Step{
+				{Kind: engine.StepChain, Trace: "func_req"},
+				{Kind: engine.StepApp, App: 10 * sim.Microsecond},
+			},
+			Probs:         engine.FlagProbs{PCompressed: pComp},
+			PayloadMedian: 1500, PayloadSigma: 0.4,
+		}
+		eng.Submit(job, func(r engine.Result) {
+			fmt.Printf("compressed=%v: latency %v, %d accelerators, breakdown: cpu %v accel %v orch %v comm %v\n",
+				pComp == 1, r.Latency, r.Accels,
+				r.Breakdown.CPU, r.Breakdown.Accel, r.Breakdown.Orch, r.Breakdown.Comm)
+		})
+		k.Run()
+	}
+}

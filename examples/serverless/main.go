@@ -1,0 +1,49 @@
+// Serverless: colocate the FunctionBench-like functions on one server
+// with Azure-like bursty invocations (paper §VII-A.5 / Fig. 16) and
+// compare Non-acc, RELIEF, and AccelFlow tails.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"accelflow/internal/config"
+	"accelflow/internal/engine"
+	"accelflow/internal/services"
+	"accelflow/internal/workload"
+)
+
+func main() {
+	fns := services.Serverless()
+	pols := []engine.Policy{engine.NonAcc(), engine.RELIEF(), engine.AccelFlow()}
+
+	p99 := map[string]map[string]float64{}
+	for _, pol := range pols {
+		var sources []workload.Source
+		for _, fn := range fns {
+			sources = append(sources, workload.Source{
+				Service:  fn,
+				Arrivals: workload.Azure{RPS: fn.RatekRPS * 1000},
+				Requests: 900,
+			})
+		}
+		res, err := workload.Run(config.Default(), pol, sources, 11, nil, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		p99[pol.Name] = map[string]float64{}
+		for _, fn := range fns {
+			p99[pol.Name][fn.Name] = res.PerService[fn.Name].P99().Micros()
+		}
+	}
+
+	fmt.Printf("%-8s %12s %12s %12s %10s\n", "func", "Non-acc", "RELIEF", "AccelFlow", "vs RELIEF")
+	var avg float64
+	for _, fn := range fns {
+		r := 1 - p99["AccelFlow"][fn.Name]/p99["RELIEF"][fn.Name]
+		avg += r
+		fmt.Printf("%-8s %10.0fus %10.0fus %10.0fus %9.1f%%\n",
+			fn.Name, p99["Non-acc"][fn.Name], p99["RELIEF"][fn.Name], p99["AccelFlow"][fn.Name], -100*r)
+	}
+	fmt.Printf("\naverage AccelFlow vs RELIEF: %.1f%% (paper: -37%%)\n", -100*avg/float64(len(fns)))
+}

@@ -1,0 +1,46 @@
+// SocialNetwork: run the DeathStarBench SocialNetwork mix (paper
+// Table IV services, Alibaba-like bursty production rates) on two
+// servers — a RELIEF-like hardware manager and AccelFlow — and compare
+// per-service tails, the paper's Fig. 11 headline.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"accelflow/internal/config"
+	"accelflow/internal/engine"
+	"accelflow/internal/services"
+	"accelflow/internal/workload"
+)
+
+func main() {
+	svcs := services.SocialNetwork()
+	fmt.Printf("services: %d, mean Alibaba-like rate %.1fK RPS\n\n", len(svcs), services.MeanRatekRPS(svcs))
+
+	results := map[string]*workload.RunResult{}
+	for _, pol := range []engine.Policy{engine.RELIEF(), engine.AccelFlow()} {
+		res, err := workload.Run(config.Default(), pol,
+			workload.Mix(svcs, 1.0, 6000), 7, nil, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		results[pol.Name] = res
+	}
+
+	fmt.Printf("%-8s %14s %14s %9s\n", "service", "RELIEF p99", "AccelFlow p99", "reduction")
+	for _, svc := range svcs {
+		rl := results["RELIEF"].PerService[svc.Name].P99()
+		af := results["AccelFlow"].PerService[svc.Name].P99()
+		fmt.Printf("%-8s %14v %14v %8.1f%%\n", svc.Name, rl, af, 100*(1-float64(af)/float64(rl)))
+	}
+
+	af := results["AccelFlow"]
+	fmt.Printf("\nAccelFlow: %d requests, %.1f accelerator invocations/request, %d CPU fallbacks, %d timeouts\n",
+		af.Completed, float64(af.AccelCount)/float64(af.Completed), af.FellBack, af.TimedOut)
+	eng := af.Engine
+	fmt.Println("\naccelerator PE utilization:")
+	for _, k := range config.AllAccelKinds() {
+		fmt.Printf("  %-5v %5.1f%%\n", k, 100*eng.Accels[k].PEs.Utilization(af.Elapsed))
+	}
+}

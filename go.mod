@@ -1,0 +1,3 @@
+module accelflow
+
+go 1.22

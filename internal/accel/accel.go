@@ -1,0 +1,310 @@
+// Package accel models one AccelFlow accelerator (paper §IV-A/§V):
+// an SRAM input queue gating admission, an input dispatcher that feeds
+// processing elements (PEs) with scratchpads, and the PE execution
+// itself. Output-dispatcher logic (branch resolution, transforms, ATM
+// chaining, DMA forwarding) is driven by the engine, which owns the
+// cross-accelerator policy; this package provides its serial FSM
+// resource and the glue-instruction accounting.
+package accel
+
+import (
+	"fmt"
+
+	"accelflow/internal/config"
+	"accelflow/internal/mem"
+	"accelflow/internal/noc"
+	"accelflow/internal/sim"
+	"accelflow/internal/trace"
+)
+
+// Entry is one in-flight trace-execution instance as it moves between
+// queues, PEs, and dispatchers.
+type Entry struct {
+	Prog  *trace.Program
+	PC    int // Position Mark: index of the instruction being executed
+	Flags trace.Flags
+
+	DataBytes int // current payload size
+	Tenant    int
+	CoreID    int // initiating core (notified at the end, §IV-B)
+
+	Priority int
+	Deadline sim.Time // for the EDF input-dispatcher policy (§IV-C)
+
+	EnqueuedAt sim.Time
+	// LastPEHold records the most recent PE occupancy (load + wipe +
+	// compute), for execution-time breakdowns.
+	LastPEHold sim.Time
+	// UserData carries the engine's execution context opaquely.
+	UserData interface{}
+}
+
+// AdmitResult is the outcome of offering an entry to an input queue.
+type AdmitResult int
+
+const (
+	// Admitted: the entry occupies an input queue slot.
+	Admitted AdmitResult = iota
+	// Overflowed: the queue was full; the entry went to the in-memory
+	// overflow area (only output dispatchers may do this, §IV-A).
+	Overflowed
+	// Rejected: queue and overflow area are both full; the caller must
+	// fall back to the CPU.
+	Rejected
+)
+
+// Stats aggregates one accelerator's activity counters.
+type Stats struct {
+	Invocations   uint64
+	BusyTime      sim.Time
+	GlueInstrs    uint64 // output-dispatcher RISC instructions (§VII-B.2)
+	GluePasses    uint64
+	Branches      uint64
+	Transforms    uint64
+	ATMReads      uint64
+	Notifies      uint64
+	Overflows     uint64
+	Rejections    uint64
+	TenantWipes   uint64
+	InBytesTotal  uint64
+	OutBytesTotal uint64
+	InSizes       []int // sampled input payload sizes (Fig. 5)
+	OutSizes      []int
+	ArmedTimeouts uint64
+}
+
+// Accelerator is one instance of one accelerator kind.
+type Accelerator struct {
+	Kind config.AccelKind
+	Node noc.Node
+
+	cfg *config.Config
+	k   *sim.Kernel
+	PEs *sim.Resource
+	// OutDisp serializes output-dispatcher passes (one FSM per
+	// accelerator, §V-2).
+	OutDisp *sim.Resource
+	TLB     *mem.TLB
+
+	inCount  int
+	inCap    int
+	armed    int // queue slots held by armed response traces (§IV-B)
+	overflow []*pendingEntry
+	ovCap    int
+
+	lastTenant int
+
+	// OnReady is invoked when a PE finishes an entry and the entry has
+	// been deposited in the output queue; the engine runs the output
+	// dispatcher from here.
+	OnReady func(*Entry)
+
+	Stats Stats
+
+	sampleEvery int
+	sampleCnt   int
+}
+
+type pendingEntry struct {
+	e        *Entry
+	deferred func() // runs once the entry is pulled into the queue
+}
+
+// New constructs an accelerator of the given kind at the given node.
+func New(k *sim.Kernel, cfg *config.Config, kind config.AccelKind, node noc.Node, rng *sim.RNG, disc sim.Discipline) *Accelerator {
+	return &Accelerator{
+		Kind:        kind,
+		Node:        node,
+		cfg:         cfg,
+		k:           k,
+		PEs:         sim.NewResource(k, fmt.Sprintf("%v.pes", kind), cfg.PEsPerAccel, disc),
+		OutDisp:     sim.NewResource(k, fmt.Sprintf("%v.outdisp", kind), 1, sim.FIFO),
+		TLB:         mem.NewTLB(cfg, rng),
+		inCap:       cfg.InputQueueEntries,
+		ovCap:       cfg.OverflowEntries,
+		lastTenant:  -1,
+		sampleEvery: 7,
+	}
+}
+
+// QueueFree reports free input-queue slots.
+func (a *Accelerator) QueueFree() int { return a.inCap - a.inCount - a.armed }
+
+// Offer attempts to admit an entry. allowOverflow distinguishes output
+// dispatchers (which spill to the overflow area) from CPU Enqueue
+// (which gets an error and retries, §IV-A).
+func (a *Accelerator) Offer(e *Entry, allowOverflow bool) AdmitResult {
+	if a.QueueFree() > 0 {
+		a.inCount++
+		a.start(e)
+		return Admitted
+	}
+	if allowOverflow && len(a.overflow) < a.ovCap {
+		a.Stats.Overflows++
+		a.overflow = append(a.overflow, &pendingEntry{e: e})
+		return Overflowed
+	}
+	a.Stats.Rejections++
+	return Rejected
+}
+
+// Arm reserves an input-queue slot for a response trace that will be
+// triggered by a future message (the paper's asterisk continuations).
+// fire runs when the message arrives after wait; if wait exceeds the
+// TCP timeout, onTimeout runs instead and the slot is released.
+func (a *Accelerator) Arm(e *Entry, wait sim.Time, onTimeout func()) {
+	if a.QueueFree() <= 0 {
+		// No slot: treat like an overflow-armed entry; the paper's
+		// timeout machinery bounds this, we model it as immediate
+		// timeout-equivalent fallback.
+		a.Stats.Rejections++
+		if onTimeout != nil {
+			onTimeout()
+		}
+		return
+	}
+	a.armed++
+	if wait > a.cfg.TCPTimeout {
+		a.k.After(a.cfg.TCPTimeout, func() {
+			a.armed--
+			a.Stats.ArmedTimeouts++
+			if onTimeout != nil {
+				onTimeout()
+			}
+		})
+		return
+	}
+	a.k.After(wait, func() {
+		a.armed--
+		a.inCount++
+		a.start(e)
+	})
+}
+
+// start runs the input-dispatcher path for an admitted entry: TLB
+// access, queue-to-scratchpad transfer, PE compute, and deposit into
+// the output queue. The queue slot frees when the entry moves into a
+// PE, which is when overflow entries are pulled in (§V-1).
+func (a *Accelerator) start(e *Entry) {
+	load := a.loadTime(e.DataBytes) + a.TLB.Access()
+	compute := a.cfg.AccelCost(a.Kind, e.DataBytes)
+	wipe := sim.Time(0)
+	task := &sim.Task{
+		Priority: e.Priority,
+		Deadline: e.Deadline,
+		Started: func() {
+			// Entry leaves the input queue for the PE.
+			a.inCount--
+			a.drainOverflow()
+		},
+		Done: func() {
+			a.Stats.Invocations++
+			if a.sampleCnt%a.sampleEvery == 0 {
+				a.Stats.InSizes = append(a.Stats.InSizes, e.DataBytes)
+			}
+			a.Stats.InBytesTotal += uint64(e.DataBytes)
+			out := OutputBytes(a.cfg, a.Kind, e.DataBytes)
+			e.DataBytes = out
+			a.Stats.OutBytesTotal += uint64(out)
+			if a.sampleCnt%a.sampleEvery == 0 {
+				a.Stats.OutSizes = append(a.Stats.OutSizes, out)
+			}
+			a.sampleCnt++
+			if a.OnReady != nil {
+				a.OnReady(e)
+			}
+		},
+	}
+	if e.Tenant != a.lastTenant {
+		// Scratchpad and PE state wipe between tenants (§IV-D).
+		wipe = a.cfg.ScratchWipe
+		a.lastTenant = e.Tenant
+		a.Stats.TenantWipes++
+	}
+	task.Hold = load + wipe + compute
+	e.LastPEHold = task.Hold
+	a.Stats.BusyTime += task.Hold
+	a.PEs.Submit(task)
+}
+
+func (a *Accelerator) drainOverflow() {
+	for len(a.overflow) > 0 && a.QueueFree() > 0 {
+		p := a.overflow[0]
+		a.overflow = a.overflow[1:]
+		a.inCount++
+		pe := p
+		// Reading the overflowed entry back from memory costs an LLC
+		// touch before it can be dispatched; it holds its queue slot
+		// (inCount already incremented) during the read.
+		a.k.After(a.cfg.LLCLatency, func() {
+			a.start(pe.e)
+			if pe.deferred != nil {
+				pe.deferred()
+			}
+		})
+	}
+}
+
+// loadTime is the input queue -> scratchpad transfer (Table III: 10ns
+// latency, 100 GB/s for inline data) plus a spill fetch for >2KB
+// payloads via the memory pointer.
+func (a *Accelerator) loadTime(bytes int) sim.Time {
+	inline := bytes
+	if inline > a.cfg.InlineDataBytes {
+		inline = a.cfg.InlineDataBytes
+	}
+	t := a.cfg.QueueToPadLatency + sim.FromNanos(float64(inline)/a.cfg.QueueToPadGBs)
+	if spill := bytes - inline; spill > 0 {
+		// Spill data is cacheable and read through the LLC (§IV-A).
+		t += a.cfg.LLCLatency + sim.FromNanos(float64(spill)/100.0)
+	}
+	return t
+}
+
+// OutputBytes models how each accelerator changes the payload size:
+// compression shrinks, decompression expands, serialization adds
+// protocol overhead, deserialization removes it; the others are
+// size-preserving. LdB carries no data (§III-Q3).
+func OutputBytes(cfg *config.Config, k config.AccelKind, in int) int {
+	switch k {
+	case config.Cmp:
+		out := int(float64(in) * cfg.CmpRatio)
+		if out < 64 {
+			out = 64
+		}
+		return out
+	case config.Dcmp:
+		return int(float64(in) / cfg.CmpRatio)
+	case config.Ser:
+		return int(float64(in) * cfg.SerOverhead)
+	case config.Dser:
+		return int(float64(in) / cfg.SerOverhead)
+	case config.LdB:
+		return in
+	default:
+		return in
+	}
+}
+
+// GluePass charges one output-dispatcher pass of the given instruction
+// count and updates the glue statistics.
+func (a *Accelerator) GluePass(instrs int) sim.Time {
+	a.Stats.GlueInstrs += uint64(instrs)
+	a.Stats.GluePasses++
+	return a.cfg.DispatcherTime(instrs)
+}
+
+// MeanGlueInstrs is the average instructions per output-dispatcher
+// operation (§VII-B.2 reports 18 for the paper's services).
+func (s *Stats) MeanGlueInstrs() float64 {
+	if s.GluePasses == 0 {
+		return 0
+	}
+	return float64(s.GlueInstrs) / float64(s.GluePasses)
+}
+
+// OverflowLen reports entries currently parked in the overflow area.
+func (a *Accelerator) OverflowLen() int { return len(a.overflow) }
+
+// InQueueLen reports occupied input-queue slots (including armed).
+func (a *Accelerator) InQueueLen() int { return a.inCount + a.armed }

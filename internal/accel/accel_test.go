@@ -1,0 +1,306 @@
+package accel
+
+import (
+	"testing"
+
+	"accelflow/internal/config"
+	"accelflow/internal/mem"
+	"accelflow/internal/noc"
+	"accelflow/internal/sim"
+)
+
+func newAccel(t *testing.T, cfg *config.Config, kind config.AccelKind) (*sim.Kernel, *Accelerator) {
+	t.Helper()
+	k := sim.NewKernel()
+	a := New(k, cfg, kind, noc.Node{Chiplet: 1}, sim.NewRNG(3), sim.FIFO)
+	return k, a
+}
+
+func entry(bytes, tenant int) *Entry {
+	return &Entry{DataBytes: bytes, Tenant: tenant}
+}
+
+func TestOfferAdmitsAndExecutes(t *testing.T) {
+	cfg := config.Default()
+	k, a := newAccel(t, cfg, config.Ser)
+	var ready *Entry
+	a.OnReady = func(e *Entry) { ready = e }
+	e := entry(1024, 0)
+	if got := a.Offer(e, false); got != Admitted {
+		t.Fatalf("Offer = %v, want Admitted", got)
+	}
+	k.Run()
+	if ready == nil {
+		t.Fatal("entry never reached the output queue")
+	}
+	if a.Stats.Invocations != 1 {
+		t.Errorf("invocations = %d", a.Stats.Invocations)
+	}
+	// Ser grows the payload by the serialization overhead.
+	if ready.DataBytes <= 1024 {
+		t.Errorf("Ser output %d should exceed input 1024", ready.DataBytes)
+	}
+	if e.LastPEHold < cfg.AccelCost(config.Ser, 1024) {
+		t.Errorf("PE hold %v below pure compute", e.LastPEHold)
+	}
+}
+
+func TestOutputBytesShapes(t *testing.T) {
+	cfg := config.Default()
+	cases := []struct {
+		k    config.AccelKind
+		in   int
+		test func(out int) bool
+	}{
+		{config.Cmp, 10000, func(o int) bool { return o < 10000/2 }},
+		{config.Dcmp, 1000, func(o int) bool { return o > 1500 }},
+		{config.Ser, 1000, func(o int) bool { return o > 1000 }},
+		{config.Dser, 1150, func(o int) bool { return o < 1150 }},
+		{config.TCP, 1000, func(o int) bool { return o == 1000 }},
+		{config.Encr, 777, func(o int) bool { return o == 777 }},
+		{config.LdB, 123, func(o int) bool { return o == 123 }},
+		{config.Cmp, 10, func(o int) bool { return o >= 64 }}, // floor
+	}
+	for _, c := range cases {
+		if out := OutputBytes(cfg, c.k, c.in); !c.test(out) {
+			t.Errorf("OutputBytes(%v, %d) = %d", c.k, c.in, out)
+		}
+	}
+}
+
+func TestQueueCapacityAndOverflow(t *testing.T) {
+	cfg := config.Default()
+	cfg.PEsPerAccel = 1
+	cfg.InputQueueEntries = 2
+	cfg.OverflowEntries = 1
+	k, a := newAccel(t, cfg, config.TCP)
+	done := 0
+	a.OnReady = func(*Entry) { done++ }
+
+	// The first entry moves straight into the free PE (releasing its
+	// queue slot); the next two fill the queue; the fourth overflows;
+	// the fifth is rejected.
+	if a.Offer(entry(512, 0), true) != Admitted {
+		t.Fatal("first not admitted")
+	}
+	if a.Offer(entry(512, 0), true) != Admitted {
+		t.Fatal("second not admitted")
+	}
+	if a.Offer(entry(512, 0), true) != Admitted {
+		t.Fatal("third not admitted (slot freed by PE pickup)")
+	}
+	if a.Offer(entry(512, 0), true) != Overflowed {
+		t.Fatal("fourth did not overflow")
+	}
+	if a.OverflowLen() != 1 {
+		t.Errorf("overflow len = %d", a.OverflowLen())
+	}
+	if a.Offer(entry(512, 0), true) != Rejected {
+		t.Fatal("fifth not rejected")
+	}
+	// CPU-side offers never overflow.
+	if a.Offer(entry(512, 0), false) != Rejected {
+		t.Fatal("CPU offer overflowed")
+	}
+	k.Run()
+	if done != 4 {
+		t.Errorf("completed %d entries, want 4 (incl. drained overflow)", done)
+	}
+	if a.Stats.Overflows != 1 || a.Stats.Rejections != 2 {
+		t.Errorf("overflow/rejection stats = %d/%d", a.Stats.Overflows, a.Stats.Rejections)
+	}
+	if a.OverflowLen() != 0 {
+		t.Errorf("overflow not drained: %d", a.OverflowLen())
+	}
+}
+
+func TestTenantWipeCharged(t *testing.T) {
+	cfg := config.Default()
+	k, a := newAccel(t, cfg, config.RPC)
+	a.OnReady = func(*Entry) {}
+	a.Offer(entry(100, 1), false)
+	a.Offer(entry(100, 1), false)
+	a.Offer(entry(100, 2), false)
+	k.Run()
+	// First entry (tenant change from -1) and third (1->2).
+	if a.Stats.TenantWipes != 2 {
+		t.Errorf("tenant wipes = %d, want 2", a.Stats.TenantWipes)
+	}
+}
+
+func TestLargePayloadSpillCostsMore(t *testing.T) {
+	cfg := config.Default()
+	k1, a1 := newAccel(t, cfg, config.TCP)
+	var t1 sim.Time
+	a1.OnReady = func(*Entry) { t1 = k1.Now() }
+	a1.Offer(entry(cfg.InlineDataBytes, 0), false)
+	k1.Run()
+
+	k2, a2 := newAccel(t, cfg, config.TCP)
+	var t2 sim.Time
+	a2.OnReady = func(*Entry) { t2 = k2.Now() }
+	a2.Offer(entry(cfg.InlineDataBytes*8, 0), false)
+	k2.Run()
+	if t2 <= t1 {
+		t.Errorf("8x payload (%v) not slower than inline payload (%v)", t2, t1)
+	}
+}
+
+func TestArmDeliversAfterWait(t *testing.T) {
+	cfg := config.Default()
+	k, a := newAccel(t, cfg, config.TCP)
+	var at sim.Time
+	a.OnReady = func(*Entry) { at = k.Now() }
+	a.Arm(entry(256, 0), 5*sim.Microsecond, func() { t.Error("unexpected timeout") })
+	if a.InQueueLen() != 1 {
+		t.Errorf("armed entry does not hold a slot: %d", a.InQueueLen())
+	}
+	k.Run()
+	if at < 5*sim.Microsecond {
+		t.Errorf("armed entry fired at %v, before the 5us wait", at)
+	}
+}
+
+func TestArmTimesOut(t *testing.T) {
+	cfg := config.Default()
+	cfg.TCPTimeout = 1 * sim.Microsecond
+	k, a := newAccel(t, cfg, config.TCP)
+	fired := false
+	timedOut := false
+	a.OnReady = func(*Entry) { fired = true }
+	a.Arm(entry(256, 0), 10*sim.Microsecond, func() { timedOut = true })
+	k.Run()
+	if fired {
+		t.Error("timed-out entry executed")
+	}
+	if !timedOut {
+		t.Error("timeout callback never ran")
+	}
+	if a.Stats.ArmedTimeouts != 1 {
+		t.Errorf("timeout stat = %d", a.Stats.ArmedTimeouts)
+	}
+	if a.InQueueLen() != 0 {
+		t.Error("timed-out entry leaked a queue slot")
+	}
+}
+
+func TestArmRejectedWhenFull(t *testing.T) {
+	cfg := config.Default()
+	cfg.InputQueueEntries = 1
+	cfg.PEsPerAccel = 1
+	k, a := newAccel(t, cfg, config.TCP)
+	a.OnReady = func(*Entry) {}
+	a.Offer(entry(256, 0), false)
+	a.Offer(entry(256, 0), false) // occupies the single slot's queue
+	timedOut := false
+	a.Arm(entry(256, 0), sim.Microsecond, func() { timedOut = true })
+	if !timedOut {
+		t.Error("Arm on a full queue should fail fast")
+	}
+	k.Run()
+}
+
+func TestGluePassAccounting(t *testing.T) {
+	cfg := config.Default()
+	_, a := newAccel(t, cfg, config.Dser)
+	d1 := a.GluePass(15)
+	d2 := a.GluePass(22)
+	if d2 <= d1 {
+		t.Error("more instructions should take longer")
+	}
+	if a.Stats.GluePasses != 2 || a.Stats.GlueInstrs != 37 {
+		t.Errorf("glue stats = %d passes / %d instrs", a.Stats.GluePasses, a.Stats.GlueInstrs)
+	}
+	if m := a.Stats.MeanGlueInstrs(); m != 18.5 {
+		t.Errorf("mean glue instrs = %v, want 18.5", m)
+	}
+	var empty Stats
+	if empty.MeanGlueInstrs() != 0 {
+		t.Error("empty stats mean not zero")
+	}
+}
+
+func TestEDFDisciplineInPEs(t *testing.T) {
+	cfg := config.Default()
+	cfg.PEsPerAccel = 1
+	k := sim.NewKernel()
+	a := New(k, cfg, config.Encr, noc.Node{Chiplet: 1}, sim.NewRNG(3), sim.EDF)
+	var order []sim.Time
+	a.OnReady = func(e *Entry) { order = append(order, e.Deadline) }
+	// First occupies the PE; the rest queue and should run by deadline.
+	e0 := entry(100, 0)
+	a.Offer(e0, false)
+	for _, d := range []sim.Time{300, 100, 200} {
+		e := entry(100, 0)
+		e.Deadline = d * sim.Microsecond
+		a.Offer(e, false)
+	}
+	k.Run()
+	if len(order) != 4 {
+		t.Fatalf("completed %d", len(order))
+	}
+	if !(order[1] == 100*sim.Microsecond && order[2] == 200*sim.Microsecond && order[3] == 300*sim.Microsecond) {
+		t.Errorf("EDF order wrong: %v", order[1:])
+	}
+}
+
+func TestDMAPoolTransfer(t *testing.T) {
+	cfg := config.Default()
+	k := sim.NewKernel()
+	net := noc.NewNetwork(k, cfg)
+	memory := mem.NewMemory(k, cfg)
+	d := NewDMAPool(k, cfg, net, memory)
+	src := noc.Node{Chiplet: 1, X: 0}
+	dst := noc.Node{Chiplet: 1, X: 1}
+	var small, big sim.Time
+	d.Transfer(src, dst, 1024, 8, func() { small = k.Now() })
+	k.Run()
+	k2 := sim.NewKernel()
+	d2 := NewDMAPool(k2, cfg, noc.NewNetwork(k2, cfg), mem.NewMemory(k2, cfg))
+	d2.Transfer(src, dst, 64*1024, 8, func() { big = k2.Now() })
+	k2.Run()
+	if big <= small {
+		t.Errorf("64KB transfer (%v) not slower than 1KB (%v): spill path missing", big, small)
+	}
+	if d.Transfers != 1 || d.BytesMoved != 1032 {
+		t.Errorf("stats = %d/%d", d.Transfers, d.BytesMoved)
+	}
+}
+
+func TestDMAPoolContention(t *testing.T) {
+	cfg := config.Default()
+	cfg.ADMAEngines = 1
+	k := sim.NewKernel()
+	d := NewDMAPool(k, cfg, noc.NewNetwork(k, cfg), mem.NewMemory(k, cfg))
+	src := noc.Node{Chiplet: 1, X: 0}
+	dst := noc.Node{Chiplet: 1, X: 3}
+	var times []sim.Time
+	for i := 0; i < 3; i++ {
+		d.Transfer(src, dst, 2048, 8, func() { times = append(times, k.Now()) })
+	}
+	k.Run()
+	if len(times) != 3 {
+		t.Fatalf("completed %d", len(times))
+	}
+	if times[1] <= times[0] || times[2] <= times[1] {
+		t.Errorf("single engine did not serialize: %v", times)
+	}
+	if d.QueueLen() != 0 {
+		t.Error("queue not drained")
+	}
+	if d.Utilization(k.Now()) <= 0 {
+		t.Error("no utilization recorded")
+	}
+}
+
+func TestDMAToMemory(t *testing.T) {
+	cfg := config.Default()
+	k := sim.NewKernel()
+	d := NewDMAPool(k, cfg, noc.NewNetwork(k, cfg), mem.NewMemory(k, cfg))
+	ran := false
+	d.ToMemory(noc.Node{Chiplet: 1}, noc.Node{Chiplet: 0, Y: 6}, 4096, func() { ran = true })
+	k.Run()
+	if !ran {
+		t.Error("ToMemory never completed")
+	}
+}

@@ -1,0 +1,81 @@
+// Package atm implements the Accelerator Trace Memory (paper §IV-A): a
+// special on-chip memory where cores store traces before triggering an
+// ensemble execution, and from which output dispatchers read
+// continuation traces (the asterisk tails) without CPU involvement.
+package atm
+
+import (
+	"fmt"
+
+	"accelflow/internal/sim"
+	"accelflow/internal/trace"
+)
+
+// ATM stores registered trace programs addressable by 8-bit addresses
+// and by their symbolic names.
+type ATM struct {
+	syms     *trace.MapSymbols
+	programs map[string]*trace.Program
+	latency  sim.Time
+
+	Reads uint64
+}
+
+// New returns an empty ATM with the given read latency.
+func New(readLatency sim.Time) *ATM {
+	return &ATM{
+		syms:     trace.NewMapSymbols(),
+		programs: map[string]*trace.Program{},
+		latency:  readLatency,
+	}
+}
+
+// Register stores a program under its name and assigns it an address.
+// Registering the same name twice with a different program is an error
+// (the ATM is written once per service setup).
+func (a *ATM) Register(p *trace.Program) error {
+	if prev, ok := a.programs[p.Name]; ok && prev != p {
+		return fmt.Errorf("atm: %q already registered with a different program", p.Name)
+	}
+	if _, err := a.syms.Register(p.Name); err != nil {
+		return err
+	}
+	a.programs[p.Name] = p
+	return nil
+}
+
+// Lookup returns the program registered under name.
+func (a *ATM) Lookup(name string) (*trace.Program, bool) {
+	p, ok := a.programs[name]
+	return p, ok
+}
+
+// Read models an output dispatcher fetching the continuation trace:
+// it returns the program and the read latency to charge, and counts
+// the access.
+func (a *ATM) Read(name string) (*trace.Program, sim.Time, error) {
+	p, ok := a.programs[name]
+	if !ok {
+		return nil, 0, fmt.Errorf("atm: no trace %q", name)
+	}
+	a.Reads++
+	return p, a.latency, nil
+}
+
+// Symbols exposes the symbol table for trace encoding.
+func (a *ATM) Symbols() *trace.MapSymbols { return a.syms }
+
+// VerifyEncodable checks that every registered program either encodes
+// within the 8-byte limit or was already split; it returns the first
+// offending program. Used by tests and service-catalog validation.
+func (a *ATM) VerifyEncodable() error {
+	for name, p := range a.programs {
+		if _, err := p.Encode(a.syms); err != nil {
+			return fmt.Errorf("atm: %s: %v", name, err)
+		}
+	}
+	return nil
+}
+
+// Size reports the number of registered traces.
+func (a *ATM) Size() int { return len(a.programs) }

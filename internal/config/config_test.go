@@ -1,0 +1,234 @@
+package config
+
+import (
+	"testing"
+	"testing/quick"
+
+	"accelflow/internal/sim"
+)
+
+func TestDefaultValidates(t *testing.T) {
+	if err := Default().Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+}
+
+func TestDefaultMatchesTableIII(t *testing.T) {
+	c := Default()
+	if c.Cores != 36 {
+		t.Errorf("Cores = %d, want 36", c.Cores)
+	}
+	if c.CPUFreqGHz != 2.4 {
+		t.Errorf("CPUFreqGHz = %v, want 2.4", c.CPUFreqGHz)
+	}
+	if c.InputQueueEntries != 64 || c.OutputQueueEntries != 64 {
+		t.Errorf("queues = %d/%d, want 64/64", c.InputQueueEntries, c.OutputQueueEntries)
+	}
+	if c.ADMAEngines != 10 {
+		t.Errorf("ADMAEngines = %d, want 10", c.ADMAEngines)
+	}
+	if c.PEsPerAccel != 8 {
+		t.Errorf("PEsPerAccel = %d, want 8", c.PEsPerAccel)
+	}
+	if c.ScratchpadKB != 64 {
+		t.Errorf("ScratchpadKB = %d, want 64", c.ScratchpadKB)
+	}
+	if c.QueueToPadLatency != 10*sim.Nanosecond {
+		t.Errorf("QueueToPadLatency = %v, want 10ns", c.QueueToPadLatency)
+	}
+	if c.NotifyCycles != 80 {
+		t.Errorf("NotifyCycles = %d, want 80", c.NotifyCycles)
+	}
+	if c.MeshHopCycles != 3 || c.InterChipletCycles != 60 {
+		t.Errorf("mesh/interchiplet = %d/%d, want 3/60", c.MeshHopCycles, c.InterChipletCycles)
+	}
+	if c.MemCtrls != 4 || c.MemGBsPerCtrl != 102.4 {
+		t.Errorf("memory = %d ctrls @ %v GB/s, want 4 @ 102.4", c.MemCtrls, c.MemGBsPerCtrl)
+	}
+	if c.InlineDataBytes != 2048 {
+		t.Errorf("InlineDataBytes = %d, want 2048", c.InlineDataBytes)
+	}
+}
+
+func TestLiteratureSpeedups(t *testing.T) {
+	c := Default()
+	want := map[AccelKind]float64{
+		TCP: 3.5, Encr: 6.6, Decr: 6.6, RPC: 20.5,
+		Ser: 3.8, Dser: 3.8, Cmp: 15.2, Dcmp: 4.1, LdB: 8.1,
+	}
+	for k, s := range want {
+		if c.Speedup[k] != s {
+			t.Errorf("Speedup[%v] = %v, want %v", k, c.Speedup[k], s)
+		}
+	}
+}
+
+func TestAccelKindString(t *testing.T) {
+	names := []string{"TCP", "Encr", "Decr", "RPC", "Ser", "Dser", "Cmp", "Dcmp", "LdB"}
+	for i, want := range names {
+		if got := AccelKind(i).String(); got != want {
+			t.Errorf("AccelKind(%d) = %q, want %q", i, got, want)
+		}
+	}
+	if AccelKind(200).String() != "Accel(200)" {
+		t.Errorf("out-of-range kind printed %q", AccelKind(200).String())
+	}
+	if len(AllAccelKinds()) != int(NumAccelKinds) {
+		t.Errorf("AllAccelKinds length = %d", len(AllAccelKinds()))
+	}
+}
+
+func TestCycleConversion(t *testing.T) {
+	c := Default()
+	// 2.4 GHz -> 416.67ps, rounded to 417ps.
+	if got := c.CyclePS(); got != 417*sim.Picosecond {
+		t.Errorf("CyclePS = %v, want 417ps", got)
+	}
+	if got := c.Cycles(80); got != 80*417*sim.Picosecond {
+		t.Errorf("Cycles(80) = %v", got)
+	}
+	if c.NotifyLatency() != c.Cycles(80) {
+		t.Errorf("NotifyLatency = %v", c.NotifyLatency())
+	}
+}
+
+func TestAccelCostIsCPUCostOverSpeedup(t *testing.T) {
+	c := Default()
+	for _, k := range AllAccelKinds() {
+		cpu := c.CPUCost(k, 1024)
+		acc := c.AccelCost(k, 1024)
+		ratio := float64(cpu) / float64(acc)
+		want := c.Speedup[k]
+		if ratio < want*0.98 || ratio > want*1.02 {
+			t.Errorf("%v: cpu/accel = %.2f, want ~%.2f", k, ratio, want)
+		}
+	}
+}
+
+func TestSpeedupScale(t *testing.T) {
+	c := Default()
+	base := c.AccelCost(TCP, 2048)
+	c.SpeedupScale = 4
+	fast := c.AccelCost(TCP, 2048)
+	r := float64(base) / float64(fast)
+	if r < 3.9 || r > 4.1 {
+		t.Errorf("4x speedup scale changed cost by %.2fx", r)
+	}
+}
+
+func TestGenerationScaling(t *testing.T) {
+	ice := Default()
+	hsw := Default()
+	hsw.Generation = Haswell
+	emr := Default()
+	emr.Generation = EmeraldRapids
+
+	// Tax ops get slower on older CPUs, faster on newer.
+	if !(hsw.CPUCost(TCP, 1024) > ice.CPUCost(TCP, 1024)) {
+		t.Error("Haswell tax cost should exceed IceLake")
+	}
+	if !(emr.CPUCost(TCP, 1024) < ice.CPUCost(TCP, 1024)) {
+		t.Error("EmeraldRapids tax cost should be below IceLake")
+	}
+	// App logic scales more than tax (the paper's premise).
+	appGain := float64(hsw.AppCost(10*sim.Microsecond)) / float64(emr.AppCost(10*sim.Microsecond))
+	taxGain := float64(hsw.CPUCost(TCP, 1024)) / float64(emr.CPUCost(TCP, 1024))
+	if appGain <= taxGain {
+		t.Errorf("app gain %.2f should exceed tax gain %.2f across generations", appGain, taxGain)
+	}
+	// Accelerator hardware time is generation independent.
+	if hsw.AccelCost(Ser, 1024) != emr.AccelCost(Ser, 1024) {
+		t.Error("accelerator cost changed with CPU generation")
+	}
+	if len(AllGenerations()) != 5 {
+		t.Errorf("AllGenerations = %d, want 5", len(AllGenerations()))
+	}
+}
+
+func TestChipletPlans(t *testing.T) {
+	for _, p := range AllChipletPlans() {
+		c := Default()
+		if err := c.ApplyChipletPlan(p); err != nil {
+			t.Fatalf("plan %v: %v", p, err)
+		}
+		if c.Chiplets != int(p) {
+			t.Errorf("plan %v set %d chiplets", p, c.Chiplets)
+		}
+		if err := c.Validate(); err != nil {
+			t.Errorf("plan %v produced invalid config: %v", p, err)
+		}
+		if c.ChipletOf[LdB] != 0 {
+			t.Errorf("plan %v moved LdB off the core chiplet", p)
+		}
+	}
+	c := Default()
+	if err := c.ApplyChipletPlan(ChipletPlan(5)); err == nil {
+		t.Error("unknown plan accepted")
+	}
+}
+
+func TestSixChipletSeparation(t *testing.T) {
+	c := Default()
+	if err := c.ApplyChipletPlan(SixChiplets); err != nil {
+		t.Fatal(err)
+	}
+	// TCP, (De)Encr, RPC, (De)Ser, (De)Cmp in separate chiplets.
+	if c.ChipletOf[TCP] == c.ChipletOf[Encr] || c.ChipletOf[Encr] == c.ChipletOf[RPC] ||
+		c.ChipletOf[RPC] == c.ChipletOf[Ser] || c.ChipletOf[Ser] == c.ChipletOf[Cmp] {
+		t.Errorf("six-chiplet plan did not separate groups: %v", c.ChipletOf)
+	}
+	if c.ChipletOf[Encr] != c.ChipletOf[Decr] || c.ChipletOf[Ser] != c.ChipletOf[Dser] ||
+		c.ChipletOf[Cmp] != c.ChipletOf[Dcmp] {
+		t.Errorf("paired accelerators split across chiplets: %v", c.ChipletOf)
+	}
+}
+
+func TestValidateCatchesBadConfigs(t *testing.T) {
+	mutations := []func(*Config){
+		func(c *Config) { c.Cores = 0 },
+		func(c *Config) { c.CPUFreqGHz = 0 },
+		func(c *Config) { c.PEsPerAccel = -1 },
+		func(c *Config) { c.InputQueueEntries = 0 },
+		func(c *Config) { c.ADMAEngines = 0 },
+		func(c *Config) { c.TLBHitRate = 1.5 },
+		func(c *Config) { c.Chiplets = 0 },
+		func(c *Config) { c.SpeedupScale = 0 },
+		func(c *Config) { c.Speedup[RPC] = 0 },
+		func(c *Config) { c.ChipletOf[TCP] = 9 },
+		func(c *Config) { c.ChipletOf[LdB] = 1; c.Chiplets = 2 },
+	}
+	for i, m := range mutations {
+		c := Default()
+		m(c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("mutation %d not caught by Validate", i)
+		}
+	}
+}
+
+func TestCloneIsIndependent(t *testing.T) {
+	a := Default()
+	b := a.Clone()
+	b.Cores = 1
+	b.Speedup[TCP] = 99
+	if a.Cores != 36 || a.Speedup[TCP] != 3.5 {
+		t.Error("Clone shares state with original")
+	}
+}
+
+// Property: CPU cost is monotonically non-decreasing in payload size for
+// every kind.
+func TestCPUCostMonotone(t *testing.T) {
+	c := Default()
+	f := func(a, b uint16, kind uint8) bool {
+		k := AccelKind(kind % uint8(NumAccelKinds))
+		lo, hi := int(a), int(b)
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		return c.CPUCost(k, lo) <= c.CPUCost(k, hi) && c.AccelCost(k, lo) <= c.AccelCost(k, hi)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,104 @@
+package energy
+
+import (
+	"strings"
+	"testing"
+
+	"accelflow/internal/config"
+	"accelflow/internal/engine"
+	"accelflow/internal/sim"
+	"accelflow/internal/trace"
+)
+
+func TestAreaMatchesPaperConstants(t *testing.T) {
+	a := Area()
+	if got := float64(a.BaselineTotal()); got < 122.0 || got > 122.6 {
+		t.Errorf("baseline area = %.1f, paper says 122.3", got)
+	}
+	if got := float64(a.AccelTotal()); got < 40 || got > 50 {
+		t.Errorf("accelerator area = %.1f, paper says 44.9", got)
+	}
+	if got := float64(a.OrchestrationTotal()); got < 5.05 || got > 5.15 {
+		t.Errorf("orchestration area = %.2f, paper says 5.1", got)
+	}
+	comb, accel, over := a.AccelFraction()
+	if comb < 0.2 || comb > 0.32 {
+		t.Errorf("combined fraction = %.3f, paper 0.29", comb)
+	}
+	if accel >= comb || over >= accel {
+		t.Error("fraction ordering broken")
+	}
+	if s := FormatArea(a); !strings.Contains(s, "mm2") {
+		t.Error("FormatArea output malformed")
+	}
+}
+
+func TestQueueMemoryIsPaper2_4MB(t *testing.T) {
+	got := QueueMemoryBytes(config.Default())
+	if got < 2_300_000 || got > 2_600_000 {
+		t.Errorf("queue memory = %d bytes, paper says ~2.4MB", got)
+	}
+}
+
+func runFor(t *testing.T, pol engine.Policy) (*engine.Engine, sim.Time, uint64) {
+	t.Helper()
+	k := sim.NewKernel()
+	e, err := engine.New(k, config.Default(), pol, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := trace.New("recv").Seq(config.TCP, config.Decr, config.Dser, config.LdB).MustBuild()
+	if err := e.Register([]*trace.Program{p}, nil); err != nil {
+		t.Fatal(err)
+	}
+	var done uint64
+	for i := 0; i < 200; i++ {
+		at := sim.Time(i) * 5 * sim.Microsecond
+		k.At(at, func() {
+			e.Submit(&engine.Job{
+				Service:       "t",
+				Steps:         []engine.Step{{Kind: engine.StepChain, Trace: "recv"}, {Kind: engine.StepApp, App: 8 * sim.Microsecond}},
+				PayloadMedian: 1024, PayloadSigma: 0.3,
+			}, func(engine.Result) { done++ })
+		})
+	}
+	k.Run()
+	return e, k.Now(), done
+}
+
+func TestIntegrateProducesPositiveComponents(t *testing.T) {
+	e, elapsed, done := runFor(t, engine.AccelFlow())
+	rep := Integrate(DefaultPower(), e, elapsed)
+	if rep.CoreEnergyJ <= 0 || rep.AccelEnergyJ <= 0 || rep.StaticEnergyJ <= 0 {
+		t.Errorf("empty components: %+v", rep)
+	}
+	if rep.TotalJ() <= 0 || rep.AvgPowerW() <= 0 {
+		t.Error("no total energy")
+	}
+	if PerfPerWatt(done, rep) <= 0 {
+		t.Error("no perf/W")
+	}
+	var zero Report
+	if zero.AvgPowerW() != 0 || PerfPerWatt(10, zero) != 0 {
+		t.Error("zero report not handled")
+	}
+}
+
+func TestNonAccUsesMoreEnergyThanAccelFlow(t *testing.T) {
+	eNA, elNA, dNA := runFor(t, engine.NonAcc())
+	eAF, elAF, dAF := runFor(t, engine.AccelFlow())
+	if dNA != 200 || dAF != 200 {
+		t.Fatalf("incomplete runs: %d/%d", dNA, dAF)
+	}
+	pm := DefaultPower()
+	repNA := Integrate(pm, eNA, elNA)
+	repAF := Integrate(pm, eAF, elAF)
+	// Cores burn the tax on Non-acc; the accelerators do it far more
+	// efficiently (paper: -74% energy).
+	if repAF.CoreEnergyJ >= repNA.CoreEnergyJ {
+		t.Errorf("AccelFlow core energy %v >= Non-acc %v", repAF.CoreEnergyJ, repNA.CoreEnergyJ)
+	}
+	if PerfPerWatt(dAF, repAF) <= PerfPerWatt(dNA, repNA) {
+		t.Error("AccelFlow perf/W not better than Non-acc")
+	}
+}

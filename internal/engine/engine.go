@@ -1,0 +1,275 @@
+// Package engine assembles the simulated AccelFlow server — cores,
+// accelerator ensemble, A-DMA pool, ATM, interconnect, memory — and
+// executes requests under one of the orchestration policies (Non-acc,
+// CPU-Centric, RELIEF-like, Cohort-like, the Fig. 13 ladder, AccelFlow,
+// Ideal).
+package engine
+
+import (
+	"fmt"
+
+	"accelflow/internal/accel"
+	"accelflow/internal/atm"
+	"accelflow/internal/config"
+	"accelflow/internal/mem"
+	"accelflow/internal/noc"
+	"accelflow/internal/sim"
+	"accelflow/internal/trace"
+)
+
+// Engine is one simulated server under one policy.
+type Engine struct {
+	K   *sim.Kernel
+	Cfg *config.Config
+	Pol Policy
+
+	Net   *noc.Network
+	Place *noc.Placement
+	Mem   *mem.Memory
+	DMA   *accel.DMAPool
+	ATM   *atm.ATM
+
+	Cores    *sim.Resource
+	Manager  *sim.Resource // RELIEF-like centralized manager
+	CentralQ *sim.Resource // RELIEF base shared dispatch queue
+
+	Accels [config.NumAccelKinds]*accel.Accelerator
+
+	// RemoteTails classifies each trace's tail edge (set from the
+	// service catalog).
+	RemoteTails map[string]RemoteKind
+
+	rng          *sim.RNG
+	tenantActive map[int]int
+	Stats        Stats
+
+	// centralQDispatchCost is the serialization cost of the base
+	// RELIEF single shared queue per dispatch.
+	centralQDispatchCost sim.Time
+}
+
+// New builds an engine for the given config and policy. Programs must
+// be registered on the returned engine's ATM before submitting jobs.
+func New(k *sim.Kernel, cfg *config.Config, pol Policy, seed int64) (*Engine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	rng := sim.NewRNG(seed)
+	e := &Engine{
+		K: k, Cfg: cfg, Pol: pol,
+		Net:          noc.NewNetwork(k, cfg),
+		Place:        noc.NewPlacement(cfg),
+		Mem:          mem.NewMemory(k, cfg),
+		ATM:          atm.New(cfg.ATMReadLatency),
+		Cores:        sim.NewResource(k, "cores", cfg.Cores, sim.FIFO),
+		Manager:      sim.NewResource(k, "manager", maxInt(1, cfg.ManagerWidth), sim.FIFO),
+		CentralQ:     sim.NewResource(k, "centralq", 1, sim.FIFO),
+		RemoteTails:  map[string]RemoteKind{},
+		rng:          rng,
+		tenantActive: map[int]int{},
+
+		centralQDispatchCost: sim.FromNanos(150),
+	}
+	e.DMA = accel.NewDMAPool(k, cfg, e.Net, e.Mem)
+	disc := sim.FIFO
+	if pol.EDF {
+		disc = sim.EDF
+	}
+	for _, kd := range config.AllAccelKinds() {
+		a := accel.New(k, cfg, kd, e.Place.AccelNode(kd), rng.Fork(int64(kd)+100), disc)
+		e.Accels[kd] = a
+	}
+	return e, nil
+}
+
+// Register adds trace programs and their tail classifications.
+func (e *Engine) Register(programs []*trace.Program, remote map[string]RemoteKind) error {
+	for _, p := range programs {
+		if err := e.ATM.Register(p); err != nil {
+			return err
+		}
+	}
+	for name, rk := range remote {
+		e.RemoteTails[name] = rk
+	}
+	return nil
+}
+
+// Submit runs one request; done receives the result when it completes.
+func (e *Engine) Submit(job *Job, done func(Result)) {
+	e.Stats.Requests++
+	r := &request{eng: e, job: job, arrived: e.K.Now(), done: done}
+	if job.SLO > 0 {
+		r.deadline = e.K.Now() + job.SLO
+	}
+	r.runStep(0)
+}
+
+// request tracks one in-flight job.
+type request struct {
+	eng      *Engine
+	job      *Job
+	arrived  sim.Time
+	deadline sim.Time
+	done     func(Result)
+
+	bd       Breakdown
+	accels   int
+	fellBack bool
+	timedOut bool
+}
+
+func (r *request) runStep(i int) {
+	if i >= len(r.job.Steps) {
+		r.finish()
+		return
+	}
+	st := r.job.Steps[i]
+	switch st.Kind {
+	case StepApp:
+		hold := r.eng.Cfg.AppCost(st.App)
+		start := r.eng.K.Now()
+		r.eng.Cores.Do(hold, func() {
+			r.bd.CPU += r.eng.K.Now() - start
+			r.bd.App += hold
+			r.runStep(i + 1)
+		})
+	case StepChain:
+		r.eng.startChain(r, st.Trace, r.stepProbs(st), func() { r.runStep(i + 1) })
+	case StepParallel:
+		n := len(st.Par)
+		if n == 0 {
+			r.runStep(i + 1)
+			return
+		}
+		remaining := n
+		for _, tn := range st.Par {
+			r.eng.startChain(r, tn, r.stepProbs(st), func() {
+				remaining--
+				if remaining == 0 {
+					r.runStep(i + 1)
+				}
+			})
+		}
+	default:
+		panic(fmt.Sprintf("engine: unknown step kind %d", st.Kind))
+	}
+}
+
+func (r *request) finish() {
+	res := Result{
+		Latency:   r.eng.K.Now() - r.arrived,
+		Breakdown: r.bd,
+		Accels:    r.accels,
+		FellBack:  r.fellBack,
+		TimedOut:  r.timedOut,
+	}
+	if r.done != nil {
+		r.done(res)
+	}
+}
+
+// stepProbs picks the step's probability override or the job default.
+func (r *request) stepProbs(st Step) FlagProbs {
+	if st.Probs != nil {
+		return *st.Probs
+	}
+	return r.job.Probs
+}
+
+// startChain launches one trace chain (following tails and forks) and
+// calls stepDone when the chain — including all its forks — completes.
+func (e *Engine) startChain(r *request, traceName string, probs FlagProbs, stepDone func()) {
+	e.Stats.ChainsStarted++
+	prog, ok := e.ATM.Lookup(traceName)
+	if !ok {
+		panic(fmt.Sprintf("engine: trace %q not registered", traceName))
+	}
+	flags := probs.Draw(e.rng)
+	payload := int(e.rng.LogNormal(r.job.PayloadMedian, r.job.PayloadSigma))
+	if payload < 64 {
+		payload = 64
+	}
+	c := &chainState{req: r, outstanding: 1, done: stepDone}
+
+	// Tenant trace-count limit (§IV-D): at the threshold the trace
+	// cannot be initiated and falls back to the CPU.
+	t := r.job.Tenant
+	if e.tenantActive[t] >= e.Cfg.TenantTraceLimit {
+		e.Stats.FallbacksTenant++
+		r.fellBack = true
+		ent := e.newEntry(r, c, prog, flags, payload)
+		e.cpuFallback(ent, 0)
+		return
+	}
+	e.tenantActive[t]++
+	c.tenant = t
+	c.counted = true
+
+	if !e.Pol.UseAccels {
+		e.runChainOnCPU(r, c, prog, flags, payload)
+		return
+	}
+	ent := e.newEntry(r, c, prog, flags, payload)
+	// Receive-type traces (first accelerator TCP at PC 0 with the
+	// request arriving from the network) are triggered by the message:
+	// no core Enqueue. Everything else is core-triggered.
+	if prog.Instrs[0].Kind == trace.OpInvoke && prog.Instrs[0].Accel == config.TCP {
+		e.deliver(ent, true)
+		return
+	}
+	e.enqueueFromCore(ent)
+}
+
+// chainState joins a chain's main path and its forks.
+type chainState struct {
+	req         *request
+	tenant      int
+	counted     bool
+	outstanding int
+	done        func()
+}
+
+func (c *chainState) fork() { c.outstanding++ }
+
+func (c *chainState) childDone(e *Engine) {
+	c.outstanding--
+	if c.outstanding == 0 {
+		if c.counted {
+			e.tenantActive[c.tenant]--
+		}
+		if c.done != nil {
+			c.done()
+		}
+	}
+}
+
+// entryState wraps an accel.Entry with its chain bookkeeping.
+type entryState struct {
+	*accel.Entry
+	chain   *chainState
+	retries int
+}
+
+func (e *Engine) newEntry(r *request, c *chainState, prog *trace.Program, f trace.Flags, payload int) *entryState {
+	ent := &entryState{
+		Entry: &accel.Entry{
+			Prog: prog, PC: 0, Flags: f,
+			DataBytes: payload, Tenant: r.job.Tenant,
+			Deadline: r.deadline, EnqueuedAt: e.K.Now(),
+		},
+		chain: c,
+	}
+	ent.Entry.UserData = ent
+	return ent
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// TenantActive reports the live trace count for a tenant (tests).
+func (e *Engine) TenantActive(t int) int { return e.tenantActive[t] }

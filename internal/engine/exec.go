@@ -1,0 +1,501 @@
+package engine
+
+import (
+	"fmt"
+
+	"accelflow/internal/accel"
+	"accelflow/internal/config"
+	"accelflow/internal/noc"
+	"accelflow/internal/sim"
+	"accelflow/internal/trace"
+)
+
+// wireAccels connects the accelerators' PE-completion callbacks to the
+// engine's output-dispatcher logic. Called lazily on first use so that
+// tests can construct engines piecemeal.
+func (e *Engine) wireAccels() {
+	if e.Accels[0].OnReady != nil {
+		return
+	}
+	for _, kd := range config.AllAccelKinds() {
+		a := e.Accels[kd]
+		a.OnReady = func(ent *accel.Entry) { e.onPEComplete(a, ent.UserData.(*entryState)) }
+	}
+}
+
+// enqueueFromCore models a core triggering a trace (§IV-A): the
+// user-mode Enqueue instruction plus payload DMA under AccelFlow-like
+// policies, a chain submission to the manager under RELIEF, an
+// interrupt-driven invocation under CPU-Centric, and a software-queue
+// push under Cohort.
+func (e *Engine) enqueueFromCore(ent *entryState) {
+	e.wireAccels()
+	in := ent.Prog.Instrs[ent.PC]
+	if in.Kind != trace.OpInvoke {
+		panic(fmt.Sprintf("engine: chain trace %q does not start with an invoke", ent.Prog.Name))
+	}
+	r := ent.chain.req
+	switch e.Pol.Hop {
+	case HopDirect:
+		cost := e.Cfg.EnqueueCost
+		if e.Pol.Ideal {
+			cost = 0
+		}
+		t0 := e.K.Now()
+		e.Cores.Do(cost, func() {
+			r.bd.Orch += e.K.Now() - t0
+			e.dmaToAccel(ent, e.Place.CoreNode(0), func() { e.deliver(ent, false) })
+		})
+	case HopManager:
+		t0 := e.K.Now()
+		e.Cores.Do(e.Cfg.EnqueueCost, func() {
+			e.Manager.Do(e.Cfg.ManagerDispatch, func() {
+				r.bd.Orch += e.K.Now() - t0
+				t1 := e.K.Now()
+				e.Mem.Transfer(ent.DataBytes, func() {
+					r.bd.Comm += e.K.Now() - t1
+					e.deliver(ent, true)
+				})
+			})
+		})
+	case HopCPU:
+		t0 := e.K.Now()
+		e.Cores.Do(e.Cfg.EnqueueCost, func() {
+			r.bd.Orch += e.K.Now() - t0
+			e.dmaToAccel(ent, e.Place.CoreNode(0), func() { e.deliver(ent, false) })
+		})
+	case HopSWQueue:
+		t0 := e.K.Now()
+		e.Cores.Do(e.Cfg.SWQueueHop, func() {
+			r.bd.Orch += e.K.Now() - t0
+			t1 := e.K.Now()
+			e.Mem.Transfer(ent.DataBytes, func() {
+				r.bd.Comm += e.K.Now() - t1
+				e.deliver(ent, true)
+			})
+		})
+	}
+}
+
+// dmaToAccel moves the payload and trace from a core-side node to the
+// entry's current target accelerator via an A-DMA engine.
+func (e *Engine) dmaToAccel(ent *entryState, src noc.Node, done func()) {
+	dst := e.Accels[ent.Prog.Instrs[ent.PC].Accel]
+	r := ent.chain.req
+	t0 := e.K.Now()
+	e.DMA.Transfer(src, dst.Node, ent.DataBytes, ent.Prog.EncodedBytes(), func() {
+		r.bd.Comm += e.K.Now() - t0
+		done()
+	})
+}
+
+// deliver admits an entry to its current target accelerator, passing
+// through the shared central queue under base RELIEF, and drawing
+// page-fault exceptions.
+func (e *Engine) deliver(ent *entryState, fromDispatcher bool) {
+	e.wireAccels()
+	a := e.Accels[ent.Prog.Instrs[ent.PC].Accel]
+	admit := func() {
+		if a.TLB.PageFault() {
+			// The accelerator stops; a core runs the OS handler, then
+			// execution resumes (§V-3).
+			e.Stats.FallbacksFault++
+			r := ent.chain.req
+			t0 := e.K.Now()
+			e.Cores.Do(e.Cfg.PageFaultCost, func() {
+				r.bd.Orch += e.K.Now() - t0
+				e.offer(a, ent, fromDispatcher)
+			})
+			return
+		}
+		e.offer(a, ent, fromDispatcher)
+	}
+	if e.Pol.SharedQueue {
+		t0 := e.K.Now()
+		e.CentralQ.Do(e.centralQDispatchCost, func() {
+			ent.chain.req.bd.Orch += e.K.Now() - t0
+			admit()
+		})
+		return
+	}
+	admit()
+}
+
+func (e *Engine) offer(a *accel.Accelerator, ent *entryState, fromDispatcher bool) {
+	switch a.Offer(ent.Entry, fromDispatcher) {
+	case accel.Admitted, accel.Overflowed:
+		// The accelerator machinery takes over; OnReady resumes us.
+	case accel.Rejected:
+		if !fromDispatcher && ent.retries < e.Cfg.EnqueueRetries {
+			// Enqueue returned an error; the core retries (§IV-A).
+			ent.retries++
+			r := ent.chain.req
+			t0 := e.K.Now()
+			e.Cores.Do(e.Cfg.EnqueueCost, func() {
+				r.bd.Orch += e.K.Now() - t0
+				e.offer(a, ent, false)
+			})
+			return
+		}
+		e.Stats.FallbacksQueue++
+		ent.chain.req.fellBack = true
+		e.cpuFallback(ent, ent.PC)
+	}
+}
+
+// onPEComplete runs when a PE deposits an entry in the output queue:
+// charge the PE time to the breakdown and start the output-dispatcher
+// walk (Fig. 8 flowchart).
+func (e *Engine) onPEComplete(a *accel.Accelerator, ent *entryState) {
+	r := ent.chain.req
+	r.accels++
+	r.bd.Accel += ent.LastPEHold
+	e.walk(a, ent, ent.PC+1, e.Cfg.DispBaseInstrs)
+}
+
+// walk advances the Position Mark through non-invoke instructions,
+// accumulating dispatcher work, until it reaches an instruction that
+// needs asynchronous handling: the next invoke (hop), a mediator
+// fallback, a tail, or the end.
+func (e *Engine) walk(a *accel.Accelerator, ent *entryState, pc int, instrs int) {
+	prog := ent.Prog
+	dte := sim.Time(0)
+	var forks []string
+	for {
+		in := prog.Instrs[pc]
+		switch in.Kind {
+		case trace.OpBranch:
+			if in.Cond == trace.CondNone {
+				pc = in.TrueTarget
+				continue
+			}
+			if e.Pol.DispatcherBranch {
+				instrs += e.Cfg.DispBranchInstrs
+				a.Stats.Branches++
+				pc = prog.Next(pc, ent.Flags)
+				continue
+			}
+			next := prog.Next(pc, ent.Flags)
+			e.chargeGlue(a, ent, instrs, dte, forks, func() {
+				e.Stats.MediatorBranches++
+				e.mediate(ent, func() { e.walk(a, ent, next, 0) })
+			})
+			return
+		case trace.OpTrans:
+			if e.Pol.DispatcherTransform {
+				instrs += e.Cfg.DispTransformInstrs
+				dte += e.dteTime(ent.DataBytes)
+				a.Stats.Transforms++
+				pc++
+				continue
+			}
+			npc := pc + 1
+			e.chargeGlue(a, ent, instrs, dte, forks, func() {
+				e.Stats.MediatorTrans++
+				// The mediator moves the data out, transforms it on
+				// the CPU/manager, and moves it back.
+				e.mediate(ent, func() {
+					r := ent.chain.req
+					t0 := e.K.Now()
+					e.Mem.Transfer(2*ent.DataBytes, func() {
+						r.bd.Comm += e.K.Now() - t0
+						e.walk(a, ent, npc, 0)
+					})
+				})
+			})
+			return
+		case trace.OpFork:
+			forks = append(forks, in.TailName)
+			pc++
+			continue
+		case trace.OpInvoke:
+			ent.PC = pc
+			e.chargeGlue(a, ent, instrs, dte, forks, func() { e.hop(a, ent) })
+			return
+		case trace.OpTail:
+			instrs += e.Cfg.DispEndInstrs
+			name := in.TailName
+			e.chargeGlue(a, ent, instrs, dte, forks, func() { e.handleTail(a, ent, name) })
+			return
+		case trace.OpEnd:
+			instrs += e.Cfg.DispEndInstrs
+			e.chargeGlue(a, ent, instrs, dte, forks, func() { e.finishTrace(a, ent) })
+			return
+		default:
+			panic(fmt.Sprintf("engine: unknown op %d in trace %q", in.Kind, prog.Name))
+		}
+	}
+}
+
+// chargeGlue charges one output-dispatcher pass (serialized per
+// accelerator) plus any Data Transform Engine time, spawns collected
+// forks, then continues.
+func (e *Engine) chargeGlue(a *accel.Accelerator, ent *entryState, instrs int, dte sim.Time, forks []string, cont func()) {
+	hold := a.GluePass(instrs) + dte
+	if e.Pol.Ideal {
+		hold = 0
+	}
+	r := ent.chain.req
+	t0 := e.K.Now()
+	a.OutDisp.Do(hold, func() {
+		r.bd.Orch += e.K.Now() - t0
+		for _, fn := range forks {
+			e.spawnFork(a, ent, fn)
+		}
+		cont()
+	})
+}
+
+// spawnFork launches a side trace from the ATM that joins the chain
+// (e.g. T6's parallel write-back to the DB cache).
+func (e *Engine) spawnFork(a *accel.Accelerator, ent *entryState, name string) {
+	prog, lat, err := e.ATM.Read(name)
+	if err != nil {
+		panic(err)
+	}
+	if e.Pol.Ideal {
+		lat = 0
+	}
+	e.Stats.ForksSpawned++
+	ent.chain.fork()
+	f := &entryState{
+		Entry: &accel.Entry{
+			Prog: prog, PC: 0, Flags: ent.Flags,
+			DataBytes: ent.DataBytes, Tenant: ent.Tenant,
+			Deadline: ent.Deadline, EnqueuedAt: e.K.Now(),
+		},
+		chain: ent.chain,
+	}
+	f.Entry.UserData = f
+	e.K.After(lat, func() { e.resumeProgram(a, f) })
+}
+
+// resumeProgram continues a freshly loaded program at PC 0 inside the
+// dispatcher of accelerator a: an invoke hops to its accelerator;
+// anything else continues the dispatcher walk.
+func (e *Engine) resumeProgram(a *accel.Accelerator, ent *entryState) {
+	if ent.Prog.Instrs[0].Kind == trace.OpInvoke {
+		ent.PC = 0
+		e.hop(a, ent)
+		return
+	}
+	e.walk(a, ent, 0, 0)
+}
+
+// hop moves the entry from accelerator a to the accelerator of the
+// invoke at ent.PC, according to the policy's hop mechanics.
+func (e *Engine) hop(a *accel.Accelerator, ent *entryState) {
+	dst := e.Accels[ent.Prog.Instrs[ent.PC].Accel]
+	r := ent.chain.req
+	traceBytes := ent.Prog.EncodedBytes()
+	switch e.Pol.Hop {
+	case HopDirect:
+		if !e.Pol.DispatcherTransform && ent.DataBytes > e.Cfg.InlineDataBytes {
+			// Without large-data support the manager moves oversized
+			// payloads through memory (Fig. 13's last ladder step).
+			e.mediate(ent, func() {
+				t0 := e.K.Now()
+				e.Mem.Transfer(ent.DataBytes, func() {
+					r.bd.Comm += e.K.Now() - t0
+					e.deliver(ent, true)
+				})
+			})
+			return
+		}
+		t0 := e.K.Now()
+		e.DMA.Transfer(a.Node, dst.Node, ent.DataBytes, traceBytes, func() {
+			r.bd.Comm += e.K.Now() - t0
+			e.deliver(ent, true)
+		})
+	case HopManager:
+		t0 := e.K.Now()
+		// One manager engagement per completion (~1.5us, §VII-A.1)
+		// covers the interrupt, processing, and next dispatch.
+		e.Manager.Do(e.Cfg.ManagerHop, func() {
+			r.bd.Orch += e.K.Now() - t0
+			t1 := e.K.Now()
+			// Source accelerator writes output to memory; destination
+			// reads it back: two touches.
+			e.Mem.Transfer(ent.DataBytes, func() {
+				e.Mem.Transfer(ent.DataBytes, func() {
+					r.bd.Comm += e.K.Now() - t1
+					e.deliver(ent, true)
+				})
+			})
+		})
+	case HopCPU:
+		t0 := e.K.Now()
+		e.Cores.Do(e.Cfg.InterruptCost, func() {
+			r.bd.Orch += e.K.Now() - t0
+			t1 := e.K.Now()
+			e.Mem.Transfer(ent.DataBytes, func() {
+				e.Mem.Transfer(ent.DataBytes, func() {
+					r.bd.Comm += e.K.Now() - t1
+					e.deliver(ent, false)
+				})
+			})
+		})
+	case HopSWQueue:
+		if e.Pol.CohortPairs[[2]config.AccelKind{a.Kind, dst.Kind}] {
+			t0 := e.K.Now()
+			e.DMA.Transfer(a.Node, dst.Node, ent.DataBytes, traceBytes, func() {
+				r.bd.Comm += e.K.Now() - t0
+				e.deliver(ent, true)
+			})
+			return
+		}
+		// Unlinked hop: the entry sits in a shared-memory software
+		// queue until a polling core notices it, then the core moves
+		// the data along.
+		t0 := e.K.Now()
+		e.K.After(e.Cfg.SWQueuePickup, func() {
+			e.Cores.Do(e.Cfg.SWQueueHop, func() {
+				r.bd.Orch += e.K.Now() - t0
+				t1 := e.K.Now()
+				e.Mem.Transfer(ent.DataBytes, func() {
+					e.Mem.Transfer(ent.DataBytes, func() {
+						r.bd.Comm += e.K.Now() - t1
+						e.deliver(ent, true)
+					})
+				})
+			})
+		})
+	}
+}
+
+// mediate bounces control to the policy's mediator (hardware manager
+// or a CPU core) and continues.
+func (e *Engine) mediate(ent *entryState, cont func()) {
+	r := ent.chain.req
+	t0 := e.K.Now()
+	switch e.Pol.Mediator {
+	case MedManager:
+		e.Manager.Do(e.Cfg.ManagerHop, func() {
+			r.bd.Orch += e.K.Now() - t0
+			cont()
+		})
+	case MedCPU:
+		cost := e.Cfg.InterruptCost
+		delay := sim.Time(0)
+		if e.Pol.Hop == HopSWQueue {
+			cost = e.Cfg.SWQueueHop
+			delay = e.Cfg.SWQueuePickup
+		}
+		e.K.After(delay, func() {
+			e.Cores.Do(cost, func() {
+				r.bd.Orch += e.K.Now() - t0
+				cont()
+			})
+		})
+	}
+}
+
+// handleTail processes an OpTail: read the continuation from the ATM
+// (dispatcher-side under AccelFlow, mediator-side otherwise), wait for
+// the remote response when the tail crosses the network, and resume.
+func (e *Engine) handleTail(a *accel.Accelerator, ent *entryState, name string) {
+	if !e.Pol.ATMChaining {
+		e.Stats.MediatorTails++
+		e.mediate(ent, func() { e.loadTail(a, ent, name, true) })
+		return
+	}
+	e.loadTail(a, ent, name, false)
+}
+
+func (e *Engine) loadTail(a *accel.Accelerator, ent *entryState, name string, viaMediator bool) {
+	prog, lat, err := e.ATM.Read(name)
+	if err != nil {
+		panic(err)
+	}
+	if e.Pol.Ideal {
+		lat = 0
+	}
+	rk := e.RemoteTails[ent.Prog.Name]
+	r := ent.chain.req
+	e.K.After(lat, func() {
+		ent.Prog = prog
+		ent.PC = 0
+		if rk == RemoteNone {
+			e.resumeProgram(a, ent)
+			return
+		}
+		wait := e.remoteWait(rk)
+		r.bd.Remote += wait
+		if viaMediator {
+			// Without arming, the mediator re-dispatches the response
+			// trace when the message arrives.
+			e.K.After(wait, func() {
+				e.mediate(ent, func() { e.deliver(ent, true) })
+			})
+			return
+		}
+		// AccelFlow arms the response trace in the TCP accelerator's
+		// input queue (§IV-B); the arrival triggers it directly.
+		a.Arm(ent.Entry, wait, func() {
+			e.Stats.Timeouts++
+			r.timedOut = true
+			e.notifyCore(ent)
+		})
+	})
+}
+
+// remoteWait draws the time until the remote side's response arrives.
+func (e *Engine) remoteWait(rk RemoteKind) sim.Time {
+	var svc sim.Time
+	switch rk {
+	case RemoteCache:
+		svc = e.Cfg.RemoteDBTime / 3
+	case RemoteDB:
+		svc = e.Cfg.RemoteDBTime
+	case RemoteSvc:
+		svc = e.Cfg.RemoteSvcTime
+	default:
+		return 0
+	}
+	w := e.Cfg.RemoteRTT + sim.Time(e.rng.LogNormal(float64(svc), 0.3))
+	// Rare lost responses exercise the TCP timeout path (§VII-B.6
+	// reports 3.2 timeouts per million requests).
+	if e.rng.Bool(3.2e-6) {
+		w = e.Cfg.TCPTimeout + sim.Microsecond
+	}
+	return w
+}
+
+// finishTrace handles OpEnd: results DMA to memory, user-level
+// notification to the initiating core, chain accounting. Under
+// mediator policies the manager is interrupted first and forwards the
+// completion to the CPU.
+func (e *Engine) finishTrace(a *accel.Accelerator, ent *entryState) {
+	fin := func() {
+		r := ent.chain.req
+		a.Stats.Notifies++
+		t0 := e.K.Now()
+		e.DMA.ToMemory(a.Node, e.Place.MemNode(), ent.DataBytes, func() {
+			r.bd.Comm += e.K.Now() - t0
+			e.notifyCore(ent)
+		})
+	}
+	if !e.Pol.ATMChaining {
+		e.mediate(ent, fin)
+		return
+	}
+	fin()
+}
+
+// notifyCore delivers the user-level completion notification (§IV-A:
+// not an interrupt; the core polls or MWAITs) and completes the chain.
+func (e *Engine) notifyCore(ent *entryState) {
+	r := ent.chain.req
+	d := e.Cfg.NotifyLatency() + e.Cfg.PollPickupDelay
+	if e.Pol.Ideal {
+		d = 0
+	}
+	r.bd.Comm += d
+	e.K.After(d, func() { ent.chain.childDone(e) })
+}
+
+// dteTime is the Data Transform Engine's cost: a simplified (De)Ser
+// engine streaming the payload (§V-2).
+func (e *Engine) dteTime(bytes int) sim.Time {
+	return sim.FromNanos(50 + float64(bytes)*0.2)
+}

@@ -1,0 +1,157 @@
+package engine
+
+import (
+	"accelflow/internal/accel"
+	"accelflow/internal/config"
+	"accelflow/internal/sim"
+	"accelflow/internal/trace"
+)
+
+// cpuTraceSegment walks a program on the CPU from pc until a terminal
+// or tail, returning the total CPU time, the per-kind tax attribution,
+// forks encountered, and the tail name ("" for end).
+func (e *Engine) cpuTraceSegment(prog *trace.Program, pc int, flags trace.Flags, bytes int) (total sim.Time, tax [config.NumAccelKinds]sim.Time, outBytes int, forks []string, tail string) {
+	outBytes = bytes
+	for {
+		in := prog.Instrs[pc]
+		switch in.Kind {
+		case trace.OpInvoke:
+			c := e.Cfg.CPUCost(in.Accel, outBytes)
+			total += c
+			tax[in.Accel] += c
+			outBytes = accel.OutputBytes(e.Cfg, in.Accel, outBytes)
+			pc++
+		case trace.OpBranch:
+			pc = prog.Next(pc, flags)
+		case trace.OpTrans:
+			// Format changes are cheap on the CPU too.
+			t := sim.FromNanos(100 + float64(outBytes)*0.4)
+			total += t
+			pc++
+		case trace.OpFork:
+			forks = append(forks, in.TailName)
+			pc++
+		case trace.OpTail:
+			return total, tax, outBytes, forks, in.TailName
+		case trace.OpEnd:
+			return total, tax, outBytes, forks, ""
+		}
+	}
+}
+
+// runChainOnCPU executes a whole trace chain on cores (the Non-acc
+// architecture): each trace segment holds a core for its total CPU
+// time; remote tails release the core during the wait.
+func (e *Engine) runChainOnCPU(r *request, c *chainState, prog *trace.Program, flags trace.Flags, payload int) {
+	e.runCPUSegment(r, c, prog, flags, payload)
+}
+
+func (e *Engine) runCPUSegment(r *request, c *chainState, prog *trace.Program, flags trace.Flags, bytes int) {
+	total, tax, outBytes, forks, tail := e.cpuTraceSegment(prog, 0, flags, bytes)
+	t0 := e.K.Now()
+	e.Cores.Do(total, func() {
+		r.bd.CPU += e.K.Now() - t0
+		for k := range tax {
+			r.bd.Tax[k] += tax[k]
+		}
+		r.accels += countInvokes(prog, flags)
+		for _, fn := range forks {
+			fp, _, err := e.ATM.Read(fn)
+			if err != nil {
+				panic(err)
+			}
+			c.fork()
+			e.Stats.ForksSpawned++
+			e.runCPUSegment(r, c, fp, flags, outBytes)
+		}
+		if tail == "" {
+			c.childDone(e)
+			return
+		}
+		np, _, err := e.ATM.Read(tail)
+		if err != nil {
+			panic(err)
+		}
+		rk := e.RemoteTails[prog.Name]
+		wait := e.remoteWait(rk)
+		r.bd.Remote += wait
+		if wait > e.Cfg.TCPTimeout {
+			e.Stats.Timeouts++
+			r.timedOut = true
+			e.K.After(e.Cfg.TCPTimeout, func() { c.childDone(e) })
+			return
+		}
+		e.K.After(wait, func() { e.runCPUSegment(r, c, np, flags, outBytes) })
+	})
+}
+
+// countInvokes counts the accelerator ops executed on a path (the
+// Non-acc runs still report Table IV-style op counts).
+func countInvokes(prog *trace.Program, flags trace.Flags) int {
+	a, _, _ := prog.Invocations(flags)
+	return len(a)
+}
+
+// cpuFallback runs the remainder of the current trace on a core after
+// an accelerator rejection (full queues and overflow areas, §IV-A) and
+// then resumes the chain on the normal path.
+func (e *Engine) cpuFallback(ent *entryState, fromPC int) {
+	r := ent.chain.req
+	c := ent.chain
+	total, tax, outBytes, forks, tail := e.cpuTraceSegment(ent.Prog, fromPC, ent.Flags, ent.DataBytes)
+	t0 := e.K.Now()
+	prog := ent.Prog
+	e.Cores.Do(total, func() {
+		r.bd.CPU += e.K.Now() - t0
+		for k := range tax {
+			r.bd.Tax[k] += tax[k]
+		}
+		for _, fn := range forks {
+			fp, _, err := e.ATM.Read(fn)
+			if err != nil {
+				panic(err)
+			}
+			c.fork()
+			e.Stats.ForksSpawned++
+			f := e.newEntry(r, c, fp, ent.Flags, outBytes)
+			e.resumeAfterFallback(f)
+		}
+		if tail == "" {
+			c.childDone(e)
+			return
+		}
+		np, _, err := e.ATM.Read(tail)
+		if err != nil {
+			panic(err)
+		}
+		rk := e.RemoteTails[prog.Name]
+		wait := e.remoteWait(rk)
+		r.bd.Remote += wait
+		if wait > e.Cfg.TCPTimeout {
+			e.Stats.Timeouts++
+			r.timedOut = true
+			e.K.After(e.Cfg.TCPTimeout, func() { c.childDone(e) })
+			return
+		}
+		e.K.After(wait, func() {
+			nxt := e.newEntry(r, c, np, ent.Flags, outBytes)
+			e.resumeAfterFallback(nxt)
+		})
+	})
+}
+
+// resumeAfterFallback re-enters the accelerated path for the next trace
+// of a chain whose previous trace fell back to the CPU.
+func (e *Engine) resumeAfterFallback(ent *entryState) {
+	if !e.Pol.UseAccels {
+		e.runCPUSegment(ent.chain.req, ent.chain, ent.Prog, ent.Flags, ent.DataBytes)
+		return
+	}
+	if ent.Prog.Instrs[0].Kind != trace.OpInvoke {
+		// Program starts with dispatcher-side logic; run it on the CPU
+		// as well (rare: only fork bodies start with branches).
+		e.cpuFallback(ent, 0)
+		return
+	}
+	e.enqueueFromCore(ent)
+}

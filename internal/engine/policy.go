@@ -1,0 +1,179 @@
+package engine
+
+import "accelflow/internal/config"
+
+// HopKind selects how data and control move from one accelerator to the
+// next in a sequence (paper §III, Fig. 3).
+type HopKind int
+
+const (
+	// HopDirect: the output dispatcher forwards the queue entry to the
+	// next accelerator with an A-DMA engine (Direct / AccelFlow).
+	HopDirect HopKind = iota
+	// HopManager: a centralized hardware manager is interrupted after
+	// every accelerator and programs the next one (RELIEF-like).
+	HopManager
+	// HopCPU: the initiating core is interrupted after every
+	// accelerator and invokes the next one (CPU-Centric).
+	HopCPU
+	// HopSWQueue: the core orchestrates through polled shared-memory
+	// software queues; statically linked pairs chain directly
+	// (Cohort-like).
+	HopSWQueue
+)
+
+// Mediator selects who resolves branches, transforms, and trace tails
+// when the output dispatcher is not capable under the policy.
+type Mediator int
+
+const (
+	// MedManager: the hardware manager mediates.
+	MedManager Mediator = iota
+	// MedCPU: a CPU core mediates.
+	MedCPU
+)
+
+// Policy describes one orchestration architecture as a set of
+// capabilities. The Fig. 13 ablation ladder is expressed by enabling
+// them one at a time.
+type Policy struct {
+	Name string
+
+	// UseAccels false runs every tax op on the CPU (Non-acc).
+	UseAccels bool
+
+	Hop      HopKind
+	Mediator Mediator
+
+	// SharedQueue funnels every accelerator dispatch through one
+	// centralized queue (base RELIEF in Fig. 13); otherwise each
+	// accelerator type has its own queue (PerAccTypeQ).
+	SharedQueue bool
+
+	// DispatcherBranch lets output dispatchers resolve trace branches
+	// (CntrFlow); otherwise branches bounce to the mediator.
+	DispatcherBranch bool
+
+	// DispatcherTransform lets output dispatchers run data-format
+	// transformations and handle >2KB payloads without the mediator
+	// (full AccelFlow).
+	DispatcherTransform bool
+
+	// ATMChaining lets output dispatchers load continuation traces
+	// from the ATM; otherwise trace ends return to the mediator.
+	ATMChaining bool
+
+	// CohortPairs statically links directed accelerator pairs for
+	// direct chaining under HopSWQueue.
+	CohortPairs map[[2]config.AccelKind]bool
+
+	// Ideal zeroes all orchestration overheads (Fig. 14's Ideal bar):
+	// accelerators still compute and move data, but glue logic,
+	// enqueues, ATM reads, and transform engines are free.
+	Ideal bool
+
+	// EDF enables the deadline-aware input-dispatcher scheduling of
+	// §IV-C instead of FIFO.
+	EDF bool
+}
+
+// NonAcc runs everything on the CPU cores.
+func NonAcc() Policy {
+	return Policy{Name: "Non-acc"}
+}
+
+// CPUCentric interrupts a core after every accelerator (§III).
+func CPUCentric() Policy {
+	return Policy{
+		Name: "CPU-Centric", UseAccels: true,
+		Hop: HopCPU, Mediator: MedCPU,
+	}
+}
+
+// RELIEF is the hardware-manager state of the art: centralized
+// scheduling, one shared dispatch queue, data through memory.
+func RELIEF() Policy {
+	return Policy{
+		Name: "RELIEF", UseAccels: true,
+		Hop: HopManager, Mediator: MedManager, SharedQueue: true,
+	}
+}
+
+// RELIEFPerTypeQ is the first Fig. 13 ladder step: RELIEF with one
+// queue per accelerator type.
+func RELIEFPerTypeQ() Policy {
+	p := RELIEF()
+	p.Name = "PerAccTypeQ"
+	p.SharedQueue = false
+	return p
+}
+
+// Direct is the second ladder step: traces with direct
+// accelerator-to-accelerator transfers; branches, transforms, and large
+// payloads still fall back to the manager.
+func Direct() Policy {
+	p := RELIEFPerTypeQ()
+	p.Name = "Direct"
+	p.Hop = HopDirect
+	p.ATMChaining = true
+	return p
+}
+
+// CntrFlow is the third ladder step: dispatchers also resolve branches.
+func CntrFlow() Policy {
+	p := Direct()
+	p.Name = "CntrFlow"
+	p.DispatcherBranch = true
+	return p
+}
+
+// AccelFlow is the full design: dispatchers additionally perform data
+// transformations and large-payload handling.
+func AccelFlow() Policy {
+	p := CntrFlow()
+	p.Name = "AccelFlow"
+	p.DispatcherTransform = true
+	return p
+}
+
+// AccelFlowEDF is AccelFlow with the deadline-aware scheduling policy
+// of §IV-C.
+func AccelFlowEDF() Policy {
+	p := AccelFlow()
+	p.Name = "AccelFlow-EDF"
+	p.EDF = true
+	return p
+}
+
+// Ideal is AccelFlow with zero orchestration cost (Fig. 14).
+func Ideal() Policy {
+	p := AccelFlow()
+	p.Name = "Ideal"
+	p.Ideal = true
+	return p
+}
+
+// Cohort links the most frequent pairs for direct chaining and runs
+// everything else through core-polled software queues.
+func Cohort(pairs [][2]config.AccelKind) Policy {
+	m := map[[2]config.AccelKind]bool{}
+	for _, p := range pairs {
+		m[p] = true
+	}
+	return Policy{
+		Name: "Cohort", UseAccels: true,
+		Hop: HopSWQueue, Mediator: MedCPU,
+		CohortPairs: m,
+	}
+}
+
+// DefaultCohortPairs are the three most frequent adjacent pairs in the
+// service trace catalog (see DESIGN.md): Encr->TCP (every send),
+// TCP->Decr (every receive), Ser->Encr (send path).
+func DefaultCohortPairs() [][2]config.AccelKind {
+	return [][2]config.AccelKind{
+		{config.Encr, config.TCP},
+		{config.TCP, config.Decr},
+		{config.Ser, config.Encr},
+	}
+}

@@ -1,0 +1,300 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"accelflow/internal/config"
+	"accelflow/internal/engine"
+	"accelflow/internal/metrics"
+	"accelflow/internal/services"
+	"accelflow/internal/trace"
+	"accelflow/internal/workload"
+)
+
+// Fig1Breakdown reproduces Fig. 1: the execution-time breakdown of
+// SocialNetwork service invocations on a server without accelerators.
+// The paper's averages: AppLogic 20.7%; TCP 25.6%, (De)Encr 14.6%, RPC
+// 3.2%, (De)Ser 22.4%, (De)Cmp 9.5%, LdB 3.9%.
+func Fig1Breakdown(o Options) (*Result, error) {
+	res := newResult("fig1")
+	res.addf("Fig. 1 — Non-acc execution time breakdown per service (unloaded)\n")
+	res.addf("%-8s %9s  %6s %6s %6s %6s %6s %6s %6s\n",
+		"service", "total(us)", "app%", "tcp%", "encr%", "rpc%", "ser%", "cmp%", "ldb%")
+
+	groups := map[string][]config.AccelKind{
+		"tcp":  {config.TCP},
+		"encr": {config.Encr, config.Decr},
+		"rpc":  {config.RPC},
+		"ser":  {config.Ser, config.Dser},
+		"cmp":  {config.Cmp, config.Dcmp},
+		"ldb":  {config.LdB},
+	}
+	order := []string{"tcp", "encr", "rpc", "ser", "cmp", "ldb"}
+
+	var avgApp float64
+	avgTax := map[string]float64{}
+	svcs := services.SocialNetwork()
+	for _, svc := range svcs {
+		run, err := runOne(config.Default(), engine.NonAcc(), svc, workload.Poisson{RPS: 100}, o.reqs()/4+50, o.Seed)
+		if err != nil {
+			return nil, err
+		}
+		bd := run.Breakdown
+		var taxTotal float64
+		shares := map[string]float64{}
+		for name, kinds := range groups {
+			var t float64
+			for _, k := range kinds {
+				t += bd.Tax[k].Micros()
+			}
+			shares[name] = t
+			taxTotal += t
+		}
+		app := bd.App.Micros()
+		busy := app + taxTotal
+		res.addf("%-8s %9.1f  %5.1f%%", svc.Name, run.All.Mean().Micros(), 100*app/busy)
+		for _, name := range order {
+			res.addf(" %5.1f%%", 100*shares[name]/busy)
+			avgTax[name] += shares[name] / busy
+		}
+		res.addf("\n")
+		avgApp += app / busy
+		res.Values[svc.Name+"/app_share"] = app / busy
+	}
+	n := float64(len(svcs))
+	res.addf("%-8s %9s  %5.1f%%", "AVG", "", 100*avgApp/n)
+	for _, name := range order {
+		res.addf(" %5.1f%%", 100*avgTax[name]/n)
+		res.Values["avg/"+name] = avgTax[name] / n
+	}
+	res.addf("\n\npaper: app 20.7%%, tcp 25.6%%, (de)encr 14.6%%, rpc 3.2%%, (de)ser 22.4%%, (de)cmp 9.5%%, ldb 3.9%%\n")
+	res.Values["avg/app_share"] = avgApp / n
+	return res, nil
+}
+
+// Fig3OrchOverhead reproduces Fig. 3: orchestration overhead as a
+// fraction of execution time for CPU-Centric, HW-Manager, and Direct
+// across load (paper: 25% / 15% at 15 kRPS, Direct far smaller).
+func Fig3OrchOverhead(o Options) (*Result, error) {
+	res := newResult("fig3")
+	res.addf("Fig. 3 — orchestration overhead fraction vs load\n")
+	loads := []float64{1, 5, 10, 15}
+	if o.Quick {
+		loads = []float64{5, 15}
+	}
+	res.addf("%-12s", "arch")
+	for _, l := range loads {
+		res.addf(" %7.0fk", l)
+	}
+	res.addf("\n")
+	pols := []engine.Policy{engine.CPUCentric(), engine.RELIEF(), engine.Direct()}
+	svcs := services.SocialNetwork()
+	for _, pol := range pols {
+		res.addf("%-12s", pol.Name)
+		for _, load := range loads {
+			// The mix shares the 36-core server; each service gets a
+			// proportional slice of the aggregate load.
+			var rateSum float64
+			for _, svc := range svcs {
+				rateSum += svc.RatekRPS
+			}
+			var sources []workload.Source
+			for _, svc := range svcs {
+				sources = append(sources, workload.Source{
+					Service:  svc,
+					Arrivals: workload.Poisson{RPS: load * 1000 * svc.RatekRPS / rateSum},
+					Requests: o.reqs(),
+				})
+			}
+			run, err := workload.Run(config.Default(), pol, sources, o.Seed, nil, nil)
+			if err != nil {
+				return nil, err
+			}
+			bd := run.Breakdown
+			frac := bd.Orch.Micros() / (bd.Total().Micros() + bd.Remote.Micros())
+			res.addf("  %5.1f%%", frac*100)
+			res.Values[fmt.Sprintf("%s/%.0fk", pol.Name, load)] = frac
+		}
+		res.addf("\n")
+	}
+	res.addf("\npaper at 15kRPS: CPU-Centric 25%%, HW-Manager 15%%, Direct lowest\n")
+	return res, nil
+}
+
+// Tab1Connectivity reproduces Table I: the source and destination
+// accelerators of each accelerator, derived from the trace catalog.
+func Tab1Connectivity(Options) (*Result, error) {
+	res := newResult("tab1")
+	res.addf("Table I — source/destination accelerators per accelerator\n")
+	res.addf("%-6s | %-28s | %s\n", "accel", "sources", "destinations")
+	c := trace.NewConnectivity()
+	for _, p := range services.Catalog() {
+		c.AddProgram(p)
+	}
+	fmtSet := func(set map[trace.Endpoint]bool) string {
+		var names []string
+		for _, e := range trace.EndpointList(set) {
+			names = append(names, e.String())
+		}
+		return strings.Join(names, ",")
+	}
+	for _, k := range config.AllAccelKinds() {
+		res.addf("%-6v | %-28s | %s\n", k, fmtSet(c.Sources[k]), fmtSet(c.Destinations[k]))
+		res.Values[k.String()+"/nsrc"] = float64(len(c.Sources[k]))
+		res.Values[k.String()+"/ndst"] = float64(len(c.Destinations[k]))
+	}
+	return res, nil
+}
+
+// Q2BranchStats reproduces §III-Q2: the fraction of accelerator
+// sequences with at least one conditional, per suite (paper: SocialNet
+// 69.2%, HotelReservation 62.5%, MediaServices 82.5%, TrainTicket
+// 53.8%).
+func Q2BranchStats(Options) (*Result, error) {
+	res := newResult("q2")
+	res.addf("Q2 — fraction of accelerator sequences with >=1 conditional\n")
+	cat := map[string]*trace.Program{}
+	for _, p := range services.Catalog() {
+		cat[p.Name] = p
+	}
+	hasBranch := func(start string) bool {
+		visited := map[string]bool{}
+		var any func(string) bool
+		any = func(name string) bool {
+			if visited[name] {
+				return false
+			}
+			visited[name] = true
+			p := cat[name]
+			if p == nil {
+				return false
+			}
+			if p.HasBranch() {
+				return true
+			}
+			for _, in := range p.Instrs {
+				if (in.Kind == trace.OpTail || in.Kind == trace.OpFork) && any(in.TailName) {
+					return true
+				}
+			}
+			return false
+		}
+		return any(start)
+	}
+	paper := map[string]float64{"SocialNet": 0.692, "HotelReservation": 0.625, "MediaServices": 0.825, "TrainTicket": 0.538}
+	for _, suite := range services.AllSuites() {
+		with, total := 0, 0
+		for _, svc := range suite.Services {
+			for _, st := range svc.Steps {
+				var starts []string
+				switch st.Kind {
+				case engine.StepChain:
+					starts = []string{st.Trace}
+				case engine.StepParallel:
+					starts = st.Par
+				}
+				for _, s := range starts {
+					total++
+					if hasBranch(s) {
+						with++
+					}
+				}
+			}
+		}
+		share := float64(with) / float64(total)
+		res.addf("%-18s %5.1f%%   (paper %.1f%%)\n", suite.Name, share*100, paper[suite.Name]*100)
+		res.Values[suite.Name] = share
+	}
+	return res, nil
+}
+
+// Fig5DataSizes reproduces Fig. 5: min/median/max input and output
+// sizes per accelerator (paper: few-KB medians, tails of tens of KB).
+func Fig5DataSizes(o Options) (*Result, error) {
+	res := newResult("fig5")
+	res.addf("Fig. 5 — input/output data sizes per accelerator (bytes)\n")
+	res.addf("%-6s %28s %28s\n", "accel", "input min/med/max", "output min/med/max")
+	// Run the full mix under AccelFlow to populate the samplers.
+	sources := workload.Mix(services.SocialNetwork(), 0.3, o.reqs())
+	run, err := workload.Run(config.Default(), engine.AccelFlow(), sources, o.Seed, nil, nil)
+	if err != nil {
+		return nil, err
+	}
+	for _, k := range config.AllAccelKinds() {
+		if k == config.LdB {
+			res.addf("%-6v %28s %28s\n", k, "- (no data)", "-")
+			continue
+		}
+		st := run.Engine.Accels[k].Stats
+		in := metrics.Sizes(st.InSizes)
+		out := metrics.Sizes(st.OutSizes)
+		res.addf("%-6v %10d/%6d/%9d %10d/%6d/%9d\n", k, in.Min, in.Median, in.Max, out.Min, out.Median, out.Max)
+		res.Values[k.String()+"/in_median"] = float64(in.Median)
+		res.Values[k.String()+"/in_max"] = float64(in.Max)
+	}
+	return res, nil
+}
+
+// Tab2Traces prints Table II: the trace catalog with its disassembly.
+func Tab2Traces(Options) (*Result, error) {
+	res := newResult("tab2")
+	res.addf("Table II — trace catalog (with ATM subtrace splits)\n\n")
+	for _, p := range services.Catalog() {
+		res.addf("%s\n", p.String())
+		res.Values[p.Name+"/instrs"] = float64(len(p.Instrs))
+	}
+	return res, nil
+}
+
+// Tab3Parameters prints Table III: the modeled architecture parameters.
+func Tab3Parameters(Options) (*Result, error) {
+	res := newResult("tab3")
+	c := config.Default()
+	res.addf("Table III — architectural parameters\n")
+	res.addf("processor: %d cores @ %.1fGHz (%v)\n", c.Cores, c.CPUFreqGHz, c.Generation)
+	res.addf("accel queues: %d in / %d out entries (%dB each)\n", c.InputQueueEntries, c.OutputQueueEntries, c.QueueEntryBytes)
+	res.addf("A-DMA engines: %d, PEs/accel: %d, scratchpad: %dKB\n", c.ADMAEngines, c.PEsPerAccel, c.ScratchpadKB)
+	res.addf("queue->scratchpad: %v latency, %.0f GB/s\n", c.QueueToPadLatency, c.QueueToPadGBs)
+	res.addf("notification: %d cycles; mesh: %d cycles/hop, %dB links; inter-chiplet: %d cycles\n",
+		c.NotifyCycles, c.MeshHopCycles, c.MeshLinkBytes, c.InterChipletCycles)
+	res.addf("memory: %d controllers x %.1f GB/s\n", c.MemCtrls, c.MemGBsPerCtrl)
+	res.addf("speedups: ")
+	for _, k := range config.AllAccelKinds() {
+		res.addf("%v %.1f  ", k, c.Speedup[k])
+	}
+	res.addf("\n")
+	res.Values["cores"] = float64(c.Cores)
+	res.Values["pes"] = float64(c.PEsPerAccel)
+	return res, nil
+}
+
+// Tab4Paths reproduces Table IV: the most common execution path and
+// accelerator count per service, measured from an actual AccelFlow run.
+func Tab4Paths(o Options) (*Result, error) {
+	res := newResult("tab4")
+	res.addf("Table IV — most common path and accelerators per invocation\n")
+	res.addf("%-8s %7s %7s   %s\n", "service", "paper#", "meas#", "steps")
+	for _, svc := range services.SocialNetwork() {
+		run, err := runOne(config.Default(), engine.AccelFlow(), svc, workload.Poisson{RPS: 200}, o.reqs()/8+40, o.Seed)
+		if err != nil {
+			return nil, err
+		}
+		measured := float64(run.AccelCount) / float64(run.Completed)
+		var steps []string
+		for _, st := range svc.Steps {
+			switch st.Kind {
+			case engine.StepApp:
+				steps = append(steps, "CPU")
+			case engine.StepChain:
+				steps = append(steps, st.Trace)
+			case engine.StepParallel:
+				steps = append(steps, fmt.Sprintf("%dx(%s)", len(st.Par), st.Par[0]))
+			}
+		}
+		res.addf("%-8s %7d %7.1f   %s\n", svc.Name, svc.WantAccels, measured, strings.Join(steps, "-"))
+		res.Values[svc.Name+"/measured"] = measured
+		res.Values[svc.Name+"/paper"] = float64(svc.WantAccels)
+	}
+	return res, nil
+}

@@ -1,0 +1,551 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"accelflow/internal/config"
+	"accelflow/internal/energy"
+	"accelflow/internal/engine"
+	"accelflow/internal/metrics"
+	"accelflow/internal/services"
+	"accelflow/internal/sim"
+	"accelflow/internal/workload"
+)
+
+// Fig11Latency reproduces Fig. 11: P99 tail and average latency of each
+// SocialNetwork service under the five architectures, with Alibaba-like
+// production arrival rates. The paper's averages: AccelFlow reduces P99
+// over Non-acc/CPU-Centric/RELIEF/Cohort by 90.7/81.2/68.8/70.1% and
+// average latency by 77.2/53.9/40.7/37.9%.
+func Fig11Latency(o Options) (*Result, error) {
+	res := newResult("fig11")
+	res.addf("Fig. 11 — P99 (and mean) latency in us, Alibaba-like rates, full mix\n")
+	pols := architectures()
+	svcs := services.SocialNetwork()
+
+	// The whole SocialNetwork mix shares one server (the paper's setup):
+	// every service runs at its production rate concurrently.
+	p99 := map[string]map[string]float64{}
+	mean := map[string]map[string]float64{}
+	for _, pol := range pols {
+		sources := workload.Mix(svcs, 1.0, o.reqs()*len(svcs))
+		run, err := workload.Run(config.Default(), pol, sources, o.Seed, nil, nil)
+		if err != nil {
+			return nil, err
+		}
+		p99[pol.Name] = map[string]float64{}
+		mean[pol.Name] = map[string]float64{}
+		for _, svc := range svcs {
+			rec := run.PerService[svc.Name]
+			p99[pol.Name][svc.Name] = rec.P99().Micros()
+			mean[pol.Name][svc.Name] = rec.Mean().Micros()
+			res.Values[pol.Name+"/"+svc.Name+"/p99us"] = p99[pol.Name][svc.Name]
+			res.Values[pol.Name+"/"+svc.Name+"/meanus"] = mean[pol.Name][svc.Name]
+		}
+	}
+	res.addf("%-8s", "service")
+	for _, pol := range pols {
+		res.addf(" %22s", pol.Name)
+	}
+	res.addf("\n")
+	for _, svc := range svcs {
+		res.addf("%-8s", svc.Name)
+		for _, pol := range pols {
+			res.addf(" %12.0f (%7.0f)", p99[pol.Name][svc.Name], mean[pol.Name][svc.Name])
+		}
+		res.addf("\n")
+	}
+	// Average per-service reduction of AccelFlow vs the baselines.
+	res.addf("\nAccelFlow average reduction (per-service mean):\n")
+	for _, pol := range pols {
+		if pol.Name == "AccelFlow" {
+			continue
+		}
+		var rp, rm float64
+		for _, svc := range svcs {
+			rp += 1 - p99["AccelFlow"][svc.Name]/p99[pol.Name][svc.Name]
+			rm += 1 - mean["AccelFlow"][svc.Name]/mean[pol.Name][svc.Name]
+		}
+		rp /= float64(len(svcs))
+		rm /= float64(len(svcs))
+		res.addf("  vs %-12s P99 -%5.1f%%   mean -%5.1f%%\n", pol.Name, rp*100, rm*100)
+		res.Values["reduction_p99/"+pol.Name] = rp
+		res.Values["reduction_mean/"+pol.Name] = rm
+	}
+	res.addf("paper: P99 -90.7/-81.2/-68.8/-70.1%%; mean -77.2/-53.9/-40.7/-37.9%% (Non-acc/CPU-Centric/RELIEF/Cohort)\n")
+	return res, nil
+}
+
+// Fig12Loads reproduces Fig. 12: P99 under 5/10/15 kRPS across the
+// DeathStarBench apps (paper: AccelFlow's advantage grows with load —
+// -55.1/-60.9/-68.3% vs RELIEF).
+func Fig12Loads(o Options) (*Result, error) {
+	res := newResult("fig12")
+	res.addf("Fig. 12 — P99 (us) vs load, DeathStarBench mix\n")
+	loads := []float64{5, 10, 15}
+	if o.Quick {
+		loads = []float64{5, 15}
+	}
+	pols := architectures()
+	svcs := svcSubset(o, services.SocialNetwork())
+	res.addf("%-12s", "arch")
+	for _, l := range loads {
+		res.addf(" %9.0fk", l)
+	}
+	res.addf("\n")
+	vals := map[string]map[float64]float64{}
+	for _, pol := range pols {
+		vals[pol.Name] = map[float64]float64{}
+		res.addf("%-12s", pol.Name)
+		for _, load := range loads {
+			// Every service of the colocated mix runs at `load` kRPS
+			// (the paper's "average loads of 5K, 10K, and 15K RPS").
+			var sources []workload.Source
+			per := o.reqs()
+			for _, svc := range svcs {
+				sources = append(sources, workload.Source{
+					Service:  svc,
+					Arrivals: workload.Poisson{RPS: load * 1000},
+					Requests: per,
+				})
+			}
+			run, err := workload.Run(config.Default(), pol, sources, o.Seed, nil, nil)
+			if err != nil {
+				return nil, err
+			}
+			var avg float64
+			for _, svc := range svcs {
+				avg += run.PerService[svc.Name].P99().Micros()
+			}
+			avg /= float64(len(svcs))
+			vals[pol.Name][load] = avg
+			res.addf(" %10.0f", avg)
+			res.Values[fmt.Sprintf("%s/%.0fk", pol.Name, load)] = avg
+		}
+		res.addf("\n")
+	}
+	res.addf("\nAccelFlow vs RELIEF reduction:")
+	for _, load := range loads {
+		r := 1 - vals["AccelFlow"][load]/vals["RELIEF"][load]
+		res.addf("  %.0fk: -%.1f%%", load, r*100)
+		res.Values[fmt.Sprintf("reduction/%.0fk", load)] = r
+	}
+	res.addf("\npaper: -55.1%% (5k), -60.9%% (10k), -68.3%% (15k)\n")
+	return res, nil
+}
+
+// Fig13Ablation reproduces Fig. 13: the cumulative technique ladder
+// RELIEF -> PerAccTypeQ -> Direct -> CntrFlow -> AccelFlow (paper's
+// cumulative average P99 reductions: 6.8/32.7/55.1/68.7%).
+func Fig13Ablation(o Options) (*Result, error) {
+	res := newResult("fig13")
+	res.addf("Fig. 13 — P99 (us) with successive AccelFlow techniques\n")
+	ladder := []engine.Policy{
+		engine.RELIEF(), engine.RELIEFPerTypeQ(), engine.Direct(),
+		engine.CntrFlow(), engine.AccelFlow(),
+	}
+	svcs := services.SocialNetwork()
+	avg := map[string]float64{}
+	vals := map[string]map[string]float64{}
+	for _, pol := range ladder {
+		sources := workload.Mix(svcs, 1.0, o.reqs()*len(svcs))
+		run, err := workload.Run(config.Default(), pol, sources, o.Seed, nil, nil)
+		if err != nil {
+			return nil, err
+		}
+		vals[pol.Name] = map[string]float64{}
+		for _, svc := range svcs {
+			v := run.PerService[svc.Name].P99().Micros()
+			vals[pol.Name][svc.Name] = v
+			avg[pol.Name] += v / float64(len(svcs))
+			res.Values[pol.Name+"/"+svc.Name] = v
+		}
+	}
+	res.addf("%-8s", "service")
+	for _, pol := range ladder {
+		res.addf(" %12s", pol.Name)
+	}
+	res.addf("\n")
+	for _, svc := range svcs {
+		res.addf("%-8s", svc.Name)
+		for _, pol := range ladder {
+			res.addf(" %12.0f", vals[pol.Name][svc.Name])
+		}
+		res.addf("\n")
+	}
+	res.addf("\ncumulative reduction vs RELIEF:")
+	for _, pol := range ladder[1:] {
+		r := 1 - avg[pol.Name]/avg["RELIEF"]
+		res.addf("  %s -%.1f%%", pol.Name, r*100)
+		res.Values["reduction/"+pol.Name] = r
+	}
+	res.addf("\npaper: PerAccTypeQ -6.8%%, Direct -32.7%%, CntrFlow -55.1%%, AccelFlow -68.7%%\n")
+	return res, nil
+}
+
+// Fig14Throughput reproduces Fig. 14: the maximum throughput meeting an
+// SLO of 5x the unloaded latency, for the five architectures plus
+// Ideal, plus the §IV-C deadline-aware scheduling extension (paper:
+// AccelFlow 8.3x Non-acc, 2.2x RELIEF, within 8% of Ideal; EDF +1.6x).
+func Fig14Throughput(o Options) (*Result, error) {
+	res := newResult("fig14")
+	res.addf("Fig. 14 — max throughput under SLO (kRPS per service)\n")
+	pols := append(architectures(), engine.Ideal(), engine.AccelFlowEDF())
+	svcs := svcSubset(o, services.SocialNetwork())
+	if o.Quick {
+		svcs = svcs[:2]
+	}
+	res.addf("%-14s", "arch")
+	for _, svc := range svcs {
+		res.addf(" %8s", svc.Name)
+	}
+	res.addf(" %9s\n", "geomean")
+	n := o.reqs()
+	if n > 1200 {
+		n = 1200
+	}
+	// SLO = 5x the service's unloaded execution time on each system
+	// (§VII-A.3 with [15]/[58]'s per-system reading).
+	geo := map[string]float64{}
+	for _, pol := range pols {
+		res.addf("%-14s", pol.Name)
+		prod := 1.0
+		for _, svc := range svcs {
+			um, err := unloadedMean(config.Default(), pol, svc, o.Seed)
+			if err != nil {
+				return nil, err
+			}
+			slo := sim.FromMicros(5 * um)
+			measure := func(rps float64) sim.Time {
+				// Sustain the load long enough for queues to reach
+				// steady state: at least 40ms of simulated arrivals,
+				// capped so extreme probe loads stay tractable.
+				reqs := n
+				if min := int(rps * 0.04); reqs < min {
+					reqs = min
+				}
+				if reqs > 6000 {
+					reqs = 6000
+				}
+				run, err := runOne(config.Default(), pol, svc, workload.Poisson{RPS: rps}, reqs, o.Seed)
+				if err != nil {
+					return sim.Time(1) << 60
+				}
+				return run.Net.P99()
+
+			}
+			tol := 0.08
+			if o.Quick {
+				tol = 0.2
+			}
+			max := metrics.ThroughputSearch(measure, slo, 2000, 3e6, tol)
+			prod *= max
+			res.addf(" %8.0f", max/1000)
+			res.Values[pol.Name+"/"+svc.Name+"/krps"] = max / 1000
+		}
+		geo[pol.Name] = pow(prod, 1/float64(len(svcs)))
+		res.addf(" %9.0f\n", geo[pol.Name]/1000)
+		res.Values[pol.Name+"/geomean_krps"] = geo[pol.Name] / 1000
+	}
+	res.addf("\nAccelFlow vs Non-acc %.1fx, vs RELIEF %.1fx, of Ideal %.0f%%; EDF vs FIFO %.2fx\n",
+		geo["AccelFlow"]/geo["Non-acc"], geo["AccelFlow"]/geo["RELIEF"],
+		100*geo["AccelFlow"]/geo["Ideal"], geo["AccelFlow-EDF"]/geo["AccelFlow"])
+	res.Values["ratio/nonacc"] = geo["AccelFlow"] / geo["Non-acc"]
+	res.Values["ratio/relief"] = geo["AccelFlow"] / geo["RELIEF"]
+	res.Values["ratio/ideal"] = geo["AccelFlow"] / geo["Ideal"]
+	res.addf("paper: 8.3x Non-acc, 2.2x RELIEF, within 8%% of Ideal, EDF +1.6x\n")
+	return res, nil
+}
+
+func pow(x, y float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return math.Pow(x, y)
+}
+
+// Fig15Coarse reproduces Fig. 15: RELIEF vs AccelFlow maximum
+// throughput on the coarse-grained gem5-like image/RNN applications
+// (paper: AccelFlow 1.8x RELIEF on average).
+func Fig15Coarse(o Options) (*Result, error) {
+	res := newResult("fig15")
+	res.addf("Fig. 15 — coarse-grained apps: max throughput (kRPS)\n")
+	cfg := services.CoarseConfig()
+	apps := services.CoarseApps()
+	if o.Quick {
+		apps = apps[:2]
+	}
+	pols := []engine.Policy{engine.RELIEF(), engine.AccelFlow()}
+	// The throughput search needs enough sustained load per probe to
+	// distinguish the two systems; floor the budget.
+	n := o.reqs() / 2
+	if n < 400 && !o.Quick {
+		n = 400
+	}
+	if n > 600 {
+		n = 600
+	}
+	res.addf("%-12s %10s %10s %7s\n", "app", "RELIEF", "AccelFlow", "ratio")
+	var ratioSum float64
+	for _, app := range apps {
+		// One SLO per app, shared by both orchestrators: 5x the app's
+		// unloaded execution time (measured on the AccelFlow system),
+		// so a slower orchestrator cannot hide behind a looser SLO.
+		um, err := unloadedMeanCoarse(cfg, engine.AccelFlow(), app, o.Seed)
+		if err != nil {
+			return nil, err
+		}
+		slo := sim.FromMicros(5 * um)
+		max := map[string]float64{}
+		for _, pol := range pols {
+			measure := func(rps float64) sim.Time {
+				run, err := workload.Run(cfg, pol,
+					workload.SingleService(app, workload.Poisson{RPS: rps}, n),
+					o.Seed, services.CoarseCatalog(), map[string]engine.RemoteKind{})
+				if err != nil {
+					return sim.Time(1) << 60
+				}
+				return run.All.P99()
+			}
+			tol := 0.1
+			if o.Quick {
+				tol = 0.25
+			}
+			max[pol.Name] = metrics.ThroughputSearch(measure, slo, 500, 5e5, tol)
+		}
+		ratio := max["AccelFlow"] / max["RELIEF"]
+		ratioSum += ratio
+		res.addf("%-12s %10.1f %10.1f %6.2fx\n", app.Name, max["RELIEF"]/1000, max["AccelFlow"]/1000, ratio)
+		res.Values[app.Name+"/ratio"] = ratio
+	}
+	res.addf("\naverage AccelFlow/RELIEF = %.2fx (paper: 1.8x)\n", ratioSum/float64(len(apps)))
+	res.Values["avg_ratio"] = ratioSum / float64(len(apps))
+	return res, nil
+}
+
+func unloadedMeanCoarse(cfg *config.Config, pol engine.Policy, app *services.Service, seed int64) (float64, error) {
+	run, err := workload.Run(cfg, pol,
+		workload.SingleService(app, workload.Poisson{RPS: 20}, 40),
+		seed, services.CoarseCatalog(), map[string]engine.RemoteKind{})
+	if err != nil {
+		return 0, err
+	}
+	return run.All.Mean().Micros(), nil
+}
+
+// Fig16Serverless reproduces Fig. 16: per-function P99 for Non-acc,
+// RELIEF, and AccelFlow with Azure-like bursty invocations (paper:
+// AccelFlow -37% vs RELIEF on average).
+func Fig16Serverless(o Options) (*Result, error) {
+	res := newResult("fig16")
+	res.addf("Fig. 16 — serverless P99 (us), Azure-like bursts\n")
+	pols := []engine.Policy{engine.NonAcc(), engine.RELIEF(), engine.AccelFlow()}
+	fns := services.Serverless()
+	if o.Quick {
+		fns = fns[:3]
+	}
+	res.addf("%-8s", "func")
+	for _, pol := range pols {
+		res.addf(" %12s", pol.Name)
+	}
+	res.addf("\n")
+	// All functions are colocated on one server (§VII-A.5).
+	p99 := map[string]map[string]float64{}
+	for _, pol := range pols {
+		var sources []workload.Source
+		for _, fn := range fns {
+			sources = append(sources, workload.Source{
+				Service:  fn,
+				Arrivals: workload.Azure{RPS: fn.RatekRPS * 1000},
+				Requests: o.reqs(),
+			})
+		}
+		run, err := workload.Run(config.Default(), pol, sources, o.Seed, nil, nil)
+		if err != nil {
+			return nil, err
+		}
+		p99[pol.Name] = map[string]float64{}
+		for _, fn := range fns {
+			p99[pol.Name][fn.Name] = run.PerService[fn.Name].P99().Micros()
+			res.Values[pol.Name+"/"+fn.Name] = p99[pol.Name][fn.Name]
+		}
+	}
+	for _, fn := range fns {
+		res.addf("%-8s", fn.Name)
+		for _, pol := range pols {
+			res.addf(" %12.0f", p99[pol.Name][fn.Name])
+		}
+		res.addf("\n")
+	}
+	var r float64
+	for _, fn := range fns {
+		r += 1 - p99["AccelFlow"][fn.Name]/p99["RELIEF"][fn.Name]
+	}
+	r /= float64(len(fns))
+	res.addf("\nAccelFlow vs RELIEF: -%.1f%% average (paper: -37%%)\n", r*100)
+	res.Values["reduction_vs_relief"] = r
+	return res, nil
+}
+
+// Fig17Components reproduces Fig. 17: the components of an unloaded
+// AccelFlow execution — CPU, accelerators, orchestration (paper: 2.2%
+// average), and communication.
+func Fig17Components(o Options) (*Result, error) {
+	res := newResult("fig17")
+	res.addf("Fig. 17 — AccelFlow execution time components (unloaded)\n")
+	res.addf("%-8s %6s %7s %6s %6s\n", "service", "cpu%", "accel%", "orch%", "comm%")
+	var orchAvg float64
+	svcs := services.SocialNetwork()
+	for _, svc := range svcs {
+		run, err := runOne(config.Default(), engine.AccelFlow(), svc, workload.Poisson{RPS: 50}, o.reqs()/8+40, o.Seed)
+		if err != nil {
+			return nil, err
+		}
+		bd := run.Breakdown
+		tot := bd.Total().Micros()
+		res.addf("%-8s %5.1f%% %6.1f%% %5.1f%% %5.1f%%\n", svc.Name,
+			100*bd.CPU.Micros()/tot, 100*bd.Accel.Micros()/tot,
+			100*bd.Orch.Micros()/tot, 100*bd.Comm.Micros()/tot)
+		orchAvg += bd.Orch.Micros() / tot
+		res.Values[svc.Name+"/orch_share"] = bd.Orch.Micros() / tot
+	}
+	orchAvg /= float64(len(svcs))
+	res.addf("\naverage orchestration share %.1f%% (paper: 2.2%%; RELIEF ~10%%)\n", orchAvg*100)
+	res.Values["avg_orch_share"] = orchAvg
+	return res, nil
+}
+
+// GlueInstructions reproduces §VII-B.2: output-dispatcher instruction
+// counts (paper: ~15 typical, ~18 average, ~50 worst case).
+func GlueInstructions(o Options) (*Result, error) {
+	res := newResult("glue")
+	res.addf("§VII-B.2 — output dispatcher glue instructions\n")
+	sources := workload.Mix(services.SocialNetwork(), 0.3, o.reqs())
+	run, err := workload.Run(config.Default(), engine.AccelFlow(), sources, o.Seed, nil, nil)
+	if err != nil {
+		return nil, err
+	}
+	var instrs, passes uint64
+	res.addf("%-6s %10s %10s %8s\n", "accel", "passes", "instrs", "mean")
+	for _, k := range config.AllAccelKinds() {
+		st := run.Engine.Accels[k].Stats
+		instrs += st.GlueInstrs
+		passes += st.GluePasses
+		res.addf("%-6v %10d %10d %8.1f\n", k, st.GluePasses, st.GlueInstrs, st.MeanGlueInstrs())
+	}
+	mean := float64(instrs) / float64(passes)
+	res.addf("\nmean instructions per dispatcher operation: %.1f (paper: 18)\n", mean)
+	res.Values["mean_instrs"] = mean
+	return res, nil
+}
+
+// AccelUtilization reproduces §VII-B.4: accelerator utilization at high
+// load (paper: TCP 92%, (De)Encr 82%, RPC 68%, (De)Ser 73%, (De)Cmp
+// 38%, LdB 71%).
+func AccelUtilization(o Options) (*Result, error) {
+	res := newResult("util")
+	res.addf("§VII-B.4 — accelerator utilization near peak\n")
+	// Load the mix close to the AccelFlow saturation point.
+	sources := workload.Mix(services.SocialNetwork(), 3.1, o.reqs()*2)
+	run, err := workload.Run(config.Default(), engine.AccelFlow(), sources, o.Seed, nil, nil)
+	if err != nil {
+		return nil, err
+	}
+	for _, k := range config.AllAccelKinds() {
+		u := run.Engine.Accels[k].PEs.Utilization(run.Elapsed)
+		res.addf("%-6v %5.1f%%\n", k, u*100)
+		res.Values[k.String()] = u
+	}
+	res.addf("paper: TCP 92%%, (De)Encr 82%%, RPC 68%%, (De)Ser 73%%, (De)Cmp 38%%, LdB 71%%\n")
+	return res, nil
+}
+
+// EnergyReport reproduces §VII-B.5: energy vs Non-acc (paper: -74%),
+// performance per watt (7.2x Non-acc, 2.1x RELIEF), and the 2.4MB of
+// queue memory.
+func EnergyReport(o Options) (*Result, error) {
+	res := newResult("energy")
+	res.addf("§VII-B.5 — power, energy, and memory\n")
+	pm := energy.DefaultPower()
+	type row struct {
+		name string
+		rep  energy.Report
+		done uint64
+	}
+	var rows []row
+	for _, pol := range []engine.Policy{engine.NonAcc(), engine.RELIEF(), engine.AccelFlow()} {
+		sources := workload.Mix(services.SocialNetwork(), 1.0, o.reqs()*2)
+		run, err := workload.Run(config.Default(), pol, sources, o.Seed, nil, nil)
+		if err != nil {
+			return nil, err
+		}
+		rep := energy.Integrate(pm, run.Engine, run.Elapsed)
+		rows = append(rows, row{pol.Name, rep, run.Completed})
+		res.addf("%-10s energy %8.3fJ  avg power %6.1fW  perf/W %8.2f req/s/W\n",
+			pol.Name, rep.TotalJ(), rep.AvgPowerW(), energy.PerfPerWatt(run.Completed, rep))
+		res.Values[pol.Name+"/energyJ"] = rep.TotalJ()
+		res.Values[pol.Name+"/perfperW"] = energy.PerfPerWatt(run.Completed, rep)
+	}
+	af, na, rl := rows[2], rows[0], rows[1]
+	eRed := 1 - af.rep.TotalJ()/na.rep.TotalJ()
+	res.addf("\nenergy vs Non-acc: -%.1f%% (paper -74%%)\n", eRed*100)
+	res.addf("perf/W: %.1fx Non-acc (paper 7.2x), %.1fx RELIEF (paper 2.1x)\n",
+		energyRatio(af, na), energyRatio(af, rl))
+	res.addf("AccelFlow queue memory: %.1f MB (paper 2.4MB)\n",
+		float64(energy.QueueMemoryBytes(config.Default()))/1e6)
+	res.Values["energy_reduction"] = eRed
+	res.Values["queue_mb"] = float64(energy.QueueMemoryBytes(config.Default())) / 1e6
+	return res, nil
+}
+
+func energyRatio(a, b struct {
+	name string
+	rep  energy.Report
+	done uint64
+}) float64 {
+	pa := energy.PerfPerWatt(a.done, a.rep)
+	pb := energy.PerfPerWatt(b.done, b.rep)
+	if pb == 0 {
+		return 0
+	}
+	return pa / pb
+}
+
+// HighOverheadEvents reproduces §VII-B.6: the frequency of CPU
+// fallbacks (overflow-full 1.4% avg / 5.9% peak), page faults, TCP
+// timeouts (3.2 per million requests), and TLB misses.
+func HighOverheadEvents(o Options) (*Result, error) {
+	res := newResult("events")
+	res.addf("§VII-B.6 — high-overhead event frequency\n")
+	for _, load := range []struct {
+		name  string
+		scale float64
+	}{{"production", 1.0}, {"peak", 3.0}} {
+		sources := workload.Mix(services.SocialNetwork(), load.scale, o.reqs()*2)
+		run, err := workload.Run(config.Default(), engine.AccelFlow(), sources, o.Seed, nil, nil)
+		if err != nil {
+			return nil, err
+		}
+		e := run.Engine
+		var invocations, overflows, tlbA, tlbM, faults uint64
+		for _, k := range config.AllAccelKinds() {
+			st := e.Accels[k].Stats
+			invocations += st.Invocations
+			overflows += st.Overflows
+			tlbA += e.Accels[k].TLB.Accesses
+			tlbM += e.Accels[k].TLB.Misses
+			faults += e.Accels[k].TLB.PageFaults
+		}
+		fallbackPct := 100 * float64(e.Stats.FallbacksQueue+overflows) / float64(invocations+1)
+		res.addf("%-10s: overflow/fallback %5.2f%% of invocations; timeouts %.1f/M req; page faults %.2f/M invocations; TLB miss %.2f%%\n",
+			load.name, fallbackPct,
+			1e6*float64(e.Stats.Timeouts)/float64(run.Completed+1),
+			1e6*float64(faults)/float64(invocations+1),
+			100*float64(tlbM)/float64(tlbA+1))
+		res.Values[load.name+"/fallback_pct"] = fallbackPct
+		res.Values[load.name+"/timeouts_per_m"] = 1e6 * float64(e.Stats.Timeouts) / float64(run.Completed+1)
+	}
+	res.addf("paper: overflow 1.4%% avg / 5.9%% peak; TCP timeouts 3.2/M; page faults 0.13/M instr\n")
+	return res, nil
+}

@@ -1,0 +1,131 @@
+// Package experiments contains one runner per table and figure of the
+// paper's evaluation (see DESIGN.md §3 for the index). Each runner
+// returns a formatted report plus machine-readable series used by the
+// tests and EXPERIMENTS.md.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"accelflow/internal/config"
+	"accelflow/internal/engine"
+	"accelflow/internal/services"
+	"accelflow/internal/workload"
+)
+
+// Options scales an experiment run.
+type Options struct {
+	// Requests is the per-simulation request budget.
+	Requests int
+	// Seed makes runs reproducible.
+	Seed int64
+	// Quick shrinks workloads for tests and CI.
+	Quick bool
+}
+
+// DefaultOptions is the CLI default.
+func DefaultOptions() Options { return Options{Requests: 2500, Seed: 1} }
+
+func (o Options) reqs() int {
+	if o.Requests <= 0 {
+		return 2500
+	}
+	if o.Quick && o.Requests > 400 {
+		return 400
+	}
+	return o.Requests
+}
+
+// Result is one experiment's output.
+type Result struct {
+	Name string
+	Text string
+	// Values holds named scalar outcomes, e.g. "AccelFlow/CPost/p99us".
+	Values map[string]float64
+}
+
+func newResult(name string) *Result {
+	return &Result{Name: name, Values: map[string]float64{}}
+}
+
+func (r *Result) addf(format string, args ...interface{}) {
+	r.Text += fmt.Sprintf(format, args...)
+}
+
+// Runner executes one experiment.
+type Runner func(Options) (*Result, error)
+
+// Registry maps experiment IDs to runners. IDs match DESIGN.md §3.
+var Registry = map[string]Runner{
+	"fig1":   Fig1Breakdown,
+	"fig3":   Fig3OrchOverhead,
+	"tab1":   Tab1Connectivity,
+	"q2":     Q2BranchStats,
+	"fig5":   Fig5DataSizes,
+	"tab2":   Tab2Traces,
+	"tab3":   Tab3Parameters,
+	"tab4":   Tab4Paths,
+	"fig11":  Fig11Latency,
+	"fig12":  Fig12Loads,
+	"fig13":  Fig13Ablation,
+	"fig14":  Fig14Throughput,
+	"fig15":  Fig15Coarse,
+	"fig16":  Fig16Serverless,
+	"fig17":  Fig17Components,
+	"glue":   GlueInstructions,
+	"util":   AccelUtilization,
+	"energy": EnergyReport,
+	"events": HighOverheadEvents,
+	"fig18":  Fig18Chiplets,
+	"sens2":  Sens2InterChiplet,
+	"fig19":  Fig19PECount,
+	"fig20":  Fig20Generations,
+	"sens5":  Sens5Speedups,
+	"area":   AreaAccounting,
+}
+
+// IDs returns the registered experiment names, sorted.
+func IDs() []string {
+	out := make([]string, 0, len(Registry))
+	for k := range Registry {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// architectures returns the five evaluated servers (Fig. 11's order).
+func architectures() []engine.Policy {
+	return []engine.Policy{
+		engine.NonAcc(),
+		engine.CPUCentric(),
+		engine.RELIEF(),
+		engine.Cohort(engine.DefaultCohortPairs()),
+		engine.AccelFlow(),
+	}
+}
+
+// runOne simulates one service under one policy with the given arrival
+// process.
+func runOne(cfg *config.Config, pol engine.Policy, svc *services.Service, arr workload.Arrivals, n int, seed int64) (*workload.RunResult, error) {
+	return workload.Run(cfg, pol, workload.SingleService(svc, arr, n), seed, nil, nil)
+}
+
+// unloadedMean measures a service's mean on-server latency (excluding
+// remote-peer waits) with one request in flight at a time.
+func unloadedMean(cfg *config.Config, pol engine.Policy, svc *services.Service, seed int64) (float64, error) {
+	res, err := runOne(cfg, pol, svc, workload.Poisson{RPS: 50}, 60, seed)
+	if err != nil {
+		return 0, err
+	}
+	return res.Net.Mean().Micros(), nil
+}
+
+// svcSubset trims the service list under Quick mode to keep tests fast.
+func svcSubset(o Options, svcs []*services.Service) []*services.Service {
+	if !o.Quick || len(svcs) <= 3 {
+		return svcs
+	}
+	return svcs[:3]
+}

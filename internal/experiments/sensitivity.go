@@ -1,0 +1,213 @@
+package experiments
+
+import (
+	"fmt"
+
+	"accelflow/internal/config"
+	"accelflow/internal/energy"
+	"accelflow/internal/engine"
+	"accelflow/internal/services"
+	"accelflow/internal/workload"
+)
+
+// avgP99 runs the full SocialNetwork mix on one server at Alibaba-like
+// rates (the paper's setup) and returns the average per-service P99 in
+// microseconds.
+func avgP99(o Options, cfg *config.Config, pol engine.Policy) (float64, error) {
+	svcs := services.SocialNetwork()
+	sources := workload.Mix(svcs, 1.0, o.reqs()*len(svcs))
+	run, err := workload.Run(cfg, pol, sources, o.Seed, nil, nil)
+	if err != nil {
+		return 0, err
+	}
+	var sum float64
+	for _, svc := range svcs {
+		sum += run.PerService[svc.Name].P99().Micros()
+	}
+	return sum / float64(len(svcs)), nil
+}
+
+// Fig18Chiplets reproduces Fig. 18: P99 under the five chiplet
+// organizations (paper: 2->6 chiplets raises tail latency by 14%).
+func Fig18Chiplets(o Options) (*Result, error) {
+	res := newResult("fig18")
+	res.addf("Fig. 18 — P99 (us) by chiplet organization (AccelFlow)\n")
+	for _, plan := range config.AllChipletPlans() {
+		cfg := config.Default()
+		if err := cfg.ApplyChipletPlan(plan); err != nil {
+			return nil, err
+		}
+		v, err := avgP99(o, cfg, engine.AccelFlow())
+		if err != nil {
+			return nil, err
+		}
+		res.addf("%-10v %10.0f\n", plan, v)
+		res.Values[plan.String()] = v
+	}
+	if v2, v6 := res.Values["2-chiplet"], res.Values["6-chiplet"]; v2 > 0 {
+		res.addf("\n6- vs 2-chiplet: +%.1f%% (paper +14%%)\n", 100*(v6/v2-1))
+		res.Values["increase_6v2"] = v6/v2 - 1
+	}
+	return res, nil
+}
+
+// Sens2InterChiplet reproduces §VII-C.2: inter-chiplet latency swept
+// from 20 to 100 cycles for the 2- and 6-chiplet designs (paper: 60 ->
+// 100 cycles on 6 chiplets raises tail latency 45%).
+func Sens2InterChiplet(o Options) (*Result, error) {
+	res := newResult("sens2")
+	res.addf("§VII-C.2 — P99 (us) vs inter-chiplet latency (cycles)\n")
+	lats := []int{20, 60, 100}
+	if o.Quick {
+		lats = []int{60, 100}
+	}
+	res.addf("%-10s", "plan")
+	for _, l := range lats {
+		res.addf(" %8dcy", l)
+	}
+	res.addf("\n")
+	for _, plan := range []config.ChipletPlan{config.TwoChiplets, config.SixChiplets} {
+		res.addf("%-10v", plan)
+		for _, lat := range lats {
+			cfg := config.Default()
+			if err := cfg.ApplyChipletPlan(plan); err != nil {
+				return nil, err
+			}
+			cfg.InterChipletCycles = lat
+			v, err := avgP99(o, cfg, engine.AccelFlow())
+			if err != nil {
+				return nil, err
+			}
+			res.addf(" %10.0f", v)
+			res.Values[fmt.Sprintf("%v/%dcy", plan, lat)] = v
+		}
+		res.addf("\n")
+	}
+	if v60, v100 := res.Values["6-chiplet/60cy"], res.Values["6-chiplet/100cy"]; v60 > 0 {
+		res.addf("\n6-chiplet 60->100 cycles: +%.1f%% (paper +45%%)\n", 100*(v100/v60-1))
+		res.Values["increase_6c_100v60"] = v100/v60 - 1
+	}
+	return res, nil
+}
+
+// Fig19PECount reproduces Fig. 19: P99 with 2/4/8 PEs per accelerator,
+// plus the fallback shares the paper quotes (16%/39% of Encr requests
+// denied at 4/2 PEs; tail +20.0%/+35.7%).
+func Fig19PECount(o Options) (*Result, error) {
+	res := newResult("fig19")
+	res.addf("Fig. 19 — P99 (us) and fallbacks by PEs per accelerator\n")
+	res.addf("%-6s %10s %12s\n", "PEs", "p99(us)", "fallback%")
+	for _, pes := range []int{8, 4, 2} {
+		cfg := config.Default()
+		cfg.PEsPerAccel = pes
+		svcs := services.SocialNetwork()
+		sources := workload.Mix(svcs, 1.0, o.reqs()*len(svcs))
+		run, err := workload.Run(cfg, engine.AccelFlow(), sources, o.Seed, nil, nil)
+		if err != nil {
+			return nil, err
+		}
+		var p99sum float64
+		for _, svc := range svcs {
+			p99sum += run.PerService[svc.Name].P99().Micros()
+		}
+		var invocations, overflows uint64
+		for _, k := range config.AllAccelKinds() {
+			invocations += run.Engine.Accels[k].Stats.Invocations
+			overflows += run.Engine.Accels[k].Stats.Overflows
+		}
+		p99 := p99sum / float64(len(svcs))
+		fb := 100 * float64(run.Engine.Stats.FallbacksQueue+overflows) / float64(invocations+1)
+		res.addf("%-6d %10.0f %11.2f%%\n", pes, p99, fb)
+		res.Values[fmt.Sprintf("%dpe/p99us", pes)] = p99
+		res.Values[fmt.Sprintf("%dpe/fallback_pct", pes)] = fb
+	}
+	if v8 := res.Values["8pe/p99us"]; v8 > 0 {
+		res.addf("\ntail increase: 4 PEs +%.1f%% (paper +20.0%%), 2 PEs +%.1f%% (paper +35.7%%)\n",
+			100*(res.Values["4pe/p99us"]/v8-1), 100*(res.Values["2pe/p99us"]/v8-1))
+		res.Values["increase_4pe"] = res.Values["4pe/p99us"]/v8 - 1
+		res.Values["increase_2pe"] = res.Values["2pe/p99us"]/v8 - 1
+	}
+	return res, nil
+}
+
+// Fig20Generations reproduces Fig. 20: P99 for Non-acc, RELIEF, and
+// AccelFlow across processor generations (paper: AccelFlow's advantage
+// over RELIEF grows from 68.8% on Ice Lake to 71.7% on Emerald Rapids).
+func Fig20Generations(o Options) (*Result, error) {
+	res := newResult("fig20")
+	res.addf("Fig. 20 — P99 (us) across processor generations\n")
+	gens := config.AllGenerations()
+	if o.Quick {
+		gens = []config.Generation{config.Haswell, config.IceLake, config.EmeraldRapids}
+	}
+	pols := []engine.Policy{engine.NonAcc(), engine.RELIEF(), engine.AccelFlow()}
+	res.addf("%-16s", "generation")
+	for _, pol := range pols {
+		res.addf(" %12s", pol.Name)
+	}
+	res.addf(" %10s\n", "AF v RELIEF")
+	for _, g := range gens {
+		res.addf("%-16v", g)
+		vals := map[string]float64{}
+		for _, pol := range pols {
+			cfg := config.Default()
+			cfg.Generation = g
+			v, err := avgP99(o, cfg, pol)
+			if err != nil {
+				return nil, err
+			}
+			vals[pol.Name] = v
+			res.addf(" %12.0f", v)
+			res.Values[fmt.Sprintf("%v/%s", g, pol.Name)] = v
+		}
+		red := 1 - vals["AccelFlow"]/vals["RELIEF"]
+		res.addf("  -%8.1f%%\n", red*100)
+		res.Values[fmt.Sprintf("%v/reduction", g)] = red
+	}
+	res.addf("\npaper: -68.8%% on IceLake growing to -71.7%% on EmeraldRapids\n")
+	return res, nil
+}
+
+// Sens5Speedups reproduces §VII-C.5: scaling all accelerator speedups
+// by 0.25x..4x (paper: AccelFlow's win over RELIEF grows from 1.4x at
+// 0.25x speedups to 3.9x at 4x).
+func Sens5Speedups(o Options) (*Result, error) {
+	res := newResult("sens5")
+	res.addf("§VII-C.5 — AccelFlow vs RELIEF P99 ratio as accelerator speedups scale\n")
+	scales := []float64{0.25, 0.5, 1, 2, 4}
+	if o.Quick {
+		scales = []float64{0.25, 1, 4}
+	}
+	res.addf("%-8s %12s %12s %8s\n", "scale", "RELIEF", "AccelFlow", "gain")
+	for _, s := range scales {
+		cfg := config.Default()
+		cfg.SpeedupScale = s
+		rl, err := avgP99(o, cfg, engine.RELIEF())
+		if err != nil {
+			return nil, err
+		}
+		af, err := avgP99(o, cfg.Clone(), engine.AccelFlow())
+		if err != nil {
+			return nil, err
+		}
+		gain := rl / af
+		res.addf("%-8.2f %12.0f %12.0f %7.2fx\n", s, rl, af, gain)
+		res.Values[fmt.Sprintf("%.2fx/gain", s)] = gain
+	}
+	res.addf("\npaper: 1.4x at 0.25x speedups, 2.2x at 1x, 3.9x at 4x\n")
+	return res, nil
+}
+
+// AreaAccounting reproduces §VI's area table.
+func AreaAccounting(Options) (*Result, error) {
+	res := newResult("area")
+	a := energy.Area()
+	res.addf("§VI — area accounting (7nm)\n%s\n", energy.FormatArea(a))
+	comb, accel, over := a.AccelFraction()
+	res.Values["combined_frac"] = comb
+	res.Values["accel_frac"] = accel
+	res.Values["overhead_frac"] = over
+	res.Values["accel_mm2"] = float64(a.AccelTotal())
+	res.addf("paper: combined 29.0%%, accelerators 26.1%%, AccelFlow overhead <=2.9%%\n")
+	return res, nil
+}

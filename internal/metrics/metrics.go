@@ -1,0 +1,127 @@
+// Package metrics provides latency recording (average and percentile
+// reporting for the paper's P99 figures), breakdown accumulation, and
+// the SLO-bounded maximum-throughput search of Fig. 14.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"accelflow/internal/sim"
+)
+
+// Recorder collects latency samples for one series (one service under
+// one architecture).
+type Recorder struct {
+	Name    string
+	samples []sim.Time
+	sum     sim.Time
+	sorted  bool
+}
+
+// NewRecorder returns an empty recorder.
+func NewRecorder(name string) *Recorder { return &Recorder{Name: name} }
+
+// Add records one sample.
+func (r *Recorder) Add(t sim.Time) {
+	r.samples = append(r.samples, t)
+	r.sum += t
+	r.sorted = false
+}
+
+// Count reports the number of samples.
+func (r *Recorder) Count() int { return len(r.samples) }
+
+// Mean returns the average latency.
+func (r *Recorder) Mean() sim.Time {
+	if len(r.samples) == 0 {
+		return 0
+	}
+	return r.sum / sim.Time(len(r.samples))
+}
+
+// Percentile returns the p-th percentile (0 < p <= 100) using
+// nearest-rank on the sorted samples.
+func (r *Recorder) Percentile(p float64) sim.Time {
+	if len(r.samples) == 0 {
+		return 0
+	}
+	if !r.sorted {
+		sort.Slice(r.samples, func(i, j int) bool { return r.samples[i] < r.samples[j] })
+		r.sorted = true
+	}
+	rank := int(math.Ceil(p / 100 * float64(len(r.samples))))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(r.samples) {
+		rank = len(r.samples)
+	}
+	return r.samples[rank-1]
+}
+
+// P99 is shorthand for the tail latency the paper reports everywhere.
+func (r *Recorder) P99() sim.Time { return r.Percentile(99) }
+
+// P50 is the median.
+func (r *Recorder) P50() sim.Time { return r.Percentile(50) }
+
+// Max returns the largest sample.
+func (r *Recorder) Max() sim.Time { return r.Percentile(100) }
+
+// String summarizes the recorder.
+func (r *Recorder) String() string {
+	return fmt.Sprintf("%s: n=%d mean=%v p50=%v p99=%v", r.Name, r.Count(), r.Mean(), r.P50(), r.P99())
+}
+
+// SizeStats reports min/median/max of a sample of sizes (Fig. 5).
+type SizeStats struct{ Min, Median, Max int }
+
+// Sizes computes SizeStats from samples.
+func Sizes(samples []int) SizeStats {
+	if len(samples) == 0 {
+		return SizeStats{}
+	}
+	s := append([]int(nil), samples...)
+	sort.Ints(s)
+	return SizeStats{Min: s[0], Median: s[len(s)/2], Max: s[len(s)-1]}
+}
+
+// ThroughputSearch finds the maximum offered load (in requests/s) whose
+// measured P99 stays within the SLO, via bracketed binary search.
+// measure runs a fresh simulation at the given load and returns its
+// P99. The search doubles from loStart until violation (or hiCap), then
+// bisects to the given relative tolerance.
+func ThroughputSearch(measure func(rps float64) sim.Time, slo sim.Time, loStart, hiCap float64, tol float64) float64 {
+	if loStart <= 0 {
+		loStart = 100
+	}
+	if slo <= 0 {
+		return 0
+	}
+	lo := 0.0
+	hi := loStart
+	// Grow until the SLO is violated.
+	for hi < hiCap {
+		if measure(hi) > slo {
+			break
+		}
+		lo = hi
+		hi *= 2
+	}
+	if hi > hiCap {
+		hi = hiCap
+	}
+	// Bisect; the absolute floor of one request/s keeps the search
+	// finite when even the starting load violates the SLO.
+	for hi-lo > tol*hi && hi-lo > 1 {
+		mid := (lo + hi) / 2
+		if measure(mid) <= slo {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}

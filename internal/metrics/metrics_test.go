@@ -1,0 +1,130 @@
+package metrics
+
+import (
+	"testing"
+	"testing/quick"
+
+	"accelflow/internal/sim"
+)
+
+func TestRecorderBasics(t *testing.T) {
+	r := NewRecorder("x")
+	if r.Mean() != 0 || r.P99() != 0 || r.Count() != 0 {
+		t.Error("empty recorder not zeroed")
+	}
+	for i := 1; i <= 100; i++ {
+		r.Add(sim.Time(i) * sim.Microsecond)
+	}
+	if r.Count() != 100 {
+		t.Errorf("count = %d", r.Count())
+	}
+	if r.Mean() != sim.FromMicros(50.5) {
+		t.Errorf("mean = %v", r.Mean())
+	}
+	if r.P99() != 99*sim.Microsecond {
+		t.Errorf("p99 = %v, want 99us", r.P99())
+	}
+	if r.P50() != 50*sim.Microsecond {
+		t.Errorf("p50 = %v, want 50us", r.P50())
+	}
+	if r.Max() != 100*sim.Microsecond {
+		t.Errorf("max = %v", r.Max())
+	}
+	if r.String() == "" {
+		t.Error("empty String()")
+	}
+}
+
+func TestRecorderUnsortedInsertions(t *testing.T) {
+	r := NewRecorder("x")
+	for _, v := range []sim.Time{5, 1, 9, 3, 7} {
+		r.Add(v * sim.Microsecond)
+	}
+	if r.P50() != 5*sim.Microsecond {
+		t.Errorf("p50 = %v", r.P50())
+	}
+	// Adding after a percentile query must still work.
+	r.Add(100 * sim.Microsecond)
+	if r.Max() != 100*sim.Microsecond {
+		t.Errorf("max after re-add = %v", r.Max())
+	}
+}
+
+// Property: percentiles are monotone in p and bounded by min/max.
+func TestPercentileMonotone(t *testing.T) {
+	f := func(raw []uint32) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		r := NewRecorder("q")
+		for _, v := range raw {
+			r.Add(sim.Time(v))
+		}
+		last := sim.Time(-1)
+		for _, p := range []float64{1, 10, 25, 50, 75, 90, 99, 100} {
+			v := r.Percentile(p)
+			if v < last {
+				return false
+			}
+			last = v
+		}
+		return r.Percentile(100) == r.Max()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSizes(t *testing.T) {
+	s := Sizes([]int{5, 1, 9, 3})
+	if s.Min != 1 || s.Max != 9 {
+		t.Errorf("sizes = %+v", s)
+	}
+	if s.Median != 5 {
+		t.Errorf("median = %d", s.Median)
+	}
+	if z := Sizes(nil); z.Min != 0 || z.Max != 0 {
+		t.Error("empty sizes not zero")
+	}
+}
+
+func TestThroughputSearchFindsKnee(t *testing.T) {
+	// Synthetic system: P99 = 10us below 50k rps, 100us above.
+	measure := func(rps float64) sim.Time {
+		if rps <= 50000 {
+			return 10 * sim.Microsecond
+		}
+		return 100 * sim.Microsecond
+	}
+	got := ThroughputSearch(measure, 50*sim.Microsecond, 1000, 1e6, 0.02)
+	if got < 45000 || got > 50000 {
+		t.Errorf("knee found at %v, want ~50000", got)
+	}
+}
+
+func TestThroughputSearchAllPass(t *testing.T) {
+	measure := func(float64) sim.Time { return sim.Microsecond }
+	got := ThroughputSearch(measure, 10*sim.Microsecond, 1000, 1e5, 0.05)
+	if got < 0.9e5 {
+		t.Errorf("unconstrained system capped at %v", got)
+	}
+}
+
+func TestThroughputSearchAllFail(t *testing.T) {
+	measure := func(float64) sim.Time { return sim.Second }
+	got := ThroughputSearch(measure, sim.Microsecond, 1000, 1e5, 0.05)
+	if got > 1000 {
+		t.Errorf("hopeless system reported %v", got)
+	}
+}
+
+func TestThroughputSearchMonotoneSystem(t *testing.T) {
+	// P99 grows linearly with load; SLO crossed at 30k.
+	measure := func(rps float64) sim.Time {
+		return sim.Time(rps * float64(sim.Microsecond) / 1000)
+	}
+	got := ThroughputSearch(measure, 30*sim.Microsecond, 500, 1e6, 0.02)
+	if got < 28000 || got > 30000 {
+		t.Errorf("found %v, want ~30000", got)
+	}
+}

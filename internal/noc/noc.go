@@ -1,0 +1,168 @@
+// Package noc models the on-package interconnect of the AccelFlow
+// processor (paper §V-3): a 2D mesh inside each chiplet (3 cycles/hop,
+// 16-byte links) and a fully-connected inter-chiplet network (60 cycles
+// by default). Inter-chiplet links are contended resources; intra-mesh
+// transfers are modeled by latency plus serialization.
+package noc
+
+import (
+	"fmt"
+	"math"
+
+	"accelflow/internal/config"
+	"accelflow/internal/sim"
+)
+
+// Node is a network endpoint: a chiplet and mesh coordinates within it.
+type Node struct {
+	Chiplet int
+	X, Y    int
+}
+
+// Network computes route latencies and arbitrates inter-chiplet links.
+type Network struct {
+	k   *sim.Kernel
+	cfg *config.Config
+
+	// links[a][b] serializes traffic between chiplet pair (a<b).
+	links map[[2]int]*sim.Resource
+
+	// Stats for the energy model.
+	Messages   uint64
+	BytesMoved uint64
+	HopCount   uint64
+	CrossChip  uint64
+}
+
+// NewNetwork builds the link set for the configured chiplet count.
+func NewNetwork(k *sim.Kernel, cfg *config.Config) *Network {
+	n := &Network{k: k, cfg: cfg, links: map[[2]int]*sim.Resource{}}
+	for a := 0; a < cfg.Chiplets; a++ {
+		for b := a + 1; b < cfg.Chiplets; b++ {
+			n.links[[2]int{a, b}] = sim.NewResource(k, fmt.Sprintf("link%d-%d", a, b), 1, sim.FIFO)
+		}
+	}
+	return n
+}
+
+// meshHops is the Manhattan distance between two nodes in one chiplet.
+func meshHops(a, b Node) int {
+	dx := a.X - b.X
+	if dx < 0 {
+		dx = -dx
+	}
+	dy := a.Y - b.Y
+	if dy < 0 {
+		dy = -dy
+	}
+	return dx + dy
+}
+
+// edgeHops approximates the mesh distance from a node to its chiplet's
+// inter-chiplet port (placed at the origin).
+func edgeHops(a Node) int { return a.X + a.Y }
+
+// Latency returns the head latency of a message from a to b (no
+// serialization, no contention).
+func (n *Network) Latency(a, b Node) sim.Time {
+	hop := n.cfg.Cycles(n.cfg.MeshHopCycles)
+	if a.Chiplet == b.Chiplet {
+		return sim.Time(meshHops(a, b)) * hop
+	}
+	cross := n.cfg.Cycles(n.cfg.InterChipletCycles)
+	return sim.Time(edgeHops(a))*hop + cross + sim.Time(edgeHops(b))*hop
+}
+
+// serialization returns the time the payload occupies the narrowest
+// link on the path.
+func (n *Network) serialization(a, b Node, bytes int) sim.Time {
+	if bytes <= 0 {
+		return 0
+	}
+	// Intra-chiplet: 16B per 1 cycle per link.
+	meshBPS := float64(n.cfg.MeshLinkBytes) * n.cfg.CPUFreqGHz // bytes per ns
+	t := sim.FromNanos(float64(bytes) / meshBPS)
+	if a.Chiplet != b.Chiplet {
+		interBPS := n.cfg.InterChipletGBs // GB/s == bytes/ns
+		cross := sim.FromNanos(float64(bytes) / interBPS)
+		if cross > t {
+			t = cross
+		}
+	}
+	return t
+}
+
+// TransferTime returns the uncontended end-to-end time for a message.
+func (n *Network) TransferTime(a, b Node, bytes int) sim.Time {
+	return n.Latency(a, b) + n.serialization(a, b, bytes)
+}
+
+// Send models a message: latency plus serialization, with inter-chiplet
+// messages serializing on the shared pair link. done fires at delivery.
+func (n *Network) Send(a, b Node, bytes int, done func()) {
+	n.Messages++
+	n.BytesMoved += uint64(bytes)
+	lat := n.Latency(a, b)
+	ser := n.serialization(a, b, bytes)
+	if a.Chiplet == b.Chiplet {
+		n.HopCount += uint64(meshHops(a, b))
+		n.k.After(lat+ser, done)
+		return
+	}
+	n.CrossChip++
+	n.HopCount += uint64(edgeHops(a) + edgeHops(b) + 1)
+	key := [2]int{a.Chiplet, b.Chiplet}
+	if key[0] > key[1] {
+		key[0], key[1] = key[1], key[0]
+	}
+	link := n.links[key]
+	// The link is held for the serialization time; head latency is
+	// pipelined on top.
+	link.Submit(&sim.Task{
+		Hold: ser,
+		Done: func() { n.k.After(lat, done) },
+	})
+}
+
+// Placement assigns mesh coordinates to the accelerators of each
+// chiplet in a compact square, and to cores on chiplet 0. This gives
+// deterministic, plausible hop counts.
+type Placement struct {
+	cfg *config.Config
+	// accelNode[k] is the node of accelerator kind k.
+	accelNode [config.NumAccelKinds]Node
+	coreSide  int
+}
+
+// NewPlacement computes the layout for the configured chiplet map.
+func NewPlacement(cfg *config.Config) *Placement {
+	p := &Placement{cfg: cfg}
+	p.coreSide = int(math.Ceil(math.Sqrt(float64(cfg.Cores))))
+	// Accelerators are laid out per chiplet in registration order.
+	idxInChiplet := map[int]int{}
+	for k := config.AccelKind(0); k < config.NumAccelKinds; k++ {
+		ch := cfg.ChipletOf[k]
+		i := idxInChiplet[ch]
+		idxInChiplet[ch]++
+		side := 3 // accelerator chiplets are small meshes
+		p.accelNode[k] = Node{Chiplet: ch, X: i % side, Y: i / side}
+		if ch == 0 {
+			// On the core chiplet, accelerators sit at the mesh edge
+			// beyond the core array.
+			p.accelNode[k] = Node{Chiplet: 0, X: p.coreSide, Y: i}
+		}
+	}
+	return p
+}
+
+// AccelNode returns the node of an accelerator kind.
+func (p *Placement) AccelNode(k config.AccelKind) Node { return p.accelNode[k] }
+
+// CoreNode returns the node of a core by index.
+func (p *Placement) CoreNode(i int) Node {
+	return Node{Chiplet: 0, X: i % p.coreSide, Y: i / p.coreSide}
+}
+
+// MemNode returns the node representing the memory-controller edge of
+// the core chiplet.
+func (p *Placement) MemNode() Node { return Node{Chiplet: 0, X: 0, Y: p.coreSide} }

@@ -1,0 +1,200 @@
+package noc
+
+import (
+	"testing"
+
+	"accelflow/internal/config"
+	"accelflow/internal/sim"
+)
+
+func TestIntraChipletLatency(t *testing.T) {
+	cfg := config.Default()
+	n := NewNetwork(sim.NewKernel(), cfg)
+	a := Node{Chiplet: 1, X: 0, Y: 0}
+	b := Node{Chiplet: 1, X: 2, Y: 1}
+	want := cfg.Cycles(3 * cfg.MeshHopCycles) // 3 hops
+	if got := n.Latency(a, b); got != want {
+		t.Errorf("latency = %v, want %v", got, want)
+	}
+	if n.Latency(a, a) != 0 {
+		t.Error("self latency nonzero")
+	}
+}
+
+func TestInterChipletLatencyDominates(t *testing.T) {
+	cfg := config.Default()
+	n := NewNetwork(sim.NewKernel(), cfg)
+	same := n.Latency(Node{Chiplet: 1, X: 0, Y: 0}, Node{Chiplet: 1, X: 2, Y: 2})
+	cross := n.Latency(Node{Chiplet: 0, X: 0, Y: 0}, Node{Chiplet: 1, X: 0, Y: 0})
+	if cross <= same {
+		t.Errorf("cross-chiplet %v should exceed intra %v", cross, same)
+	}
+	if cross < cfg.Cycles(cfg.InterChipletCycles) {
+		t.Errorf("cross latency %v below the 60-cycle floor", cross)
+	}
+}
+
+func TestInterChipletLatencyScalesWithConfig(t *testing.T) {
+	near := config.Default()
+	far := config.Default()
+	far.InterChipletCycles = 100
+	a := Node{Chiplet: 0}
+	b := Node{Chiplet: 1}
+	ln := NewNetwork(sim.NewKernel(), near).Latency(a, b)
+	lf := NewNetwork(sim.NewKernel(), far).Latency(a, b)
+	if lf-ln != near.Cycles(40) {
+		t.Errorf("latency delta = %v, want 40 cycles", lf-ln)
+	}
+}
+
+func TestTransferTimeSerialization(t *testing.T) {
+	cfg := config.Default()
+	n := NewNetwork(sim.NewKernel(), cfg)
+	a := Node{Chiplet: 1, X: 0, Y: 0}
+	b := Node{Chiplet: 1, X: 1, Y: 0}
+	small := n.TransferTime(a, b, 64)
+	big := n.TransferTime(a, b, 64*1024)
+	if big <= small {
+		t.Error("serialization did not grow with payload")
+	}
+	// 64KB over 16B*2.4GHz = 38.4 B/ns -> ~1706ns.
+	delta := (big - small).Nanos()
+	if delta < 1500 || delta > 1900 {
+		t.Errorf("64KB serialization delta = %vns, want ~1706ns", delta)
+	}
+}
+
+func TestSendIntraChiplet(t *testing.T) {
+	cfg := config.Default()
+	k := sim.NewKernel()
+	n := NewNetwork(k, cfg)
+	a := Node{Chiplet: 1, X: 0, Y: 0}
+	b := Node{Chiplet: 1, X: 2, Y: 0}
+	var at sim.Time
+	n.Send(a, b, 1024, func() { at = k.Now() })
+	k.Run()
+	if at != n.TransferTime(a, b, 1024) {
+		t.Errorf("send arrived at %v, want %v", at, n.TransferTime(a, b, 1024))
+	}
+	if n.Messages != 1 || n.BytesMoved != 1024 {
+		t.Error("stats not recorded")
+	}
+}
+
+func TestSendCrossChipletContention(t *testing.T) {
+	cfg := config.Default()
+	k := sim.NewKernel()
+	n := NewNetwork(k, cfg)
+	a := Node{Chiplet: 0, X: 0, Y: 0}
+	b := Node{Chiplet: 1, X: 0, Y: 0}
+	var times []sim.Time
+	const msgs = 4
+	const bytes = 64 * 1024
+	for i := 0; i < msgs; i++ {
+		n.Send(a, b, bytes, func() { times = append(times, k.Now()) })
+	}
+	k.Run()
+	if len(times) != msgs {
+		t.Fatalf("only %d messages arrived", len(times))
+	}
+	// Messages serialize on the pair link: arrivals must be spaced by
+	// at least the serialization time.
+	ser := sim.FromNanos(float64(bytes) / cfg.InterChipletGBs)
+	for i := 1; i < msgs; i++ {
+		if gap := times[i] - times[i-1]; gap < ser {
+			t.Errorf("messages %d,%d spaced %v < serialization %v", i-1, i, gap, ser)
+		}
+	}
+	if n.CrossChip != msgs {
+		t.Errorf("CrossChip = %d, want %d", n.CrossChip, msgs)
+	}
+}
+
+func TestPlacementDistinctAndStable(t *testing.T) {
+	cfg := config.Default()
+	p := NewPlacement(cfg)
+	seen := map[Node]config.AccelKind{}
+	for _, kd := range config.AllAccelKinds() {
+		nd := p.AccelNode(kd)
+		if nd.Chiplet != cfg.ChipletOf[kd] {
+			t.Errorf("%v placed on chiplet %d, config says %d", kd, nd.Chiplet, cfg.ChipletOf[kd])
+		}
+		if prev, dup := seen[nd]; dup {
+			t.Errorf("%v and %v share node %+v", kd, prev, nd)
+		}
+		seen[nd] = kd
+	}
+	q := NewPlacement(cfg)
+	for _, kd := range config.AllAccelKinds() {
+		if p.AccelNode(kd) != q.AccelNode(kd) {
+			t.Error("placement not deterministic")
+		}
+	}
+}
+
+func TestPlacementCores(t *testing.T) {
+	cfg := config.Default()
+	p := NewPlacement(cfg)
+	seen := map[Node]bool{}
+	for i := 0; i < cfg.Cores; i++ {
+		nd := p.CoreNode(i)
+		if nd.Chiplet != 0 {
+			t.Errorf("core %d on chiplet %d", i, nd.Chiplet)
+		}
+		if seen[nd] {
+			t.Errorf("core %d collides at %+v", i, nd)
+		}
+		seen[nd] = true
+	}
+	if p.MemNode().Chiplet != 0 {
+		t.Error("memory node off the core chiplet")
+	}
+}
+
+func TestPlacementSingleChiplet(t *testing.T) {
+	cfg := config.Default()
+	if err := cfg.ApplyChipletPlan(config.OneChiplet); err != nil {
+		t.Fatal(err)
+	}
+	p := NewPlacement(cfg)
+	n := NewNetwork(sim.NewKernel(), cfg)
+	for _, kd := range config.AllAccelKinds() {
+		if p.AccelNode(kd).Chiplet != 0 {
+			t.Errorf("%v off chiplet 0 in 1-chiplet plan", kd)
+		}
+	}
+	// All routes intra-chiplet: latency below the inter-chiplet floor.
+	l := n.Latency(p.AccelNode(config.TCP), p.AccelNode(config.Cmp))
+	if l >= cfg.Cycles(cfg.InterChipletCycles) {
+		t.Errorf("1-chiplet route latency %v looks cross-chiplet", l)
+	}
+}
+
+func TestMoreChipletsMeansLongerRoutes(t *testing.T) {
+	avg := func(plan config.ChipletPlan) sim.Time {
+		cfg := config.Default()
+		if err := cfg.ApplyChipletPlan(plan); err != nil {
+			t.Fatal(err)
+		}
+		p := NewPlacement(cfg)
+		n := NewNetwork(sim.NewKernel(), cfg)
+		var sum sim.Time
+		var cnt int
+		for _, a := range config.AllAccelKinds() {
+			for _, b := range config.AllAccelKinds() {
+				if a == b {
+					continue
+				}
+				sum += n.Latency(p.AccelNode(a), p.AccelNode(b))
+				cnt++
+			}
+		}
+		return sum / sim.Time(cnt)
+	}
+	l1 := avg(config.OneChiplet)
+	l2 := avg(config.TwoChiplets)
+	l6 := avg(config.SixChiplets)
+	if !(l1 < l2 && l2 < l6) {
+		t.Errorf("average route latency not increasing with chiplets: %v %v %v", l1, l2, l6)
+	}
+}

@@ -1,0 +1,122 @@
+package services
+
+import (
+	"accelflow/internal/config"
+	"accelflow/internal/engine"
+	"accelflow/internal/sim"
+	"accelflow/internal/trace"
+)
+
+// Coarse-grained validation workloads (Fig. 15): the RELIEF artifact's
+// gem5-modeled image-processing and RNN accelerators, reproduced as a
+// second catalog over the same engine. The seven coarse accelerators
+// are mapped onto the nine ensemble slots with a dedicated cost model
+// (MB-scale payloads, hundreds of microseconds of CPU time per stage).
+//
+// Slot mapping: Gauss->TCP, Sobel->Encr, NonMax->Decr, Thresh->RPC,
+// GEMM->Ser, LSTM->Dser, Pool->Cmp. The payload-size effects of the
+// borrowed slots (Pool shrinks like Cmp; GEMM/LSTM apply the Ser/Dser
+// factors) are appropriate for pooling and projection stages.
+const (
+	CoarseGauss  = config.TCP
+	CoarseSobel  = config.Encr
+	CoarseNonMax = config.Decr
+	CoarseThresh = config.RPC
+	CoarseGEMM   = config.Ser
+	CoarseLSTM   = config.Dser
+	CoarsePool   = config.Cmp
+)
+
+// CoarseAccelName names the coarse accelerator occupying a slot.
+func CoarseAccelName(k config.AccelKind) string {
+	switch k {
+	case CoarseGauss:
+		return "Gauss"
+	case CoarseSobel:
+		return "Sobel"
+	case CoarseNonMax:
+		return "NonMax"
+	case CoarseThresh:
+		return "Thresh"
+	case CoarseGEMM:
+		return "GEMM"
+	case CoarseLSTM:
+		return "LSTM"
+	case CoarsePool:
+		return "Pool"
+	default:
+		return k.String()
+	}
+}
+
+// CoarseConfig returns the cost model for the coarse catalog: per-byte
+// dominated CPU costs (hundreds of us per MB-scale frame) and
+// literature-scale accelerator speedups. Everything else (queues, PEs,
+// chiplets, manager) stays at the paper's Table III values.
+func CoarseConfig() *config.Config {
+	c := config.Default()
+	for k := range c.OpBase {
+		c.OpBase[k] = sim.FromMicros(15)
+		c.OpPerByte[k] = sim.FromNanos(0.6)
+		c.Speedup[k] = 15
+	}
+	// RNN stages are denser compute with higher speedup.
+	c.OpPerByte[CoarseGEMM] = sim.FromNanos(0.9)
+	c.OpPerByte[CoarseLSTM] = sim.FromNanos(0.9)
+	c.Speedup[CoarseGEMM] = 22
+	c.Speedup[CoarseLSTM] = 22
+	// Pooling shrinks aggressively, like Cmp's ratio.
+	c.CmpRatio = 0.35
+	c.SerOverhead = 1.05
+	return c
+}
+
+// CoarseCatalog builds the linear chains of the image and RNN apps.
+func CoarseCatalog() []*trace.Program {
+	return []*trace.Program{
+		trace.New("canny").
+			Seq(CoarseGauss, CoarseSobel, CoarseNonMax, CoarseThresh).
+			MustBuild(),
+		trace.New("harris").
+			Seq(CoarseGauss, CoarseSobel, CoarseGEMM).
+			MustBuild(),
+		trace.New("edgetrack").
+			Seq(CoarseSobel, CoarseNonMax, CoarseThresh).
+			MustBuild(),
+		trace.New("blurpool").
+			Seq(CoarseGauss, CoarsePool).
+			MustBuild(),
+		trace.New("rnninfer").
+			Seq(CoarseGEMM, CoarseLSTM, CoarseGEMM).
+			MustBuild(),
+		trace.New("lstmseq").
+			Seq(CoarseGEMM, CoarseLSTM, CoarseLSTM, CoarsePool).
+			MustBuild(),
+	}
+}
+
+// CoarseApps returns the Fig. 15 applications: each one invokes its
+// chain once per frame/sequence with a little CPU pre/post-processing.
+func CoarseApps() []*Service {
+	mk := func(name, tr string, appUS float64, payload float64) *Service {
+		return &Service{
+			Name: name,
+			Steps: []engine.Step{
+				app(appUS / 2),
+				chain(tr),
+				app(appUS / 2),
+			},
+			Probs:         engine.FlagProbs{PFound: 1, PHit: 1},
+			PayloadMedian: payload, PayloadSigma: 0.25,
+			RatekRPS: 1.0,
+		}
+	}
+	return []*Service{
+		mk("CannyEdge", "canny", 30, 1.0e6),
+		mk("HarrisCorner", "harris", 25, 1.0e6),
+		mk("EdgeTrack", "edgetrack", 20, 0.75e6),
+		mk("BlurPool", "blurpool", 15, 1.2e6),
+		mk("RNNInfer", "rnninfer", 22, 0.5e6),
+		mk("LSTMSeq", "lstmseq", 28, 0.6e6),
+	}
+}

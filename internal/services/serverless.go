@@ -1,0 +1,85 @@
+package services
+
+import (
+	"accelflow/internal/engine"
+)
+
+// Serverless returns FunctionBench-like serverless functions (Fig. 16):
+// ML model serving, image, video, and document processing. Serverless
+// invocations share the microservice shape — short execution, bursty
+// arrival, heavy tax — so they reuse the same trace catalog. The
+// paper's headline example, ImgRot, is the shortest and most
+// tax-dominated function.
+func Serverless() []*Service {
+	return []*Service{
+		{
+			// Image rotation: tiny compute, compressed image payload.
+			Name: "ImgRot",
+			Steps: []engine.Step{
+				chain(T1), app(6),
+				chain(T3),
+			},
+			Probs:         engine.FlagProbs{PCompressed: 0.95, PHit: 0.5, PFound: 0.99, PException: 0.005},
+			PayloadMedian: 6000, PayloadSigma: 0.9,
+			RatekRPS: 18.0,
+		},
+		{
+			// ML model serving: fetch model features, infer, respond.
+			Name: "MLServe",
+			Steps: []engine.Step{
+				chain(T1), app(35),
+				chain(T4), app(20),
+				chain(T2),
+			},
+			Probs:         engine.FlagProbs{PCompressed: 0.6, PHit: 0.8, PFound: 0.99, PException: 0.005},
+			PayloadMedian: 2600, PayloadSigma: 0.8,
+			RatekRPS: 7.0,
+		},
+		{
+			// Video chunk processing: long compute, large payloads.
+			Name: "VidProc",
+			Steps: []engine.Step{
+				chain(T1), app(120),
+				chain(T8C), app(40),
+				chain(T3),
+			},
+			Probs:         engine.FlagProbs{PCompressed: 0.95, PHit: 0.5, PFound: 0.99, PException: 0.01},
+			PayloadMedian: 14000, PayloadSigma: 1.0,
+			RatekRPS: 1.5,
+		},
+		{
+			// Document conversion: medium compute, compressed docs.
+			Name: "DocConv",
+			Steps: []engine.Step{
+				chain(T1), app(45),
+				chain(T3),
+			},
+			Probs:         engine.FlagProbs{PCompressed: 0.9, PHit: 0.5, PFound: 0.99, PException: 0.005},
+			PayloadMedian: 8000, PayloadSigma: 0.9,
+			RatekRPS: 4.0,
+		},
+		{
+			// JSON ETL: deserialization-heavy, short compute.
+			Name: "JsonETL",
+			Steps: []engine.Step{
+				chain(T1), app(9),
+				chain(T8), app(4),
+				chain(T2),
+			},
+			Probs:         engine.FlagProbs{PCompressed: 0.4, PHit: 0.5, PFound: 0.99, PException: 0.005},
+			PayloadMedian: 3000, PayloadSigma: 0.85,
+			RatekRPS: 12.0,
+		},
+		{
+			// Thumbnail generation: small images, fast.
+			Name: "Thumb",
+			Steps: []engine.Step{
+				chain(T1), app(14),
+				chain(T3),
+			},
+			Probs:         engine.FlagProbs{PCompressed: 0.9, PHit: 0.5, PFound: 0.99, PException: 0.005},
+			PayloadMedian: 4500, PayloadSigma: 0.85,
+			RatekRPS: 9.0,
+		},
+	}
+}

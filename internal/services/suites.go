@@ -1,0 +1,182 @@
+package services
+
+import (
+	"accelflow/internal/engine"
+)
+
+// Suite groups services for suite-level statistics (paper §III-Q2
+// reports the fraction of accelerator sequences containing at least one
+// conditional per suite: SocialNet 69.2%, HotelReservation 62.5%,
+// MediaServices 82.5%, TrainTicket 53.8%).
+type Suite struct {
+	Name     string
+	Services []*Service
+}
+
+// HotelReservation models DeathStarBench's hotel suite: search and
+// reservation flows with cache lookups and nested RPC fan-out.
+func HotelReservation() []*Service {
+	return []*Service{
+		{
+			Name: "Search",
+			Steps: []engine.Step{
+				chain(T1), app(12),
+				{Kind: engine.StepParallel, Par: rep(T9, 3)}, app(9),
+				chain(T2),
+			},
+			Probs:         engine.FlagProbs{PCompressed: 0.6, PHit: 0.7, PFound: 0.98, PException: 0.01},
+			PayloadMedian: 1500, PayloadSigma: 0.75,
+			RatekRPS: 10.0,
+		},
+		{
+			Name: "Reserve",
+			Steps: []engine.Step{
+				chain(T1), app(10),
+				chain(T4), app(6),
+				chain(T8), app(5),
+				chain(T2),
+			},
+			Probs:         engine.FlagProbs{PCompressed: 0.3, PHit: 0.6, PFound: 0.98, PException: 0.01},
+			PayloadMedian: 900, PayloadSigma: 0.6,
+			RatekRPS: 6.0,
+		},
+		{
+			Name: "Rates",
+			Steps: []engine.Step{
+				chain(T1), app(7),
+				chain(T4), app(4),
+				chain(T3),
+			},
+			Probs:         engine.FlagProbs{PCompressed: 0.7, PHit: 0.85, PFound: 0.99, PException: 0.005},
+			PayloadMedian: 1800, PayloadSigma: 0.8,
+			RatekRPS: 14.0,
+		},
+		{
+			Name: "Profile",
+			Steps: []engine.Step{
+				chain(T1), app(8),
+				chain(T4), app(5),
+				chain(T2),
+			},
+			Probs:         engine.FlagProbs{PCompressed: 0.5, PHit: 0.9, PFound: 0.99, PException: 0.005},
+			PayloadMedian: 2400, PayloadSigma: 0.85,
+			RatekRPS: 12.0,
+		},
+	}
+}
+
+// MediaServices models the media suite: large compressed payloads and
+// deep cache/storage interactions (the paper's highest branch share).
+func MediaServices() []*Service {
+	return []*Service{
+		{
+			Name: "ComposeRev",
+			Steps: []engine.Step{
+				chain(T1), app(14),
+				{Kind: engine.StepParallel, Par: rep(T9C, 3)}, app(10),
+				chain(T8C), app(5),
+				chain(T3),
+			},
+			Probs:         engine.FlagProbs{PCompressed: 0.9, PHit: 0.5, PFound: 0.97, PException: 0.015},
+			PayloadMedian: 3200, PayloadSigma: 0.9,
+			RatekRPS: 5.0,
+		},
+		{
+			Name: "ReadPlot",
+			Steps: []engine.Step{
+				chain(T1), app(8),
+				chain(T4), app(6),
+				chain(T3),
+			},
+			Probs:         engine.FlagProbs{PCompressed: 0.9, PHit: 0.55, PFound: 0.98, PException: 0.01, PCCompressed: 0.8},
+			PayloadMedian: 4200, PayloadSigma: 0.9,
+			RatekRPS: 11.0,
+		},
+		{
+			Name: "CastInfo",
+			Steps: []engine.Step{
+				chain(T1), app(7),
+				chain(T4), app(5),
+				chain(T2),
+			},
+			Probs:         engine.FlagProbs{PCompressed: 0.8, PHit: 0.6, PFound: 0.98, PException: 0.01, PCCompressed: 0.7},
+			PayloadMedian: 2600, PayloadSigma: 0.8,
+			RatekRPS: 9.0,
+		},
+		{
+			Name: "VideoMeta",
+			Steps: []engine.Step{
+				chain(T1), app(9),
+				chain(T11C), app(6),
+				chain(T2),
+			},
+			Probs:         engine.FlagProbs{PCompressed: 0.85, PHit: 0.5, PFound: 0.98, PException: 0.01},
+			PayloadMedian: 5200, PayloadSigma: 0.95,
+			RatekRPS: 7.5,
+		},
+	}
+}
+
+// TrainTicket models the Train Ticket benchmark's Java services:
+// heavier app logic, more HTTP edges, fewer conditionals (the paper's
+// lowest branch share, 53.8%).
+func TrainTicket() []*Service {
+	return []*Service{
+		{
+			Name: "QueryTrip",
+			Steps: []engine.Step{
+				chain(T1), app(22),
+				chain(T4), app(8),
+				chain(T11), app(12),
+				chain(T2),
+			},
+			Probs:         engine.FlagProbs{PCompressed: 0.3, PHit: 0.6, PFound: 0.99, PException: 0.005},
+			PayloadMedian: 1400, PayloadSigma: 0.7,
+			RatekRPS: 8.0,
+		},
+		{
+			Name: "BookSeat",
+			Steps: []engine.Step{
+				chain(T1), app(18),
+				chain(T8), app(9),
+				chain(T11), app(7),
+				chain(T2),
+			},
+			Probs:         engine.FlagProbs{PCompressed: 0.2, PHit: 0.5, PFound: 0.99, PException: 0.01},
+			PayloadMedian: 1100, PayloadSigma: 0.65,
+			RatekRPS: 4.5,
+		},
+		{
+			Name: "PayOrder",
+			Steps: []engine.Step{
+				chain(T1), app(16),
+				chain(T11), app(8),
+				chain(T8), app(4),
+				chain(T2),
+			},
+			Probs:         engine.FlagProbs{PCompressed: 0.15, PHit: 0.5, PFound: 0.995, PException: 0.01},
+			PayloadMedian: 800, PayloadSigma: 0.6,
+			RatekRPS: 5.0,
+		},
+		{
+			Name: "QueryFood",
+			Steps: []engine.Step{
+				chain(T1), app(15),
+				chain(T2),
+			},
+			Probs:         engine.FlagProbs{PCompressed: 0.2, PHit: 0.5, PFound: 0.99, PException: 0.005},
+			PayloadMedian: 1200, PayloadSigma: 0.7,
+			RatekRPS: 9.5,
+		},
+	}
+}
+
+// AllSuites returns the four suites used for the Q2 statistics.
+func AllSuites() []Suite {
+	return []Suite{
+		{Name: "SocialNet", Services: SocialNetwork()},
+		{Name: "HotelReservation", Services: HotelReservation()},
+		{Name: "MediaServices", Services: MediaServices()},
+		{Name: "TrainTicket", Services: TrainTicket()},
+	}
+}

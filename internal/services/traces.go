@@ -1,0 +1,197 @@
+// Package services encodes the paper's workload knowledge: the trace
+// catalog of Table II (built with the public trace builder API), the
+// eight SocialNetwork services with their Table IV execution paths, the
+// other DeathStarBench-style suites used for the Q2 statistics, the
+// FunctionBench-like serverless functions (Fig. 16), and the
+// RELIEF-artifact-like coarse-grained applications (Fig. 15).
+package services
+
+import (
+	"accelflow/internal/config"
+	"accelflow/internal/engine"
+	"accelflow/internal/trace"
+)
+
+// Trace names from Table II. Traces with major divergences are split
+// into ATM subtraces exactly as §IV-A prescribes (the hit/miss and
+// found/error divergences, and the rare four-accelerator error path).
+const (
+	T1      = "T1"       // receive function request (with or without Dcmp)
+	T2      = "T2"       // send function response without Cmp
+	T3      = "T3"       // send function response with Cmp
+	T4      = "T4"       // send read request to DB cache -> T5
+	T5      = "T5"       // receive DB cache read response (divergence)
+	T5Hit   = "T5.hit"   // cache hit: (Dcmp) + LdB + notify
+	T5Miss  = "T5.miss"  // cache miss: re-issue read to the DB -> T6
+	T6      = "T6"       // receive DB read response (divergence)
+	T6Found = "T6.found" // found: (Dcmp), fork write-back, LdB
+	T6WB    = "T6.wb"    // write-back to DB cache (C-Compressed?) -> T7
+	T7      = "T7"       // receive write response (exception divergence)
+	T8      = "T8"       // send write request (no Cmp) -> T7
+	T8C     = "T8c"      // send write request with Cmp -> T7
+	T9      = "T9"       // send RPC request (no Cmp) -> T10
+	T9C     = "T9c"      // send RPC request with Cmp -> T10
+	T10     = "T10"      // receive RPC response (exception divergence)
+	T10OK   = "T10.ok"   // no exception: (Dcmp) + LdB
+	T11     = "T11"      // send HTTP request -> T12
+	T11C    = "T11c"     // send HTTP request with Cmp -> T12
+	T12     = "T12"      // receive HTTP response (errors on the CPU)
+	TErr    = "T.err"    // rare error subtrace reporting to the user
+)
+
+// Catalog builds every Table II trace program. The same catalog is
+// shared by all SocialNetwork-style services.
+func Catalog() []*trace.Program {
+	b := []*trace.Program{
+		// T1 (Fig. 4a / Listing 1): receive a function request.
+		trace.New(T1).
+			Seq(config.TCP, config.Decr, config.RPC, config.Dser).
+			Branch(trace.CondCompressed,
+				trace.Sub().Trans(trace.FmtJSON, trace.FmtString).Seq(config.Dcmp),
+				nil).
+			Seq(config.LdB).
+			MustBuild(),
+
+		// T2 (Fig. 2a): send a function response, no compression.
+		trace.New(T2).
+			Seq(config.Ser, config.RPC, config.Encr, config.TCP).
+			MustBuild(),
+
+		// T3: like T2 with Cmp first; no branch because the core knows
+		// it wants compression (§IV-B).
+		trace.New(T3).
+			Seq(config.Cmp, config.Ser, config.RPC, config.Encr, config.TCP).
+			MustBuild(),
+
+		// T4 (Fig. 2b): send a read to the DB cache; the asterisk arms
+		// T5 in the same TCP accelerator.
+		trace.New(T4).
+			Seq(config.Ser, config.Encr, config.TCP).
+			Tail(T5).
+			MustBuild(),
+
+		// T5 (Fig. 7): receive the cache read response. The hit/miss
+		// divergence is major, so both arms live in ATM subtraces.
+		trace.New(T5).
+			Seq(config.TCP, config.Decr, config.Dser).
+			Branch(trace.CondHit,
+				trace.Sub().Tail(T5Hit),
+				trace.Sub().Tail(T5Miss)).
+			MustBuild(),
+		trace.New(T5Hit).
+			Branch(trace.CondCompressed,
+				trace.Sub().Trans(trace.FmtBSON, trace.FmtString).Seq(config.Dcmp),
+				nil).
+			Seq(config.LdB).
+			MustBuild(),
+		trace.New(T5Miss).
+			Seq(config.Ser, config.Encr, config.TCP).
+			Tail(T6).
+			MustBuild(),
+
+		// T6 (Fig. 7): receive the DB read response; found/error is a
+		// major divergence, the error path is the shared TErr subtrace.
+		trace.New(T6).
+			Seq(config.TCP, config.Decr, config.Dser).
+			Branch(trace.CondFound,
+				trace.Sub().Tail(T6Found),
+				trace.Sub().Tail(TErr)).
+			MustBuild(),
+		trace.New(T6Found).
+			Branch(trace.CondCompressed,
+				trace.Sub().Seq(config.Dcmp),
+				nil).
+			Fork(T6WB).
+			Seq(config.LdB).
+			MustBuild(),
+		trace.New(T6WB).
+			Branch(trace.CondCCompressed,
+				trace.Sub().Seq(config.Cmp),
+				nil).
+			Seq(config.Ser, config.Encr, config.TCP).
+			Tail(T7).
+			MustBuild(),
+
+		// T7 (Fig. 7): receive a write response; exceptions take the
+		// error subtrace.
+		trace.New(T7).
+			Seq(config.TCP, config.Decr, config.Dser).
+			Branch(trace.CondException,
+				trace.Sub().Tail(TErr),
+				trace.Sub().Seq(config.LdB)).
+			MustBuild(),
+
+		// T8/T8c: send a write request to the DB cache or DB.
+		trace.New(T8).
+			Seq(config.Ser, config.Encr, config.TCP).
+			Tail(T7).
+			MustBuild(),
+		trace.New(T8C).
+			Seq(config.Cmp, config.Ser, config.Encr, config.TCP).
+			Tail(T7).
+			MustBuild(),
+
+		// T9/T9c: send an RPC request to a peer service.
+		trace.New(T9).
+			Seq(config.Ser, config.RPC, config.Encr, config.TCP).
+			Tail(T10).
+			MustBuild(),
+		trace.New(T9C).
+			Seq(config.Cmp, config.Ser, config.RPC, config.Encr, config.TCP).
+			Tail(T10).
+			MustBuild(),
+
+		// T10: receive the RPC response; exception divergence.
+		trace.New(T10).
+			Seq(config.TCP, config.Decr, config.RPC, config.Dser).
+			Branch(trace.CondException,
+				trace.Sub().Tail(TErr),
+				trace.Sub().Tail(T10OK)).
+			MustBuild(),
+		trace.New(T10OK).
+			Branch(trace.CondCompressed,
+				trace.Sub().Seq(config.Dcmp),
+				nil).
+			Seq(config.LdB).
+			MustBuild(),
+
+		// T11/T11c/T12: HTTP request/response; T12 errors are handled
+		// by the CPU, so T12 has no exception branch.
+		trace.New(T11).
+			Seq(config.Ser, config.Encr, config.TCP).
+			Tail(T12).
+			MustBuild(),
+		trace.New(T11C).
+			Seq(config.Cmp, config.Ser, config.Encr, config.TCP).
+			Tail(T12).
+			MustBuild(),
+		trace.New(T12).
+			Seq(config.TCP, config.Decr, config.Dser, config.LdB).
+			MustBuild(),
+
+		// TErr: the rare four-accelerator error subsequence removed
+		// from T6/T7/T10 into its own trace (§IV-B).
+		trace.New(TErr).
+			Seq(config.Ser, config.RPC, config.Encr, config.TCP).
+			MustBuild(),
+	}
+	return b
+}
+
+// RemoteTails classifies the tail edges that wait for a network
+// response (the paper's asterisks) versus immediate ATM continuations.
+func RemoteTails() map[string]engine.RemoteKind {
+	return map[string]engine.RemoteKind{
+		T4:     engine.RemoteCache, // read sent to the DB cache
+		T5Miss: engine.RemoteDB,    // re-issued read to the DB
+		T6WB:   engine.RemoteCache, // write-back to the DB cache
+		T8:     engine.RemoteCache, // write to DB cache/DB
+		T8C:    engine.RemoteCache,
+		T9:     engine.RemoteSvc, // nested RPC
+		T9C:    engine.RemoteSvc,
+		T11:    engine.RemoteSvc, // HTTP
+		T11C:   engine.RemoteSvc,
+		// T5 -> T5.hit/T5.miss, T6 -> T6.found/TErr, T10 -> T10.ok are
+		// immediate dispatcher-side continuations (RemoteNone).
+	}
+}

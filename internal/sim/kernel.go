@@ -1,0 +1,144 @@
+// Package sim provides a deterministic discrete-event simulation kernel:
+// a virtual clock, an event heap, and multi-server queueing resources
+// with pluggable service disciplines. All AccelFlow component models are
+// built on top of this kernel.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Time is simulated time in integer picoseconds. Picosecond resolution
+// lets cycle times of non-integral nanoseconds (e.g. 2.4 GHz -> 416.6 ps)
+// be represented without floating-point drift.
+type Time int64
+
+// Common durations.
+const (
+	Picosecond  Time = 1
+	Nanosecond  Time = 1000 * Picosecond
+	Microsecond Time = 1000 * Nanosecond
+	Millisecond Time = 1000 * Microsecond
+	Second      Time = 1000 * Millisecond
+)
+
+// String renders a Time in the most readable unit.
+func (t Time) String() string {
+	switch {
+	case t >= Second:
+		return fmt.Sprintf("%.3fs", float64(t)/float64(Second))
+	case t >= Millisecond:
+		return fmt.Sprintf("%.3fms", float64(t)/float64(Millisecond))
+	case t >= Microsecond:
+		return fmt.Sprintf("%.3fus", float64(t)/float64(Microsecond))
+	case t >= Nanosecond:
+		return fmt.Sprintf("%.3fns", float64(t)/float64(Nanosecond))
+	default:
+		return fmt.Sprintf("%dps", int64(t))
+	}
+}
+
+// Micros returns the time as a float64 number of microseconds.
+func (t Time) Micros() float64 { return float64(t) / float64(Microsecond) }
+
+// Nanos returns the time as a float64 number of nanoseconds.
+func (t Time) Nanos() float64 { return float64(t) / float64(Nanosecond) }
+
+// Seconds returns the time as a float64 number of seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// FromMicros converts a float64 microsecond count to a Time.
+func FromMicros(us float64) Time { return Time(math.Round(us * float64(Microsecond))) }
+
+// FromNanos converts a float64 nanosecond count to a Time.
+func FromNanos(ns float64) Time { return Time(math.Round(ns * float64(Nanosecond))) }
+
+// event is a scheduled callback. seq breaks ties so that events scheduled
+// first at the same instant run first, keeping the simulation
+// deterministic.
+type event struct {
+	at  Time
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// Kernel is the event loop. It is not safe for concurrent use: a
+// simulation is a single-threaded, deterministic program.
+type Kernel struct {
+	now    Time
+	seq    uint64
+	events eventHeap
+	// Processed counts executed events, useful for run-away detection.
+	Processed uint64
+	// MaxEvents aborts the run when exceeded (0 = unlimited).
+	MaxEvents uint64
+}
+
+// NewKernel returns an empty kernel at time zero.
+func NewKernel() *Kernel { return &Kernel{} }
+
+// Now returns the current simulated time.
+func (k *Kernel) Now() Time { return k.now }
+
+// At schedules fn to run at absolute time t. Scheduling in the past
+// panics: it indicates a modeling bug rather than a recoverable error.
+func (k *Kernel) At(t Time, fn func()) {
+	if t < k.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, k.now))
+	}
+	k.seq++
+	heap.Push(&k.events, event{at: t, seq: k.seq, fn: fn})
+}
+
+// After schedules fn to run d after the current time.
+func (k *Kernel) After(d Time, fn func()) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	k.At(k.now+d, fn)
+}
+
+// Run executes events until the heap is empty.
+func (k *Kernel) Run() { k.RunUntil(math.MaxInt64) }
+
+// RunUntil executes events with timestamps <= deadline, leaving later
+// events queued. The clock ends at the last executed event (or deadline
+// if nothing ran beyond it).
+func (k *Kernel) RunUntil(deadline Time) {
+	for len(k.events) > 0 {
+		if k.events[0].at > deadline {
+			break
+		}
+		e := heap.Pop(&k.events).(event)
+		k.now = e.at
+		k.Processed++
+		if k.MaxEvents > 0 && k.Processed > k.MaxEvents {
+			panic("sim: MaxEvents exceeded; likely an event loop")
+		}
+		e.fn()
+	}
+}
+
+// Pending reports the number of queued events.
+func (k *Kernel) Pending() int { return len(k.events) }

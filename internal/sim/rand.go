@@ -1,0 +1,74 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+)
+
+// RNG wraps math/rand with the distributions the workload and payload
+// models need. Every experiment derives independent, seeded streams so
+// results are reproducible run to run.
+type RNG struct {
+	r *rand.Rand
+}
+
+// NewRNG returns a deterministic stream for the given seed.
+func NewRNG(seed int64) *RNG {
+	return &RNG{r: rand.New(rand.NewSource(seed))}
+}
+
+// Fork derives an independent stream, useful for giving each service or
+// generator its own sequence without cross-coupling.
+func (g *RNG) Fork(salt int64) *RNG {
+	return NewRNG(g.r.Int63() ^ salt*0x9e3779b97f4a7c)
+}
+
+// Float64 returns a uniform value in [0,1).
+func (g *RNG) Float64() float64 { return g.r.Float64() }
+
+// Intn returns a uniform int in [0,n).
+func (g *RNG) Intn(n int) int { return g.r.Intn(n) }
+
+// Bool returns true with probability p.
+func (g *RNG) Bool(p float64) bool { return g.r.Float64() < p }
+
+// Exp returns an exponentially distributed duration with the given
+// mean; used for Poisson inter-arrival times.
+func (g *RNG) Exp(mean Time) Time {
+	if mean <= 0 {
+		return 0
+	}
+	d := Time(math.Round(g.r.ExpFloat64() * float64(mean)))
+	if d < 0 {
+		d = 0
+	}
+	return d
+}
+
+// LogNormal returns a lognormally distributed value with the given
+// median and sigma (of the underlying normal). Payload sizes in the
+// paper are small with a long tail (Fig. 5), which lognormal captures.
+func (g *RNG) LogNormal(median float64, sigma float64) float64 {
+	return median * math.Exp(g.r.NormFloat64()*sigma)
+}
+
+// Pareto returns a bounded Pareto sample with the given minimum and
+// shape alpha, capped at max. Used for bursty serverless arrivals.
+func (g *RNG) Pareto(min float64, alpha float64, max float64) float64 {
+	u := g.r.Float64()
+	v := min / math.Pow(1-u, 1/alpha)
+	if v > max {
+		v = max
+	}
+	return v
+}
+
+// Normal returns a normal sample with the given mean and stddev,
+// truncated below at lo.
+func (g *RNG) Normal(mean, stddev, lo float64) float64 {
+	v := mean + g.r.NormFloat64()*stddev
+	if v < lo {
+		v = lo
+	}
+	return v
+}

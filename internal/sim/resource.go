@@ -1,0 +1,170 @@
+package sim
+
+import "container/heap"
+
+// Discipline selects the order in which queued tasks are admitted to a
+// free server of a Resource.
+type Discipline int
+
+const (
+	// FIFO admits tasks in arrival order.
+	FIFO Discipline = iota
+	// Priority admits the numerically smallest Priority first,
+	// breaking ties by arrival order.
+	Priority
+	// EDF (earliest deadline first) admits the task with the smallest
+	// Deadline first, breaking ties by arrival order. Used by the
+	// soft-SLO input dispatcher policy (paper §IV-C).
+	EDF
+)
+
+// Task describes one unit of work submitted to a Resource.
+type Task struct {
+	// Hold is how long a server is occupied by the task.
+	Hold Time
+	// Done runs when the task completes (after Hold has elapsed).
+	Done func()
+	// Started, if non-nil, runs when the task is admitted to a server,
+	// before the hold begins. Useful for recording queueing delay.
+	Started func()
+	// Priority orders tasks under the Priority discipline (lower first).
+	Priority int
+	// Deadline orders tasks under the EDF discipline (earlier first).
+	Deadline Time
+
+	enq Time
+	seq uint64
+}
+
+type taskHeap struct {
+	tasks []*Task
+	disc  Discipline
+}
+
+func (h *taskHeap) Len() int { return len(h.tasks) }
+func (h *taskHeap) Less(i, j int) bool {
+	a, b := h.tasks[i], h.tasks[j]
+	switch h.disc {
+	case Priority:
+		if a.Priority != b.Priority {
+			return a.Priority < b.Priority
+		}
+	case EDF:
+		if a.Deadline != b.Deadline {
+			return a.Deadline < b.Deadline
+		}
+	}
+	return a.seq < b.seq
+}
+func (h *taskHeap) Swap(i, j int)      { h.tasks[i], h.tasks[j] = h.tasks[j], h.tasks[i] }
+func (h *taskHeap) Push(x interface{}) { h.tasks = append(h.tasks, x.(*Task)) }
+func (h *taskHeap) Pop() interface{} {
+	old := h.tasks
+	n := len(old)
+	t := old[n-1]
+	h.tasks = old[:n-1]
+	return t
+}
+
+// Resource models a pool of identical servers with a shared queue, e.g.
+// the PEs of one accelerator, the A-DMA engine pool, the RELIEF
+// hardware manager, or the CPU core pool. Queueing statistics and
+// busy-time are accumulated for utilization and wait-time reporting.
+type Resource struct {
+	Name    string
+	Servers int
+
+	k    *Kernel
+	busy int
+	q    taskHeap
+	seq  uint64
+
+	// Stats.
+	BusyTime  Time // summed over servers
+	WaitTime  Time // summed queueing delay
+	TaskCount uint64
+	MaxQueue  int
+}
+
+// NewResource creates a Resource with the given number of servers and
+// queue discipline.
+func NewResource(k *Kernel, name string, servers int, disc Discipline) *Resource {
+	if servers <= 0 {
+		panic("sim: resource needs at least one server")
+	}
+	return &Resource{Name: name, Servers: servers, k: k, q: taskHeap{disc: disc}}
+}
+
+// SetDiscipline changes the queue discipline. Pending tasks are
+// re-ordered lazily (heap property restored on next push/pop).
+func (r *Resource) SetDiscipline(d Discipline) {
+	r.q.disc = d
+	heap.Init(&r.q)
+}
+
+// Submit enqueues a task. If a server is free it starts immediately.
+func (r *Resource) Submit(t *Task) {
+	r.seq++
+	t.seq = r.seq
+	t.enq = r.k.Now()
+	heap.Push(&r.q, t)
+	if len(r.q.tasks) > r.MaxQueue {
+		r.MaxQueue = len(r.q.tasks)
+	}
+	r.tryStart()
+}
+
+// Do is shorthand for submitting a FIFO task with only a hold and a
+// completion callback.
+func (r *Resource) Do(hold Time, done func()) {
+	r.Submit(&Task{Hold: hold, Done: done})
+}
+
+// QueueLen reports the number of tasks waiting (not in service).
+func (r *Resource) QueueLen() int { return len(r.q.tasks) }
+
+// InService reports the number of busy servers.
+func (r *Resource) InService() int { return r.busy }
+
+// Idle reports whether the resource has no queued or running work.
+func (r *Resource) Idle() bool { return r.busy == 0 && len(r.q.tasks) == 0 }
+
+func (r *Resource) tryStart() {
+	for r.busy < r.Servers && len(r.q.tasks) > 0 {
+		t := heap.Pop(&r.q).(*Task)
+		r.busy++
+		r.TaskCount++
+		wait := r.k.Now() - t.enq
+		r.WaitTime += wait
+		if t.Started != nil {
+			t.Started()
+		}
+		r.BusyTime += t.Hold
+		hold := t.Hold
+		done := t.Done
+		r.k.After(hold, func() {
+			r.busy--
+			if done != nil {
+				done()
+			}
+			r.tryStart()
+		})
+	}
+}
+
+// Utilization returns the fraction of server-time spent busy over the
+// elapsed simulated time.
+func (r *Resource) Utilization(elapsed Time) float64 {
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(r.BusyTime) / (float64(elapsed) * float64(r.Servers))
+}
+
+// MeanWait returns the average queueing delay per task.
+func (r *Resource) MeanWait() Time {
+	if r.TaskCount == 0 {
+		return 0
+	}
+	return Time(int64(r.WaitTime) / int64(r.TaskCount))
+}

@@ -1,0 +1,263 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestResourceSingleServerSerializes(t *testing.T) {
+	k := NewKernel()
+	r := NewResource(k, "srv", 1, FIFO)
+	var ends []Time
+	for i := 0; i < 3; i++ {
+		r.Do(10*Nanosecond, func() { ends = append(ends, k.Now()) })
+	}
+	k.Run()
+	want := []Time{10 * Nanosecond, 20 * Nanosecond, 30 * Nanosecond}
+	for i, w := range want {
+		if ends[i] != w {
+			t.Errorf("task %d ended at %v, want %v", i, ends[i], w)
+		}
+	}
+}
+
+func TestResourceMultiServerParallelism(t *testing.T) {
+	k := NewKernel()
+	r := NewResource(k, "srv", 3, FIFO)
+	var ends []Time
+	for i := 0; i < 3; i++ {
+		r.Do(10*Nanosecond, func() { ends = append(ends, k.Now()) })
+	}
+	k.Run()
+	for i, e := range ends {
+		if e != 10*Nanosecond {
+			t.Errorf("task %d ended at %v, want 10ns (parallel)", i, e)
+		}
+	}
+}
+
+func TestResourceFIFOOrder(t *testing.T) {
+	k := NewKernel()
+	r := NewResource(k, "srv", 1, FIFO)
+	var order []int
+	for i := 0; i < 5; i++ {
+		i := i
+		r.Do(Nanosecond, func() { order = append(order, i) })
+	}
+	k.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("FIFO violated: %v", order)
+		}
+	}
+}
+
+func TestResourcePriorityDiscipline(t *testing.T) {
+	k := NewKernel()
+	r := NewResource(k, "srv", 1, Priority)
+	var order []int
+	// Occupy the server so later submissions queue up.
+	r.Submit(&Task{Hold: 10 * Nanosecond, Done: func() { order = append(order, -1) }})
+	prios := []int{5, 1, 3}
+	for _, p := range prios {
+		p := p
+		r.Submit(&Task{Hold: Nanosecond, Priority: p, Done: func() { order = append(order, p) }})
+	}
+	k.Run()
+	want := []int{-1, 1, 3, 5}
+	for i, w := range want {
+		if order[i] != w {
+			t.Fatalf("priority order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestResourceEDFDiscipline(t *testing.T) {
+	k := NewKernel()
+	r := NewResource(k, "srv", 1, EDF)
+	var order []Time
+	r.Submit(&Task{Hold: 10 * Nanosecond})
+	deadlines := []Time{300 * Nanosecond, 100 * Nanosecond, 200 * Nanosecond}
+	for _, d := range deadlines {
+		d := d
+		r.Submit(&Task{Hold: Nanosecond, Deadline: d, Done: func() { order = append(order, d) }})
+	}
+	k.Run()
+	want := []Time{100 * Nanosecond, 200 * Nanosecond, 300 * Nanosecond}
+	for i, w := range want {
+		if order[i] != w {
+			t.Fatalf("EDF order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestResourceUtilizationAndWait(t *testing.T) {
+	k := NewKernel()
+	r := NewResource(k, "srv", 1, FIFO)
+	r.Do(10*Nanosecond, nil)
+	r.Do(10*Nanosecond, nil)
+	k.Run()
+	if got := r.Utilization(20 * Nanosecond); got != 1.0 {
+		t.Errorf("utilization = %v, want 1.0", got)
+	}
+	if got := r.Utilization(40 * Nanosecond); got != 0.5 {
+		t.Errorf("utilization = %v, want 0.5", got)
+	}
+	// Second task waited 10ns.
+	if r.MeanWait() != 5*Nanosecond {
+		t.Errorf("mean wait = %v, want 5ns", r.MeanWait())
+	}
+	if r.TaskCount != 2 {
+		t.Errorf("task count = %d, want 2", r.TaskCount)
+	}
+}
+
+func TestResourceStartedCallback(t *testing.T) {
+	k := NewKernel()
+	r := NewResource(k, "srv", 1, FIFO)
+	var startedAt Time
+	r.Do(10*Nanosecond, nil)
+	r.Submit(&Task{
+		Hold:    Nanosecond,
+		Started: func() { startedAt = k.Now() },
+	})
+	k.Run()
+	if startedAt != 10*Nanosecond {
+		t.Errorf("second task started at %v, want 10ns", startedAt)
+	}
+}
+
+func TestResourceMaxQueue(t *testing.T) {
+	k := NewKernel()
+	r := NewResource(k, "srv", 1, FIFO)
+	for i := 0; i < 5; i++ {
+		r.Do(Nanosecond, nil)
+	}
+	// One in service, four queued.
+	if r.MaxQueue != 4 {
+		t.Errorf("MaxQueue = %d, want 4", r.MaxQueue)
+	}
+	if r.InService() != 1 {
+		t.Errorf("InService = %d, want 1", r.InService())
+	}
+	if r.QueueLen() != 4 {
+		t.Errorf("QueueLen = %d, want 4", r.QueueLen())
+	}
+	k.Run()
+	if !r.Idle() {
+		t.Error("resource not idle after Run")
+	}
+}
+
+func TestResourceZeroServersPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("zero-server resource did not panic")
+		}
+	}()
+	NewResource(NewKernel(), "bad", 0, FIFO)
+}
+
+// Property: total busy time equals the sum of holds regardless of server
+// count or arrival pattern.
+func TestResourcePropertyBusyTimeConserved(t *testing.T) {
+	f := func(holds []uint8, servers uint8) bool {
+		n := int(servers%4) + 1
+		k := NewKernel()
+		r := NewResource(k, "srv", n, FIFO)
+		var sum Time
+		for _, h := range holds {
+			d := Time(h) * Nanosecond
+			sum += d
+			r.Do(d, nil)
+		}
+		k.Run()
+		return r.BusyTime == sum && r.TaskCount == uint64(len(holds))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatal("same seed produced different streams")
+		}
+	}
+	c := NewRNG(42).Fork(1)
+	d := NewRNG(42).Fork(2)
+	if c.Float64() == d.Float64() {
+		t.Error("different forks produced identical first values (unlikely)")
+	}
+}
+
+func TestRNGExpMean(t *testing.T) {
+	g := NewRNG(7)
+	var sum Time
+	const n = 20000
+	for i := 0; i < n; i++ {
+		sum += g.Exp(10 * Microsecond)
+	}
+	mean := float64(sum) / n
+	want := float64(10 * Microsecond)
+	if mean < 0.95*want || mean > 1.05*want {
+		t.Errorf("exp mean = %v, want within 5%% of %v", mean, want)
+	}
+}
+
+func TestRNGLogNormalMedian(t *testing.T) {
+	g := NewRNG(11)
+	vals := make([]float64, 0, 10001)
+	for i := 0; i < 10001; i++ {
+		vals = append(vals, g.LogNormal(1024, 0.8))
+	}
+	// Median of samples should be near 1024.
+	lo, hi := 0, 0
+	for _, v := range vals {
+		if v < 1024 {
+			lo++
+		} else {
+			hi++
+		}
+	}
+	ratio := float64(lo) / float64(lo+hi)
+	if ratio < 0.45 || ratio > 0.55 {
+		t.Errorf("median split = %v, want ~0.5", ratio)
+	}
+}
+
+func TestRNGParetoBounds(t *testing.T) {
+	g := NewRNG(3)
+	for i := 0; i < 1000; i++ {
+		v := g.Pareto(10, 1.5, 500)
+		if v < 10 || v > 500 {
+			t.Fatalf("pareto sample %v out of [10,500]", v)
+		}
+	}
+}
+
+func TestRNGNormalTruncation(t *testing.T) {
+	g := NewRNG(5)
+	for i := 0; i < 1000; i++ {
+		if v := g.Normal(1, 10, 0.5); v < 0.5 {
+			t.Fatalf("truncated normal returned %v < 0.5", v)
+		}
+	}
+}
+
+func TestRNGBoolProbability(t *testing.T) {
+	g := NewRNG(9)
+	hits := 0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		if g.Bool(0.3) {
+			hits++
+		}
+	}
+	p := float64(hits) / n
+	if p < 0.27 || p > 0.33 {
+		t.Errorf("Bool(0.3) rate = %v", p)
+	}
+}

@@ -1,0 +1,161 @@
+package workload
+
+import (
+	"fmt"
+
+	"accelflow/internal/config"
+	"accelflow/internal/engine"
+	"accelflow/internal/metrics"
+	"accelflow/internal/services"
+	"accelflow/internal/sim"
+	"accelflow/internal/trace"
+)
+
+// Source pairs a service with its arrival process and request budget.
+type Source struct {
+	Service  *services.Service
+	Arrivals Arrivals
+	Requests int
+	Tenant   int
+}
+
+// RunResult aggregates a finished simulation.
+type RunResult struct {
+	PerService map[string]*metrics.Recorder
+	All        *metrics.Recorder
+	// Net records latency excluding remote-peer waits (the on-server
+	// portion), used by SLO comparisons that should not be dominated
+	// by the modeled far side of nested RPCs.
+	Net *metrics.Recorder
+
+	// Breakdowns sums the per-request component attribution.
+	Breakdown engine.Breakdown
+	// AccelCount sums accelerator invocations (Table IV validation).
+	AccelCount uint64
+	Completed  uint64
+	TimedOut   uint64
+	FellBack   uint64
+
+	Elapsed sim.Time
+	Engine  *engine.Engine
+}
+
+// Run drives one engine with the given sources until every request
+// completes and returns the collected metrics. programs/remote default
+// to the SocialNetwork catalog when nil.
+func Run(cfg *config.Config, pol engine.Policy, sources []Source, seed int64, programs []*trace.Program, remote map[string]engine.RemoteKind) (*RunResult, error) {
+	k := sim.NewKernel()
+	e, err := engine.New(k, cfg, pol, seed)
+	if err != nil {
+		return nil, err
+	}
+	if programs == nil {
+		programs = services.Catalog()
+	}
+	if remote == nil {
+		remote = services.RemoteTails()
+	}
+	if err := e.Register(programs, remote); err != nil {
+		return nil, err
+	}
+
+	res := &RunResult{
+		PerService: map[string]*metrics.Recorder{},
+		All:        metrics.NewRecorder(pol.Name),
+		Net:        metrics.NewRecorder(pol.Name + "/net"),
+		Engine:     e,
+	}
+	rng := sim.NewRNG(seed ^ 0x5eed)
+
+	total := 0
+	for si, src := range sources {
+		if src.Requests <= 0 {
+			return nil, fmt.Errorf("workload: source %d has no request budget", si)
+		}
+		total += src.Requests
+		rec := metrics.NewRecorder(src.Service.Name)
+		res.PerService[src.Service.Name] = rec
+		srcRNG := rng.Fork(int64(si) + 1)
+		scheduleSource(k, e, src, srcRNG, rec, res)
+	}
+	if total == 0 {
+		return nil, fmt.Errorf("workload: no requests to run")
+	}
+	k.Run()
+	res.Elapsed = k.Now()
+	return res, nil
+}
+
+func scheduleSource(k *sim.Kernel, e *engine.Engine, src Source, rng *sim.RNG, rec *metrics.Recorder, res *RunResult) {
+	t := sim.Time(0)
+	for i := 0; i < src.Requests; i++ {
+		t += src.Arrivals.Next(rng)
+		at := t
+		k.At(at, func() {
+			job := src.Service.Job(src.Tenant)
+			e.Submit(job, func(r engine.Result) {
+				rec.Add(r.Latency)
+				res.All.Add(r.Latency)
+				// Remote sums ALL peer waits, including overlapped
+				// parallel ones, so it can exceed the critical path;
+				// floor the on-server estimate at a quarter of the
+				// end-to-end latency.
+				net := r.Latency - r.Breakdown.Remote
+				if net < r.Latency/4 {
+					net = r.Latency / 4
+				}
+				res.Net.Add(net)
+				res.Completed++
+				res.AccelCount += uint64(r.Accels)
+				if r.TimedOut {
+					res.TimedOut++
+				}
+				if r.FellBack {
+					res.FellBack++
+				}
+				addBreakdown(&res.Breakdown, r.Breakdown)
+			})
+		})
+	}
+}
+
+func addBreakdown(dst *engine.Breakdown, b engine.Breakdown) {
+	dst.CPU += b.CPU
+	dst.Accel += b.Accel
+	dst.Orch += b.Orch
+	dst.Comm += b.Comm
+	dst.Remote += b.Remote
+	dst.App += b.App
+	for k := range b.Tax {
+		dst.Tax[k] += b.Tax[k]
+	}
+}
+
+// SingleService is a convenience for the per-service experiments: one
+// service, one arrival process, n requests.
+func SingleService(svc *services.Service, arr Arrivals, n int) []Source {
+	return []Source{{Service: svc, Arrivals: arr, Requests: n}}
+}
+
+// Mix builds sources for a catalog with each service at its own
+// Alibaba-like rate, scaled by loadScale, splitting the request budget
+// proportionally to the rates.
+func Mix(svcs []*services.Service, loadScale float64, totalRequests int) []Source {
+	var rateSum float64
+	for _, s := range svcs {
+		rateSum += s.RatekRPS
+	}
+	out := make([]Source, 0, len(svcs))
+	for _, s := range svcs {
+		n := int(float64(totalRequests) * s.RatekRPS / rateSum)
+		if n < 1 {
+			n = 1
+		}
+		out = append(out, Source{
+			Service:  s,
+			Arrivals: &Alibaba{RPS: s.RatekRPS * 1000 * loadScale},
+			Requests: n,
+		})
+	}
+	return out
+}

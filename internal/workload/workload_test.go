@@ -1,0 +1,214 @@
+package workload
+
+import (
+	"testing"
+
+	"accelflow/internal/config"
+	"accelflow/internal/engine"
+	"accelflow/internal/services"
+	"accelflow/internal/sim"
+)
+
+func meanRate(t *testing.T, arr Arrivals, n int) float64 {
+	t.Helper()
+	rng := sim.NewRNG(17)
+	var total sim.Time
+	for i := 0; i < n; i++ {
+		total += arr.Next(rng)
+	}
+	return float64(n) / total.Seconds()
+}
+
+func TestPoissonMeanRate(t *testing.T) {
+	got := meanRate(t, Poisson{RPS: 10000}, 50000)
+	if got < 9500 || got > 10500 {
+		t.Errorf("poisson mean rate = %.0f, want ~10000", got)
+	}
+}
+
+func TestAlibabaMeanRateAndBurstiness(t *testing.T) {
+	a := &Alibaba{RPS: 10000}
+	got := meanRate(t, a, 50000)
+	if got < 8500 || got > 11500 {
+		t.Errorf("alibaba mean rate = %.0f, want ~10000", got)
+	}
+	// Burstiness: the squared coefficient of variation of gaps must
+	// exceed Poisson's (CV^2 = 1).
+	rng := sim.NewRNG(23)
+	b := &Alibaba{RPS: 10000}
+	var sum, sumsq float64
+	const n = 50000
+	for i := 0; i < n; i++ {
+		g := b.Next(rng).Seconds()
+		sum += g
+		sumsq += g * g
+	}
+	mean := sum / n
+	cv2 := (sumsq/n - mean*mean) / (mean * mean)
+	if cv2 < 1.3 {
+		t.Errorf("alibaba CV^2 = %.2f, want clearly > 1 (bursty)", cv2)
+	}
+}
+
+func TestAlibabaBurstsCorrelateAcrossGenerators(t *testing.T) {
+	// Two independent generators share wall-clock burst phase: their
+	// ON windows coincide, so arrivals cluster in the same periods.
+	window := 2 * sim.Millisecond
+	counts := func(seed int64) map[int]int {
+		g := &Alibaba{RPS: 20000}
+		rng := sim.NewRNG(seed)
+		m := map[int]int{}
+		var t sim.Time
+		for i := 0; i < 4000; i++ {
+			t += g.Next(rng)
+			m[int(t/window)]++
+		}
+		return m
+	}
+	a, b := counts(1), counts(2)
+	// Correlation proxy: windows that are hot for A should be hot for B.
+	var both, aHot, bHot int
+	for w, c := range a {
+		if c > 60 {
+			aHot++
+			if b[w] > 60 {
+				both++
+			}
+		}
+	}
+	for _, c := range b {
+		if c > 60 {
+			bHot++
+		}
+	}
+	if aHot == 0 || bHot == 0 {
+		t.Fatal("no hot windows; burstiness missing")
+	}
+	if float64(both)/float64(aHot) < 0.6 {
+		t.Errorf("only %d/%d of A's bursts overlap B's: bursts not correlated", both, aHot)
+	}
+}
+
+func TestAzureMeanRateHeavyTail(t *testing.T) {
+	got := meanRate(t, Azure{RPS: 5000}, 50000)
+	if got < 3000 || got > 9000 {
+		t.Errorf("azure mean rate = %.0f, want same order as 5000", got)
+	}
+}
+
+func TestRunSingleService(t *testing.T) {
+	svc := services.SocialNetwork()[6] // UniqId
+	res, err := Run(config.Default(), engine.AccelFlow(),
+		SingleService(svc, Poisson{RPS: 2000}, 150), 3, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed != 150 {
+		t.Errorf("completed %d/150", res.Completed)
+	}
+	if res.PerService["UniqId"].Count() != 150 {
+		t.Error("per-service recorder missed samples")
+	}
+	if res.All.P99() <= 0 || res.Elapsed <= 0 {
+		t.Error("metrics empty")
+	}
+	if res.AccelCount == 0 {
+		t.Error("no accelerator invocations recorded")
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	svc := services.SocialNetwork()[4] // Login
+	run := func() sim.Time {
+		res, err := Run(config.Default(), engine.AccelFlow(),
+			SingleService(svc, Poisson{RPS: 3000}, 100), 9, nil, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.All.Mean()
+	}
+	if run() != run() {
+		t.Error("same seed produced different runs")
+	}
+}
+
+func TestRunSeedSensitivity(t *testing.T) {
+	svc := services.SocialNetwork()[4]
+	r1, err := Run(config.Default(), engine.AccelFlow(), SingleService(svc, Poisson{RPS: 3000}, 100), 1, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Run(config.Default(), engine.AccelFlow(), SingleService(svc, Poisson{RPS: 3000}, 100), 2, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.All.Mean() == r2.All.Mean() {
+		t.Error("different seeds produced identical means (suspicious)")
+	}
+}
+
+func TestMixBudgetsAndRates(t *testing.T) {
+	svcs := services.SocialNetwork()
+	sources := Mix(svcs, 1.0, 800)
+	if len(sources) != len(svcs) {
+		t.Fatalf("sources = %d", len(sources))
+	}
+	total := 0
+	for _, s := range sources {
+		if s.Requests < 1 {
+			t.Errorf("%s has no budget", s.Service.Name)
+		}
+		total += s.Requests
+	}
+	if total < 700 || total > 900 {
+		t.Errorf("total budget = %d, want ~800", total)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	svc := services.SocialNetwork()[0]
+	if _, err := Run(config.Default(), engine.AccelFlow(), nil, 1, nil, nil); err == nil {
+		t.Error("no sources accepted")
+	}
+	if _, err := Run(config.Default(), engine.AccelFlow(),
+		[]Source{{Service: svc, Arrivals: Poisson{RPS: 100}, Requests: 0}}, 1, nil, nil); err == nil {
+		t.Error("zero budget accepted")
+	}
+	bad := config.Default()
+	bad.Cores = 0
+	if _, err := Run(bad, engine.AccelFlow(), SingleService(svc, Poisson{RPS: 100}, 10), 1, nil, nil); err == nil {
+		t.Error("invalid config accepted")
+	}
+}
+
+func TestRunFullMixAllPolicies(t *testing.T) {
+	if testing.Short() {
+		t.Skip("mix run is slow")
+	}
+	for _, pol := range []engine.Policy{engine.NonAcc(), engine.RELIEF(), engine.AccelFlow()} {
+		res, err := Run(config.Default(), pol, Mix(services.SocialNetwork(), 1.0, 400), 5, nil, nil)
+		if err != nil {
+			t.Fatalf("%s: %v", pol.Name, err)
+		}
+		if res.Completed == 0 {
+			t.Fatalf("%s: nothing completed", pol.Name)
+		}
+	}
+}
+
+func TestRunCoarseCatalog(t *testing.T) {
+	apps := services.CoarseApps()
+	res, err := Run(services.CoarseConfig(), engine.AccelFlow(),
+		SingleService(apps[0], Poisson{RPS: 500}, 60), 7,
+		services.CoarseCatalog(), map[string]engine.RemoteKind{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed != 60 {
+		t.Errorf("completed %d/60", res.Completed)
+	}
+	// Coarse apps are ms-scale.
+	if res.All.Mean() < 50*sim.Microsecond {
+		t.Errorf("coarse app mean %v implausibly fast", res.All.Mean())
+	}
+}
