@@ -6,6 +6,7 @@
 package main
 
 import (
+	"runtime"
 	"testing"
 
 	"accelflow/internal/experiments"
@@ -70,3 +71,32 @@ func BenchmarkFig20Generations(b *testing.B) {
 }
 func BenchmarkSens5Speedups(b *testing.B) { benchExperiment(b, "sens5", "1.00x/gain") }
 func BenchmarkArea(b *testing.B)          { benchExperiment(b, "area", "combined_frac") }
+
+// sweepIDs are the cell-heavy experiments the parallel engine fans
+// out; the Serial/Parallel pair below measures its speedup. Run
+//
+//	go test -bench='BenchmarkSweep' -benchtime=1x
+//
+// on a multicore machine to compare: results are bit-identical (the
+// determinism tests enforce it), only wall clock differs.
+var sweepIDs = []string{"fig11", "fig12", "fig13", "fig18", "fig19", "fig20", "sens2", "sens5"}
+
+func benchSweep(b *testing.B, parallelism int) {
+	opts := experiments.Options{Requests: 150, Seed: 1, Quick: true, Parallelism: parallelism}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, out := range experiments.RunMany(sweepIDs, opts) {
+			if out.Err != nil {
+				b.Fatalf("%s: %v", out.ID, out.Err)
+			}
+		}
+	}
+}
+
+func BenchmarkSweepSerial(b *testing.B) { benchSweep(b, 1) }
+func BenchmarkSweepParallel(b *testing.B) {
+	if runtime.GOMAXPROCS(0) < 2 {
+		b.Skip("needs >= 2 cores to show a speedup")
+	}
+	benchSweep(b, runtime.GOMAXPROCS(0))
+}

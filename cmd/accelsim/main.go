@@ -4,28 +4,37 @@
 // Usage:
 //
 //	accelsim -exp fig11            # one experiment
-//	accelsim -exp all              # everything (slow)
+//	accelsim -exp all              # everything, fanned out over cores
+//	accelsim -exp all -parallel 1  # serial baseline (same results)
 //	accelsim -list                 # show experiment IDs
 //	accelsim -exp fig14 -n 800     # smaller request budget
 //	accelsim -exp fig11 -quick     # CI-sized run
+//
+// Results are bit-identical at any -parallel value: every simulation
+// cell draws from an RNG stream derived from (seed, cell key), so the
+// worker count only changes wall clock, never Values.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
+	"time"
 
 	"accelflow/internal/experiments"
 )
 
 func main() {
 	var (
-		exp   = flag.String("exp", "", "experiment ID (see -list), or 'all'")
-		n     = flag.Int("n", 2500, "request budget per simulation")
-		seed  = flag.Int64("seed", 1, "RNG seed")
-		quick = flag.Bool("quick", false, "shrink workloads for a fast pass")
-		list  = flag.Bool("list", false, "list experiment IDs")
+		exp      = flag.String("exp", "", "experiment ID (see -list), or 'all'")
+		n        = flag.Int("n", 2500, "request budget per simulation")
+		seed     = flag.Int64("seed", 1, "RNG seed")
+		quick    = flag.Bool("quick", false, "shrink workloads for a fast pass")
+		parallel = flag.Int("parallel", 0, "sweep worker count (0 = GOMAXPROCS); results are identical at any value")
+		list     = flag.Bool("list", false, "list experiment IDs")
+		timing   = flag.Bool("time", true, "report per-experiment and total wall clock on stderr")
 	)
 	flag.Parse()
 
@@ -40,28 +49,43 @@ func main() {
 		return
 	}
 
-	opts := experiments.Options{Requests: *n, Seed: *seed, Quick: *quick}
+	opts := experiments.Options{Requests: *n, Seed: *seed, Quick: *quick, Parallelism: *parallel}
 	ids := []string{*exp}
 	if *exp == "all" {
 		ids = experiments.IDs()
 	}
+	start := time.Now()
+	outcomes := experiments.RunMany(ids, opts)
+	total := time.Since(start)
 	failed := 0
-	for _, id := range ids {
-		run, ok := experiments.Registry[id]
-		if !ok {
-			fmt.Fprintf(os.Stderr, "unknown experiment %q; try -list\n", id)
-			os.Exit(2)
-		}
-		res, err := run(opts)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "%s: %v\n", id, err)
+	for _, out := range outcomes {
+		if out.Err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", out.ID, out.Err)
+			if strings.HasPrefix(out.Err.Error(), "unknown experiment") {
+				fmt.Fprintln(os.Stderr, "try -list")
+				os.Exit(2)
+			}
 			failed++
 			continue
 		}
-		fmt.Printf("=== %s ===\n%s\n", id, strings.TrimRight(res.Text, "\n"))
+		fmt.Printf("=== %s ===\n%s\n", out.ID, strings.TrimRight(out.Res.Text, "\n"))
 		fmt.Println()
+		if *timing {
+			fmt.Fprintf(os.Stderr, "[%s: %v]\n", out.ID, out.Elapsed.Round(time.Millisecond))
+		}
+	}
+	if *timing {
+		fmt.Fprintf(os.Stderr, "[total: %v wall clock, %d experiments, parallelism %d]\n",
+			total.Round(time.Millisecond), len(ids), effectiveParallelism(*parallel))
 	}
 	if failed > 0 {
 		os.Exit(1)
 	}
+}
+
+func effectiveParallelism(p int) int {
+	if p > 0 {
+		return p
+	}
+	return runtime.GOMAXPROCS(0)
 }

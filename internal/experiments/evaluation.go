@@ -25,21 +25,40 @@ func Fig11Latency(o Options) (*Result, error) {
 	svcs := services.SocialNetwork()
 
 	// The whole SocialNetwork mix shares one server (the paper's setup):
-	// every service runs at its production rate concurrently.
+	// every service runs at its production rate concurrently. One sweep
+	// cell per architecture; merge single-threaded after the join.
+	type latencies struct{ p99, mean map[string]float64 }
+	cells := make([]Cell[latencies], 0, len(pols))
+	for _, pol := range pols {
+		pol := pol
+		cells = append(cells, Cell[latencies]{
+			Key: "fig11/" + pol.Name,
+			Run: func(seed int64) (latencies, error) {
+				sources := workload.Mix(svcs, 1.0, o.reqs()*len(svcs))
+				run, err := workload.Run(config.Default(), pol, sources, seed, nil, nil)
+				if err != nil {
+					return latencies{}, err
+				}
+				c := latencies{p99: map[string]float64{}, mean: map[string]float64{}}
+				for _, svc := range svcs {
+					rec := run.PerService[svc.Name]
+					c.p99[svc.Name] = rec.P99().Micros()
+					c.mean[svc.Name] = rec.Mean().Micros()
+				}
+				return c, nil
+			},
+		})
+	}
+	outs, err := RunCells(o, cells)
+	if err != nil {
+		return nil, err
+	}
 	p99 := map[string]map[string]float64{}
 	mean := map[string]map[string]float64{}
-	for _, pol := range pols {
-		sources := workload.Mix(svcs, 1.0, o.reqs()*len(svcs))
-		run, err := workload.Run(config.Default(), pol, sources, o.Seed, nil, nil)
-		if err != nil {
-			return nil, err
-		}
-		p99[pol.Name] = map[string]float64{}
-		mean[pol.Name] = map[string]float64{}
+	for i, pol := range pols {
+		p99[pol.Name] = outs[i].p99
+		mean[pol.Name] = outs[i].mean
 		for _, svc := range svcs {
-			rec := run.PerService[svc.Name]
-			p99[pol.Name][svc.Name] = rec.P99().Micros()
-			mean[pol.Name][svc.Name] = rec.Mean().Micros()
 			res.Values[pol.Name+"/"+svc.Name+"/p99us"] = p99[pol.Name][svc.Name]
 			res.Values[pol.Name+"/"+svc.Name+"/meanus"] = mean[pol.Name][svc.Name]
 		}
@@ -94,34 +113,61 @@ func Fig12Loads(o Options) (*Result, error) {
 		res.addf(" %9.0fk", l)
 	}
 	res.addf("\n")
-	vals := map[string]map[float64]float64{}
+	// One cell per (architecture, load); collect per-cell, merge after.
+	type pt struct {
+		pol  string
+		load float64
+	}
+	var pts []pt
+	var cells []Cell[float64]
 	for _, pol := range pols {
-		vals[pol.Name] = map[float64]float64{}
+		for _, load := range loads {
+			pol, load := pol, load
+			pts = append(pts, pt{pol.Name, load})
+			cells = append(cells, Cell[float64]{
+				Key: fmt.Sprintf("fig12/%s/%.0fk", pol.Name, load),
+				Run: func(seed int64) (float64, error) {
+					// Every service of the colocated mix runs at `load`
+					// kRPS (the paper's "average loads of 5K, 10K, and
+					// 15K RPS").
+					var sources []workload.Source
+					per := o.reqs()
+					for _, svc := range svcs {
+						sources = append(sources, workload.Source{
+							Service:  svc,
+							Arrivals: workload.Poisson{RPS: load * 1000},
+							Requests: per,
+						})
+					}
+					run, err := workload.Run(config.Default(), pol, sources, seed, nil, nil)
+					if err != nil {
+						return 0, err
+					}
+					var avg float64
+					for _, svc := range svcs {
+						avg += run.PerService[svc.Name].P99().Micros()
+					}
+					return avg / float64(len(svcs)), nil
+				},
+			})
+		}
+	}
+	outs, err := RunCells(o, cells)
+	if err != nil {
+		return nil, err
+	}
+	vals := map[string]map[float64]float64{}
+	for i, p := range pts {
+		if vals[p.pol] == nil {
+			vals[p.pol] = map[float64]float64{}
+		}
+		vals[p.pol][p.load] = outs[i]
+	}
+	for _, pol := range pols {
 		res.addf("%-12s", pol.Name)
 		for _, load := range loads {
-			// Every service of the colocated mix runs at `load` kRPS
-			// (the paper's "average loads of 5K, 10K, and 15K RPS").
-			var sources []workload.Source
-			per := o.reqs()
-			for _, svc := range svcs {
-				sources = append(sources, workload.Source{
-					Service:  svc,
-					Arrivals: workload.Poisson{RPS: load * 1000},
-					Requests: per,
-				})
-			}
-			run, err := workload.Run(config.Default(), pol, sources, o.Seed, nil, nil)
-			if err != nil {
-				return nil, err
-			}
-			var avg float64
-			for _, svc := range svcs {
-				avg += run.PerService[svc.Name].P99().Micros()
-			}
-			avg /= float64(len(svcs))
-			vals[pol.Name][load] = avg
-			res.addf(" %10.0f", avg)
-			res.Values[fmt.Sprintf("%s/%.0fk", pol.Name, load)] = avg
+			res.addf(" %10.0f", vals[pol.Name][load])
+			res.Values[fmt.Sprintf("%s/%.0fk", pol.Name, load)] = vals[pol.Name][load]
 		}
 		res.addf("\n")
 	}
@@ -146,18 +192,35 @@ func Fig13Ablation(o Options) (*Result, error) {
 		engine.CntrFlow(), engine.AccelFlow(),
 	}
 	svcs := services.SocialNetwork()
+	cells := make([]Cell[map[string]float64], 0, len(ladder))
+	for _, pol := range ladder {
+		pol := pol
+		cells = append(cells, Cell[map[string]float64]{
+			Key: "fig13/" + pol.Name,
+			Run: func(seed int64) (map[string]float64, error) {
+				sources := workload.Mix(svcs, 1.0, o.reqs()*len(svcs))
+				run, err := workload.Run(config.Default(), pol, sources, seed, nil, nil)
+				if err != nil {
+					return nil, err
+				}
+				out := map[string]float64{}
+				for _, svc := range svcs {
+					out[svc.Name] = run.PerService[svc.Name].P99().Micros()
+				}
+				return out, nil
+			},
+		})
+	}
+	outs, err := RunCells(o, cells)
+	if err != nil {
+		return nil, err
+	}
 	avg := map[string]float64{}
 	vals := map[string]map[string]float64{}
-	for _, pol := range ladder {
-		sources := workload.Mix(svcs, 1.0, o.reqs()*len(svcs))
-		run, err := workload.Run(config.Default(), pol, sources, o.Seed, nil, nil)
-		if err != nil {
-			return nil, err
-		}
-		vals[pol.Name] = map[string]float64{}
+	for i, pol := range ladder {
+		vals[pol.Name] = outs[i]
 		for _, svc := range svcs {
-			v := run.PerService[svc.Name].P99().Micros()
-			vals[pol.Name][svc.Name] = v
+			v := vals[pol.Name][svc.Name]
 			avg[pol.Name] += v / float64(len(svcs))
 			res.Values[pol.Name+"/"+svc.Name] = v
 		}
@@ -206,40 +269,67 @@ func Fig14Throughput(o Options) (*Result, error) {
 		n = 1200
 	}
 	// SLO = 5x the service's unloaded execution time on each system
-	// (§VII-A.3 with [15]/[58]'s per-system reading).
-	geo := map[string]float64{}
+	// (§VII-A.3 with [15]/[58]'s per-system reading). One cell per
+	// (architecture, service): each runs its own unloaded probe and
+	// throughput search from a seed derived from its key.
+	//
+	// Quick mode also trims the probe cost itself: the 40ms sustain
+	// floor makes high-RPS probes dominate wall clock, so CI-sized runs
+	// cap the per-probe budget and the search ceiling (consistent with
+	// Quick trimming loads and services elsewhere).
+	sustainCap, hiCap := 6000, 3e6
+	if o.Quick {
+		sustainCap, hiCap = 2000, 1e6
+	}
+	var cells []Cell[float64]
 	for _, pol := range pols {
+		for _, svc := range svcs {
+			pol, svc := pol, svc
+			cells = append(cells, Cell[float64]{
+				Key: "fig14/" + pol.Name + "/" + svc.Name,
+				Run: func(seed int64) (float64, error) {
+					um, err := unloadedMean(config.Default(), pol, svc, seed)
+					if err != nil {
+						return 0, err
+					}
+					slo := sim.FromMicros(5 * um)
+					measure := func(rps float64) sim.Time {
+						// Sustain the load long enough for queues to
+						// reach steady state: at least 40ms of simulated
+						// arrivals, capped so extreme probe loads stay
+						// tractable.
+						reqs := n
+						if min := int(rps * 0.04); reqs < min {
+							reqs = min
+						}
+						if reqs > sustainCap {
+							reqs = sustainCap
+						}
+						run, err := runOne(config.Default(), pol, svc, workload.Poisson{RPS: rps}, reqs, seed)
+						if err != nil {
+							return sim.Time(1) << 60
+						}
+						return run.Net.P99()
+					}
+					tol := 0.08
+					if o.Quick {
+						tol = 0.2
+					}
+					return metrics.ThroughputSearch(measure, slo, 2000, hiCap, tol), nil
+				},
+			})
+		}
+	}
+	outs, err := RunCells(o, cells)
+	if err != nil {
+		return nil, err
+	}
+	geo := map[string]float64{}
+	for pi, pol := range pols {
 		res.addf("%-14s", pol.Name)
 		prod := 1.0
-		for _, svc := range svcs {
-			um, err := unloadedMean(config.Default(), pol, svc, o.Seed)
-			if err != nil {
-				return nil, err
-			}
-			slo := sim.FromMicros(5 * um)
-			measure := func(rps float64) sim.Time {
-				// Sustain the load long enough for queues to reach
-				// steady state: at least 40ms of simulated arrivals,
-				// capped so extreme probe loads stay tractable.
-				reqs := n
-				if min := int(rps * 0.04); reqs < min {
-					reqs = min
-				}
-				if reqs > 6000 {
-					reqs = 6000
-				}
-				run, err := runOne(config.Default(), pol, svc, workload.Poisson{RPS: rps}, reqs, o.Seed)
-				if err != nil {
-					return sim.Time(1) << 60
-				}
-				return run.Net.P99()
-
-			}
-			tol := 0.08
-			if o.Quick {
-				tol = 0.2
-			}
-			max := metrics.ThroughputSearch(measure, slo, 2000, 3e6, tol)
+		for si, svc := range svcs {
+			max := outs[pi*len(svcs)+si]
 			prod *= max
 			res.addf(" %8.0f", max/1000)
 			res.Values[pol.Name+"/"+svc.Name+"/krps"] = max / 1000
@@ -271,7 +361,6 @@ func pow(x, y float64) float64 {
 func Fig15Coarse(o Options) (*Result, error) {
 	res := newResult("fig15")
 	res.addf("Fig. 15 — coarse-grained apps: max throughput (kRPS)\n")
-	cfg := services.CoarseConfig()
 	apps := services.CoarseApps()
 	if o.Quick {
 		apps = apps[:2]
@@ -286,33 +375,53 @@ func Fig15Coarse(o Options) (*Result, error) {
 	if n > 600 {
 		n = 600
 	}
+	// One cell per (app, orchestrator). Both orchestrator cells of an
+	// app derive the SLO probe from the app-only key, so they share one
+	// SLO: 5x the app's unloaded execution time measured on the
+	// AccelFlow system, and a slower orchestrator cannot hide behind a
+	// looser SLO.
+	var cells []Cell[float64]
+	for _, app := range apps {
+		for _, pol := range pols {
+			app, pol := app, pol
+			cells = append(cells, Cell[float64]{
+				Key: "fig15/" + app.Name + "/" + pol.Name,
+				Run: func(seed int64) (float64, error) {
+					cfg := services.CoarseConfig()
+					sloSeed := sim.DeriveSeed(o.Seed, "fig15/"+app.Name+"/slo")
+					um, err := unloadedMeanCoarse(cfg, engine.AccelFlow(), app, sloSeed)
+					if err != nil {
+						return 0, err
+					}
+					slo := sim.FromMicros(5 * um)
+					measure := func(rps float64) sim.Time {
+						run, err := workload.Run(cfg, pol,
+							workload.SingleService(app, workload.Poisson{RPS: rps}, n),
+							seed, services.CoarseCatalog(), map[string]engine.RemoteKind{})
+						if err != nil {
+							return sim.Time(1) << 60
+						}
+						return run.All.P99()
+					}
+					tol := 0.1
+					if o.Quick {
+						tol = 0.25
+					}
+					return metrics.ThroughputSearch(measure, slo, 500, 5e5, tol), nil
+				},
+			})
+		}
+	}
+	outs, err := RunCells(o, cells)
+	if err != nil {
+		return nil, err
+	}
 	res.addf("%-12s %10s %10s %7s\n", "app", "RELIEF", "AccelFlow", "ratio")
 	var ratioSum float64
-	for _, app := range apps {
-		// One SLO per app, shared by both orchestrators: 5x the app's
-		// unloaded execution time (measured on the AccelFlow system),
-		// so a slower orchestrator cannot hide behind a looser SLO.
-		um, err := unloadedMeanCoarse(cfg, engine.AccelFlow(), app, o.Seed)
-		if err != nil {
-			return nil, err
-		}
-		slo := sim.FromMicros(5 * um)
+	for ai, app := range apps {
 		max := map[string]float64{}
-		for _, pol := range pols {
-			measure := func(rps float64) sim.Time {
-				run, err := workload.Run(cfg, pol,
-					workload.SingleService(app, workload.Poisson{RPS: rps}, n),
-					o.Seed, services.CoarseCatalog(), map[string]engine.RemoteKind{})
-				if err != nil {
-					return sim.Time(1) << 60
-				}
-				return run.All.P99()
-			}
-			tol := 0.1
-			if o.Quick {
-				tol = 0.25
-			}
-			max[pol.Name] = metrics.ThroughputSearch(measure, slo, 500, 5e5, tol)
+		for pi, pol := range pols {
+			max[pol.Name] = outs[ai*len(pols)+pi]
 		}
 		ratio := max["AccelFlow"] / max["RELIEF"]
 		ratioSum += ratio

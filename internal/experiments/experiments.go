@@ -18,23 +18,29 @@ import (
 type Options struct {
 	// Requests is the per-simulation request budget.
 	Requests int
-	// Seed makes runs reproducible.
+	// Seed makes runs reproducible. Every simulation cell derives its
+	// own stream from (Seed, cell key) — see sweep.go — so the same
+	// Options produce bit-identical Values at any Parallelism.
 	Seed int64
 	// Quick shrinks workloads for tests and CI.
 	Quick bool
+	// Parallelism bounds the sweep worker pool; <= 0 means
+	// runtime.GOMAXPROCS(0). It never affects results, only wall clock.
+	Parallelism int
 }
 
 // DefaultOptions is the CLI default.
 func DefaultOptions() Options { return Options{Requests: 2500, Seed: 1} }
 
 func (o Options) reqs() int {
-	if o.Requests <= 0 {
-		return 2500
+	n := o.Requests
+	if n <= 0 {
+		n = 2500
 	}
-	if o.Quick && o.Requests > 400 {
+	if o.Quick && n > 400 {
 		return 400
 	}
-	return o.Requests
+	return n
 }
 
 // Result is one experiment's output.

@@ -1,0 +1,139 @@
+package experiments
+
+import (
+	"encoding/json"
+	"flag"
+	"math"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+// update regenerates the golden file:
+//
+//	go test ./internal/experiments -run TestGoldenQuickValues -update
+var update = flag.Bool("update", false, "rewrite testdata golden files")
+
+const goldenPath = "testdata/golden_quick.json"
+
+// goldenOptions pins the quick-mode trajectory the golden file
+// captures. Requests is set explicitly so the capture stays CI-sized;
+// Seed 1 and Quick mirror the CLI's -quick run. Parallelism is left at
+// the default deliberately: the sweep engine guarantees Values do not
+// depend on it, so the golden file holds at any worker count.
+func goldenOptions() Options { return Options{Requests: 150, Seed: 1, Quick: true} }
+
+// goldenTolerance is the per-key relative tolerance. Runs are
+// deterministic on a fixed toolchain, so the slack only absorbs
+// last-ulp libm differences across platforms; any real modeling change
+// must be re-blessed with -update.
+func goldenTolerance(key string) float64 { return 1e-9 }
+
+// goldenSweep runs the whole registry at goldenOptions exactly once
+// per test binary; the golden comparison and the fig14 paper-shape
+// test share it, since the full-registry sweep is the most expensive
+// thing the package does.
+var goldenSweep struct {
+	once sync.Once
+	vals map[string]*Result
+	errs map[string]error
+}
+
+func goldenResults(t *testing.T) map[string]*Result {
+	t.Helper()
+	goldenSweep.once.Do(func() {
+		goldenSweep.vals = map[string]*Result{}
+		goldenSweep.errs = map[string]error{}
+		for _, out := range RunMany(IDs(), goldenOptions()) {
+			goldenSweep.vals[out.ID] = out.Res
+			goldenSweep.errs[out.ID] = out.Err
+		}
+	})
+	for id, err := range goldenSweep.errs {
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+	}
+	return goldenSweep.vals
+}
+
+// TestGoldenQuickValues locks every Registry entry's Values behind the
+// committed golden file, so future PRs cannot silently shift the
+// paper-shape results: a drifted value fails here with the offending
+// key, and an intentional change is re-blessed with -update.
+func TestGoldenQuickValues(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-registry sweep is slow")
+	}
+	got := map[string]map[string]float64{}
+	for id, res := range goldenResults(t) {
+		got[id] = res.Values
+	}
+
+	if *update {
+		data, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, append(data, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s (%d experiments)", goldenPath, len(got))
+		return
+	}
+
+	data, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("missing golden file (regenerate with -update): %v", err)
+	}
+	want := map[string]map[string]float64{}
+	if err := json.Unmarshal(data, &want); err != nil {
+		t.Fatalf("corrupt golden file: %v", err)
+	}
+
+	for id, wantVals := range want {
+		gotVals, ok := got[id]
+		if !ok {
+			t.Errorf("experiment %q in golden file but not in registry", id)
+			continue
+		}
+		for key, w := range wantVals {
+			g, ok := gotVals[key]
+			if !ok {
+				t.Errorf("%s: key %q vanished (golden has it)", id, key)
+				continue
+			}
+			tol := goldenTolerance(id + "/" + key)
+			if !withinTol(g, w, tol) {
+				t.Errorf("%s: %q = %v, golden %v (rel tol %g) — rerun with -update if intentional", id, key, g, w, tol)
+			}
+		}
+		for key := range gotVals {
+			if _, ok := wantVals[key]; !ok {
+				t.Errorf("%s: new key %q not in golden file — rerun with -update", id, key)
+			}
+		}
+	}
+	for id := range got {
+		if _, ok := want[id]; !ok {
+			t.Errorf("experiment %q missing from golden file — rerun with -update", id)
+		}
+	}
+}
+
+// withinTol compares with relative tolerance, treating exact equality
+// (including both zero, both NaN-free) as always passing.
+func withinTol(got, want, tol float64) bool {
+	if got == want {
+		return true
+	}
+	denom := math.Abs(want)
+	if denom < 1 {
+		denom = 1
+	}
+	return math.Abs(got-want) <= tol*denom
+}

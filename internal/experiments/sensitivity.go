@@ -12,11 +12,12 @@ import (
 
 // avgP99 runs the full SocialNetwork mix on one server at Alibaba-like
 // rates (the paper's setup) and returns the average per-service P99 in
-// microseconds.
-func avgP99(o Options, cfg *config.Config, pol engine.Policy) (float64, error) {
+// microseconds. The seed comes from the caller's sweep cell, not from
+// Options, so cells stay independent of each other.
+func avgP99(o Options, cfg *config.Config, pol engine.Policy, seed int64) (float64, error) {
 	svcs := services.SocialNetwork()
 	sources := workload.Mix(svcs, 1.0, o.reqs()*len(svcs))
-	run, err := workload.Run(cfg, pol, sources, o.Seed, nil, nil)
+	run, err := workload.Run(cfg, pol, sources, seed, nil, nil)
 	if err != nil {
 		return 0, err
 	}
@@ -32,17 +33,28 @@ func avgP99(o Options, cfg *config.Config, pol engine.Policy) (float64, error) {
 func Fig18Chiplets(o Options) (*Result, error) {
 	res := newResult("fig18")
 	res.addf("Fig. 18 — P99 (us) by chiplet organization (AccelFlow)\n")
-	for _, plan := range config.AllChipletPlans() {
-		cfg := config.Default()
-		if err := cfg.ApplyChipletPlan(plan); err != nil {
-			return nil, err
-		}
-		v, err := avgP99(o, cfg, engine.AccelFlow())
-		if err != nil {
-			return nil, err
-		}
-		res.addf("%-10v %10.0f\n", plan, v)
-		res.Values[plan.String()] = v
+	plans := config.AllChipletPlans()
+	cells := make([]Cell[float64], 0, len(plans))
+	for _, plan := range plans {
+		plan := plan
+		cells = append(cells, Cell[float64]{
+			Key: "fig18/" + plan.String(),
+			Run: func(seed int64) (float64, error) {
+				cfg := config.Default()
+				if err := cfg.ApplyChipletPlan(plan); err != nil {
+					return 0, err
+				}
+				return avgP99(o, cfg, engine.AccelFlow(), seed)
+			},
+		})
+	}
+	outs, err := RunCells(o, cells)
+	if err != nil {
+		return nil, err
+	}
+	for i, plan := range plans {
+		res.addf("%-10v %10.0f\n", plan, outs[i])
+		res.Values[plan.String()] = outs[i]
 	}
 	if v2, v6 := res.Values["2-chiplet"], res.Values["6-chiplet"]; v2 > 0 {
 		res.addf("\n6- vs 2-chiplet: +%.1f%% (paper +14%%)\n", 100*(v6/v2-1))
@@ -66,18 +78,32 @@ func Sens2InterChiplet(o Options) (*Result, error) {
 		res.addf(" %8dcy", l)
 	}
 	res.addf("\n")
-	for _, plan := range []config.ChipletPlan{config.TwoChiplets, config.SixChiplets} {
-		res.addf("%-10v", plan)
+	plans := []config.ChipletPlan{config.TwoChiplets, config.SixChiplets}
+	var cells []Cell[float64]
+	for _, plan := range plans {
 		for _, lat := range lats {
-			cfg := config.Default()
-			if err := cfg.ApplyChipletPlan(plan); err != nil {
-				return nil, err
-			}
-			cfg.InterChipletCycles = lat
-			v, err := avgP99(o, cfg, engine.AccelFlow())
-			if err != nil {
-				return nil, err
-			}
+			plan, lat := plan, lat
+			cells = append(cells, Cell[float64]{
+				Key: fmt.Sprintf("sens2/%v/%dcy", plan, lat),
+				Run: func(seed int64) (float64, error) {
+					cfg := config.Default()
+					if err := cfg.ApplyChipletPlan(plan); err != nil {
+						return 0, err
+					}
+					cfg.InterChipletCycles = lat
+					return avgP99(o, cfg, engine.AccelFlow(), seed)
+				},
+			})
+		}
+	}
+	outs, err := RunCells(o, cells)
+	if err != nil {
+		return nil, err
+	}
+	for pi, plan := range plans {
+		res.addf("%-10v", plan)
+		for li, lat := range lats {
+			v := outs[pi*len(lats)+li]
 			res.addf(" %10.0f", v)
 			res.Values[fmt.Sprintf("%v/%dcy", plan, lat)] = v
 		}
@@ -97,29 +123,46 @@ func Fig19PECount(o Options) (*Result, error) {
 	res := newResult("fig19")
 	res.addf("Fig. 19 — P99 (us) and fallbacks by PEs per accelerator\n")
 	res.addf("%-6s %10s %12s\n", "PEs", "p99(us)", "fallback%")
-	for _, pes := range []int{8, 4, 2} {
-		cfg := config.Default()
-		cfg.PEsPerAccel = pes
-		svcs := services.SocialNetwork()
-		sources := workload.Mix(svcs, 1.0, o.reqs()*len(svcs))
-		run, err := workload.Run(cfg, engine.AccelFlow(), sources, o.Seed, nil, nil)
-		if err != nil {
-			return nil, err
-		}
-		var p99sum float64
-		for _, svc := range svcs {
-			p99sum += run.PerService[svc.Name].P99().Micros()
-		}
-		var invocations, overflows uint64
-		for _, k := range config.AllAccelKinds() {
-			invocations += run.Engine.Accels[k].Stats.Invocations
-			overflows += run.Engine.Accels[k].Stats.Overflows
-		}
-		p99 := p99sum / float64(len(svcs))
-		fb := 100 * float64(run.Engine.Stats.FallbacksQueue+overflows) / float64(invocations+1)
-		res.addf("%-6d %10.0f %11.2f%%\n", pes, p99, fb)
-		res.Values[fmt.Sprintf("%dpe/p99us", pes)] = p99
-		res.Values[fmt.Sprintf("%dpe/fallback_pct", pes)] = fb
+	peCounts := []int{8, 4, 2}
+	type peStats struct{ p99, fb float64 }
+	cells := make([]Cell[peStats], 0, len(peCounts))
+	for _, pes := range peCounts {
+		pes := pes
+		cells = append(cells, Cell[peStats]{
+			Key: fmt.Sprintf("fig19/%dpe", pes),
+			Run: func(seed int64) (peStats, error) {
+				cfg := config.Default()
+				cfg.PEsPerAccel = pes
+				svcs := services.SocialNetwork()
+				sources := workload.Mix(svcs, 1.0, o.reqs()*len(svcs))
+				run, err := workload.Run(cfg, engine.AccelFlow(), sources, seed, nil, nil)
+				if err != nil {
+					return peStats{}, err
+				}
+				var p99sum float64
+				for _, svc := range svcs {
+					p99sum += run.PerService[svc.Name].P99().Micros()
+				}
+				var invocations, overflows uint64
+				for _, k := range config.AllAccelKinds() {
+					invocations += run.Engine.Accels[k].Stats.Invocations
+					overflows += run.Engine.Accels[k].Stats.Overflows
+				}
+				return peStats{
+					p99: p99sum / float64(len(svcs)),
+					fb:  100 * float64(run.Engine.Stats.FallbacksQueue+overflows) / float64(invocations+1),
+				}, nil
+			},
+		})
+	}
+	outs, err := RunCells(o, cells)
+	if err != nil {
+		return nil, err
+	}
+	for i, pes := range peCounts {
+		res.addf("%-6d %10.0f %11.2f%%\n", pes, outs[i].p99, outs[i].fb)
+		res.Values[fmt.Sprintf("%dpe/p99us", pes)] = outs[i].p99
+		res.Values[fmt.Sprintf("%dpe/fallback_pct", pes)] = outs[i].fb
 	}
 	if v8 := res.Values["8pe/p99us"]; v8 > 0 {
 		res.addf("\ntail increase: 4 PEs +%.1f%% (paper +20.0%%), 2 PEs +%.1f%% (paper +35.7%%)\n",
@@ -146,16 +189,29 @@ func Fig20Generations(o Options) (*Result, error) {
 		res.addf(" %12s", pol.Name)
 	}
 	res.addf(" %10s\n", "AF v RELIEF")
+	var cells []Cell[float64]
 	for _, g := range gens {
+		for _, pol := range pols {
+			g, pol := g, pol
+			cells = append(cells, Cell[float64]{
+				Key: fmt.Sprintf("fig20/%v/%s", g, pol.Name),
+				Run: func(seed int64) (float64, error) {
+					cfg := config.Default()
+					cfg.Generation = g
+					return avgP99(o, cfg, pol, seed)
+				},
+			})
+		}
+	}
+	outs, err := RunCells(o, cells)
+	if err != nil {
+		return nil, err
+	}
+	for gi, g := range gens {
 		res.addf("%-16v", g)
 		vals := map[string]float64{}
-		for _, pol := range pols {
-			cfg := config.Default()
-			cfg.Generation = g
-			v, err := avgP99(o, cfg, pol)
-			if err != nil {
-				return nil, err
-			}
+		for pi, pol := range pols {
+			v := outs[gi*len(pols)+pi]
 			vals[pol.Name] = v
 			res.addf(" %12.0f", v)
 			res.Values[fmt.Sprintf("%v/%s", g, pol.Name)] = v
@@ -179,17 +235,27 @@ func Sens5Speedups(o Options) (*Result, error) {
 		scales = []float64{0.25, 1, 4}
 	}
 	res.addf("%-8s %12s %12s %8s\n", "scale", "RELIEF", "AccelFlow", "gain")
+	pols := []engine.Policy{engine.RELIEF(), engine.AccelFlow()}
+	var cells []Cell[float64]
 	for _, s := range scales {
-		cfg := config.Default()
-		cfg.SpeedupScale = s
-		rl, err := avgP99(o, cfg, engine.RELIEF())
-		if err != nil {
-			return nil, err
+		for _, pol := range pols {
+			s, pol := s, pol
+			cells = append(cells, Cell[float64]{
+				Key: fmt.Sprintf("sens5/%.2fx/%s", s, pol.Name),
+				Run: func(seed int64) (float64, error) {
+					cfg := config.Default()
+					cfg.SpeedupScale = s
+					return avgP99(o, cfg, pol, seed)
+				},
+			})
 		}
-		af, err := avgP99(o, cfg.Clone(), engine.AccelFlow())
-		if err != nil {
-			return nil, err
-		}
+	}
+	outs, err := RunCells(o, cells)
+	if err != nil {
+		return nil, err
+	}
+	for si, s := range scales {
+		rl, af := outs[si*2], outs[si*2+1]
 		gain := rl / af
 		res.addf("%-8.2f %12.0f %12.0f %7.2fx\n", s, rl, af, gain)
 		res.Values[fmt.Sprintf("%.2fx/gain", s)] = gain

@@ -1,0 +1,136 @@
+// Parallel sweep engine. Every evaluation experiment is a matrix of
+// independent discrete-event simulations (policy × service × load ×
+// config); this file fans those cells out over a bounded worker pool
+// while keeping results bit-identical to a serial run.
+//
+// Determinism contract:
+//
+//   - Each cell's RNG stream is derived from (Options.Seed, Cell.Key)
+//     via sim.DeriveSeed, never from shared RNG state, wall clock, or
+//     scheduling order. A cell computes the same value no matter which
+//     worker runs it or when.
+//   - Workers write only to their own pre-allocated result slot; no
+//     map, recorder, or Result is shared between goroutines. Runners
+//     merge cell outputs into Result.Values single-threaded, in
+//     submission order, after the pool joins.
+//   - On error the lowest-indexed failing cell wins, so even failures
+//     are reproducible across worker counts.
+package experiments
+
+import (
+	"runtime"
+	"sync"
+	"time"
+
+	"accelflow/internal/sim"
+)
+
+// Cell is one independent simulation of an experiment's sweep matrix.
+// Key must be unique within the sweep and stable across runs: it names
+// the cell's RNG stream, so renaming a key moves that cell to a
+// different (still deterministic) trajectory.
+type Cell[T any] struct {
+	Key string
+	Run func(seed int64) (T, error)
+}
+
+// parallelism resolves Options.Parallelism to a concrete worker count.
+func (o Options) parallelism() int {
+	if o.Parallelism > 0 {
+		return o.Parallelism
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// RunCells executes the cells on a bounded worker pool and returns
+// their outputs in submission order. Results are independent of the
+// worker count and of completion order; see the package comment above
+// for the contract.
+func RunCells[T any](o Options, cells []Cell[T]) ([]T, error) {
+	results := make([]T, len(cells))
+	errs := make([]error, len(cells))
+	workers := o.parallelism()
+	if workers > len(cells) {
+		workers = len(cells)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				c := cells[i]
+				results[i], errs[i] = c.Run(sim.DeriveSeed(o.Seed, c.Key))
+			}
+		}()
+	}
+	for i := range cells {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}
+
+// Outcome is one experiment's result under RunMany, with wall-clock
+// timing for the CLI's -exp all report.
+type Outcome struct {
+	ID      string
+	Res     *Result
+	Err     error
+	Elapsed time.Duration
+}
+
+// RunMany executes the named Registry experiments concurrently (each
+// experiment additionally fans out its own cells) and returns outcomes
+// in the order the ids were given. Experiment-level concurrency shares
+// the Options.Parallelism bound; with Parallelism 1 everything runs
+// serially, which is the baseline the sweep benchmarks compare against.
+func RunMany(ids []string, o Options) []Outcome {
+	out := make([]Outcome, len(ids))
+	workers := o.parallelism()
+	if workers > len(ids) {
+		workers = len(ids)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				id := ids[i]
+				run, ok := Registry[id]
+				if !ok {
+					out[i] = Outcome{ID: id, Err: errUnknownExperiment(id)}
+					continue
+				}
+				start := time.Now()
+				res, err := run(o)
+				out[i] = Outcome{ID: id, Res: res, Err: err, Elapsed: time.Since(start)}
+			}
+		}()
+	}
+	for i := range ids {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	return out
+}
+
+type errUnknownExperiment string
+
+func (e errUnknownExperiment) Error() string { return "unknown experiment " + string(e) }

@@ -13,6 +13,15 @@ import (
 
 // Recorder collects latency samples for one series (one service under
 // one architecture).
+//
+// Recorder is NOT safe for concurrent use: Add appends to the sample
+// slice and even the read-side Percentile mutates state (it sorts
+// in place and caches the fact). The parallel sweep engine
+// (internal/experiments/sweep.go) relies on confinement instead of
+// locks — every recorder is created inside one simulation cell, used
+// only by that cell's goroutine, and only scalar results cross the
+// join. Keep it that way: do not share a Recorder across goroutines,
+// and do not add synchronization here to make sharing "work".
 type Recorder struct {
 	Name    string
 	samples []sim.Time
