@@ -9,7 +9,12 @@ import (
 	"runtime"
 	"testing"
 
+	"accelflow/internal/config"
+	"accelflow/internal/engine"
 	"accelflow/internal/experiments"
+	"accelflow/internal/obs"
+	"accelflow/internal/services"
+	"accelflow/internal/workload"
 )
 
 func benchExperiment(b *testing.B, id string, metric string) {
@@ -92,6 +97,39 @@ func benchSweep(b *testing.B, parallelism int) {
 		}
 	}
 }
+
+// benchRunObs measures the per-run cost of the observability layer.
+// The Disabled/Enabled pair guards the nil-sink fast path: with no
+// sink attached every obs call is a nil-receiver no-op, so the
+// Disabled benchmark must stay within noise (<2%) of the pre-obs
+// baseline. Compare with
+//
+//	go test -bench='BenchmarkRunObs' -benchtime=20x -count=5
+var benchRunObsResult *workload.RunResult
+
+func benchRunObs(b *testing.B, observed bool) {
+	svcs := services.SocialNetwork()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		spec := &workload.RunSpec{
+			Config:  config.Default(),
+			Policy:  engine.AccelFlow(),
+			Sources: workload.Mix(svcs, 1.0, 300),
+			Seed:    1,
+		}
+		if observed {
+			spec.Obs = obs.New()
+		}
+		res, err := spec.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchRunObsResult = res
+	}
+}
+
+func BenchmarkRunObsDisabled(b *testing.B) { benchRunObs(b, false) }
+func BenchmarkRunObsEnabled(b *testing.B)  { benchRunObs(b, true) }
 
 func BenchmarkSweepSerial(b *testing.B) { benchSweep(b, 1) }
 func BenchmarkSweepParallel(b *testing.B) {

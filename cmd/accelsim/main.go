@@ -9,6 +9,8 @@
 //	accelsim -list                 # show experiment IDs
 //	accelsim -exp fig14 -n 800     # smaller request budget
 //	accelsim -exp fig11 -quick     # CI-sized run
+//	accelsim -trace t.json         # observed SocialNetwork run, Chrome trace
+//	accelsim -report r.json        # same run, structured JSON report
 //
 // Results are bit-identical at any -parallel value: every simulation
 // cell draws from an RNG stream derived from (seed, cell key), so the
@@ -18,25 +20,43 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"strings"
 	"time"
 
+	"accelflow/internal/config"
+	"accelflow/internal/engine"
 	"accelflow/internal/experiments"
+	"accelflow/internal/obs"
+	"accelflow/internal/services"
+	"accelflow/internal/workload"
 )
 
 func main() {
 	var (
-		exp      = flag.String("exp", "", "experiment ID (see -list), or 'all'")
-		n        = flag.Int("n", 2500, "request budget per simulation")
-		seed     = flag.Int64("seed", 1, "RNG seed")
-		quick    = flag.Bool("quick", false, "shrink workloads for a fast pass")
-		parallel = flag.Int("parallel", 0, "sweep worker count (0 = GOMAXPROCS); results are identical at any value")
-		list     = flag.Bool("list", false, "list experiment IDs")
-		timing   = flag.Bool("time", true, "report per-experiment and total wall clock on stderr")
+		exp        = flag.String("exp", "", "experiment ID (see -list), or 'all'")
+		n          = flag.Int("n", 2500, "request budget per simulation")
+		seed       = flag.Int64("seed", 1, "RNG seed")
+		quick      = flag.Bool("quick", false, "shrink workloads for a fast pass")
+		parallel   = flag.Int("parallel", 0, "sweep worker count (0 = GOMAXPROCS); results are identical at any value")
+		list       = flag.Bool("list", false, "list experiment IDs")
+		timing     = flag.Bool("time", true, "report per-experiment and total wall clock on stderr")
+		tracePath  = flag.String("trace", "", "run an observed SocialNetwork mix and write a Chrome trace-event JSON to this file")
+		reportPath = flag.String("report", "", "run an observed SocialNetwork mix and write a structured JSON report to this file")
 	)
 	flag.Parse()
+
+	if *tracePath != "" || *reportPath != "" {
+		if err := observedRun(*tracePath, *reportPath, *seed, *n, *quick); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if *exp == "" {
+			return
+		}
+	}
 
 	if *list || *exp == "" {
 		fmt.Println("experiments:")
@@ -68,7 +88,7 @@ func main() {
 			failed++
 			continue
 		}
-		fmt.Printf("=== %s ===\n%s\n", out.ID, strings.TrimRight(out.Res.Text, "\n"))
+		fmt.Printf("=== %s ===\n%s\n", out.ID, strings.TrimRight(out.Res.Text(), "\n"))
 		fmt.Println()
 		if *timing {
 			fmt.Fprintf(os.Stderr, "[%s: %v]\n", out.ID, out.Elapsed.Round(time.Millisecond))
@@ -88,4 +108,51 @@ func effectiveParallelism(p int) int {
 		return p
 	}
 	return runtime.GOMAXPROCS(0)
+}
+
+// observedRun drives one AccelFlow SocialNetwork mix with the span and
+// utilization observer attached and writes the requested exports.
+func observedRun(tracePath, reportPath string, seed int64, n int, quick bool) error {
+	if quick && n > 600 {
+		n = 600
+	}
+	sink := obs.New()
+	spec := &workload.RunSpec{
+		Config:  config.Default(),
+		Policy:  engine.AccelFlow(),
+		Sources: workload.Mix(services.SocialNetwork(), 1.0, n),
+		Seed:    seed,
+		Obs:     sink,
+	}
+	res, err := spec.Run()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "[observed run: %d requests, %d spans, %v simulated]\n",
+		res.Completed, sink.SpanCount(), res.Elapsed)
+	if tracePath != "" {
+		if err := writeFile(tracePath, sink.WriteChromeTrace); err != nil {
+			return err
+		}
+		fmt.Printf("wrote Chrome trace (%d spans) to %s\n", sink.SpanCount(), tracePath)
+	}
+	if reportPath != "" {
+		if err := writeFile(reportPath, sink.WriteReport); err != nil {
+			return err
+		}
+		fmt.Printf("wrote observability report to %s\n", reportPath)
+	}
+	return nil
+}
+
+func writeFile(path string, write func(w io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

@@ -46,13 +46,19 @@ func main() {
 	}
 
 	for _, pol := range []engine.Policy{engine.AccelFlow(), engine.AccelFlowEDF()} {
-		res, err := workload.Run(config.Default(), pol,
-			[]workload.Source{{
+		spec := &workload.RunSpec{
+			Config: config.Default(),
+			Policy: pol,
+			Sources: []workload.Source{{
 				Service:  svc,
 				Arrivals: &workload.Alibaba{RPS: 45000},
 				Requests: 4000,
 			}},
-			3, catalog, map[string]engine.RemoteKind{})
+			Seed:     3,
+			Programs: catalog,
+			Remote:   map[string]engine.RemoteKind{},
+		}
+		res, err := spec.Run()
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -27,7 +27,11 @@ func main() {
 				Requests: 900,
 			})
 		}
-		res, err := workload.Run(config.Default(), pol, sources, 11, nil, nil)
+		spec := &workload.RunSpec{
+			Config: config.Default(), Policy: pol,
+			Sources: sources, Seed: 11,
+		}
+		res, err := spec.Run()
 		if err != nil {
 			log.Fatal(err)
 		}

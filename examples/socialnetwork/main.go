@@ -2,26 +2,52 @@
 // Table IV services, Alibaba-like bursty production rates) on two
 // servers — a RELIEF-like hardware manager and AccelFlow — and compare
 // per-service tails, the paper's Fig. 11 headline.
+//
+// With -trace the AccelFlow run records per-request spans and writes a
+// Chrome trace-event file (load it at ui.perfetto.dev); with -report it
+// writes a structured JSON report with latency histograms, per-segment
+// breakdowns, and utilization timelines.
 package main
 
 import (
+	"flag"
 	"fmt"
+	"io"
 	"log"
+	"os"
 
 	"accelflow/internal/config"
 	"accelflow/internal/engine"
+	"accelflow/internal/obs"
 	"accelflow/internal/services"
 	"accelflow/internal/workload"
 )
 
 func main() {
+	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON of the AccelFlow run to this file")
+	reportPath := flag.String("report", "", "write a structured JSON observability report of the AccelFlow run to this file")
+	flag.Parse()
+
 	svcs := services.SocialNetwork()
 	fmt.Printf("services: %d, mean Alibaba-like rate %.1fK RPS\n\n", len(svcs), services.MeanRatekRPS(svcs))
 
+	var sink *obs.Sink
+	if *tracePath != "" || *reportPath != "" {
+		sink = obs.New()
+	}
+
 	results := map[string]*workload.RunResult{}
 	for _, pol := range []engine.Policy{engine.RELIEF(), engine.AccelFlow()} {
-		res, err := workload.Run(config.Default(), pol,
-			workload.Mix(svcs, 1.0, 6000), 7, nil, nil)
+		spec := &workload.RunSpec{
+			Config:  config.Default(),
+			Policy:  pol,
+			Sources: workload.Mix(svcs, 1.0, 6000),
+			Seed:    7,
+		}
+		if pol.Name == "AccelFlow" {
+			spec.Obs = sink
+		}
+		res, err := spec.Run()
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -43,4 +69,29 @@ func main() {
 	for _, k := range config.AllAccelKinds() {
 		fmt.Printf("  %-5v %5.1f%%\n", k, 100*eng.Accels[k].PEs.Utilization(af.Elapsed))
 	}
+
+	if *tracePath != "" {
+		if err := writeFile(*tracePath, sink.WriteChromeTrace); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\nwrote Chrome trace (%d spans) to %s\n", sink.SpanCount(), *tracePath)
+	}
+	if *reportPath != "" {
+		if err := writeFile(*reportPath, sink.WriteReport); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote observability report to %s\n", *reportPath)
+	}
+}
+
+func writeFile(path string, write func(w io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

@@ -13,6 +13,7 @@ import (
 	"accelflow/internal/config"
 	"accelflow/internal/mem"
 	"accelflow/internal/noc"
+	"accelflow/internal/obs"
 	"accelflow/internal/sim"
 	"accelflow/internal/trace"
 )
@@ -35,6 +36,9 @@ type Entry struct {
 	// LastPEHold records the most recent PE occupancy (load + wipe +
 	// compute), for execution-time breakdowns.
 	LastPEHold sim.Time
+	// Span, when observability is enabled, receives the entry's queue
+	// and compute segments; nil disables recording.
+	Span *obs.Span
 	// UserData carries the engine's execution context opaquely.
 	UserData interface{}
 }
@@ -107,7 +111,8 @@ type Accelerator struct {
 
 type pendingEntry struct {
 	e        *Entry
-	deferred func() // runs once the entry is pulled into the queue
+	parked   sim.Time // when the entry entered the overflow area
+	deferred func()   // runs once the entry is pulled into the queue
 }
 
 // New constructs an accelerator of the given kind at the given node.
@@ -141,7 +146,7 @@ func (a *Accelerator) Offer(e *Entry, allowOverflow bool) AdmitResult {
 	}
 	if allowOverflow && len(a.overflow) < a.ovCap {
 		a.Stats.Overflows++
-		a.overflow = append(a.overflow, &pendingEntry{e: e})
+		a.overflow = append(a.overflow, &pendingEntry{e: e, parked: a.k.Now()})
 		return Overflowed
 	}
 	a.Stats.Rejections++
@@ -189,6 +194,8 @@ func (a *Accelerator) start(e *Entry) {
 	load := a.loadTime(e.DataBytes) + a.TLB.Access()
 	compute := a.cfg.AccelCost(a.Kind, e.DataBytes)
 	wipe := sim.Time(0)
+	offered := a.k.Now()
+	peName := "pe/" + a.Kind.String()
 	task := &sim.Task{
 		Priority: e.Priority,
 		Deadline: e.Deadline,
@@ -198,6 +205,12 @@ func (a *Accelerator) start(e *Entry) {
 			a.drainOverflow()
 		},
 		Done: func() {
+			// The PE held the entry contiguously for task.Hold, so the
+			// service window is [now-hold, now]; everything since the
+			// offer before that was input-queue wait.
+			now := a.k.Now()
+			e.Span.Seg(obs.SegQueue, peName, offered, now-e.LastPEHold)
+			e.Span.Seg(obs.SegCompute, peName, now-e.LastPEHold, now)
 			a.Stats.Invocations++
 			if a.sampleCnt%a.sampleEvery == 0 {
 				a.Stats.InSizes = append(a.Stats.InSizes, e.DataBytes)
@@ -237,6 +250,7 @@ func (a *Accelerator) drainOverflow() {
 		// touch before it can be dispatched; it holds its queue slot
 		// (inCount already incremented) during the read.
 		a.k.After(a.cfg.LLCLatency, func() {
+			pe.e.Span.Seg(obs.SegQueue, "overflow/"+a.Kind.String(), pe.parked, a.k.Now())
 			a.start(pe.e)
 			if pe.deferred != nil {
 				pe.deferred()

@@ -253,11 +253,11 @@ func TestDMAPoolTransfer(t *testing.T) {
 	src := noc.Node{Chiplet: 1, X: 0}
 	dst := noc.Node{Chiplet: 1, X: 1}
 	var small, big sim.Time
-	d.Transfer(src, dst, 1024, 8, func() { small = k.Now() })
+	d.Transfer(src, dst, 1024, 8, nil, func() { small = k.Now() })
 	k.Run()
 	k2 := sim.NewKernel()
 	d2 := NewDMAPool(k2, cfg, noc.NewNetwork(k2, cfg), mem.NewMemory(k2, cfg))
-	d2.Transfer(src, dst, 64*1024, 8, func() { big = k2.Now() })
+	d2.Transfer(src, dst, 64*1024, 8, nil, func() { big = k2.Now() })
 	k2.Run()
 	if big <= small {
 		t.Errorf("64KB transfer (%v) not slower than 1KB (%v): spill path missing", big, small)
@@ -276,7 +276,7 @@ func TestDMAPoolContention(t *testing.T) {
 	dst := noc.Node{Chiplet: 1, X: 3}
 	var times []sim.Time
 	for i := 0; i < 3; i++ {
-		d.Transfer(src, dst, 2048, 8, func() { times = append(times, k.Now()) })
+		d.Transfer(src, dst, 2048, 8, nil, func() { times = append(times, k.Now()) })
 	}
 	k.Run()
 	if len(times) != 3 {
@@ -298,7 +298,7 @@ func TestDMAToMemory(t *testing.T) {
 	k := sim.NewKernel()
 	d := NewDMAPool(k, cfg, noc.NewNetwork(k, cfg), mem.NewMemory(k, cfg))
 	ran := false
-	d.ToMemory(noc.Node{Chiplet: 1}, noc.Node{Chiplet: 0, Y: 6}, 4096, func() { ran = true })
+	d.ToMemory(noc.Node{Chiplet: 1}, noc.Node{Chiplet: 0, Y: 6}, 4096, nil, func() { ran = true })
 	k.Run()
 	if !ran {
 		t.Error("ToMemory never completed")

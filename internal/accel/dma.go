@@ -4,6 +4,7 @@ import (
 	"accelflow/internal/config"
 	"accelflow/internal/mem"
 	"accelflow/internal/noc"
+	"accelflow/internal/obs"
 	"accelflow/internal/sim"
 )
 
@@ -32,8 +33,9 @@ func NewDMAPool(k *sim.Kernel, cfg *config.Config, net *noc.Network, memory *mem
 // Transfer moves a queue entry (trace + inline data up to 2KB) from src
 // to dst, spilling payload beyond the inline limit through memory via
 // the entry's Memory Pointer (§IV-A). done fires when both the inline
-// and spill parts have arrived.
-func (d *DMAPool) Transfer(src, dst noc.Node, bytes int, traceBytes int, done func()) {
+// and spill parts have arrived. sp, when non-nil, receives the
+// engine-wait, NoC-occupancy, and spill-DMA segments.
+func (d *DMAPool) Transfer(src, dst noc.Node, bytes int, traceBytes int, sp *obs.Span, done func()) {
 	d.Transfers++
 	d.BytesMoved += uint64(bytes + traceBytes)
 	inline := bytes
@@ -41,6 +43,7 @@ func (d *DMAPool) Transfer(src, dst noc.Node, bytes int, traceBytes int, done fu
 		inline = d.cfg.InlineDataBytes
 	}
 	spill := bytes - inline
+	t0 := d.k.Now()
 	outstanding := 1
 	finish := func() {
 		outstanding--
@@ -53,17 +56,25 @@ func (d *DMAPool) Transfer(src, dst noc.Node, bytes int, traceBytes int, done fu
 	}
 	// Inline part: the engine holds for the on-package route time.
 	hold := d.net.TransferTime(src, dst, inline+traceBytes)
-	d.pool.Do(hold, finish)
+	d.pool.Do(hold, func() {
+		now := d.k.Now()
+		sp.Seg(obs.SegQueue, "adma", t0, now-hold)
+		sp.Seg(obs.SegNoC, "noc", now-hold, now)
+		finish()
+	})
 	if spill > 0 {
 		// Spill part: moved through the cache-coherent LLC/memory path.
-		d.mem.Transfer(spill, finish)
+		d.mem.Transfer(spill, func() {
+			sp.Seg(obs.SegDMA, "dram", t0, d.k.Now())
+			finish()
+		})
 	}
 }
 
 // ToMemory deposits result data at a memory location (end of trace).
 // Like Transfer, the engine carries only the inline part; payload
 // beyond the 2KB queue entry streams through the memory controllers.
-func (d *DMAPool) ToMemory(src noc.Node, memNode noc.Node, bytes int, done func()) {
+func (d *DMAPool) ToMemory(src noc.Node, memNode noc.Node, bytes int, sp *obs.Span, done func()) {
 	d.Transfers++
 	d.BytesMoved += uint64(bytes)
 	inline := bytes
@@ -71,6 +82,7 @@ func (d *DMAPool) ToMemory(src noc.Node, memNode noc.Node, bytes int, done func(
 		inline = d.cfg.InlineDataBytes
 	}
 	spill := bytes - inline
+	t0 := d.k.Now()
 	outstanding := 1
 	finish := func() {
 		outstanding--
@@ -81,9 +93,18 @@ func (d *DMAPool) ToMemory(src noc.Node, memNode noc.Node, bytes int, done func(
 	if spill > 0 {
 		outstanding++
 	}
-	d.pool.Do(d.net.TransferTime(src, memNode, inline), finish)
+	hold := d.net.TransferTime(src, memNode, inline)
+	d.pool.Do(hold, func() {
+		now := d.k.Now()
+		sp.Seg(obs.SegQueue, "adma", t0, now-hold)
+		sp.Seg(obs.SegNoC, "noc", now-hold, now)
+		finish()
+	})
 	if spill > 0 {
-		d.mem.Transfer(spill, finish)
+		d.mem.Transfer(spill, func() {
+			sp.Seg(obs.SegDMA, "dram", t0, d.k.Now())
+			finish()
+		})
 	}
 }
 
@@ -92,3 +113,9 @@ func (d *DMAPool) Utilization(elapsed sim.Time) float64 { return d.pool.Utilizat
 
 // QueueLen reports transfers waiting for an engine.
 func (d *DMAPool) QueueLen() int { return d.pool.QueueLen() }
+
+// Busy reports cumulative engine busy time (utilization sampling).
+func (d *DMAPool) Busy() sim.Time { return d.pool.BusyTime }
+
+// Engines reports the number of A-DMA engines in the pool.
+func (d *DMAPool) Engines() int { return d.pool.Servers }

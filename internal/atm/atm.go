@@ -19,6 +19,10 @@ type ATM struct {
 	latency  sim.Time
 
 	Reads uint64
+
+	// OnRead, when set, observes every continuation-trace fetch (name
+	// and charged latency). Observers must not mutate simulation state.
+	OnRead func(name string, lat sim.Time)
 }
 
 // New returns an empty ATM with the given read latency.
@@ -59,6 +63,9 @@ func (a *ATM) Read(name string) (*trace.Program, sim.Time, error) {
 		return nil, 0, fmt.Errorf("atm: no trace %q", name)
 	}
 	a.Reads++
+	if a.OnRead != nil {
+		a.OnRead(name, a.latency)
+	}
 	return p, a.latency, nil
 }
 

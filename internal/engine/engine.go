@@ -13,6 +13,7 @@ import (
 	"accelflow/internal/config"
 	"accelflow/internal/mem"
 	"accelflow/internal/noc"
+	"accelflow/internal/obs"
 	"accelflow/internal/sim"
 	"accelflow/internal/trace"
 )
@@ -39,6 +40,10 @@ type Engine struct {
 	// service catalog).
 	RemoteTails map[string]RemoteKind
 
+	// Obs records per-request spans and segments when attached via
+	// WithObserver; nil disables recording (all obs calls no-op).
+	Obs *obs.Sink
+
 	rng          *sim.RNG
 	tenantActive map[int]int
 	Stats        Stats
@@ -50,11 +55,17 @@ type Engine struct {
 
 // New builds an engine for the given config and policy. Programs must
 // be registered on the returned engine's ATM before submitting jobs.
-func New(k *sim.Kernel, cfg *config.Config, pol Policy, seed int64) (*Engine, error) {
+// Behavior beyond the required arguments — RNG seed, observability —
+// is configured with Options (WithSeed, WithObserver).
+func New(k *sim.Kernel, cfg *config.Config, pol Policy, opts ...Option) (*Engine, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	rng := sim.NewRNG(seed)
+	o := defaultOptions()
+	for _, opt := range opts {
+		opt(&o)
+	}
+	rng := sim.NewRNG(o.seed)
 	e := &Engine{
 		K: k, Cfg: cfg, Pol: pol,
 		Net:          noc.NewNetwork(k, cfg),
@@ -79,6 +90,17 @@ func New(k *sim.Kernel, cfg *config.Config, pol Policy, seed int64) (*Engine, er
 		a := accel.New(k, cfg, kd, e.Place.AccelNode(kd), rng.Fork(int64(kd)+100), disc)
 		e.Accels[kd] = a
 	}
+	e.Obs = o.obs
+	e.Obs.SetClock(k)
+	if e.Obs != nil {
+		// Event-granular ATM visibility: every continuation-trace read
+		// lands a point on the cumulative-reads timeline.
+		atmRef := e.ATM
+		sink := e.Obs
+		atmRef.OnRead = func(string, sim.Time) {
+			sink.Sample("atm.reads", k.Now(), float64(atmRef.Reads))
+		}
+	}
 	return e, nil
 }
 
@@ -99,6 +121,7 @@ func (e *Engine) Register(programs []*trace.Program, remote map[string]RemoteKin
 func (e *Engine) Submit(job *Job, done func(Result)) {
 	e.Stats.Requests++
 	r := &request{eng: e, job: job, arrived: e.K.Now(), done: done}
+	r.sp = e.Obs.BeginRequest(job.Service)
 	if job.SLO > 0 {
 		r.deadline = e.K.Now() + job.SLO
 	}
@@ -112,6 +135,7 @@ type request struct {
 	arrived  sim.Time
 	deadline sim.Time
 	done     func(Result)
+	sp       *obs.Span
 
 	bd       Breakdown
 	accels   int
@@ -129,24 +153,33 @@ func (r *request) runStep(i int) {
 	case StepApp:
 		hold := r.eng.Cfg.AppCost(st.App)
 		start := r.eng.K.Now()
+		ssp := r.sp.Child(obs.SpanStep, "app")
 		r.eng.Cores.Do(hold, func() {
 			r.bd.CPU += r.eng.K.Now() - start
 			r.bd.App += hold
+			ssp.QueuedSeg(obs.SegCPU, "cores", start, hold)
+			ssp.End()
 			r.runStep(i + 1)
 		})
 	case StepChain:
-		r.eng.startChain(r, st.Trace, r.stepProbs(st), func() { r.runStep(i + 1) })
+		ssp := r.sp.Child(obs.SpanStep, "chain:"+st.Trace)
+		r.eng.startChain(r, ssp, st.Trace, r.stepProbs(st), func() {
+			ssp.End()
+			r.runStep(i + 1)
+		})
 	case StepParallel:
 		n := len(st.Par)
 		if n == 0 {
 			r.runStep(i + 1)
 			return
 		}
+		ssp := r.sp.Child(obs.SpanStep, "parallel")
 		remaining := n
 		for _, tn := range st.Par {
-			r.eng.startChain(r, tn, r.stepProbs(st), func() {
+			r.eng.startChain(r, ssp, tn, r.stepProbs(st), func() {
 				remaining--
 				if remaining == 0 {
+					ssp.End()
 					r.runStep(i + 1)
 				}
 			})
@@ -157,6 +190,7 @@ func (r *request) runStep(i int) {
 }
 
 func (r *request) finish() {
+	r.sp.End()
 	res := Result{
 		Latency:   r.eng.K.Now() - r.arrived,
 		Breakdown: r.bd,
@@ -179,7 +213,8 @@ func (r *request) stepProbs(st Step) FlagProbs {
 
 // startChain launches one trace chain (following tails and forks) and
 // calls stepDone when the chain — including all its forks — completes.
-func (e *Engine) startChain(r *request, traceName string, probs FlagProbs, stepDone func()) {
+// parent is the enclosing step span (nil when unobserved).
+func (e *Engine) startChain(r *request, parent *obs.Span, traceName string, probs FlagProbs, stepDone func()) {
 	e.Stats.ChainsStarted++
 	prog, ok := e.ATM.Lookup(traceName)
 	if !ok {
@@ -191,6 +226,7 @@ func (e *Engine) startChain(r *request, traceName string, probs FlagProbs, stepD
 		payload = 64
 	}
 	c := &chainState{req: r, outstanding: 1, done: stepDone}
+	c.sp = parent.Child(obs.SpanChain, traceName)
 
 	// Tenant trace-count limit (§IV-D): at the threshold the trace
 	// cannot be initiated and falls back to the CPU.
@@ -228,6 +264,7 @@ type chainState struct {
 	counted     bool
 	outstanding int
 	done        func()
+	sp          *obs.Span
 }
 
 func (c *chainState) fork() { c.outstanding++ }
@@ -238,6 +275,7 @@ func (c *chainState) childDone(e *Engine) {
 		if c.counted {
 			e.tenantActive[c.tenant]--
 		}
+		c.sp.End()
 		if c.done != nil {
 			c.done()
 		}
@@ -249,6 +287,7 @@ type entryState struct {
 	*accel.Entry
 	chain   *chainState
 	retries int
+	sp      *obs.Span
 }
 
 func (e *Engine) newEntry(r *request, c *chainState, prog *trace.Program, f trace.Flags, payload int) *entryState {
@@ -260,6 +299,8 @@ func (e *Engine) newEntry(r *request, c *chainState, prog *trace.Program, f trac
 		},
 		chain: c,
 	}
+	ent.sp = c.sp.Child(obs.SpanEntry, prog.Name)
+	ent.Entry.Span = ent.sp
 	ent.Entry.UserData = ent
 	return ent
 }

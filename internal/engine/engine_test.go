@@ -43,7 +43,7 @@ func buildTestPrograms() []*trace.Program {
 func testEngine(t *testing.T, cfg *config.Config, pol Policy) *Engine {
 	t.Helper()
 	k := sim.NewKernel()
-	e, err := New(k, cfg, pol, 7)
+	e, err := New(k, cfg, pol, WithSeed(7))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -374,7 +374,7 @@ func TestUnregisteredTracePanics(t *testing.T) {
 func TestInvalidConfigRejected(t *testing.T) {
 	cfg := config.Default()
 	cfg.Cores = 0
-	if _, err := New(sim.NewKernel(), cfg, AccelFlow(), 1); err == nil {
+	if _, err := New(sim.NewKernel(), cfg, AccelFlow()); err == nil {
 		t.Error("invalid config accepted")
 	}
 }

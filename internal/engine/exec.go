@@ -6,6 +6,7 @@ import (
 	"accelflow/internal/accel"
 	"accelflow/internal/config"
 	"accelflow/internal/noc"
+	"accelflow/internal/obs"
 	"accelflow/internal/sim"
 	"accelflow/internal/trace"
 )
@@ -44,16 +45,21 @@ func (e *Engine) enqueueFromCore(ent *entryState) {
 		t0 := e.K.Now()
 		e.Cores.Do(cost, func() {
 			r.bd.Orch += e.K.Now() - t0
+			ent.sp.QueuedSeg(obs.SegDispatch, "cores", t0, cost)
 			e.dmaToAccel(ent, e.Place.CoreNode(0), func() { e.deliver(ent, false) })
 		})
 	case HopManager:
 		t0 := e.K.Now()
 		e.Cores.Do(e.Cfg.EnqueueCost, func() {
+			ent.sp.QueuedSeg(obs.SegDispatch, "cores", t0, e.Cfg.EnqueueCost)
+			tm := e.K.Now()
 			e.Manager.Do(e.Cfg.ManagerDispatch, func() {
 				r.bd.Orch += e.K.Now() - t0
+				ent.sp.QueuedSeg(obs.SegDispatch, "manager", tm, e.Cfg.ManagerDispatch)
 				t1 := e.K.Now()
 				e.Mem.Transfer(ent.DataBytes, func() {
 					r.bd.Comm += e.K.Now() - t1
+					ent.sp.Seg(obs.SegDMA, "dram", t1, e.K.Now())
 					e.deliver(ent, true)
 				})
 			})
@@ -62,15 +68,18 @@ func (e *Engine) enqueueFromCore(ent *entryState) {
 		t0 := e.K.Now()
 		e.Cores.Do(e.Cfg.EnqueueCost, func() {
 			r.bd.Orch += e.K.Now() - t0
+			ent.sp.QueuedSeg(obs.SegDispatch, "cores", t0, e.Cfg.EnqueueCost)
 			e.dmaToAccel(ent, e.Place.CoreNode(0), func() { e.deliver(ent, false) })
 		})
 	case HopSWQueue:
 		t0 := e.K.Now()
 		e.Cores.Do(e.Cfg.SWQueueHop, func() {
 			r.bd.Orch += e.K.Now() - t0
+			ent.sp.QueuedSeg(obs.SegDispatch, "cores", t0, e.Cfg.SWQueueHop)
 			t1 := e.K.Now()
 			e.Mem.Transfer(ent.DataBytes, func() {
 				r.bd.Comm += e.K.Now() - t1
+				ent.sp.Seg(obs.SegDMA, "dram", t1, e.K.Now())
 				e.deliver(ent, true)
 			})
 		})
@@ -83,7 +92,7 @@ func (e *Engine) dmaToAccel(ent *entryState, src noc.Node, done func()) {
 	dst := e.Accels[ent.Prog.Instrs[ent.PC].Accel]
 	r := ent.chain.req
 	t0 := e.K.Now()
-	e.DMA.Transfer(src, dst.Node, ent.DataBytes, ent.Prog.EncodedBytes(), func() {
+	e.DMA.Transfer(src, dst.Node, ent.DataBytes, ent.Prog.EncodedBytes(), ent.sp, func() {
 		r.bd.Comm += e.K.Now() - t0
 		done()
 	})
@@ -104,6 +113,7 @@ func (e *Engine) deliver(ent *entryState, fromDispatcher bool) {
 			t0 := e.K.Now()
 			e.Cores.Do(e.Cfg.PageFaultCost, func() {
 				r.bd.Orch += e.K.Now() - t0
+				ent.sp.QueuedSeg(obs.SegInterrupt, "cores", t0, e.Cfg.PageFaultCost)
 				e.offer(a, ent, fromDispatcher)
 			})
 			return
@@ -114,6 +124,7 @@ func (e *Engine) deliver(ent *entryState, fromDispatcher bool) {
 		t0 := e.K.Now()
 		e.CentralQ.Do(e.centralQDispatchCost, func() {
 			ent.chain.req.bd.Orch += e.K.Now() - t0
+			ent.sp.QueuedSeg(obs.SegDispatch, "centralq", t0, e.centralQDispatchCost)
 			admit()
 		})
 		return
@@ -133,6 +144,7 @@ func (e *Engine) offer(a *accel.Accelerator, ent *entryState, fromDispatcher boo
 			t0 := e.K.Now()
 			e.Cores.Do(e.Cfg.EnqueueCost, func() {
 				r.bd.Orch += e.K.Now() - t0
+				ent.sp.QueuedSeg(obs.SegDispatch, "cores", t0, e.Cfg.EnqueueCost)
 				e.offer(a, ent, false)
 			})
 			return
@@ -199,6 +211,7 @@ func (e *Engine) walk(a *accel.Accelerator, ent *entryState, pc int, instrs int)
 					t0 := e.K.Now()
 					e.Mem.Transfer(2*ent.DataBytes, func() {
 						r.bd.Comm += e.K.Now() - t0
+						ent.sp.Seg(obs.SegDMA, "dram", t0, e.K.Now())
 						e.walk(a, ent, npc, 0)
 					})
 				})
@@ -239,6 +252,7 @@ func (e *Engine) chargeGlue(a *accel.Accelerator, ent *entryState, instrs int, d
 	t0 := e.K.Now()
 	a.OutDisp.Do(hold, func() {
 		r.bd.Orch += e.K.Now() - t0
+		ent.sp.QueuedSeg(obs.SegDispatch, "outdisp/"+a.Kind.String(), t0, hold)
 		for _, fn := range forks {
 			e.spawnFork(a, ent, fn)
 		}
@@ -266,6 +280,9 @@ func (e *Engine) spawnFork(a *accel.Accelerator, ent *entryState, name string) {
 		},
 		chain: ent.chain,
 	}
+	f.sp = ent.chain.sp.Child(obs.SpanEntry, prog.Name)
+	f.sp.Seg(obs.SegDispatch, "atm", e.K.Now(), e.K.Now()+lat)
+	f.Entry.Span = f.sp
 	f.Entry.UserData = f
 	e.K.After(lat, func() { e.resumeProgram(a, f) })
 }
@@ -297,13 +314,14 @@ func (e *Engine) hop(a *accel.Accelerator, ent *entryState) {
 				t0 := e.K.Now()
 				e.Mem.Transfer(ent.DataBytes, func() {
 					r.bd.Comm += e.K.Now() - t0
+					ent.sp.Seg(obs.SegDMA, "dram", t0, e.K.Now())
 					e.deliver(ent, true)
 				})
 			})
 			return
 		}
 		t0 := e.K.Now()
-		e.DMA.Transfer(a.Node, dst.Node, ent.DataBytes, traceBytes, func() {
+		e.DMA.Transfer(a.Node, dst.Node, ent.DataBytes, traceBytes, ent.sp, func() {
 			r.bd.Comm += e.K.Now() - t0
 			e.deliver(ent, true)
 		})
@@ -313,12 +331,14 @@ func (e *Engine) hop(a *accel.Accelerator, ent *entryState) {
 		// covers the interrupt, processing, and next dispatch.
 		e.Manager.Do(e.Cfg.ManagerHop, func() {
 			r.bd.Orch += e.K.Now() - t0
+			ent.sp.QueuedSeg(obs.SegDispatch, "manager", t0, e.Cfg.ManagerHop)
 			t1 := e.K.Now()
 			// Source accelerator writes output to memory; destination
 			// reads it back: two touches.
 			e.Mem.Transfer(ent.DataBytes, func() {
 				e.Mem.Transfer(ent.DataBytes, func() {
 					r.bd.Comm += e.K.Now() - t1
+					ent.sp.Seg(obs.SegDMA, "dram", t1, e.K.Now())
 					e.deliver(ent, true)
 				})
 			})
@@ -327,10 +347,12 @@ func (e *Engine) hop(a *accel.Accelerator, ent *entryState) {
 		t0 := e.K.Now()
 		e.Cores.Do(e.Cfg.InterruptCost, func() {
 			r.bd.Orch += e.K.Now() - t0
+			ent.sp.QueuedSeg(obs.SegInterrupt, "cores", t0, e.Cfg.InterruptCost)
 			t1 := e.K.Now()
 			e.Mem.Transfer(ent.DataBytes, func() {
 				e.Mem.Transfer(ent.DataBytes, func() {
 					r.bd.Comm += e.K.Now() - t1
+					ent.sp.Seg(obs.SegDMA, "dram", t1, e.K.Now())
 					e.deliver(ent, false)
 				})
 			})
@@ -338,7 +360,7 @@ func (e *Engine) hop(a *accel.Accelerator, ent *entryState) {
 	case HopSWQueue:
 		if e.Pol.CohortPairs[[2]config.AccelKind{a.Kind, dst.Kind}] {
 			t0 := e.K.Now()
-			e.DMA.Transfer(a.Node, dst.Node, ent.DataBytes, traceBytes, func() {
+			e.DMA.Transfer(a.Node, dst.Node, ent.DataBytes, traceBytes, ent.sp, func() {
 				r.bd.Comm += e.K.Now() - t0
 				e.deliver(ent, true)
 			})
@@ -351,10 +373,12 @@ func (e *Engine) hop(a *accel.Accelerator, ent *entryState) {
 		e.K.After(e.Cfg.SWQueuePickup, func() {
 			e.Cores.Do(e.Cfg.SWQueueHop, func() {
 				r.bd.Orch += e.K.Now() - t0
+				ent.sp.QueuedSeg(obs.SegDispatch, "cores", t0, e.Cfg.SWQueueHop)
 				t1 := e.K.Now()
 				e.Mem.Transfer(ent.DataBytes, func() {
 					e.Mem.Transfer(ent.DataBytes, func() {
 						r.bd.Comm += e.K.Now() - t1
+						ent.sp.Seg(obs.SegDMA, "dram", t1, e.K.Now())
 						e.deliver(ent, true)
 					})
 				})
@@ -372,6 +396,7 @@ func (e *Engine) mediate(ent *entryState, cont func()) {
 	case MedManager:
 		e.Manager.Do(e.Cfg.ManagerHop, func() {
 			r.bd.Orch += e.K.Now() - t0
+			ent.sp.QueuedSeg(obs.SegDispatch, "manager", t0, e.Cfg.ManagerHop)
 			cont()
 		})
 	case MedCPU:
@@ -384,6 +409,7 @@ func (e *Engine) mediate(ent *entryState, cont func()) {
 		e.K.After(delay, func() {
 			e.Cores.Do(cost, func() {
 				r.bd.Orch += e.K.Now() - t0
+				ent.sp.QueuedSeg(obs.SegInterrupt, "cores", t0, cost)
 				cont()
 			})
 		})
@@ -412,6 +438,7 @@ func (e *Engine) loadTail(a *accel.Accelerator, ent *entryState, name string, vi
 	}
 	rk := e.RemoteTails[ent.Prog.Name]
 	r := ent.chain.req
+	ent.sp.Seg(obs.SegDispatch, "atm", e.K.Now(), e.K.Now()+lat)
 	e.K.After(lat, func() {
 		ent.Prog = prog
 		ent.PC = 0
@@ -424,11 +451,19 @@ func (e *Engine) loadTail(a *accel.Accelerator, ent *entryState, name string, vi
 		if viaMediator {
 			// Without arming, the mediator re-dispatches the response
 			// trace when the message arrives.
+			ent.sp.Seg(obs.SegRemote, "net", e.K.Now(), e.K.Now()+wait)
 			e.K.After(wait, func() {
 				e.mediate(ent, func() { e.deliver(ent, true) })
 			})
 			return
 		}
+		// The armed wait ends at the response or the TCP timeout,
+		// whichever comes first.
+		w := wait
+		if w > e.Cfg.TCPTimeout {
+			w = e.Cfg.TCPTimeout
+		}
+		ent.sp.Seg(obs.SegRemote, "net", e.K.Now(), e.K.Now()+w)
 		// AccelFlow arms the response trace in the TCP accelerator's
 		// input queue (§IV-B); the arrival triggers it directly.
 		a.Arm(ent.Entry, wait, func() {
@@ -470,7 +505,7 @@ func (e *Engine) finishTrace(a *accel.Accelerator, ent *entryState) {
 		r := ent.chain.req
 		a.Stats.Notifies++
 		t0 := e.K.Now()
-		e.DMA.ToMemory(a.Node, e.Place.MemNode(), ent.DataBytes, func() {
+		e.DMA.ToMemory(a.Node, e.Place.MemNode(), ent.DataBytes, ent.sp, func() {
 			r.bd.Comm += e.K.Now() - t0
 			e.notifyCore(ent)
 		})
@@ -491,7 +526,11 @@ func (e *Engine) notifyCore(ent *entryState) {
 		d = 0
 	}
 	r.bd.Comm += d
-	e.K.After(d, func() { ent.chain.childDone(e) })
+	ent.sp.Seg(obs.SegNotify, "core", e.K.Now(), e.K.Now()+d)
+	e.K.After(d, func() {
+		ent.sp.End()
+		ent.chain.childDone(e)
+	})
 }
 
 // dteTime is the Data Transform Engine's cost: a simplified (De)Ser

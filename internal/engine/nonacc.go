@@ -3,6 +3,7 @@ package engine
 import (
 	"accelflow/internal/accel"
 	"accelflow/internal/config"
+	"accelflow/internal/obs"
 	"accelflow/internal/sim"
 	"accelflow/internal/trace"
 )
@@ -51,6 +52,7 @@ func (e *Engine) runCPUSegment(r *request, c *chainState, prog *trace.Program, f
 	t0 := e.K.Now()
 	e.Cores.Do(total, func() {
 		r.bd.CPU += e.K.Now() - t0
+		c.sp.QueuedSeg(obs.SegCPU, "cores", t0, total)
 		for k := range tax {
 			r.bd.Tax[k] += tax[k]
 		}
@@ -78,9 +80,11 @@ func (e *Engine) runCPUSegment(r *request, c *chainState, prog *trace.Program, f
 		if wait > e.Cfg.TCPTimeout {
 			e.Stats.Timeouts++
 			r.timedOut = true
+			c.sp.Seg(obs.SegRemote, "net", e.K.Now(), e.K.Now()+e.Cfg.TCPTimeout)
 			e.K.After(e.Cfg.TCPTimeout, func() { c.childDone(e) })
 			return
 		}
+		c.sp.Seg(obs.SegRemote, "net", e.K.Now(), e.K.Now()+wait)
 		e.K.After(wait, func() { e.runCPUSegment(r, c, np, flags, outBytes) })
 	})
 }
@@ -103,6 +107,7 @@ func (e *Engine) cpuFallback(ent *entryState, fromPC int) {
 	prog := ent.Prog
 	e.Cores.Do(total, func() {
 		r.bd.CPU += e.K.Now() - t0
+		ent.sp.QueuedSeg(obs.SegCPU, "cores", t0, total)
 		for k := range tax {
 			r.bd.Tax[k] += tax[k]
 		}
@@ -117,6 +122,7 @@ func (e *Engine) cpuFallback(ent *entryState, fromPC int) {
 			e.resumeAfterFallback(f)
 		}
 		if tail == "" {
+			ent.sp.End()
 			c.childDone(e)
 			return
 		}
@@ -130,9 +136,13 @@ func (e *Engine) cpuFallback(ent *entryState, fromPC int) {
 		if wait > e.Cfg.TCPTimeout {
 			e.Stats.Timeouts++
 			r.timedOut = true
+			ent.sp.End()
+			c.sp.Seg(obs.SegRemote, "net", e.K.Now(), e.K.Now()+e.Cfg.TCPTimeout)
 			e.K.After(e.Cfg.TCPTimeout, func() { c.childDone(e) })
 			return
 		}
+		ent.sp.End()
+		c.sp.Seg(obs.SegRemote, "net", e.K.Now(), e.K.Now()+wait)
 		e.K.After(wait, func() {
 			nxt := e.newEntry(r, c, np, ent.Flags, outBytes)
 			e.resumeAfterFallback(nxt)

@@ -1,0 +1,138 @@
+package engine
+
+import (
+	"sort"
+	"testing"
+
+	"accelflow/internal/config"
+	"accelflow/internal/obs"
+	"accelflow/internal/sim"
+	"accelflow/internal/trace"
+)
+
+// TestSpanSegmentsTileRequestLatency drives one fully serial request —
+// a Seq-only trace, an inline-sized payload, no page faults, no TLB
+// misses, no remote tails — so every picosecond of the request belongs
+// to exactly one recorded segment. The segment durations must sum to
+// the end-to-end latency with no pairwise overlap.
+func TestSpanSegmentsTileRequestLatency(t *testing.T) {
+	prog := trace.New("serialchain").
+		Seq(config.TCP, config.Decr, config.RPC, config.Dser).
+		MustBuild()
+	cfg := config.Default()
+	cfg.PageFaultRate = 0
+	cfg.TLBHitRate = 1
+	sink := obs.New()
+	k := sim.NewKernel()
+	e, err := New(k, cfg, AccelFlow(), WithSeed(5), WithObserver(sink))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Register([]*trace.Program{prog}, nil); err != nil {
+		t.Fatal(err)
+	}
+	var lat sim.Time
+	e.Submit(&Job{
+		Service: "svc",
+		Steps: []Step{
+			{Kind: StepChain, Trace: "serialchain"},
+			{Kind: StepApp, App: 5 * sim.Microsecond},
+		},
+		PayloadMedian: 400, PayloadSigma: 0,
+	}, func(r Result) { lat = r.Latency })
+	k.Run()
+
+	if lat <= 0 {
+		t.Fatalf("request latency %v", lat)
+	}
+	spans := sink.Spans()
+	byID := map[int32]obs.SpanData{}
+	var root *obs.SpanData
+	for i := range spans {
+		byID[spans[i].ID] = spans[i]
+		if spans[i].Kind == obs.SpanRequest {
+			if root != nil {
+				t.Fatal("more than one request span")
+			}
+			root = &spans[i]
+		}
+	}
+	if root == nil {
+		t.Fatal("no request span recorded")
+	}
+	if got := root.End - root.Start; got != lat {
+		t.Fatalf("request span window %v, want latency %v", got, lat)
+	}
+
+	// Tree shape: every child window nests inside its parent's.
+	var segs []obs.Seg
+	for _, sp := range spans {
+		if sp.Parent >= 0 {
+			p, ok := byID[sp.Parent]
+			if !ok {
+				t.Fatalf("span %d has unknown parent %d", sp.ID, sp.Parent)
+			}
+			if sp.Start < p.Start || sp.End > p.End {
+				t.Errorf("span %d [%v,%v] escapes parent %d [%v,%v]",
+					sp.ID, sp.Start, sp.End, p.ID, p.Start, p.End)
+			}
+		}
+		segs = append(segs, sp.Segs...)
+	}
+
+	// Exact tiling: segments sum to the latency and never overlap.
+	var sum sim.Time
+	for _, g := range segs {
+		if g.End <= g.Start {
+			t.Errorf("empty segment %v %s [%v,%v]", g.Kind, g.Resource, g.Start, g.End)
+		}
+		if g.Start < root.Start || g.End > root.End {
+			t.Errorf("segment %v %s [%v,%v] outside request window [%v,%v]",
+				g.Kind, g.Resource, g.Start, g.End, root.Start, root.End)
+		}
+		sum += g.End - g.Start
+	}
+	if sum != lat {
+		t.Errorf("segments sum to %v, want request latency %v", sum, lat)
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i].Start < segs[j].Start })
+	for i := 1; i < len(segs); i++ {
+		if segs[i].Start < segs[i-1].End {
+			t.Errorf("segments overlap: %v %s [%v,%v] and %v %s [%v,%v]",
+				segs[i-1].Kind, segs[i-1].Resource, segs[i-1].Start, segs[i-1].End,
+				segs[i].Kind, segs[i].Resource, segs[i].Start, segs[i].End)
+		}
+	}
+}
+
+// TestObserverDoesNotPerturbResults runs the same submission with and
+// without a sink attached; enabling observability must not change the
+// simulated outcome.
+func TestObserverDoesNotPerturbResults(t *testing.T) {
+	run := func(sink *obs.Sink) sim.Time {
+		prog := trace.New("chain").
+			Seq(config.TCP, config.Decr, config.RPC).
+			MustBuild()
+		k := sim.NewKernel()
+		e, err := New(k, config.Default(), AccelFlow(), WithSeed(9), WithObserver(sink))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := e.Register([]*trace.Program{prog}, nil); err != nil {
+			t.Fatal(err)
+		}
+		var total sim.Time
+		for i := 0; i < 20; i++ {
+			e.Submit(&Job{
+				Service:       "svc",
+				Steps:         []Step{{Kind: StepChain, Trace: "chain"}},
+				PayloadMedian: 1500, PayloadSigma: 0.6,
+			}, func(r Result) { total += r.Latency })
+		}
+		k.Run()
+		return total
+	}
+	if plain, observed := run(nil), run(obs.New()); plain != observed {
+		t.Errorf("observer changed results: %v without vs %v with", plain, observed)
+	}
+}

@@ -1,0 +1,32 @@
+package engine
+
+import (
+	"accelflow/internal/obs"
+)
+
+// Option configures optional engine behavior. New takes options
+// instead of growing its positional signature.
+type Option func(*options)
+
+type options struct {
+	seed int64
+	obs  *obs.Sink
+}
+
+func defaultOptions() options {
+	return options{seed: 1}
+}
+
+// WithSeed sets the engine's RNG seed (flag draws, payload sizes,
+// remote waits, TLB streams). The default is 1.
+func WithSeed(seed int64) Option {
+	return func(o *options) { o.seed = seed }
+}
+
+// WithObserver attaches an observability sink: the engine records a
+// span per request / chain / accelerator entry with queue, dispatch,
+// compute, DMA, NoC, and interrupt segments. A nil sink is valid and
+// disables recording.
+func WithObserver(s *obs.Sink) Option {
+	return func(o *options) { o.obs = s }
+}

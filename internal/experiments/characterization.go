@@ -18,8 +18,8 @@ import (
 // 3.2%, (De)Ser 22.4%, (De)Cmp 9.5%, LdB 3.9%.
 func Fig1Breakdown(o Options) (*Result, error) {
 	res := newResult("fig1")
-	res.addf("Fig. 1 — Non-acc execution time breakdown per service (unloaded)\n")
-	res.addf("%-8s %9s  %6s %6s %6s %6s %6s %6s %6s\n",
+	res.Linef("Fig. 1 — Non-acc execution time breakdown per service (unloaded)")
+	res.Linef("%-8s %9s  %6s %6s %6s %6s %6s %6s %6s",
 		"service", "total(us)", "app%", "tcp%", "encr%", "rpc%", "ser%", "cmp%", "ldb%")
 
 	groups := map[string][]config.AccelKind{
@@ -53,23 +53,23 @@ func Fig1Breakdown(o Options) (*Result, error) {
 		}
 		app := bd.App.Micros()
 		busy := app + taxTotal
-		res.addf("%-8s %9.1f  %5.1f%%", svc.Name, run.All.Mean().Micros(), 100*app/busy)
+		row := fmt.Sprintf("%-8s %9.1f  %5.1f%%", svc.Name, run.All.Mean().Micros(),
+			100*res.Set(svc.Name+"/app_share", app/busy))
 		for _, name := range order {
-			res.addf(" %5.1f%%", 100*shares[name]/busy)
+			row += fmt.Sprintf(" %5.1f%%", 100*shares[name]/busy)
 			avgTax[name] += shares[name] / busy
 		}
-		res.addf("\n")
+		res.Linef("%s", row)
 		avgApp += app / busy
-		res.Values[svc.Name+"/app_share"] = app / busy
 	}
 	n := float64(len(svcs))
-	res.addf("%-8s %9s  %5.1f%%", "AVG", "", 100*avgApp/n)
+	row := fmt.Sprintf("%-8s %9s  %5.1f%%", "AVG", "", 100*res.Set("avg/app_share", avgApp/n))
 	for _, name := range order {
-		res.addf(" %5.1f%%", 100*avgTax[name]/n)
-		res.Values["avg/"+name] = avgTax[name] / n
+		row += fmt.Sprintf(" %5.1f%%", 100*res.Set("avg/"+name, avgTax[name]/n))
 	}
-	res.addf("\n\npaper: app 20.7%%, tcp 25.6%%, (de)encr 14.6%%, rpc 3.2%%, (de)ser 22.4%%, (de)cmp 9.5%%, ldb 3.9%%\n")
-	res.Values["avg/app_share"] = avgApp / n
+	res.Linef("%s", row)
+	res.Linef("")
+	res.Linef("paper: app 20.7%%, tcp 25.6%%, (de)encr 14.6%%, rpc 3.2%%, (de)ser 22.4%%, (de)cmp 9.5%%, ldb 3.9%%")
 	return res, nil
 }
 
@@ -78,20 +78,20 @@ func Fig1Breakdown(o Options) (*Result, error) {
 // across load (paper: 25% / 15% at 15 kRPS, Direct far smaller).
 func Fig3OrchOverhead(o Options) (*Result, error) {
 	res := newResult("fig3")
-	res.addf("Fig. 3 — orchestration overhead fraction vs load\n")
+	res.Linef("Fig. 3 — orchestration overhead fraction vs load")
 	loads := []float64{1, 5, 10, 15}
 	if o.Quick {
 		loads = []float64{5, 15}
 	}
-	res.addf("%-12s", "arch")
+	hdr := fmt.Sprintf("%-12s", "arch")
 	for _, l := range loads {
-		res.addf(" %7.0fk", l)
+		hdr += fmt.Sprintf(" %7.0fk", l)
 	}
-	res.addf("\n")
+	res.Linef("%s", hdr)
 	pols := []engine.Policy{engine.CPUCentric(), engine.RELIEF(), engine.Direct()}
 	svcs := services.SocialNetwork()
 	for _, pol := range pols {
-		res.addf("%-12s", pol.Name)
+		row := fmt.Sprintf("%-12s", pol.Name)
 		for _, load := range loads {
 			// The mix shares the 36-core server; each service gets a
 			// proportional slice of the aggregate load.
@@ -107,18 +107,22 @@ func Fig3OrchOverhead(o Options) (*Result, error) {
 					Requests: o.reqs(),
 				})
 			}
-			run, err := workload.Run(config.Default(), pol, sources, o.Seed, nil, nil)
+			spec := &workload.RunSpec{
+				Config: config.Default(), Policy: pol,
+				Sources: sources, Seed: o.Seed,
+			}
+			run, err := spec.Run()
 			if err != nil {
 				return nil, err
 			}
 			bd := run.Breakdown
 			frac := bd.Orch.Micros() / (bd.Total().Micros() + bd.Remote.Micros())
-			res.addf("  %5.1f%%", frac*100)
-			res.Values[fmt.Sprintf("%s/%.0fk", pol.Name, load)] = frac
+			row += fmt.Sprintf("  %5.1f%%", 100*res.Set(fmt.Sprintf("%s/%.0fk", pol.Name, load), frac))
 		}
-		res.addf("\n")
+		res.Linef("%s", row)
 	}
-	res.addf("\npaper at 15kRPS: CPU-Centric 25%%, HW-Manager 15%%, Direct lowest\n")
+	res.Linef("")
+	res.Linef("paper at 15kRPS: CPU-Centric 25%%, HW-Manager 15%%, Direct lowest")
 	return res, nil
 }
 
@@ -126,8 +130,8 @@ func Fig3OrchOverhead(o Options) (*Result, error) {
 // accelerators of each accelerator, derived from the trace catalog.
 func Tab1Connectivity(Options) (*Result, error) {
 	res := newResult("tab1")
-	res.addf("Table I — source/destination accelerators per accelerator\n")
-	res.addf("%-6s | %-28s | %s\n", "accel", "sources", "destinations")
+	res.Linef("Table I — source/destination accelerators per accelerator")
+	res.Linef("%-6s | %-28s | %s", "accel", "sources", "destinations")
 	c := trace.NewConnectivity()
 	for _, p := range services.Catalog() {
 		c.AddProgram(p)
@@ -140,9 +144,9 @@ func Tab1Connectivity(Options) (*Result, error) {
 		return strings.Join(names, ",")
 	}
 	for _, k := range config.AllAccelKinds() {
-		res.addf("%-6v | %-28s | %s\n", k, fmtSet(c.Sources[k]), fmtSet(c.Destinations[k]))
-		res.Values[k.String()+"/nsrc"] = float64(len(c.Sources[k]))
-		res.Values[k.String()+"/ndst"] = float64(len(c.Destinations[k]))
+		res.Set(k.String()+"/nsrc", float64(len(c.Sources[k])))
+		res.Set(k.String()+"/ndst", float64(len(c.Destinations[k])))
+		res.Linef("%-6v | %-28s | %s", k, fmtSet(c.Sources[k]), fmtSet(c.Destinations[k]))
 	}
 	return res, nil
 }
@@ -153,7 +157,7 @@ func Tab1Connectivity(Options) (*Result, error) {
 // 53.8%).
 func Q2BranchStats(Options) (*Result, error) {
 	res := newResult("q2")
-	res.addf("Q2 — fraction of accelerator sequences with >=1 conditional\n")
+	res.Linef("Q2 — fraction of accelerator sequences with >=1 conditional")
 	cat := map[string]*trace.Program{}
 	for _, p := range services.Catalog() {
 		cat[p.Name] = p
@@ -203,8 +207,8 @@ func Q2BranchStats(Options) (*Result, error) {
 			}
 		}
 		share := float64(with) / float64(total)
-		res.addf("%-18s %5.1f%%   (paper %.1f%%)\n", suite.Name, share*100, paper[suite.Name]*100)
-		res.Values[suite.Name] = share
+		res.Linef("%-18s %5.1f%%   (paper %.1f%%)", suite.Name,
+			100*res.Set(suite.Name, share), paper[suite.Name]*100)
 	}
 	return res, nil
 }
@@ -213,25 +217,30 @@ func Q2BranchStats(Options) (*Result, error) {
 // sizes per accelerator (paper: few-KB medians, tails of tens of KB).
 func Fig5DataSizes(o Options) (*Result, error) {
 	res := newResult("fig5")
-	res.addf("Fig. 5 — input/output data sizes per accelerator (bytes)\n")
-	res.addf("%-6s %28s %28s\n", "accel", "input min/med/max", "output min/med/max")
+	res.Linef("Fig. 5 — input/output data sizes per accelerator (bytes)")
+	res.Linef("%-6s %28s %28s", "accel", "input min/med/max", "output min/med/max")
 	// Run the full mix under AccelFlow to populate the samplers.
-	sources := workload.Mix(services.SocialNetwork(), 0.3, o.reqs())
-	run, err := workload.Run(config.Default(), engine.AccelFlow(), sources, o.Seed, nil, nil)
+	spec := &workload.RunSpec{
+		Config:  config.Default(),
+		Policy:  engine.AccelFlow(),
+		Sources: workload.Mix(services.SocialNetwork(), 0.3, o.reqs()),
+		Seed:    o.Seed,
+	}
+	run, err := spec.Run()
 	if err != nil {
 		return nil, err
 	}
 	for _, k := range config.AllAccelKinds() {
 		if k == config.LdB {
-			res.addf("%-6v %28s %28s\n", k, "- (no data)", "-")
+			res.Linef("%-6v %28s %28s", k, "- (no data)", "-")
 			continue
 		}
 		st := run.Engine.Accels[k].Stats
 		in := metrics.Sizes(st.InSizes)
 		out := metrics.Sizes(st.OutSizes)
-		res.addf("%-6v %10d/%6d/%9d %10d/%6d/%9d\n", k, in.Min, in.Median, in.Max, out.Min, out.Median, out.Max)
-		res.Values[k.String()+"/in_median"] = float64(in.Median)
-		res.Values[k.String()+"/in_max"] = float64(in.Max)
+		res.Set(k.String()+"/in_median", float64(in.Median))
+		res.Set(k.String()+"/in_max", float64(in.Max))
+		res.Linef("%-6v %10d/%6d/%9d %10d/%6d/%9d", k, in.Min, in.Median, in.Max, out.Min, out.Median, out.Max)
 	}
 	return res, nil
 }
@@ -239,10 +248,13 @@ func Fig5DataSizes(o Options) (*Result, error) {
 // Tab2Traces prints Table II: the trace catalog with its disassembly.
 func Tab2Traces(Options) (*Result, error) {
 	res := newResult("tab2")
-	res.addf("Table II — trace catalog (with ATM subtrace splits)\n\n")
+	res.Linef("Table II — trace catalog (with ATM subtrace splits)")
+	res.Linef("")
 	for _, p := range services.Catalog() {
-		res.addf("%s\n", p.String())
-		res.Values[p.Name+"/instrs"] = float64(len(p.Instrs))
+		res.Set(p.Name+"/instrs", float64(len(p.Instrs)))
+		for _, line := range strings.Split(strings.TrimRight(p.String(), "\n"), "\n") {
+			res.Linef("%s", line)
+		}
 	}
 	return res, nil
 }
@@ -251,21 +263,20 @@ func Tab2Traces(Options) (*Result, error) {
 func Tab3Parameters(Options) (*Result, error) {
 	res := newResult("tab3")
 	c := config.Default()
-	res.addf("Table III — architectural parameters\n")
-	res.addf("processor: %d cores @ %.1fGHz (%v)\n", c.Cores, c.CPUFreqGHz, c.Generation)
-	res.addf("accel queues: %d in / %d out entries (%dB each)\n", c.InputQueueEntries, c.OutputQueueEntries, c.QueueEntryBytes)
-	res.addf("A-DMA engines: %d, PEs/accel: %d, scratchpad: %dKB\n", c.ADMAEngines, c.PEsPerAccel, c.ScratchpadKB)
-	res.addf("queue->scratchpad: %v latency, %.0f GB/s\n", c.QueueToPadLatency, c.QueueToPadGBs)
-	res.addf("notification: %d cycles; mesh: %d cycles/hop, %dB links; inter-chiplet: %d cycles\n",
+	res.Linef("Table III — architectural parameters")
+	res.Linef("processor: %.0f cores @ %.1fGHz (%v)", res.Set("cores", float64(c.Cores)), c.CPUFreqGHz, c.Generation)
+	res.Linef("accel queues: %d in / %d out entries (%dB each)", c.InputQueueEntries, c.OutputQueueEntries, c.QueueEntryBytes)
+	res.Linef("A-DMA engines: %d, PEs/accel: %.0f, scratchpad: %dKB",
+		c.ADMAEngines, res.Set("pes", float64(c.PEsPerAccel)), c.ScratchpadKB)
+	res.Linef("queue->scratchpad: %v latency, %.0f GB/s", c.QueueToPadLatency, c.QueueToPadGBs)
+	res.Linef("notification: %d cycles; mesh: %d cycles/hop, %dB links; inter-chiplet: %d cycles",
 		c.NotifyCycles, c.MeshHopCycles, c.MeshLinkBytes, c.InterChipletCycles)
-	res.addf("memory: %d controllers x %.1f GB/s\n", c.MemCtrls, c.MemGBsPerCtrl)
-	res.addf("speedups: ")
+	res.Linef("memory: %d controllers x %.1f GB/s", c.MemCtrls, c.MemGBsPerCtrl)
+	speedups := "speedups: "
 	for _, k := range config.AllAccelKinds() {
-		res.addf("%v %.1f  ", k, c.Speedup[k])
+		speedups += fmt.Sprintf("%v %.1f  ", k, c.Speedup[k])
 	}
-	res.addf("\n")
-	res.Values["cores"] = float64(c.Cores)
-	res.Values["pes"] = float64(c.PEsPerAccel)
+	res.Linef("%s", speedups)
 	return res, nil
 }
 
@@ -273,8 +284,8 @@ func Tab3Parameters(Options) (*Result, error) {
 // accelerator count per service, measured from an actual AccelFlow run.
 func Tab4Paths(o Options) (*Result, error) {
 	res := newResult("tab4")
-	res.addf("Table IV — most common path and accelerators per invocation\n")
-	res.addf("%-8s %7s %7s   %s\n", "service", "paper#", "meas#", "steps")
+	res.Linef("Table IV — most common path and accelerators per invocation")
+	res.Linef("%-8s %7s %7s   %s", "service", "paper#", "meas#", "steps")
 	for _, svc := range services.SocialNetwork() {
 		run, err := runOne(config.Default(), engine.AccelFlow(), svc, workload.Poisson{RPS: 200}, o.reqs()/8+40, o.Seed)
 		if err != nil {
@@ -292,9 +303,10 @@ func Tab4Paths(o Options) (*Result, error) {
 				steps = append(steps, fmt.Sprintf("%dx(%s)", len(st.Par), st.Par[0]))
 			}
 		}
-		res.addf("%-8s %7d %7.1f   %s\n", svc.Name, svc.WantAccels, measured, strings.Join(steps, "-"))
-		res.Values[svc.Name+"/measured"] = measured
-		res.Values[svc.Name+"/paper"] = float64(svc.WantAccels)
+		res.Linef("%-8s %7.0f %7.1f   %s", svc.Name,
+			res.Set(svc.Name+"/paper", float64(svc.WantAccels)),
+			res.Set(svc.Name+"/measured", measured),
+			strings.Join(steps, "-"))
 	}
 	return res, nil
 }

@@ -65,7 +65,7 @@ func TestParallelismDoesNotChangeResults(t *testing.T) {
 				t.Fatal("no values produced")
 			}
 			sameValues(t, id+" p1-vs-p8", serial.Values, par.Values)
-			if serial.Text != par.Text {
+			if serial.Text() != par.Text() {
 				t.Errorf("%s: report text differs between serial and parallel runs", id)
 			}
 			if id == "fig14" {
@@ -79,7 +79,7 @@ func TestParallelismDoesNotChangeResults(t *testing.T) {
 				t.Fatalf("repeated parallel run: %v", err)
 			}
 			sameValues(t, id+" p8-vs-p8", par.Values, again.Values)
-			if par.Text != again.Text {
+			if par.Text() != again.Text() {
 				t.Errorf("%s: report text differs across repeated parallel runs", id)
 			}
 		})

@@ -20,7 +20,7 @@ import (
 // average latency by 77.2/53.9/40.7/37.9%.
 func Fig11Latency(o Options) (*Result, error) {
 	res := newResult("fig11")
-	res.addf("Fig. 11 — P99 (and mean) latency in us, Alibaba-like rates, full mix\n")
+	res.Linef("Fig. 11 — P99 (and mean) latency in us, Alibaba-like rates, full mix")
 	pols := architectures()
 	svcs := services.SocialNetwork()
 
@@ -34,8 +34,13 @@ func Fig11Latency(o Options) (*Result, error) {
 		cells = append(cells, Cell[latencies]{
 			Key: "fig11/" + pol.Name,
 			Run: func(seed int64) (latencies, error) {
-				sources := workload.Mix(svcs, 1.0, o.reqs()*len(svcs))
-				run, err := workload.Run(config.Default(), pol, sources, seed, nil, nil)
+				spec := &workload.RunSpec{
+					Config:  config.Default(),
+					Policy:  pol,
+					Sources: workload.Mix(svcs, 1.0, o.reqs()*len(svcs)),
+					Seed:    seed,
+				}
+				run, err := spec.Run()
 				if err != nil {
 					return latencies{}, err
 				}
@@ -53,46 +58,45 @@ func Fig11Latency(o Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	p99 := map[string]map[string]float64{}
-	mean := map[string]map[string]float64{}
 	for i, pol := range pols {
-		p99[pol.Name] = outs[i].p99
-		mean[pol.Name] = outs[i].mean
 		for _, svc := range svcs {
-			res.Values[pol.Name+"/"+svc.Name+"/p99us"] = p99[pol.Name][svc.Name]
-			res.Values[pol.Name+"/"+svc.Name+"/meanus"] = mean[pol.Name][svc.Name]
+			res.Set(pol.Name+"/"+svc.Name+"/p99us", outs[i].p99[svc.Name])
+			res.Set(pol.Name+"/"+svc.Name+"/meanus", outs[i].mean[svc.Name])
 		}
 	}
-	res.addf("%-8s", "service")
+	hdr := fmt.Sprintf("%-8s", "service")
 	for _, pol := range pols {
-		res.addf(" %22s", pol.Name)
+		hdr += fmt.Sprintf(" %22s", pol.Name)
 	}
-	res.addf("\n")
+	res.Linef("%s", hdr)
 	for _, svc := range svcs {
-		res.addf("%-8s", svc.Name)
+		row := fmt.Sprintf("%-8s", svc.Name)
 		for _, pol := range pols {
-			res.addf(" %12.0f (%7.0f)", p99[pol.Name][svc.Name], mean[pol.Name][svc.Name])
+			row += fmt.Sprintf(" %12.0f (%7.0f)",
+				res.Get(pol.Name+"/"+svc.Name+"/p99us"),
+				res.Get(pol.Name+"/"+svc.Name+"/meanus"))
 		}
-		res.addf("\n")
+		res.Linef("%s", row)
 	}
 	// Average per-service reduction of AccelFlow vs the baselines.
-	res.addf("\nAccelFlow average reduction (per-service mean):\n")
+	res.Linef("")
+	res.Linef("AccelFlow average reduction (per-service mean):")
 	for _, pol := range pols {
 		if pol.Name == "AccelFlow" {
 			continue
 		}
 		var rp, rm float64
 		for _, svc := range svcs {
-			rp += 1 - p99["AccelFlow"][svc.Name]/p99[pol.Name][svc.Name]
-			rm += 1 - mean["AccelFlow"][svc.Name]/mean[pol.Name][svc.Name]
+			rp += 1 - res.Get("AccelFlow/"+svc.Name+"/p99us")/res.Get(pol.Name+"/"+svc.Name+"/p99us")
+			rm += 1 - res.Get("AccelFlow/"+svc.Name+"/meanus")/res.Get(pol.Name+"/"+svc.Name+"/meanus")
 		}
 		rp /= float64(len(svcs))
 		rm /= float64(len(svcs))
-		res.addf("  vs %-12s P99 -%5.1f%%   mean -%5.1f%%\n", pol.Name, rp*100, rm*100)
-		res.Values["reduction_p99/"+pol.Name] = rp
-		res.Values["reduction_mean/"+pol.Name] = rm
+		res.Linef("  vs %-12s P99 -%5.1f%%   mean -%5.1f%%", pol.Name,
+			100*res.Set("reduction_p99/"+pol.Name, rp),
+			100*res.Set("reduction_mean/"+pol.Name, rm))
 	}
-	res.addf("paper: P99 -90.7/-81.2/-68.8/-70.1%%; mean -77.2/-53.9/-40.7/-37.9%% (Non-acc/CPU-Centric/RELIEF/Cohort)\n")
+	res.Linef("paper: P99 -90.7/-81.2/-68.8/-70.1%%; mean -77.2/-53.9/-40.7/-37.9%% (Non-acc/CPU-Centric/RELIEF/Cohort)")
 	return res, nil
 }
 
@@ -101,18 +105,18 @@ func Fig11Latency(o Options) (*Result, error) {
 // -55.1/-60.9/-68.3% vs RELIEF).
 func Fig12Loads(o Options) (*Result, error) {
 	res := newResult("fig12")
-	res.addf("Fig. 12 — P99 (us) vs load, DeathStarBench mix\n")
+	res.Linef("Fig. 12 — P99 (us) vs load, DeathStarBench mix")
 	loads := []float64{5, 10, 15}
 	if o.Quick {
 		loads = []float64{5, 15}
 	}
 	pols := architectures()
 	svcs := svcSubset(o, services.SocialNetwork())
-	res.addf("%-12s", "arch")
+	hdr := fmt.Sprintf("%-12s", "arch")
 	for _, l := range loads {
-		res.addf(" %9.0fk", l)
+		hdr += fmt.Sprintf(" %9.0fk", l)
 	}
-	res.addf("\n")
+	res.Linef("%s", hdr)
 	// One cell per (architecture, load); collect per-cell, merge after.
 	type pt struct {
 		pol  string
@@ -139,7 +143,11 @@ func Fig12Loads(o Options) (*Result, error) {
 							Requests: per,
 						})
 					}
-					run, err := workload.Run(config.Default(), pol, sources, seed, nil, nil)
+					spec := &workload.RunSpec{
+						Config: config.Default(), Policy: pol,
+						Sources: sources, Seed: seed,
+					}
+					run, err := spec.Run()
 					if err != nil {
 						return 0, err
 					}
@@ -156,28 +164,24 @@ func Fig12Loads(o Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	vals := map[string]map[float64]float64{}
 	for i, p := range pts {
-		if vals[p.pol] == nil {
-			vals[p.pol] = map[float64]float64{}
-		}
-		vals[p.pol][p.load] = outs[i]
+		res.Set(fmt.Sprintf("%s/%.0fk", p.pol, p.load), outs[i])
 	}
 	for _, pol := range pols {
-		res.addf("%-12s", pol.Name)
+		row := fmt.Sprintf("%-12s", pol.Name)
 		for _, load := range loads {
-			res.addf(" %10.0f", vals[pol.Name][load])
-			res.Values[fmt.Sprintf("%s/%.0fk", pol.Name, load)] = vals[pol.Name][load]
+			row += fmt.Sprintf(" %10.0f", res.Get(fmt.Sprintf("%s/%.0fk", pol.Name, load)))
 		}
-		res.addf("\n")
+		res.Linef("%s", row)
 	}
-	res.addf("\nAccelFlow vs RELIEF reduction:")
+	res.Linef("")
+	red := "AccelFlow vs RELIEF reduction:"
 	for _, load := range loads {
-		r := 1 - vals["AccelFlow"][load]/vals["RELIEF"][load]
-		res.addf("  %.0fk: -%.1f%%", load, r*100)
-		res.Values[fmt.Sprintf("reduction/%.0fk", load)] = r
+		r := 1 - res.Get(fmt.Sprintf("AccelFlow/%.0fk", load))/res.Get(fmt.Sprintf("RELIEF/%.0fk", load))
+		red += fmt.Sprintf("  %.0fk: -%.1f%%", load, 100*res.Set(fmt.Sprintf("reduction/%.0fk", load), r))
 	}
-	res.addf("\npaper: -55.1%% (5k), -60.9%% (10k), -68.3%% (15k)\n")
+	res.Linef("%s", red)
+	res.Linef("paper: -55.1%% (5k), -60.9%% (10k), -68.3%% (15k)")
 	return res, nil
 }
 
@@ -186,7 +190,7 @@ func Fig12Loads(o Options) (*Result, error) {
 // cumulative average P99 reductions: 6.8/32.7/55.1/68.7%).
 func Fig13Ablation(o Options) (*Result, error) {
 	res := newResult("fig13")
-	res.addf("Fig. 13 — P99 (us) with successive AccelFlow techniques\n")
+	res.Linef("Fig. 13 — P99 (us) with successive AccelFlow techniques")
 	ladder := []engine.Policy{
 		engine.RELIEF(), engine.RELIEFPerTypeQ(), engine.Direct(),
 		engine.CntrFlow(), engine.AccelFlow(),
@@ -198,8 +202,13 @@ func Fig13Ablation(o Options) (*Result, error) {
 		cells = append(cells, Cell[map[string]float64]{
 			Key: "fig13/" + pol.Name,
 			Run: func(seed int64) (map[string]float64, error) {
-				sources := workload.Mix(svcs, 1.0, o.reqs()*len(svcs))
-				run, err := workload.Run(config.Default(), pol, sources, seed, nil, nil)
+				spec := &workload.RunSpec{
+					Config:  config.Default(),
+					Policy:  pol,
+					Sources: workload.Mix(svcs, 1.0, o.reqs()*len(svcs)),
+					Seed:    seed,
+				}
+				run, err := spec.Run()
 				if err != nil {
 					return nil, err
 				}
@@ -216,34 +225,32 @@ func Fig13Ablation(o Options) (*Result, error) {
 		return nil, err
 	}
 	avg := map[string]float64{}
-	vals := map[string]map[string]float64{}
 	for i, pol := range ladder {
-		vals[pol.Name] = outs[i]
 		for _, svc := range svcs {
-			v := vals[pol.Name][svc.Name]
+			v := res.Set(pol.Name+"/"+svc.Name, outs[i][svc.Name])
 			avg[pol.Name] += v / float64(len(svcs))
-			res.Values[pol.Name+"/"+svc.Name] = v
 		}
 	}
-	res.addf("%-8s", "service")
+	hdr := fmt.Sprintf("%-8s", "service")
 	for _, pol := range ladder {
-		res.addf(" %12s", pol.Name)
+		hdr += fmt.Sprintf(" %12s", pol.Name)
 	}
-	res.addf("\n")
+	res.Linef("%s", hdr)
 	for _, svc := range svcs {
-		res.addf("%-8s", svc.Name)
+		row := fmt.Sprintf("%-8s", svc.Name)
 		for _, pol := range ladder {
-			res.addf(" %12.0f", vals[pol.Name][svc.Name])
+			row += fmt.Sprintf(" %12.0f", res.Get(pol.Name+"/"+svc.Name))
 		}
-		res.addf("\n")
+		res.Linef("%s", row)
 	}
-	res.addf("\ncumulative reduction vs RELIEF:")
+	res.Linef("")
+	cum := "cumulative reduction vs RELIEF:"
 	for _, pol := range ladder[1:] {
 		r := 1 - avg[pol.Name]/avg["RELIEF"]
-		res.addf("  %s -%.1f%%", pol.Name, r*100)
-		res.Values["reduction/"+pol.Name] = r
+		cum += fmt.Sprintf("  %s -%.1f%%", pol.Name, 100*res.Set("reduction/"+pol.Name, r))
 	}
-	res.addf("\npaper: PerAccTypeQ -6.8%%, Direct -32.7%%, CntrFlow -55.1%%, AccelFlow -68.7%%\n")
+	res.Linef("%s", cum)
+	res.Linef("paper: PerAccTypeQ -6.8%%, Direct -32.7%%, CntrFlow -55.1%%, AccelFlow -68.7%%")
 	return res, nil
 }
 
@@ -253,17 +260,18 @@ func Fig13Ablation(o Options) (*Result, error) {
 // AccelFlow 8.3x Non-acc, 2.2x RELIEF, within 8% of Ideal; EDF +1.6x).
 func Fig14Throughput(o Options) (*Result, error) {
 	res := newResult("fig14")
-	res.addf("Fig. 14 — max throughput under SLO (kRPS per service)\n")
+	res.Linef("Fig. 14 — max throughput under SLO (kRPS per service)")
 	pols := append(architectures(), engine.Ideal(), engine.AccelFlowEDF())
 	svcs := svcSubset(o, services.SocialNetwork())
 	if o.Quick {
 		svcs = svcs[:2]
 	}
-	res.addf("%-14s", "arch")
+	hdr := fmt.Sprintf("%-14s", "arch")
 	for _, svc := range svcs {
-		res.addf(" %8s", svc.Name)
+		hdr += fmt.Sprintf(" %8s", svc.Name)
 	}
-	res.addf(" %9s\n", "geomean")
+	hdr += fmt.Sprintf(" %9s", "geomean")
+	res.Linef("%s", hdr)
 	n := o.reqs()
 	if n > 1200 {
 		n = 1200
@@ -326,25 +334,24 @@ func Fig14Throughput(o Options) (*Result, error) {
 	}
 	geo := map[string]float64{}
 	for pi, pol := range pols {
-		res.addf("%-14s", pol.Name)
+		row := fmt.Sprintf("%-14s", pol.Name)
 		prod := 1.0
 		for si, svc := range svcs {
 			max := outs[pi*len(svcs)+si]
 			prod *= max
-			res.addf(" %8.0f", max/1000)
-			res.Values[pol.Name+"/"+svc.Name+"/krps"] = max / 1000
+			row += fmt.Sprintf(" %8.0f", res.Set(pol.Name+"/"+svc.Name+"/krps", max/1000))
 		}
 		geo[pol.Name] = pow(prod, 1/float64(len(svcs)))
-		res.addf(" %9.0f\n", geo[pol.Name]/1000)
-		res.Values[pol.Name+"/geomean_krps"] = geo[pol.Name] / 1000
+		row += fmt.Sprintf(" %9.0f", res.Set(pol.Name+"/geomean_krps", geo[pol.Name]/1000))
+		res.Linef("%s", row)
 	}
-	res.addf("\nAccelFlow vs Non-acc %.1fx, vs RELIEF %.1fx, of Ideal %.0f%%; EDF vs FIFO %.2fx\n",
-		geo["AccelFlow"]/geo["Non-acc"], geo["AccelFlow"]/geo["RELIEF"],
-		100*geo["AccelFlow"]/geo["Ideal"], geo["AccelFlow-EDF"]/geo["AccelFlow"])
-	res.Values["ratio/nonacc"] = geo["AccelFlow"] / geo["Non-acc"]
-	res.Values["ratio/relief"] = geo["AccelFlow"] / geo["RELIEF"]
-	res.Values["ratio/ideal"] = geo["AccelFlow"] / geo["Ideal"]
-	res.addf("paper: 8.3x Non-acc, 2.2x RELIEF, within 8%% of Ideal, EDF +1.6x\n")
+	res.Linef("")
+	res.Linef("AccelFlow vs Non-acc %.1fx, vs RELIEF %.1fx, of Ideal %.0f%%; EDF vs FIFO %.2fx",
+		res.Set("ratio/nonacc", geo["AccelFlow"]/geo["Non-acc"]),
+		res.Set("ratio/relief", geo["AccelFlow"]/geo["RELIEF"]),
+		100*res.Set("ratio/ideal", geo["AccelFlow"]/geo["Ideal"]),
+		geo["AccelFlow-EDF"]/geo["AccelFlow"])
+	res.Linef("paper: 8.3x Non-acc, 2.2x RELIEF, within 8%% of Ideal, EDF +1.6x")
 	return res, nil
 }
 
@@ -360,7 +367,7 @@ func pow(x, y float64) float64 {
 // (paper: AccelFlow 1.8x RELIEF on average).
 func Fig15Coarse(o Options) (*Result, error) {
 	res := newResult("fig15")
-	res.addf("Fig. 15 — coarse-grained apps: max throughput (kRPS)\n")
+	res.Linef("Fig. 15 — coarse-grained apps: max throughput (kRPS)")
 	apps := services.CoarseApps()
 	if o.Quick {
 		apps = apps[:2]
@@ -395,9 +402,15 @@ func Fig15Coarse(o Options) (*Result, error) {
 					}
 					slo := sim.FromMicros(5 * um)
 					measure := func(rps float64) sim.Time {
-						run, err := workload.Run(cfg, pol,
-							workload.SingleService(app, workload.Poisson{RPS: rps}, n),
-							seed, services.CoarseCatalog(), map[string]engine.RemoteKind{})
+						spec := &workload.RunSpec{
+							Config:   cfg,
+							Policy:   pol,
+							Sources:  workload.SingleService(app, workload.Poisson{RPS: rps}, n),
+							Seed:     seed,
+							Programs: services.CoarseCatalog(),
+							Remote:   map[string]engine.RemoteKind{},
+						}
+						run, err := spec.Run()
 						if err != nil {
 							return sim.Time(1) << 60
 						}
@@ -416,7 +429,7 @@ func Fig15Coarse(o Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	res.addf("%-12s %10s %10s %7s\n", "app", "RELIEF", "AccelFlow", "ratio")
+	res.Linef("%-12s %10s %10s %7s", "app", "RELIEF", "AccelFlow", "ratio")
 	var ratioSum float64
 	for ai, app := range apps {
 		max := map[string]float64{}
@@ -425,18 +438,25 @@ func Fig15Coarse(o Options) (*Result, error) {
 		}
 		ratio := max["AccelFlow"] / max["RELIEF"]
 		ratioSum += ratio
-		res.addf("%-12s %10.1f %10.1f %6.2fx\n", app.Name, max["RELIEF"]/1000, max["AccelFlow"]/1000, ratio)
-		res.Values[app.Name+"/ratio"] = ratio
+		res.Linef("%-12s %10.1f %10.1f %6.2fx", app.Name,
+			max["RELIEF"]/1000, max["AccelFlow"]/1000, res.Set(app.Name+"/ratio", ratio))
 	}
-	res.addf("\naverage AccelFlow/RELIEF = %.2fx (paper: 1.8x)\n", ratioSum/float64(len(apps)))
-	res.Values["avg_ratio"] = ratioSum / float64(len(apps))
+	res.Linef("")
+	res.Linef("average AccelFlow/RELIEF = %.2fx (paper: 1.8x)",
+		res.Set("avg_ratio", ratioSum/float64(len(apps))))
 	return res, nil
 }
 
 func unloadedMeanCoarse(cfg *config.Config, pol engine.Policy, app *services.Service, seed int64) (float64, error) {
-	run, err := workload.Run(cfg, pol,
-		workload.SingleService(app, workload.Poisson{RPS: 20}, 40),
-		seed, services.CoarseCatalog(), map[string]engine.RemoteKind{})
+	spec := &workload.RunSpec{
+		Config:   cfg,
+		Policy:   pol,
+		Sources:  workload.SingleService(app, workload.Poisson{RPS: 20}, 40),
+		Seed:     seed,
+		Programs: services.CoarseCatalog(),
+		Remote:   map[string]engine.RemoteKind{},
+	}
+	run, err := spec.Run()
 	if err != nil {
 		return 0, err
 	}
@@ -448,19 +468,18 @@ func unloadedMeanCoarse(cfg *config.Config, pol engine.Policy, app *services.Ser
 // AccelFlow -37% vs RELIEF on average).
 func Fig16Serverless(o Options) (*Result, error) {
 	res := newResult("fig16")
-	res.addf("Fig. 16 — serverless P99 (us), Azure-like bursts\n")
+	res.Linef("Fig. 16 — serverless P99 (us), Azure-like bursts")
 	pols := []engine.Policy{engine.NonAcc(), engine.RELIEF(), engine.AccelFlow()}
 	fns := services.Serverless()
 	if o.Quick {
 		fns = fns[:3]
 	}
-	res.addf("%-8s", "func")
+	hdr := fmt.Sprintf("%-8s", "func")
 	for _, pol := range pols {
-		res.addf(" %12s", pol.Name)
+		hdr += fmt.Sprintf(" %12s", pol.Name)
 	}
-	res.addf("\n")
+	res.Linef("%s", hdr)
 	// All functions are colocated on one server (§VII-A.5).
-	p99 := map[string]map[string]float64{}
 	for _, pol := range pols {
 		var sources []workload.Source
 		for _, fn := range fns {
@@ -470,30 +489,33 @@ func Fig16Serverless(o Options) (*Result, error) {
 				Requests: o.reqs(),
 			})
 		}
-		run, err := workload.Run(config.Default(), pol, sources, o.Seed, nil, nil)
+		spec := &workload.RunSpec{
+			Config: config.Default(), Policy: pol,
+			Sources: sources, Seed: o.Seed,
+		}
+		run, err := spec.Run()
 		if err != nil {
 			return nil, err
 		}
-		p99[pol.Name] = map[string]float64{}
 		for _, fn := range fns {
-			p99[pol.Name][fn.Name] = run.PerService[fn.Name].P99().Micros()
-			res.Values[pol.Name+"/"+fn.Name] = p99[pol.Name][fn.Name]
+			res.Set(pol.Name+"/"+fn.Name, run.PerService[fn.Name].P99().Micros())
 		}
 	}
 	for _, fn := range fns {
-		res.addf("%-8s", fn.Name)
+		row := fmt.Sprintf("%-8s", fn.Name)
 		for _, pol := range pols {
-			res.addf(" %12.0f", p99[pol.Name][fn.Name])
+			row += fmt.Sprintf(" %12.0f", res.Get(pol.Name+"/"+fn.Name))
 		}
-		res.addf("\n")
+		res.Linef("%s", row)
 	}
 	var r float64
 	for _, fn := range fns {
-		r += 1 - p99["AccelFlow"][fn.Name]/p99["RELIEF"][fn.Name]
+		r += 1 - res.Get("AccelFlow/"+fn.Name)/res.Get("RELIEF/"+fn.Name)
 	}
 	r /= float64(len(fns))
-	res.addf("\nAccelFlow vs RELIEF: -%.1f%% average (paper: -37%%)\n", r*100)
-	res.Values["reduction_vs_relief"] = r
+	res.Linef("")
+	res.Linef("AccelFlow vs RELIEF: -%.1f%% average (paper: -37%%)",
+		100*res.Set("reduction_vs_relief", r))
 	return res, nil
 }
 
@@ -502,8 +524,8 @@ func Fig16Serverless(o Options) (*Result, error) {
 // average), and communication.
 func Fig17Components(o Options) (*Result, error) {
 	res := newResult("fig17")
-	res.addf("Fig. 17 — AccelFlow execution time components (unloaded)\n")
-	res.addf("%-8s %6s %7s %6s %6s\n", "service", "cpu%", "accel%", "orch%", "comm%")
+	res.Linef("Fig. 17 — AccelFlow execution time components (unloaded)")
+	res.Linef("%-8s %6s %7s %6s %6s", "service", "cpu%", "accel%", "orch%", "comm%")
 	var orchAvg float64
 	svcs := services.SocialNetwork()
 	for _, svc := range svcs {
@@ -513,15 +535,16 @@ func Fig17Components(o Options) (*Result, error) {
 		}
 		bd := run.Breakdown
 		tot := bd.Total().Micros()
-		res.addf("%-8s %5.1f%% %6.1f%% %5.1f%% %5.1f%%\n", svc.Name,
+		res.Linef("%-8s %5.1f%% %6.1f%% %5.1f%% %5.1f%%", svc.Name,
 			100*bd.CPU.Micros()/tot, 100*bd.Accel.Micros()/tot,
-			100*bd.Orch.Micros()/tot, 100*bd.Comm.Micros()/tot)
+			100*res.Set(svc.Name+"/orch_share", bd.Orch.Micros()/tot),
+			100*bd.Comm.Micros()/tot)
 		orchAvg += bd.Orch.Micros() / tot
-		res.Values[svc.Name+"/orch_share"] = bd.Orch.Micros() / tot
 	}
 	orchAvg /= float64(len(svcs))
-	res.addf("\naverage orchestration share %.1f%% (paper: 2.2%%; RELIEF ~10%%)\n", orchAvg*100)
-	res.Values["avg_orch_share"] = orchAvg
+	res.Linef("")
+	res.Linef("average orchestration share %.1f%% (paper: 2.2%%; RELIEF ~10%%)",
+		100*res.Set("avg_orch_share", orchAvg))
 	return res, nil
 }
 
@@ -529,23 +552,29 @@ func Fig17Components(o Options) (*Result, error) {
 // counts (paper: ~15 typical, ~18 average, ~50 worst case).
 func GlueInstructions(o Options) (*Result, error) {
 	res := newResult("glue")
-	res.addf("§VII-B.2 — output dispatcher glue instructions\n")
-	sources := workload.Mix(services.SocialNetwork(), 0.3, o.reqs())
-	run, err := workload.Run(config.Default(), engine.AccelFlow(), sources, o.Seed, nil, nil)
+	res.Linef("§VII-B.2 — output dispatcher glue instructions")
+	spec := &workload.RunSpec{
+		Config:  config.Default(),
+		Policy:  engine.AccelFlow(),
+		Sources: workload.Mix(services.SocialNetwork(), 0.3, o.reqs()),
+		Seed:    o.Seed,
+	}
+	run, err := spec.Run()
 	if err != nil {
 		return nil, err
 	}
 	var instrs, passes uint64
-	res.addf("%-6s %10s %10s %8s\n", "accel", "passes", "instrs", "mean")
+	res.Linef("%-6s %10s %10s %8s", "accel", "passes", "instrs", "mean")
 	for _, k := range config.AllAccelKinds() {
 		st := run.Engine.Accels[k].Stats
 		instrs += st.GlueInstrs
 		passes += st.GluePasses
-		res.addf("%-6v %10d %10d %8.1f\n", k, st.GluePasses, st.GlueInstrs, st.MeanGlueInstrs())
+		res.Linef("%-6v %10d %10d %8.1f", k, st.GluePasses, st.GlueInstrs, st.MeanGlueInstrs())
 	}
 	mean := float64(instrs) / float64(passes)
-	res.addf("\nmean instructions per dispatcher operation: %.1f (paper: 18)\n", mean)
-	res.Values["mean_instrs"] = mean
+	res.Linef("")
+	res.Linef("mean instructions per dispatcher operation: %.1f (paper: 18)",
+		res.Set("mean_instrs", mean))
 	return res, nil
 }
 
@@ -554,19 +583,23 @@ func GlueInstructions(o Options) (*Result, error) {
 // 38%, LdB 71%).
 func AccelUtilization(o Options) (*Result, error) {
 	res := newResult("util")
-	res.addf("§VII-B.4 — accelerator utilization near peak\n")
+	res.Linef("§VII-B.4 — accelerator utilization near peak")
 	// Load the mix close to the AccelFlow saturation point.
-	sources := workload.Mix(services.SocialNetwork(), 3.1, o.reqs()*2)
-	run, err := workload.Run(config.Default(), engine.AccelFlow(), sources, o.Seed, nil, nil)
+	spec := &workload.RunSpec{
+		Config:  config.Default(),
+		Policy:  engine.AccelFlow(),
+		Sources: workload.Mix(services.SocialNetwork(), 3.1, o.reqs()*2),
+		Seed:    o.Seed,
+	}
+	run, err := spec.Run()
 	if err != nil {
 		return nil, err
 	}
 	for _, k := range config.AllAccelKinds() {
 		u := run.Engine.Accels[k].PEs.Utilization(run.Elapsed)
-		res.addf("%-6v %5.1f%%\n", k, u*100)
-		res.Values[k.String()] = u
+		res.Linef("%-6v %5.1f%%", k, 100*res.Set(k.String(), u))
 	}
-	res.addf("paper: TCP 92%%, (De)Encr 82%%, RPC 68%%, (De)Ser 73%%, (De)Cmp 38%%, LdB 71%%\n")
+	res.Linef("paper: TCP 92%%, (De)Encr 82%%, RPC 68%%, (De)Ser 73%%, (De)Cmp 38%%, LdB 71%%")
 	return res, nil
 }
 
@@ -575,7 +608,7 @@ func AccelUtilization(o Options) (*Result, error) {
 // queue memory.
 func EnergyReport(o Options) (*Result, error) {
 	res := newResult("energy")
-	res.addf("§VII-B.5 — power, energy, and memory\n")
+	res.Linef("§VII-B.5 — power, energy, and memory")
 	pm := energy.DefaultPower()
 	type row struct {
 		name string
@@ -584,27 +617,30 @@ func EnergyReport(o Options) (*Result, error) {
 	}
 	var rows []row
 	for _, pol := range []engine.Policy{engine.NonAcc(), engine.RELIEF(), engine.AccelFlow()} {
-		sources := workload.Mix(services.SocialNetwork(), 1.0, o.reqs()*2)
-		run, err := workload.Run(config.Default(), pol, sources, o.Seed, nil, nil)
+		spec := &workload.RunSpec{
+			Config:  config.Default(),
+			Policy:  pol,
+			Sources: workload.Mix(services.SocialNetwork(), 1.0, o.reqs()*2),
+			Seed:    o.Seed,
+		}
+		run, err := spec.Run()
 		if err != nil {
 			return nil, err
 		}
 		rep := energy.Integrate(pm, run.Engine, run.Elapsed)
 		rows = append(rows, row{pol.Name, rep, run.Completed})
-		res.addf("%-10s energy %8.3fJ  avg power %6.1fW  perf/W %8.2f req/s/W\n",
-			pol.Name, rep.TotalJ(), rep.AvgPowerW(), energy.PerfPerWatt(run.Completed, rep))
-		res.Values[pol.Name+"/energyJ"] = rep.TotalJ()
-		res.Values[pol.Name+"/perfperW"] = energy.PerfPerWatt(run.Completed, rep)
+		res.Linef("%-10s energy %8.3fJ  avg power %6.1fW  perf/W %8.2f req/s/W",
+			pol.Name, res.Set(pol.Name+"/energyJ", rep.TotalJ()), rep.AvgPowerW(),
+			res.Set(pol.Name+"/perfperW", energy.PerfPerWatt(run.Completed, rep)))
 	}
 	af, na, rl := rows[2], rows[0], rows[1]
 	eRed := 1 - af.rep.TotalJ()/na.rep.TotalJ()
-	res.addf("\nenergy vs Non-acc: -%.1f%% (paper -74%%)\n", eRed*100)
-	res.addf("perf/W: %.1fx Non-acc (paper 7.2x), %.1fx RELIEF (paper 2.1x)\n",
+	res.Linef("")
+	res.Linef("energy vs Non-acc: -%.1f%% (paper -74%%)", 100*res.Set("energy_reduction", eRed))
+	res.Linef("perf/W: %.1fx Non-acc (paper 7.2x), %.1fx RELIEF (paper 2.1x)",
 		energyRatio(af, na), energyRatio(af, rl))
-	res.addf("AccelFlow queue memory: %.1f MB (paper 2.4MB)\n",
-		float64(energy.QueueMemoryBytes(config.Default()))/1e6)
-	res.Values["energy_reduction"] = eRed
-	res.Values["queue_mb"] = float64(energy.QueueMemoryBytes(config.Default())) / 1e6
+	res.Linef("AccelFlow queue memory: %.1f MB (paper 2.4MB)",
+		res.Set("queue_mb", float64(energy.QueueMemoryBytes(config.Default()))/1e6))
 	return res, nil
 }
 
@@ -626,13 +662,18 @@ func energyRatio(a, b struct {
 // timeouts (3.2 per million requests), and TLB misses.
 func HighOverheadEvents(o Options) (*Result, error) {
 	res := newResult("events")
-	res.addf("§VII-B.6 — high-overhead event frequency\n")
+	res.Linef("§VII-B.6 — high-overhead event frequency")
 	for _, load := range []struct {
 		name  string
 		scale float64
 	}{{"production", 1.0}, {"peak", 3.0}} {
-		sources := workload.Mix(services.SocialNetwork(), load.scale, o.reqs()*2)
-		run, err := workload.Run(config.Default(), engine.AccelFlow(), sources, o.Seed, nil, nil)
+		spec := &workload.RunSpec{
+			Config:  config.Default(),
+			Policy:  engine.AccelFlow(),
+			Sources: workload.Mix(services.SocialNetwork(), load.scale, o.reqs()*2),
+			Seed:    o.Seed,
+		}
+		run, err := spec.Run()
 		if err != nil {
 			return nil, err
 		}
@@ -647,14 +688,13 @@ func HighOverheadEvents(o Options) (*Result, error) {
 			faults += e.Accels[k].TLB.PageFaults
 		}
 		fallbackPct := 100 * float64(e.Stats.FallbacksQueue+overflows) / float64(invocations+1)
-		res.addf("%-10s: overflow/fallback %5.2f%% of invocations; timeouts %.1f/M req; page faults %.2f/M invocations; TLB miss %.2f%%\n",
-			load.name, fallbackPct,
-			1e6*float64(e.Stats.Timeouts)/float64(run.Completed+1),
+		res.Linef("%-10s: overflow/fallback %5.2f%% of invocations; timeouts %.1f/M req; page faults %.2f/M invocations; TLB miss %.2f%%",
+			load.name,
+			res.Set(load.name+"/fallback_pct", fallbackPct),
+			res.Set(load.name+"/timeouts_per_m", 1e6*float64(e.Stats.Timeouts)/float64(run.Completed+1)),
 			1e6*float64(faults)/float64(invocations+1),
 			100*float64(tlbM)/float64(tlbA+1))
-		res.Values[load.name+"/fallback_pct"] = fallbackPct
-		res.Values[load.name+"/timeouts_per_m"] = 1e6 * float64(e.Stats.Timeouts) / float64(run.Completed+1)
 	}
-	res.addf("paper: overflow 1.4%% avg / 5.9%% peak; TCP timeouts 3.2/M; page faults 0.13/M instr\n")
+	res.Linef("paper: overflow 1.4%% avg / 5.9%% peak; TCP timeouts 3.2/M; page faults 0.13/M instr")
 	return res, nil
 }

@@ -7,6 +7,7 @@ package experiments
 import (
 	"fmt"
 	"sort"
+	"strings"
 
 	"accelflow/internal/config"
 	"accelflow/internal/engine"
@@ -43,20 +44,48 @@ func (o Options) reqs() int {
 	return n
 }
 
-// Result is one experiment's output.
+// Result is one experiment's output. Values — named scalar outcomes
+// such as "AccelFlow/CPost/p99us" — are the source of truth: the
+// golden tests, the paper-shape checks, and EXPERIMENTS.md all read
+// them. The human-readable report is a list of Lines rendered from
+// those values (plus layout-only context); Text joins them.
 type Result struct {
 	Name string
-	Text string
 	// Values holds named scalar outcomes, e.g. "AccelFlow/CPost/p99us".
 	Values map[string]float64
+	// Lines is the rendered report, one entry per line (no newlines).
+	Lines []string
 }
 
 func newResult(name string) *Result {
 	return &Result{Name: name, Values: map[string]float64{}}
 }
 
-func (r *Result) addf(format string, args ...interface{}) {
-	r.Text += fmt.Sprintf(format, args...)
+// Set records a named scalar outcome and returns it, so a report line
+// can record and render the same number in one expression:
+//
+//	res.Linef("p99 -%5.1f%%", 100*res.Set("reduction_p99", rp))
+func (r *Result) Set(key string, v float64) float64 {
+	r.Values[key] = v
+	return v
+}
+
+// Get reads a recorded value (zero when absent).
+func (r *Result) Get(key string) float64 { return r.Values[key] }
+
+// Linef appends one rendered line to the report. The format string
+// must not contain newlines; use one call per line (an empty format
+// makes a blank separator line).
+func (r *Result) Linef(format string, args ...interface{}) {
+	r.Lines = append(r.Lines, fmt.Sprintf(format, args...))
+}
+
+// Text renders the report.
+func (r *Result) Text() string {
+	if len(r.Lines) == 0 {
+		return ""
+	}
+	return strings.Join(r.Lines, "\n") + "\n"
 }
 
 // Runner executes one experiment.
@@ -115,7 +144,13 @@ func architectures() []engine.Policy {
 // runOne simulates one service under one policy with the given arrival
 // process.
 func runOne(cfg *config.Config, pol engine.Policy, svc *services.Service, arr workload.Arrivals, n int, seed int64) (*workload.RunResult, error) {
-	return workload.Run(cfg, pol, workload.SingleService(svc, arr, n), seed, nil, nil)
+	spec := &workload.RunSpec{
+		Config:  cfg,
+		Policy:  pol,
+		Sources: workload.SingleService(svc, arr, n),
+		Seed:    seed,
+	}
+	return spec.Run()
 }
 
 // unloadedMean measures a service's mean on-server latency (excluding

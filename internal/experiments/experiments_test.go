@@ -26,7 +26,7 @@ func TestEveryExperimentRuns(t *testing.T) {
 			if res.Name != id {
 				t.Errorf("result name %q != id %q", res.Name, id)
 			}
-			if strings.TrimSpace(res.Text) == "" {
+			if strings.TrimSpace(res.Text()) == "" {
 				t.Errorf("%s produced no text", id)
 			}
 			if len(res.Values) == 0 {

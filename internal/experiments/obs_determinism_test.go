@@ -1,0 +1,78 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+
+	"accelflow/internal/config"
+	"accelflow/internal/engine"
+	"accelflow/internal/obs"
+	"accelflow/internal/services"
+	"accelflow/internal/workload"
+)
+
+// TestTraceExportDeterministicAcrossParallelism runs one observed
+// simulation cell per service through the sweep engine at Parallelism
+// 1 and 8 and requires the exported Chrome traces to be byte-identical:
+// observability output must inherit the sweep's determinism contract,
+// not just its scalar Values.
+func TestTraceExportDeterministicAcrossParallelism(t *testing.T) {
+	svcs := services.SocialNetwork()[:4]
+	cells := make([]Cell[[]byte], 0, len(svcs))
+	for _, svc := range svcs {
+		svc := svc
+		cells = append(cells, Cell[[]byte]{
+			Key: "obsdet/" + svc.Name,
+			Run: func(seed int64) ([]byte, error) {
+				sink := obs.New()
+				spec := &workload.RunSpec{
+					Config:  config.Default(),
+					Policy:  engine.AccelFlow(),
+					Sources: workload.SingleService(svc, workload.Poisson{RPS: 3000}, 80),
+					Seed:    seed,
+					Obs:     sink,
+				}
+				if _, err := spec.Run(); err != nil {
+					return nil, err
+				}
+				var buf bytes.Buffer
+				if err := sink.WriteChromeTrace(&buf); err != nil {
+					return nil, err
+				}
+				return buf.Bytes(), nil
+			},
+		})
+	}
+	opts := Options{Seed: 1, Quick: true}
+
+	opts.Parallelism = 1
+	serial, err := RunCells(opts, cells)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Parallelism = 8
+	par, err := RunCells(opts, cells)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, svc := range svcs {
+		if len(serial[i]) == 0 {
+			t.Fatalf("%s: empty trace export", svc.Name)
+		}
+		if !bytes.Equal(serial[i], par[i]) {
+			t.Errorf("%s: trace export differs between Parallelism 1 and 8", svc.Name)
+		}
+	}
+
+	// A repeat at the same parallelism must also be bit-identical.
+	opts.Parallelism = 8
+	again, err := RunCells(opts, cells)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, svc := range svcs {
+		if !bytes.Equal(par[i], again[i]) {
+			t.Errorf("%s: trace export unstable across repeated runs", svc.Name)
+		}
+	}
+}

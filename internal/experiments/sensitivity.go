@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"strings"
 
 	"accelflow/internal/config"
 	"accelflow/internal/energy"
@@ -16,8 +17,13 @@ import (
 // Options, so cells stay independent of each other.
 func avgP99(o Options, cfg *config.Config, pol engine.Policy, seed int64) (float64, error) {
 	svcs := services.SocialNetwork()
-	sources := workload.Mix(svcs, 1.0, o.reqs()*len(svcs))
-	run, err := workload.Run(cfg, pol, sources, seed, nil, nil)
+	spec := &workload.RunSpec{
+		Config:  cfg,
+		Policy:  pol,
+		Sources: workload.Mix(svcs, 1.0, o.reqs()*len(svcs)),
+		Seed:    seed,
+	}
+	run, err := spec.Run()
 	if err != nil {
 		return 0, err
 	}
@@ -32,7 +38,7 @@ func avgP99(o Options, cfg *config.Config, pol engine.Policy, seed int64) (float
 // organizations (paper: 2->6 chiplets raises tail latency by 14%).
 func Fig18Chiplets(o Options) (*Result, error) {
 	res := newResult("fig18")
-	res.addf("Fig. 18 — P99 (us) by chiplet organization (AccelFlow)\n")
+	res.Linef("Fig. 18 — P99 (us) by chiplet organization (AccelFlow)")
 	plans := config.AllChipletPlans()
 	cells := make([]Cell[float64], 0, len(plans))
 	for _, plan := range plans {
@@ -53,12 +59,11 @@ func Fig18Chiplets(o Options) (*Result, error) {
 		return nil, err
 	}
 	for i, plan := range plans {
-		res.addf("%-10v %10.0f\n", plan, outs[i])
-		res.Values[plan.String()] = outs[i]
+		res.Linef("%-10v %10.0f", plan, res.Set(plan.String(), outs[i]))
 	}
-	if v2, v6 := res.Values["2-chiplet"], res.Values["6-chiplet"]; v2 > 0 {
-		res.addf("\n6- vs 2-chiplet: +%.1f%% (paper +14%%)\n", 100*(v6/v2-1))
-		res.Values["increase_6v2"] = v6/v2 - 1
+	if v2, v6 := res.Get("2-chiplet"), res.Get("6-chiplet"); v2 > 0 {
+		res.Linef("")
+		res.Linef("6- vs 2-chiplet: +%.1f%% (paper +14%%)", 100*res.Set("increase_6v2", v6/v2-1))
 	}
 	return res, nil
 }
@@ -68,16 +73,16 @@ func Fig18Chiplets(o Options) (*Result, error) {
 // 100 cycles on 6 chiplets raises tail latency 45%).
 func Sens2InterChiplet(o Options) (*Result, error) {
 	res := newResult("sens2")
-	res.addf("§VII-C.2 — P99 (us) vs inter-chiplet latency (cycles)\n")
+	res.Linef("§VII-C.2 — P99 (us) vs inter-chiplet latency (cycles)")
 	lats := []int{20, 60, 100}
 	if o.Quick {
 		lats = []int{60, 100}
 	}
-	res.addf("%-10s", "plan")
+	hdr := fmt.Sprintf("%-10s", "plan")
 	for _, l := range lats {
-		res.addf(" %8dcy", l)
+		hdr += fmt.Sprintf(" %8dcy", l)
 	}
-	res.addf("\n")
+	res.Linef("%s", hdr)
 	plans := []config.ChipletPlan{config.TwoChiplets, config.SixChiplets}
 	var cells []Cell[float64]
 	for _, plan := range plans {
@@ -101,17 +106,16 @@ func Sens2InterChiplet(o Options) (*Result, error) {
 		return nil, err
 	}
 	for pi, plan := range plans {
-		res.addf("%-10v", plan)
+		row := fmt.Sprintf("%-10v", plan)
 		for li, lat := range lats {
-			v := outs[pi*len(lats)+li]
-			res.addf(" %10.0f", v)
-			res.Values[fmt.Sprintf("%v/%dcy", plan, lat)] = v
+			row += fmt.Sprintf(" %10.0f", res.Set(fmt.Sprintf("%v/%dcy", plan, lat), outs[pi*len(lats)+li]))
 		}
-		res.addf("\n")
+		res.Linef("%s", row)
 	}
-	if v60, v100 := res.Values["6-chiplet/60cy"], res.Values["6-chiplet/100cy"]; v60 > 0 {
-		res.addf("\n6-chiplet 60->100 cycles: +%.1f%% (paper +45%%)\n", 100*(v100/v60-1))
-		res.Values["increase_6c_100v60"] = v100/v60 - 1
+	if v60, v100 := res.Get("6-chiplet/60cy"), res.Get("6-chiplet/100cy"); v60 > 0 {
+		res.Linef("")
+		res.Linef("6-chiplet 60->100 cycles: +%.1f%% (paper +45%%)",
+			100*res.Set("increase_6c_100v60", v100/v60-1))
 	}
 	return res, nil
 }
@@ -121,8 +125,8 @@ func Sens2InterChiplet(o Options) (*Result, error) {
 // denied at 4/2 PEs; tail +20.0%/+35.7%).
 func Fig19PECount(o Options) (*Result, error) {
 	res := newResult("fig19")
-	res.addf("Fig. 19 — P99 (us) and fallbacks by PEs per accelerator\n")
-	res.addf("%-6s %10s %12s\n", "PEs", "p99(us)", "fallback%")
+	res.Linef("Fig. 19 — P99 (us) and fallbacks by PEs per accelerator")
+	res.Linef("%-6s %10s %12s", "PEs", "p99(us)", "fallback%")
 	peCounts := []int{8, 4, 2}
 	type peStats struct{ p99, fb float64 }
 	cells := make([]Cell[peStats], 0, len(peCounts))
@@ -134,8 +138,13 @@ func Fig19PECount(o Options) (*Result, error) {
 				cfg := config.Default()
 				cfg.PEsPerAccel = pes
 				svcs := services.SocialNetwork()
-				sources := workload.Mix(svcs, 1.0, o.reqs()*len(svcs))
-				run, err := workload.Run(cfg, engine.AccelFlow(), sources, seed, nil, nil)
+				spec := &workload.RunSpec{
+					Config:  cfg,
+					Policy:  engine.AccelFlow(),
+					Sources: workload.Mix(svcs, 1.0, o.reqs()*len(svcs)),
+					Seed:    seed,
+				}
+				run, err := spec.Run()
 				if err != nil {
 					return peStats{}, err
 				}
@@ -160,15 +169,15 @@ func Fig19PECount(o Options) (*Result, error) {
 		return nil, err
 	}
 	for i, pes := range peCounts {
-		res.addf("%-6d %10.0f %11.2f%%\n", pes, outs[i].p99, outs[i].fb)
-		res.Values[fmt.Sprintf("%dpe/p99us", pes)] = outs[i].p99
-		res.Values[fmt.Sprintf("%dpe/fallback_pct", pes)] = outs[i].fb
+		res.Linef("%-6d %10.0f %11.2f%%", pes,
+			res.Set(fmt.Sprintf("%dpe/p99us", pes), outs[i].p99),
+			res.Set(fmt.Sprintf("%dpe/fallback_pct", pes), outs[i].fb))
 	}
-	if v8 := res.Values["8pe/p99us"]; v8 > 0 {
-		res.addf("\ntail increase: 4 PEs +%.1f%% (paper +20.0%%), 2 PEs +%.1f%% (paper +35.7%%)\n",
-			100*(res.Values["4pe/p99us"]/v8-1), 100*(res.Values["2pe/p99us"]/v8-1))
-		res.Values["increase_4pe"] = res.Values["4pe/p99us"]/v8 - 1
-		res.Values["increase_2pe"] = res.Values["2pe/p99us"]/v8 - 1
+	if v8 := res.Get("8pe/p99us"); v8 > 0 {
+		res.Linef("")
+		res.Linef("tail increase: 4 PEs +%.1f%% (paper +20.0%%), 2 PEs +%.1f%% (paper +35.7%%)",
+			100*res.Set("increase_4pe", res.Get("4pe/p99us")/v8-1),
+			100*res.Set("increase_2pe", res.Get("2pe/p99us")/v8-1))
 	}
 	return res, nil
 }
@@ -178,17 +187,18 @@ func Fig19PECount(o Options) (*Result, error) {
 // over RELIEF grows from 68.8% on Ice Lake to 71.7% on Emerald Rapids).
 func Fig20Generations(o Options) (*Result, error) {
 	res := newResult("fig20")
-	res.addf("Fig. 20 — P99 (us) across processor generations\n")
+	res.Linef("Fig. 20 — P99 (us) across processor generations")
 	gens := config.AllGenerations()
 	if o.Quick {
 		gens = []config.Generation{config.Haswell, config.IceLake, config.EmeraldRapids}
 	}
 	pols := []engine.Policy{engine.NonAcc(), engine.RELIEF(), engine.AccelFlow()}
-	res.addf("%-16s", "generation")
+	hdr := fmt.Sprintf("%-16s", "generation")
 	for _, pol := range pols {
-		res.addf(" %12s", pol.Name)
+		hdr += fmt.Sprintf(" %12s", pol.Name)
 	}
-	res.addf(" %10s\n", "AF v RELIEF")
+	hdr += fmt.Sprintf(" %10s", "AF v RELIEF")
+	res.Linef("%s", hdr)
 	var cells []Cell[float64]
 	for _, g := range gens {
 		for _, pol := range pols {
@@ -208,19 +218,19 @@ func Fig20Generations(o Options) (*Result, error) {
 		return nil, err
 	}
 	for gi, g := range gens {
-		res.addf("%-16v", g)
+		row := fmt.Sprintf("%-16v", g)
 		vals := map[string]float64{}
 		for pi, pol := range pols {
-			v := outs[gi*len(pols)+pi]
+			v := res.Set(fmt.Sprintf("%v/%s", g, pol.Name), outs[gi*len(pols)+pi])
 			vals[pol.Name] = v
-			res.addf(" %12.0f", v)
-			res.Values[fmt.Sprintf("%v/%s", g, pol.Name)] = v
+			row += fmt.Sprintf(" %12.0f", v)
 		}
 		red := 1 - vals["AccelFlow"]/vals["RELIEF"]
-		res.addf("  -%8.1f%%\n", red*100)
-		res.Values[fmt.Sprintf("%v/reduction", g)] = red
+		row += fmt.Sprintf("  -%8.1f%%", 100*res.Set(fmt.Sprintf("%v/reduction", g), red))
+		res.Linef("%s", row)
 	}
-	res.addf("\npaper: -68.8%% on IceLake growing to -71.7%% on EmeraldRapids\n")
+	res.Linef("")
+	res.Linef("paper: -68.8%% on IceLake growing to -71.7%% on EmeraldRapids")
 	return res, nil
 }
 
@@ -229,12 +239,12 @@ func Fig20Generations(o Options) (*Result, error) {
 // 0.25x speedups to 3.9x at 4x).
 func Sens5Speedups(o Options) (*Result, error) {
 	res := newResult("sens5")
-	res.addf("§VII-C.5 — AccelFlow vs RELIEF P99 ratio as accelerator speedups scale\n")
+	res.Linef("§VII-C.5 — AccelFlow vs RELIEF P99 ratio as accelerator speedups scale")
 	scales := []float64{0.25, 0.5, 1, 2, 4}
 	if o.Quick {
 		scales = []float64{0.25, 1, 4}
 	}
-	res.addf("%-8s %12s %12s %8s\n", "scale", "RELIEF", "AccelFlow", "gain")
+	res.Linef("%-8s %12s %12s %8s", "scale", "RELIEF", "AccelFlow", "gain")
 	pols := []engine.Policy{engine.RELIEF(), engine.AccelFlow()}
 	var cells []Cell[float64]
 	for _, s := range scales {
@@ -256,11 +266,11 @@ func Sens5Speedups(o Options) (*Result, error) {
 	}
 	for si, s := range scales {
 		rl, af := outs[si*2], outs[si*2+1]
-		gain := rl / af
-		res.addf("%-8.2f %12.0f %12.0f %7.2fx\n", s, rl, af, gain)
-		res.Values[fmt.Sprintf("%.2fx/gain", s)] = gain
+		res.Linef("%-8.2f %12.0f %12.0f %7.2fx", s, rl, af,
+			res.Set(fmt.Sprintf("%.2fx/gain", s), rl/af))
 	}
-	res.addf("\npaper: 1.4x at 0.25x speedups, 2.2x at 1x, 3.9x at 4x\n")
+	res.Linef("")
+	res.Linef("paper: 1.4x at 0.25x speedups, 2.2x at 1x, 3.9x at 4x")
 	return res, nil
 }
 
@@ -268,12 +278,16 @@ func Sens5Speedups(o Options) (*Result, error) {
 func AreaAccounting(Options) (*Result, error) {
 	res := newResult("area")
 	a := energy.Area()
-	res.addf("§VI — area accounting (7nm)\n%s\n", energy.FormatArea(a))
+	res.Linef("§VI — area accounting (7nm)")
+	for _, line := range strings.Split(strings.TrimRight(energy.FormatArea(a), "\n"), "\n") {
+		res.Linef("%s", line)
+	}
 	comb, accel, over := a.AccelFraction()
-	res.Values["combined_frac"] = comb
-	res.Values["accel_frac"] = accel
-	res.Values["overhead_frac"] = over
-	res.Values["accel_mm2"] = float64(a.AccelTotal())
-	res.addf("paper: combined 29.0%%, accelerators 26.1%%, AccelFlow overhead <=2.9%%\n")
+	res.Linef("combined %.1f%%, accelerators %.1f%%, overhead %.1f%% of %.0f mm2 accel area",
+		100*res.Set("combined_frac", comb),
+		100*res.Set("accel_frac", accel),
+		100*res.Set("overhead_frac", over),
+		res.Set("accel_mm2", float64(a.AccelTotal())))
+	res.Linef("paper: combined 29.0%%, accelerators 26.1%%, AccelFlow overhead <=2.9%%")
 	return res, nil
 }

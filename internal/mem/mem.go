@@ -73,6 +73,18 @@ func (m *Memory) pick() *sim.Resource {
 	return best
 }
 
+// BusyTime sums cumulative busy time across the DRAM controllers.
+func (m *Memory) BusyTime() sim.Time {
+	var t sim.Time
+	for _, c := range m.ctrls {
+		t += c.BusyTime
+	}
+	return t
+}
+
+// CtrlCount reports the number of DRAM controllers.
+func (m *Memory) CtrlCount() int { return len(m.ctrls) }
+
 // Utilization returns mean controller utilization over elapsed time.
 func (m *Memory) Utilization(elapsed sim.Time) float64 {
 	var u float64

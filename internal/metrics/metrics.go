@@ -70,6 +70,19 @@ func (r *Recorder) Percentile(p float64) sim.Time {
 	return r.samples[rank-1]
 }
 
+// Merge folds all of other's samples into r, invalidating r's sort
+// cache; other is left unchanged. Use it to combine per-cell recorders
+// single-threaded after a parallel sweep join — merging does not make
+// Recorder safe for concurrent use.
+func (r *Recorder) Merge(other *Recorder) {
+	if other == nil || len(other.samples) == 0 {
+		return
+	}
+	r.samples = append(r.samples, other.samples...)
+	r.sum += other.sum
+	r.sorted = false
+}
+
 // P99 is shorthand for the tail latency the paper reports everywhere.
 func (r *Recorder) P99() sim.Time { return r.Percentile(99) }
 

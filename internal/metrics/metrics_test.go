@@ -128,3 +128,76 @@ func TestThroughputSearchMonotoneSystem(t *testing.T) {
 		t.Errorf("found %v, want ~30000", got)
 	}
 }
+
+func TestMergeMatchesCombinedRecorder(t *testing.T) {
+	a := NewRecorder("a")
+	b := NewRecorder("b")
+	all := NewRecorder("all")
+	for i := 1; i <= 40; i++ {
+		s := sim.Time(i * 7 % 41)
+		if i%2 == 0 {
+			a.Add(s)
+		} else {
+			b.Add(s)
+		}
+		all.Add(s)
+	}
+	a.Merge(b)
+	if a.Count() != all.Count() {
+		t.Fatalf("merged count %d, want %d", a.Count(), all.Count())
+	}
+	if a.Mean() != all.Mean() {
+		t.Errorf("merged mean %v, want %v", a.Mean(), all.Mean())
+	}
+	for _, p := range []float64{50, 90, 99, 100} {
+		if a.Percentile(p) != all.Percentile(p) {
+			t.Errorf("merged p%.0f %v, want %v", p, a.Percentile(p), all.Percentile(p))
+		}
+	}
+	// The source recorder must be untouched.
+	if b.Count() != 20 {
+		t.Errorf("source recorder mutated: count %d", b.Count())
+	}
+}
+
+func TestMergeInvalidatesSortCache(t *testing.T) {
+	a := NewRecorder("a")
+	for _, s := range []sim.Time{10, 20, 30} {
+		a.Add(s)
+	}
+	if got := a.Max(); got != 30 { // forces the sort + cache
+		t.Fatalf("max %v", got)
+	}
+	b := NewRecorder("b")
+	b.Add(100)
+	a.Merge(b)
+	if got := a.Max(); got != 100 {
+		t.Errorf("max after merge %v, want 100 (stale sort cache?)", got)
+	}
+}
+
+func TestMergeEmptyAndNil(t *testing.T) {
+	a := NewRecorder("a")
+	a.Add(5)
+	a.Merge(nil)
+	a.Merge(NewRecorder("empty"))
+	if a.Count() != 1 || a.Mean() != 5 {
+		t.Errorf("no-op merges changed recorder: n=%d mean=%v", a.Count(), a.Mean())
+	}
+}
+
+func TestPercentileSortCacheStaysCorrectAfterAdd(t *testing.T) {
+	r := NewRecorder("r")
+	r.Add(50)
+	r.Add(10)
+	if got := r.P50(); got != 10 {
+		t.Fatalf("p50 %v, want 10", got)
+	}
+	r.Add(1) // must invalidate the cached sort
+	if got := r.Percentile(100); got != 50 {
+		t.Errorf("max %v, want 50", got)
+	}
+	if got := r.Percentile(1); got != 1 {
+		t.Errorf("p1 %v, want 1", got)
+	}
+}

@@ -97,6 +97,20 @@ func (n *Network) TransferTime(a, b Node, bytes int) sim.Time {
 	return n.Latency(a, b) + n.serialization(a, b, bytes)
 }
 
+// LinkBusy sums cumulative busy time across the inter-chiplet links.
+// Map iteration order varies but summation is commutative, so the
+// result is deterministic.
+func (n *Network) LinkBusy() sim.Time {
+	var t sim.Time
+	for _, l := range n.links {
+		t += l.BusyTime
+	}
+	return t
+}
+
+// LinkCount reports the number of inter-chiplet links.
+func (n *Network) LinkCount() int { return len(n.links) }
+
 // Send models a message: latency plus serialization, with inter-chiplet
 // messages serializing on the shared pair link. done fires at delivery.
 func (n *Network) Send(a, b Node, bytes int, done func()) {

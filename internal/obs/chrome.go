@@ -1,0 +1,177 @@
+// Chrome trace-event export: renders the recorded span tree and
+// utilization series in the trace-event JSON format that
+// chrome://tracing and Perfetto load. Spans become async "b"/"e"
+// event pairs, segments become "X" complete events, and utilization
+// series become "C" counter events.
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"accelflow/internal/sim"
+)
+
+// Synthetic pid/tid layout for the trace viewer: spans and segments
+// live in one "requests" process, counters in a "utilization" process.
+const (
+	pidRequests = 1
+	pidUtil     = 2
+)
+
+// chromeEvent is one trace-event record. Field order is fixed by the
+// struct, and encoding/json emits struct fields in declaration order,
+// so the byte stream is fully determined by the recorded data.
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Cat   string         `json:"cat,omitempty"`
+	Ph    string         `json:"ph"`
+	TS    float64        `json:"ts"`
+	Dur   *float64       `json:"dur,omitempty"`
+	PID   int            `json:"pid"`
+	TID   int            `json:"tid"`
+	ID    string         `json:"id,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+	Scope string         `json:"s,omitempty"`
+}
+
+// usec converts integer picoseconds to the float microseconds the
+// trace-event format expects.
+func usec(t sim.Time) float64 { return float64(t) / 1e6 }
+
+// WriteChromeTrace writes the run as a Chrome trace-event JSON object
+// ({"traceEvents": [...], ...}). Safe on a nil sink (writes an empty
+// trace). Output bytes depend only on the recorded data.
+func (s *Sink) WriteChromeTrace(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(`{"displayTimeUnit":"ms","traceEvents":[`); err != nil {
+		return err
+	}
+	enc := json.NewEncoder(bw)
+	enc.SetEscapeHTML(false)
+	first := true
+	emit := func(ev chromeEvent) error {
+		if !first {
+			if err := bw.WriteByte(','); err != nil {
+				return err
+			}
+		}
+		first = false
+		// Encoder appends a newline after each value; keep it — it makes
+		// the file diffable while remaining valid JSON.
+		return enc.Encode(ev)
+	}
+
+	for _, ev := range s.chromeEvents() {
+		if err := emit(ev); err != nil {
+			return err
+		}
+	}
+	if _, err := bw.WriteString("]}\n"); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// chromeEvents builds the full, deterministically ordered event list.
+func (s *Sink) chromeEvents() []chromeEvent {
+	var evs []chromeEvent
+	if s == nil {
+		return evs
+	}
+
+	evs = append(evs,
+		metaEvent(pidRequests, 0, "process_name", "requests"),
+		metaEvent(pidUtil, 0, "process_name", "utilization"),
+	)
+
+	// Each span gets its own async id so b/e pairs nest trivially
+	// (Chrome matches async events by cat+id; distinct ids mean the
+	// per-id LIFO rule can never be violated by interleaved spans).
+	type rankedEvent struct {
+		ev   chromeEvent
+		ts   sim.Time
+		rank int   // within a timestamp: ends(0) before begins(1) before segs(2)
+		id   int32 // final tie-break, direction depends on rank
+	}
+	var ranked []rankedEvent
+
+	spans := s.Spans()
+	for _, sd := range spans {
+		cat := sd.Kind.String()
+		id := fmt.Sprintf("s%d", sd.ID)
+		args := map[string]any{"span": sd.ID}
+		if sd.Parent >= 0 {
+			args["parent"] = sd.Parent
+		}
+		ranked = append(ranked, rankedEvent{
+			ev: chromeEvent{
+				Name: sd.Name, Cat: cat, Ph: "b", TS: usec(sd.Start),
+				PID: pidRequests, TID: 1, ID: id, Args: args,
+			},
+			ts: sd.Start, rank: 1, id: sd.ID,
+		})
+		ranked = append(ranked, rankedEvent{
+			ev: chromeEvent{
+				Name: sd.Name, Cat: cat, Ph: "e", TS: usec(sd.End),
+				PID: pidRequests, TID: 1, ID: id,
+			},
+			ts: sd.End, rank: 0, id: sd.ID,
+		})
+		for si, seg := range sd.Segs {
+			dur := usec(seg.End - seg.Start)
+			ranked = append(ranked, rankedEvent{
+				ev: chromeEvent{
+					Name: seg.Kind.String() + ":" + seg.Resource,
+					Cat:  "seg", Ph: "X", TS: usec(seg.Start), Dur: &dur,
+					PID: pidRequests, TID: 2,
+					Args: map[string]any{"span": sd.ID, "seq": si, "resource": seg.Resource},
+				},
+				ts: seg.Start, rank: 2, id: sd.ID,
+			})
+		}
+	}
+
+	sort.SliceStable(ranked, func(i, j int) bool {
+		a, b := &ranked[i], &ranked[j]
+		if a.ts != b.ts {
+			return a.ts < b.ts
+		}
+		if a.rank != b.rank {
+			return a.rank < b.rank
+		}
+		// Same-timestamp begins open outermost-first (parent ids are
+		// smaller); same-timestamp ends close innermost-first.
+		if a.rank == 0 {
+			return a.id > b.id
+		}
+		return a.id < b.id
+	})
+	for _, r := range ranked {
+		evs = append(evs, r.ev)
+	}
+
+	// Counter events, one tid per series, in series creation order so
+	// the output is stable.
+	for si, sr := range s.SeriesList() {
+		evs = append(evs, metaEvent(pidUtil, si+1, "thread_name", sr.Name))
+		for i := range sr.Times {
+			evs = append(evs, chromeEvent{
+				Name: sr.Name, Ph: "C", TS: usec(sr.Times[i]),
+				PID: pidUtil, TID: si + 1,
+				Args: map[string]any{"value": sr.Values[i]},
+			})
+		}
+	}
+	return evs
+}
+
+func metaEvent(pid, tid int, kind, name string) chromeEvent {
+	return chromeEvent{
+		Name: kind, Ph: "M", PID: pid, TID: tid,
+		Args: map[string]any{"name": name},
+	}
+}

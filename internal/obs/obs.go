@@ -1,0 +1,345 @@
+// Package obs is the event-granular observability layer: it records a
+// span tree per request (request → step → chain → accelerator entry,
+// with queue / dispatch / compute / DMA / NoC / interrupt segments)
+// plus time-sampled utilization series of the simulated resources, and
+// exports them as Chrome trace-event JSON (chrome.go) and a structured
+// per-run report (report.go).
+//
+// The whole API is nil-safe: every method on a nil *Sink or nil *Span
+// is a no-op, so instrumented code paths pay only a nil check when
+// observability is disabled. A Sink records one simulation run; it is
+// single-threaded like the kernel that feeds it, and its exports are
+// deterministic — the same run produces byte-identical output
+// regardless of how many sibling simulations run concurrently.
+package obs
+
+import (
+	"accelflow/internal/sim"
+)
+
+// Clock is the simulated time source; *sim.Kernel satisfies it.
+type Clock interface {
+	Now() sim.Time
+}
+
+// SpanKind classifies the levels of the per-request span tree.
+type SpanKind uint8
+
+const (
+	// SpanRequest is the root: one end-to-end request.
+	SpanRequest SpanKind = iota
+	// SpanStep is one element of the service's execution path
+	// (app-logic step, chain step, or parallel-chain step).
+	SpanStep
+	// SpanChain is one trace chain, including its ATM tails and forks.
+	SpanChain
+	// SpanEntry is one accelerator trace-execution instance as it
+	// moves between queues, PEs, and dispatchers.
+	SpanEntry
+)
+
+// String names the span kind for exports.
+func (k SpanKind) String() string {
+	switch k {
+	case SpanRequest:
+		return "request"
+	case SpanStep:
+		return "step"
+	case SpanChain:
+		return "chain"
+	case SpanEntry:
+		return "entry"
+	}
+	return "span"
+}
+
+// SegKind classifies the time segments attached to spans.
+type SegKind uint8
+
+const (
+	// SegQueue is time waiting in a queue (accelerator input queue,
+	// core run queue, A-DMA pool, software queue pickup).
+	SegQueue SegKind = iota
+	// SegDispatch is orchestration work: enqueue instructions, output
+	// dispatcher passes, manager engagements, ATM reads.
+	SegDispatch
+	// SegCompute is PE occupancy (load + wipe + compute).
+	SegCompute
+	// SegDMA is data movement through memory controllers or the LLC.
+	SegDMA
+	// SegNoC is on-package interconnect occupancy of an A-DMA move.
+	SegNoC
+	// SegInterrupt is CPU interrupt/exception handling (CPU-centric
+	// hops, page faults).
+	SegInterrupt
+	// SegRemote is waiting for the far side of a nested RPC/DB/HTTP
+	// message.
+	SegRemote
+	// SegNotify is the user-level completion notification delay.
+	SegNotify
+	// SegCPU is application logic or fallback trace execution on cores.
+	SegCPU
+)
+
+// String names the segment kind for exports.
+func (k SegKind) String() string {
+	switch k {
+	case SegQueue:
+		return "queue"
+	case SegDispatch:
+		return "dispatch"
+	case SegCompute:
+		return "compute"
+	case SegDMA:
+		return "dma"
+	case SegNoC:
+		return "noc"
+	case SegInterrupt:
+		return "interrupt"
+	case SegRemote:
+		return "remote"
+	case SegNotify:
+		return "notify"
+	case SegCPU:
+		return "cpu"
+	}
+	return "seg"
+}
+
+// Seg is one attributed time interval on a span, tied to the resource
+// that was held or waited on.
+type Seg struct {
+	Kind     SegKind
+	Resource string
+	Start    sim.Time
+	End      sim.Time
+}
+
+// spanRec is the stored form of a span. Parent is -1 for roots.
+type spanRec struct {
+	id     int32
+	parent int32
+	kind   SpanKind
+	name   string
+	start  sim.Time
+	end    sim.Time
+	ended  bool
+	segs   []Seg
+}
+
+// SpanData is the exported, immutable view of one recorded span.
+type SpanData struct {
+	ID     int32
+	Parent int32 // -1 for request roots
+	Kind   SpanKind
+	Name   string
+	Start  sim.Time
+	End    sim.Time
+	Segs   []Seg
+}
+
+// Series is one time-sampled value stream (e.g. a PE utilization
+// timeline).
+type Series struct {
+	Name   string
+	Times  []sim.Time
+	Values []float64
+}
+
+// Sink records one simulation run's spans and series. Create with New,
+// attach a clock with SetClock (the engine does this when built with
+// WithObserver), then export with WriteChromeTrace / WriteReport.
+//
+// A nil *Sink is valid everywhere and records nothing.
+type Sink struct {
+	clock    Clock
+	interval sim.Time
+
+	spans  []spanRec
+	series []*Series
+	byName map[string]*Series
+}
+
+// Option configures a Sink.
+type Option func(*Sink)
+
+// WithSampleInterval sets the utilization sampling period (default
+// 20us). The sampler itself is driven by the harness (workload.RunSpec)
+// via sim.Kernel.Every.
+func WithSampleInterval(d sim.Time) Option {
+	return func(s *Sink) {
+		if d > 0 {
+			s.interval = d
+		}
+	}
+}
+
+// New returns an empty Sink.
+func New(opts ...Option) *Sink {
+	s := &Sink{
+		interval: 20 * sim.Microsecond,
+		byName:   map[string]*Series{},
+	}
+	for _, o := range opts {
+		o(s)
+	}
+	return s
+}
+
+// Enabled reports whether the sink is recording (non-nil).
+func (s *Sink) Enabled() bool { return s != nil }
+
+// SampleInterval returns the configured sampling period (0 when nil).
+func (s *Sink) SampleInterval() sim.Time {
+	if s == nil {
+		return 0
+	}
+	return s.interval
+}
+
+// SetClock binds the simulated time source. Idempotent; later calls
+// with the same clock are no-ops, and a nil receiver ignores it.
+func (s *Sink) SetClock(c Clock) {
+	if s == nil {
+		return
+	}
+	s.clock = c
+}
+
+func (s *Sink) now() sim.Time {
+	if s.clock == nil {
+		return 0
+	}
+	return s.clock.Now()
+}
+
+// Span is a live handle to a recorded span. A nil *Span is valid and
+// all its methods are no-ops, which is how disabled observability
+// flows through instrumented code for free.
+type Span struct {
+	sink *Sink
+	id   int32
+}
+
+func (s *Sink) newSpan(parent int32, kind SpanKind, name string) *Span {
+	id := int32(len(s.spans))
+	s.spans = append(s.spans, spanRec{
+		id:     id,
+		parent: parent,
+		kind:   kind,
+		name:   name,
+		start:  s.now(),
+	})
+	return &Span{sink: s, id: id}
+}
+
+// BeginRequest opens a root request span. Returns nil on a nil sink.
+func (s *Sink) BeginRequest(service string) *Span {
+	if s == nil {
+		return nil
+	}
+	return s.newSpan(-1, SpanRequest, service)
+}
+
+// Child opens a sub-span under sp. Returns nil on a nil span.
+func (sp *Span) Child(kind SpanKind, name string) *Span {
+	if sp == nil {
+		return nil
+	}
+	return sp.sink.newSpan(sp.id, kind, name)
+}
+
+// End closes the span at the current simulated time. Ending twice
+// keeps the first end (spans are closed exactly once on the happy
+// path; the guard makes instrumentation mistakes harmless).
+func (sp *Span) End() {
+	if sp == nil {
+		return
+	}
+	r := &sp.sink.spans[sp.id]
+	if r.ended {
+		return
+	}
+	r.ended = true
+	r.end = sp.sink.now()
+}
+
+// Seg attaches one attributed interval to the span. Zero-length
+// segments are dropped; inverted intervals are a modeling bug and are
+// clamped to empty rather than panicking mid-simulation.
+func (sp *Span) Seg(kind SegKind, resource string, start, end sim.Time) {
+	if sp == nil || end <= start {
+		return
+	}
+	r := &sp.sink.spans[sp.id]
+	r.segs = append(r.segs, Seg{Kind: kind, Resource: resource, Start: start, End: end})
+}
+
+// QueuedSeg records a resource engagement that began waiting at t0 and
+// just finished holding the resource for hold: the wait portion (if
+// any) becomes a queue segment and the hold portion a segment of the
+// given kind. It reads the sink clock for "now", matching the
+// engine's `t0 := K.Now(); res.Do(hold, func(){ ... })` idiom.
+func (sp *Span) QueuedSeg(kind SegKind, resource string, t0, hold sim.Time) {
+	if sp == nil {
+		return
+	}
+	now := sp.sink.now()
+	sp.Seg(SegQueue, resource, t0, now-hold)
+	sp.Seg(kind, resource, now-hold, now)
+}
+
+// Sample appends one point to the named series, creating it on first
+// use. Series identity is by name; creation order is preserved for
+// deterministic export.
+func (s *Sink) Sample(name string, t sim.Time, v float64) {
+	if s == nil {
+		return
+	}
+	sr, ok := s.byName[name]
+	if !ok {
+		sr = &Series{Name: name}
+		s.byName[name] = sr
+		s.series = append(s.series, sr)
+	}
+	sr.Times = append(sr.Times, t)
+	sr.Values = append(sr.Values, v)
+}
+
+// Spans returns immutable copies of all recorded spans in creation
+// order. Unended spans report End == Start.
+func (s *Sink) Spans() []SpanData {
+	if s == nil {
+		return nil
+	}
+	out := make([]SpanData, len(s.spans))
+	for i := range s.spans {
+		r := &s.spans[i]
+		end := r.end
+		if !r.ended {
+			end = r.start
+		}
+		out[i] = SpanData{
+			ID: r.id, Parent: r.parent, Kind: r.kind, Name: r.name,
+			Start: r.start, End: end,
+			Segs: append([]Seg(nil), r.segs...),
+		}
+	}
+	return out
+}
+
+// SeriesList returns the recorded utilization series in creation order.
+func (s *Sink) SeriesList() []*Series {
+	if s == nil {
+		return nil
+	}
+	return s.series
+}
+
+// SpanCount reports recorded spans (0 on nil).
+func (s *Sink) SpanCount() int {
+	if s == nil {
+		return 0
+	}
+	return len(s.spans)
+}

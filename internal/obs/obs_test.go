@@ -1,0 +1,236 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"accelflow/internal/sim"
+)
+
+// fakeClock is a settable Clock for driving spans without a kernel.
+type fakeClock struct{ t sim.Time }
+
+func (c *fakeClock) Now() sim.Time { return c.t }
+
+func TestNilSinkIsSafe(t *testing.T) {
+	var s *Sink
+	if s.Enabled() {
+		t.Fatal("nil sink reports enabled")
+	}
+	s.SetClock(&fakeClock{})
+	sp := s.BeginRequest("svc")
+	if sp != nil {
+		t.Fatal("nil sink returned non-nil span")
+	}
+	// Everything below must be a no-op, not a panic.
+	child := sp.Child(SpanChain, "c")
+	child.Seg(SegQueue, "pe", 0, 10)
+	child.QueuedSeg(SegCompute, "pe", 0, 5)
+	child.End()
+	sp.End()
+	s.Sample("pe", 0, 0.5)
+	if got := s.Spans(); got != nil {
+		t.Fatalf("nil sink Spans() = %v, want nil", got)
+	}
+	if s.SpanCount() != 0 || s.SampleInterval() != 0 {
+		t.Fatal("nil sink reported non-zero state")
+	}
+	var buf bytes.Buffer
+	if err := s.WriteChromeTrace(&buf); err != nil {
+		t.Fatalf("nil sink trace: %v", err)
+	}
+	if !json.Valid(buf.Bytes()) {
+		t.Fatalf("nil sink trace is not valid JSON: %s", buf.String())
+	}
+	if err := s.WriteReport(&buf); err != nil {
+		t.Fatalf("nil sink report: %v", err)
+	}
+}
+
+func TestSpanTreeRecording(t *testing.T) {
+	clk := &fakeClock{}
+	s := New()
+	s.SetClock(clk)
+
+	req := s.BeginRequest("svcA")
+	clk.t = 100
+	chain := req.Child(SpanChain, "prog1")
+	clk.t = 150
+	chain.Seg(SegQueue, "pe/TCP", 100, 120)
+	chain.Seg(SegCompute, "pe/TCP", 120, 150)
+	chain.End()
+	clk.t = 180
+	req.End()
+	req.End() // double-End keeps the first end time
+	clk.t = 500
+
+	spans := s.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("got %d spans, want 2", len(spans))
+	}
+	r, c := spans[0], spans[1]
+	if r.Kind != SpanRequest || r.Name != "svcA" || r.Parent != -1 {
+		t.Fatalf("bad root span: %+v", r)
+	}
+	if r.Start != 0 || r.End != 180 {
+		t.Fatalf("root span window [%d,%d], want [0,180]", r.Start, r.End)
+	}
+	if c.Parent != r.ID || c.Kind != SpanChain {
+		t.Fatalf("bad child span: %+v", c)
+	}
+	if len(c.Segs) != 2 || c.Segs[0].Kind != SegQueue || c.Segs[1].End != 150 {
+		t.Fatalf("bad child segs: %+v", c.Segs)
+	}
+}
+
+func TestQueuedSegSplitsWaitAndHold(t *testing.T) {
+	clk := &fakeClock{}
+	s := New()
+	s.SetClock(clk)
+	sp := s.BeginRequest("svc")
+
+	// Engagement began at t0=10; the resource finished at now=100
+	// after holding for 30 -> wait [10,70), hold [70,100).
+	clk.t = 100
+	sp.QueuedSeg(SegDispatch, "cores", 10, 30)
+	segs := s.Spans()[0].Segs
+	if len(segs) != 2 {
+		t.Fatalf("got %d segs, want 2: %+v", len(segs), segs)
+	}
+	if segs[0].Kind != SegQueue || segs[0].Start != 10 || segs[0].End != 70 {
+		t.Fatalf("wait seg = %+v", segs[0])
+	}
+	if segs[1].Kind != SegDispatch || segs[1].Start != 70 || segs[1].End != 100 {
+		t.Fatalf("hold seg = %+v", segs[1])
+	}
+
+	// No waiting: only the hold segment is recorded.
+	clk.t = 130
+	sp.QueuedSeg(SegDispatch, "cores", 100, 30)
+	segs = s.Spans()[0].Segs
+	if len(segs) != 3 || segs[2].Start != 100 || segs[2].End != 130 {
+		t.Fatalf("no-wait segs = %+v", segs)
+	}
+}
+
+func TestChromeTraceShape(t *testing.T) {
+	clk := &fakeClock{}
+	s := New()
+	s.SetClock(clk)
+	req := s.BeginRequest("svc")
+	clk.t = 2 * sim.Microsecond
+	ent := req.Child(SpanEntry, "prog")
+	ent.Seg(SegCompute, "pe/TCP", sim.Microsecond, 2*sim.Microsecond)
+	ent.End()
+	req.End()
+	s.Sample("pe/TCP", sim.Microsecond, 0.75)
+
+	var buf bytes.Buffer
+	if err := s.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	counts := map[string]int{}
+	for _, ev := range doc.TraceEvents {
+		counts[ev["ph"].(string)]++
+	}
+	// 2 spans -> 2 b + 2 e; 1 seg -> 1 X; 1 sample -> 1 C;
+	// 2 process metas + 1 counter thread meta -> 3 M.
+	want := map[string]int{"b": 2, "e": 2, "X": 1, "C": 1, "M": 3}
+	for ph, n := range want {
+		if counts[ph] != n {
+			t.Errorf("ph %q count = %d, want %d (all: %v)", ph, counts[ph], n, counts)
+		}
+	}
+
+	// Byte-determinism: re-export must be identical.
+	var buf2 bytes.Buffer
+	if err := s.WriteChromeTrace(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Fatal("re-export produced different bytes")
+	}
+}
+
+func TestReportAggregation(t *testing.T) {
+	clk := &fakeClock{}
+	s := New()
+	s.SetClock(clk)
+
+	// Two requests for svcA at 3us and 5us, one for svcB at 10us.
+	mk := func(svc string, start, end sim.Time) {
+		clk.t = start
+		sp := s.BeginRequest(svc)
+		sp.Seg(SegCompute, "pe/TCP", start, end)
+		clk.t = end
+		sp.End()
+	}
+	mk("svcA", 0, 3*sim.Microsecond)
+	mk("svcA", 0, 5*sim.Microsecond)
+	mk("svcB", 0, 10*sim.Microsecond)
+	s.Sample("dram", sim.Microsecond, 0.25)
+	s.Sample("dram", 2*sim.Microsecond, 0.75)
+
+	rep := s.BuildReport()
+	if rep.Requests != 3 || rep.Spans != 3 {
+		t.Fatalf("requests=%d spans=%d, want 3/3", rep.Requests, rep.Spans)
+	}
+	if len(rep.Services) != 2 || rep.Services[0].Service != "svcA" || rep.Services[1].Service != "svcB" {
+		t.Fatalf("services = %+v", rep.Services)
+	}
+	a := rep.Services[0]
+	if a.Count != 2 || a.MeanUs != 4 || a.MaxUs != 5 {
+		t.Fatalf("svcA stats = %+v", a)
+	}
+	// 3us -> bucket 1 ([2,4)), 5us -> bucket 2 ([4,8)).
+	if len(a.Histogram) != 3 || a.Histogram[1] != 1 || a.Histogram[2] != 1 {
+		t.Fatalf("svcA histogram = %v", a.Histogram)
+	}
+	if got := rep.SegByKind["compute"]; got != 18 {
+		t.Fatalf("compute total = %v us, want 18", got)
+	}
+	if got := rep.SegByRes["pe/TCP"]; got != 18 {
+		t.Fatalf("pe/TCP total = %v us, want 18", got)
+	}
+	if len(rep.Utilization) != 1 || rep.Utilization[0].Mean != 0.5 || rep.Utilization[0].Max != 0.75 {
+		t.Fatalf("utilization = %+v", rep.Utilization)
+	}
+
+	var buf bytes.Buffer
+	if err := s.WriteReport(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(buf.Bytes()) {
+		t.Fatal("report is not valid JSON")
+	}
+}
+
+func TestKernelEveryStopsWithSimulation(t *testing.T) {
+	k := sim.NewKernel()
+	var ticks []sim.Time
+	// Stimulus ends at t=100ns; sampler at 30ns period must observe
+	// t=30,60,90 and then fire once more after the last event without
+	// keeping the kernel alive forever.
+	k.At(100*sim.Nanosecond, func() {})
+	k.Every(30*sim.Nanosecond, func() { ticks = append(ticks, k.Now()) })
+	k.Run()
+	if k.Pending() != 0 {
+		t.Fatalf("pending=%d after Run", k.Pending())
+	}
+	want := []sim.Time{30 * sim.Nanosecond, 60 * sim.Nanosecond, 90 * sim.Nanosecond, 120 * sim.Nanosecond}
+	if len(ticks) != len(want) {
+		t.Fatalf("ticks = %v, want %v", ticks, want)
+	}
+	for i := range want {
+		if ticks[i] != want[i] {
+			t.Fatalf("ticks = %v, want %v", ticks, want)
+		}
+	}
+}

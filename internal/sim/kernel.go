@@ -140,5 +140,26 @@ func (k *Kernel) RunUntil(deadline Time) {
 	}
 }
 
+// Every schedules fn to run repeatedly with period d, starting at
+// now+d. The tick reschedules itself only while other events are
+// pending, so a periodic sampler cannot keep an otherwise-finished
+// simulation alive: once the last real event has run, the next tick
+// fires (observing the final state) and stops. This is sound for
+// harnesses that schedule all their stimulus up front — the pending
+// count only reaches zero when the run is truly over.
+func (k *Kernel) Every(d Time, fn func()) {
+	if d <= 0 {
+		panic(fmt.Sprintf("sim: non-positive period %v", d))
+	}
+	var tick func()
+	tick = func() {
+		fn()
+		if len(k.events) > 0 {
+			k.After(d, tick)
+		}
+	}
+	k.After(d, tick)
+}
+
 // Pending reports the number of queued events.
 func (k *Kernel) Pending() int { return len(k.events) }

@@ -6,6 +6,7 @@ import (
 	"accelflow/internal/config"
 	"accelflow/internal/engine"
 	"accelflow/internal/metrics"
+	"accelflow/internal/obs"
 	"accelflow/internal/services"
 	"accelflow/internal/sim"
 	"accelflow/internal/trace"
@@ -40,18 +41,38 @@ type RunResult struct {
 	Engine  *engine.Engine
 }
 
-// Run drives one engine with the given sources until every request
-// completes and returns the collected metrics. programs/remote default
-// to the SocialNetwork catalog when nil.
-func Run(cfg *config.Config, pol engine.Policy, sources []Source, seed int64, programs []*trace.Program, remote map[string]engine.RemoteKind) (*RunResult, error) {
+// RunSpec describes one simulation run: the platform configuration,
+// the orchestration policy, the workload sources, and the optional
+// knobs that used to pile up as positional arguments of Run. Zero
+// values for Programs/Remote default to the SocialNetwork catalog.
+type RunSpec struct {
+	Config  *config.Config
+	Policy  engine.Policy
+	Sources []Source
+	Seed    int64
+	// Programs/Remote override the service catalog (nil = defaults).
+	Programs []*trace.Program
+	Remote   map[string]engine.RemoteKind
+	// Obs, when non-nil, records per-request spans and time-sampled
+	// utilization of PEs, manager, NoC links, DRAM, and the A-DMA
+	// pool. Each Sink records exactly one run.
+	Obs *obs.Sink
+}
+
+// Run drives one engine with the spec's sources until every request
+// completes and returns the collected metrics.
+func (s *RunSpec) Run() (*RunResult, error) {
 	k := sim.NewKernel()
-	e, err := engine.New(k, cfg, pol, seed)
+	e, err := engine.New(k, s.Config, s.Policy,
+		engine.WithSeed(s.Seed), engine.WithObserver(s.Obs))
 	if err != nil {
 		return nil, err
 	}
+	programs := s.Programs
 	if programs == nil {
 		programs = services.Catalog()
 	}
+	remote := s.Remote
 	if remote == nil {
 		remote = services.RemoteTails()
 	}
@@ -61,14 +82,14 @@ func Run(cfg *config.Config, pol engine.Policy, sources []Source, seed int64, pr
 
 	res := &RunResult{
 		PerService: map[string]*metrics.Recorder{},
-		All:        metrics.NewRecorder(pol.Name),
-		Net:        metrics.NewRecorder(pol.Name + "/net"),
+		All:        metrics.NewRecorder(s.Policy.Name),
+		Net:        metrics.NewRecorder(s.Policy.Name + "/net"),
 		Engine:     e,
 	}
-	rng := sim.NewRNG(seed ^ 0x5eed)
+	rng := sim.NewRNG(s.Seed ^ 0x5eed)
 
 	total := 0
-	for si, src := range sources {
+	for si, src := range s.Sources {
 		if src.Requests <= 0 {
 			return nil, fmt.Errorf("workload: source %d has no request budget", si)
 		}
@@ -81,9 +102,81 @@ func Run(cfg *config.Config, pol engine.Policy, sources []Source, seed int64, pr
 	if total == 0 {
 		return nil, fmt.Errorf("workload: no requests to run")
 	}
+	if s.Obs != nil {
+		startSampler(k, e, s.Obs)
+	}
 	k.Run()
 	res.Elapsed = k.Now()
 	return res, nil
+}
+
+// startSampler attaches the periodic utilization sampler. Every
+// interval it converts each resource's busy-time delta into a [0,1]
+// utilization sample. The callbacks only read counters — they never
+// touch RNG streams or queue state — so enabling observability cannot
+// change simulation results; and because all arrivals are scheduled
+// up front, Kernel.Every's self-termination rule ends the sampler
+// exactly when the run ends.
+func startSampler(k *sim.Kernel, e *engine.Engine, sink *obs.Sink) {
+	iv := sink.SampleInterval()
+	span := float64(iv)
+	util := func(delta sim.Time, servers int) float64 {
+		if servers < 1 {
+			servers = 1
+		}
+		// BusyTime is charged up front at task start, so a delta can
+		// exceed the interval capacity; clamp to 1.
+		u := float64(delta) / (span * float64(servers))
+		if u > 1 {
+			u = 1
+		}
+		return u
+	}
+	var last struct {
+		cores, manager, dram, noc, adma sim.Time
+		pes                             [config.NumAccelKinds]sim.Time
+	}
+	k.Every(iv, func() {
+		now := k.Now()
+		cores := e.Cores.BusyTime
+		sink.Sample("util/cores", now, util(cores-last.cores, e.Cores.Servers))
+		last.cores = cores
+
+		mgr := e.Manager.BusyTime
+		sink.Sample("util/manager", now, util(mgr-last.manager, e.Manager.Servers))
+		last.manager = mgr
+
+		for _, kd := range config.AllAccelKinds() {
+			pe := e.Accels[kd].PEs
+			sink.Sample("util/pe/"+kd.String(), now, util(pe.BusyTime-last.pes[kd], pe.Servers))
+			last.pes[kd] = pe.BusyTime
+		}
+
+		dram := e.Mem.BusyTime()
+		sink.Sample("util/dram", now, util(dram-last.dram, e.Mem.CtrlCount()))
+		last.dram = dram
+
+		nocBusy := e.Net.LinkBusy()
+		sink.Sample("util/noc", now, util(nocBusy-last.noc, e.Net.LinkCount()))
+		last.noc = nocBusy
+
+		adma := e.DMA.Busy()
+		sink.Sample("util/adma", now, util(adma-last.adma, e.DMA.Engines()))
+		last.adma = adma
+	})
+}
+
+// Run is the deprecated positional entry point.
+//
+// Deprecated: build a RunSpec and call its Run method; the struct form
+// has room for optional fields (observability, future knobs) without
+// signature churn.
+func Run(cfg *config.Config, pol engine.Policy, sources []Source, seed int64, programs []*trace.Program, remote map[string]engine.RemoteKind) (*RunResult, error) {
+	s := &RunSpec{
+		Config: cfg, Policy: pol, Sources: sources, Seed: seed,
+		Programs: programs, Remote: remote,
+	}
+	return s.Run()
 }
 
 func scheduleSource(k *sim.Kernel, e *engine.Engine, src Source, rng *sim.RNG, rec *metrics.Recorder, res *RunResult) {

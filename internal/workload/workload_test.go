@@ -98,8 +98,13 @@ func TestAzureMeanRateHeavyTail(t *testing.T) {
 
 func TestRunSingleService(t *testing.T) {
 	svc := services.SocialNetwork()[6] // UniqId
-	res, err := Run(config.Default(), engine.AccelFlow(),
-		SingleService(svc, Poisson{RPS: 2000}, 150), 3, nil, nil)
+	spec := &RunSpec{
+		Config:  config.Default(),
+		Policy:  engine.AccelFlow(),
+		Sources: SingleService(svc, Poisson{RPS: 2000}, 150),
+		Seed:    3,
+	}
+	res, err := spec.Run()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -120,8 +125,13 @@ func TestRunSingleService(t *testing.T) {
 func TestRunDeterministic(t *testing.T) {
 	svc := services.SocialNetwork()[4] // Login
 	run := func() sim.Time {
-		res, err := Run(config.Default(), engine.AccelFlow(),
-			SingleService(svc, Poisson{RPS: 3000}, 100), 9, nil, nil)
+		spec := &RunSpec{
+			Config:  config.Default(),
+			Policy:  engine.AccelFlow(),
+			Sources: SingleService(svc, Poisson{RPS: 3000}, 100),
+			Seed:    9,
+		}
+		res, err := spec.Run()
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -134,11 +144,19 @@ func TestRunDeterministic(t *testing.T) {
 
 func TestRunSeedSensitivity(t *testing.T) {
 	svc := services.SocialNetwork()[4]
-	r1, err := Run(config.Default(), engine.AccelFlow(), SingleService(svc, Poisson{RPS: 3000}, 100), 1, nil, nil)
+	seeded := func(seed int64) *RunSpec {
+		return &RunSpec{
+			Config:  config.Default(),
+			Policy:  engine.AccelFlow(),
+			Sources: SingleService(svc, Poisson{RPS: 3000}, 100),
+			Seed:    seed,
+		}
+	}
+	r1, err := seeded(1).Run()
 	if err != nil {
 		t.Fatal(err)
 	}
-	r2, err := Run(config.Default(), engine.AccelFlow(), SingleService(svc, Poisson{RPS: 3000}, 100), 2, nil, nil)
+	r2, err := seeded(2).Run()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -167,16 +185,23 @@ func TestMixBudgetsAndRates(t *testing.T) {
 
 func TestRunErrors(t *testing.T) {
 	svc := services.SocialNetwork()[0]
-	if _, err := Run(config.Default(), engine.AccelFlow(), nil, 1, nil, nil); err == nil {
+	spec := &RunSpec{Config: config.Default(), Policy: engine.AccelFlow(), Seed: 1}
+	if _, err := spec.Run(); err == nil {
 		t.Error("no sources accepted")
 	}
-	if _, err := Run(config.Default(), engine.AccelFlow(),
-		[]Source{{Service: svc, Arrivals: Poisson{RPS: 100}, Requests: 0}}, 1, nil, nil); err == nil {
+	spec.Sources = []Source{{Service: svc, Arrivals: Poisson{RPS: 100}, Requests: 0}}
+	if _, err := spec.Run(); err == nil {
 		t.Error("zero budget accepted")
 	}
 	bad := config.Default()
 	bad.Cores = 0
-	if _, err := Run(bad, engine.AccelFlow(), SingleService(svc, Poisson{RPS: 100}, 10), 1, nil, nil); err == nil {
+	spec = &RunSpec{
+		Config:  bad,
+		Policy:  engine.AccelFlow(),
+		Sources: SingleService(svc, Poisson{RPS: 100}, 10),
+		Seed:    1,
+	}
+	if _, err := spec.Run(); err == nil {
 		t.Error("invalid config accepted")
 	}
 }
@@ -186,7 +211,13 @@ func TestRunFullMixAllPolicies(t *testing.T) {
 		t.Skip("mix run is slow")
 	}
 	for _, pol := range []engine.Policy{engine.NonAcc(), engine.RELIEF(), engine.AccelFlow()} {
-		res, err := Run(config.Default(), pol, Mix(services.SocialNetwork(), 1.0, 400), 5, nil, nil)
+		spec := &RunSpec{
+			Config:  config.Default(),
+			Policy:  pol,
+			Sources: Mix(services.SocialNetwork(), 1.0, 400),
+			Seed:    5,
+		}
+		res, err := spec.Run()
 		if err != nil {
 			t.Fatalf("%s: %v", pol.Name, err)
 		}
@@ -198,9 +229,15 @@ func TestRunFullMixAllPolicies(t *testing.T) {
 
 func TestRunCoarseCatalog(t *testing.T) {
 	apps := services.CoarseApps()
-	res, err := Run(services.CoarseConfig(), engine.AccelFlow(),
-		SingleService(apps[0], Poisson{RPS: 500}, 60), 7,
-		services.CoarseCatalog(), map[string]engine.RemoteKind{})
+	spec := &RunSpec{
+		Config:   services.CoarseConfig(),
+		Policy:   engine.AccelFlow(),
+		Sources:  SingleService(apps[0], Poisson{RPS: 500}, 60),
+		Seed:     7,
+		Programs: services.CoarseCatalog(),
+		Remote:   map[string]engine.RemoteKind{},
+	}
+	res, err := spec.Run()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -210,5 +247,29 @@ func TestRunCoarseCatalog(t *testing.T) {
 	// Coarse apps are ms-scale.
 	if res.All.Mean() < 50*sim.Microsecond {
 		t.Errorf("coarse app mean %v implausibly fast", res.All.Mean())
+	}
+}
+
+// TestDeprecatedRunWrapper pins the legacy positional Run to the
+// RunSpec path: both must produce identical results.
+func TestDeprecatedRunWrapper(t *testing.T) {
+	svc := services.SocialNetwork()[6]
+	old, err := Run(config.Default(), engine.AccelFlow(),
+		SingleService(svc, Poisson{RPS: 2000}, 80), 3, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := &RunSpec{
+		Config:  config.Default(),
+		Policy:  engine.AccelFlow(),
+		Sources: SingleService(svc, Poisson{RPS: 2000}, 80),
+		Seed:    3,
+	}
+	neu, err := spec.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if old.All.Mean() != neu.All.Mean() || old.All.P99() != neu.All.P99() {
+		t.Errorf("wrapper diverged from RunSpec: mean %v vs %v", old.All.Mean(), neu.All.Mean())
 	}
 }
