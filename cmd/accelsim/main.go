@@ -29,8 +29,10 @@ import (
 	"accelflow/internal/config"
 	"accelflow/internal/engine"
 	"accelflow/internal/experiments"
+	"accelflow/internal/fault"
 	"accelflow/internal/obs"
 	"accelflow/internal/services"
+	"accelflow/internal/sim"
 	"accelflow/internal/workload"
 )
 
@@ -45,11 +47,14 @@ func main() {
 		timing     = flag.Bool("time", true, "report per-experiment and total wall clock on stderr")
 		tracePath  = flag.String("trace", "", "run an observed SocialNetwork mix and write a Chrome trace-event JSON to this file")
 		reportPath = flag.String("report", "", "run an observed SocialNetwork mix and write a structured JSON report to this file")
+		faultRate  = flag.Float64("faults", 0, "fault-window arrival rate in windows/s for the observed run (0 = off)")
+		faultWin   = flag.Duration("faultwindow", 200*time.Microsecond, "mean fault-window duration for -faults")
+		faultLoss  = flag.Float64("faultloss", 0, "remote-response loss rate override in [0,1] for the observed run")
 	)
 	flag.Parse()
 
 	if *tracePath != "" || *reportPath != "" {
-		if err := observedRun(*tracePath, *reportPath, *seed, *n, *quick); err != nil {
+		if err := observedRun(*tracePath, *reportPath, *seed, *n, *quick, *faultRate, *faultWin, *faultLoss); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -112,7 +117,9 @@ func effectiveParallelism(p int) int {
 
 // observedRun drives one AccelFlow SocialNetwork mix with the span and
 // utilization observer attached and writes the requested exports.
-func observedRun(tracePath, reportPath string, seed int64, n int, quick bool) error {
+// A nonzero faultRate (or faultLoss) attaches the deterministic fault
+// injector, so Perfetto traces show the fault windows as root spans.
+func observedRun(tracePath, reportPath string, seed int64, n int, quick bool, faultRate float64, faultWin time.Duration, faultLoss float64) error {
 	if quick && n > 600 {
 		n = 600
 	}
@@ -124,12 +131,30 @@ func observedRun(tracePath, reportPath string, seed int64, n int, quick bool) er
 		Seed:    seed,
 		Obs:     sink,
 	}
+	if faultRate > 0 || faultLoss > 0 {
+		spec.Faults = &fault.Spec{
+			Rate:           faultRate,
+			MeanWindow:     sim.FromNanos(float64(faultWin.Nanoseconds())),
+			Horizon:        sim.Second,
+			PEDegradeFrac:  0.5,
+			PEFail:         true,
+			ADMARemove:     2,
+			ManagerStall:   true,
+			ATMStall:       500 * sim.Nanosecond,
+			NoCInflate:     4,
+			RemoteLossRate: faultLoss,
+		}
+	}
 	res, err := spec.Run()
 	if err != nil {
 		return err
 	}
 	fmt.Fprintf(os.Stderr, "[observed run: %d requests, %d spans, %v simulated]\n",
 		res.Completed, sink.SpanCount(), res.Elapsed)
+	if inj := res.Engine.Faults; inj != nil {
+		fmt.Fprintf(os.Stderr, "[faults: %d windows applied, %d timeouts, %d fallbacks]\n",
+			inj.Stats.Windows, res.TimedOut, res.FellBack)
+	}
 	if tracePath != "" {
 		if err := writeFile(tracePath, sink.WriteChromeTrace); err != nil {
 			return err

@@ -75,6 +75,10 @@ type Stats struct {
 	InSizes       []int // sampled input payload sizes (Fig. 5)
 	OutSizes      []int
 	ArmedTimeouts uint64
+	// ArmRejections counts Arm calls that found no free queue slot.
+	// Distinct from ArmedTimeouts: a rejection is back-pressure, not a
+	// lost response, and must not inflate the paper's timeout rate.
+	ArmRejections uint64
 }
 
 // Accelerator is one instance of one accelerator kind.
@@ -98,6 +102,11 @@ type Accelerator struct {
 
 	lastTenant int
 
+	// failed marks the accelerator as unavailable for new admissions
+	// (fault injection). In-flight entries drain normally; Offer and
+	// Arm reject until the fault window clears.
+	failed bool
+
 	// OnReady is invoked when a PE finishes an entry and the entry has
 	// been deposited in the output queue; the engine runs the output
 	// dispatcher from here.
@@ -110,9 +119,8 @@ type Accelerator struct {
 }
 
 type pendingEntry struct {
-	e        *Entry
-	parked   sim.Time // when the entry entered the overflow area
-	deferred func()   // runs once the entry is pulled into the queue
+	e      *Entry
+	parked sim.Time // when the entry entered the overflow area
 }
 
 // New constructs an accelerator of the given kind at the given node.
@@ -135,10 +143,22 @@ func New(k *sim.Kernel, cfg *config.Config, kind config.AccelKind, node noc.Node
 // QueueFree reports free input-queue slots.
 func (a *Accelerator) QueueFree() int { return a.inCap - a.inCount - a.armed }
 
+// SetFailed marks the accelerator failed (true) or recovered (false).
+// A failed accelerator rejects all new admissions and arms; entries
+// already queued or in PEs drain normally.
+func (a *Accelerator) SetFailed(f bool) { a.failed = f }
+
+// Failed reports whether the accelerator is in a failure window.
+func (a *Accelerator) Failed() bool { return a.failed }
+
 // Offer attempts to admit an entry. allowOverflow distinguishes output
 // dispatchers (which spill to the overflow area) from CPU Enqueue
 // (which gets an error and retries, §IV-A).
 func (a *Accelerator) Offer(e *Entry, allowOverflow bool) AdmitResult {
+	if a.failed {
+		a.Stats.Rejections++
+		return Rejected
+	}
 	if a.QueueFree() > 0 {
 		a.inCount++
 		a.start(e)
@@ -153,37 +173,51 @@ func (a *Accelerator) Offer(e *Entry, allowOverflow bool) AdmitResult {
 	return Rejected
 }
 
+// ArmResult is the outcome of trying to arm a response trace.
+type ArmResult int
+
+const (
+	// ArmOK: a queue slot is reserved; the trace fires on arrival or
+	// onTimeout runs at the TCP timeout.
+	ArmOK ArmResult = iota
+	// ArmRejected: no free slot (or the accelerator is failed). Nothing
+	// is scheduled — the caller decides how to service the response in
+	// software. This is back-pressure, not a timeout.
+	ArmRejected
+)
+
 // Arm reserves an input-queue slot for a response trace that will be
 // triggered by a future message (the paper's asterisk continuations).
-// fire runs when the message arrives after wait; if wait exceeds the
-// TCP timeout, onTimeout runs instead and the slot is released.
-func (a *Accelerator) Arm(e *Entry, wait sim.Time, onTimeout func()) {
-	if a.QueueFree() <= 0 {
-		// No slot: treat like an overflow-armed entry; the paper's
-		// timeout machinery bounds this, we model it as immediate
-		// timeout-equivalent fallback.
-		a.Stats.Rejections++
-		if onTimeout != nil {
-			onTimeout()
-		}
-		return
+// The trace fires when the message arrives after wait; if wait exceeds
+// the TCP timeout, onTimeout runs instead and the slot is released.
+// With no free slot Arm returns ArmRejected and schedules nothing.
+func (a *Accelerator) Arm(e *Entry, wait sim.Time, onTimeout func()) ArmResult {
+	if a.failed || a.QueueFree() <= 0 {
+		a.Stats.ArmRejections++
+		return ArmRejected
 	}
 	a.armed++
 	if wait > a.cfg.TCPTimeout {
 		a.k.After(a.cfg.TCPTimeout, func() {
 			a.armed--
 			a.Stats.ArmedTimeouts++
+			// The released slot must pull waiting overflow entries in:
+			// an armed slot expiring is the only queue departure that
+			// does not pass through a PE start, so without this drain a
+			// parked entry could wait forever.
+			a.drainOverflow()
 			if onTimeout != nil {
 				onTimeout()
 			}
 		})
-		return
+		return ArmOK
 	}
 	a.k.After(wait, func() {
 		a.armed--
 		a.inCount++
 		a.start(e)
 	})
+	return ArmOK
 }
 
 // start runs the input-dispatcher path for an admitted entry: TLB
@@ -193,16 +227,30 @@ func (a *Accelerator) Arm(e *Entry, wait sim.Time, onTimeout func()) {
 func (a *Accelerator) start(e *Entry) {
 	load := a.loadTime(e.DataBytes) + a.TLB.Access()
 	compute := a.cfg.AccelCost(a.Kind, e.DataBytes)
-	wipe := sim.Time(0)
 	offered := a.k.Now()
 	peName := "pe/" + a.Kind.String()
-	task := &sim.Task{
+	var task *sim.Task
+	task = &sim.Task{
 		Priority: e.Priority,
 		Deadline: e.Deadline,
 		Started: func() {
 			// Entry leaves the input queue for the PE.
 			a.inCount--
 			a.drainOverflow()
+			// Scratchpad and PE state wipe between tenants (§IV-D).
+			// Decided here — in PE execution order — not at submission:
+			// queued entries from interleaved tenants can be admitted in
+			// a different order than they were offered (EDF/Priority),
+			// and the wipe belongs to whichever entry actually follows a
+			// different tenant onto the PE. Started runs before the
+			// resource reads task.Hold, so the extension is charged.
+			if e.Tenant != a.lastTenant {
+				a.lastTenant = e.Tenant
+				a.Stats.TenantWipes++
+				task.Hold += a.cfg.ScratchWipe
+				e.LastPEHold = task.Hold
+				a.Stats.BusyTime += a.cfg.ScratchWipe
+			}
 		},
 		Done: func() {
 			// The PE held the entry contiguously for task.Hold, so the
@@ -228,13 +276,7 @@ func (a *Accelerator) start(e *Entry) {
 			}
 		},
 	}
-	if e.Tenant != a.lastTenant {
-		// Scratchpad and PE state wipe between tenants (§IV-D).
-		wipe = a.cfg.ScratchWipe
-		a.lastTenant = e.Tenant
-		a.Stats.TenantWipes++
-	}
-	task.Hold = load + wipe + compute
+	task.Hold = load + compute
 	e.LastPEHold = task.Hold
 	a.Stats.BusyTime += task.Hold
 	a.PEs.Submit(task)
@@ -252,9 +294,6 @@ func (a *Accelerator) drainOverflow() {
 		a.k.After(a.cfg.LLCLatency, func() {
 			pe.e.Span.Seg(obs.SegQueue, "overflow/"+a.Kind.String(), pe.parked, a.k.Now())
 			a.start(pe.e)
-			if pe.deferred != nil {
-				pe.deferred()
-			}
 		})
 	}
 }

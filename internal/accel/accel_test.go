@@ -193,11 +193,108 @@ func TestArmRejectedWhenFull(t *testing.T) {
 	a.Offer(entry(256, 0), false)
 	a.Offer(entry(256, 0), false) // occupies the single slot's queue
 	timedOut := false
-	a.Arm(entry(256, 0), sim.Microsecond, func() { timedOut = true })
-	if !timedOut {
-		t.Error("Arm on a full queue should fail fast")
+	res := a.Arm(entry(256, 0), sim.Microsecond, func() { timedOut = true })
+	if res != ArmRejected {
+		t.Errorf("Arm on a full queue = %v, want ArmRejected", res)
+	}
+	// A rejection is back-pressure, not a lost response: the timeout
+	// callback must not run and the timeout stats must stay clean.
+	if timedOut {
+		t.Error("rejected Arm ran the timeout callback")
+	}
+	if a.Stats.ArmRejections != 1 {
+		t.Errorf("ArmRejections = %d, want 1", a.Stats.ArmRejections)
+	}
+	if a.Stats.ArmedTimeouts != 0 || a.Stats.Rejections != 0 {
+		t.Errorf("rejection leaked into timeout/offer stats: timeouts=%d rejections=%d",
+			a.Stats.ArmedTimeouts, a.Stats.Rejections)
 	}
 	k.Run()
+	if timedOut {
+		t.Error("rejected Arm scheduled a deferred timeout")
+	}
+}
+
+func TestFailedAcceleratorRejectsAdmissionsAndArms(t *testing.T) {
+	cfg := config.Default()
+	k, a := newAccel(t, cfg, config.TCP)
+	done := 0
+	a.OnReady = func(*Entry) { done++ }
+	a.Offer(entry(256, 0), false) // in flight before the failure
+	a.SetFailed(true)
+	if !a.Failed() {
+		t.Fatal("Failed() false after SetFailed(true)")
+	}
+	if got := a.Offer(entry(256, 0), true); got != Rejected {
+		t.Errorf("Offer on failed accel = %v, want Rejected", got)
+	}
+	if got := a.Arm(entry(256, 0), sim.Microsecond, nil); got != ArmRejected {
+		t.Errorf("Arm on failed accel = %v, want ArmRejected", got)
+	}
+	k.Run()
+	if done != 1 {
+		t.Errorf("in-flight entry did not drain: done = %d", done)
+	}
+	a.SetFailed(false)
+	if got := a.Offer(entry(256, 0), false); got != Admitted {
+		t.Errorf("Offer after recovery = %v, want Admitted", got)
+	}
+	k.Run()
+}
+
+// TestTenantWipeFollowsExecutionOrder pins the satellite fix: the wipe
+// is decided when an entry starts on a PE, not when it is offered.
+// Under EDF, interleaved tenants submitted as A,B,A are admitted in
+// deadline order A,A,B — two tenant switches at execution time (plus
+// the initial one), where submission-order accounting would see three.
+func TestTenantWipeFollowsExecutionOrder(t *testing.T) {
+	cfg := config.Default()
+	cfg.PEsPerAccel = 1
+	k := sim.NewKernel()
+	a := New(k, cfg, config.Encr, noc.Node{Chiplet: 1}, sim.NewRNG(3), sim.EDF)
+	var tenants []int
+	var holds []sim.Time
+	a.OnReady = func(e *Entry) {
+		tenants = append(tenants, e.Tenant)
+		holds = append(holds, e.LastPEHold)
+	}
+	// Occupy the PE so the next three actually queue and re-order.
+	first := entry(100, 1)
+	first.Deadline = 1 * sim.Microsecond
+	a.Offer(first, false)
+	for _, c := range []struct {
+		tenant   int
+		deadline sim.Time
+	}{
+		{1, 300 * sim.Microsecond}, // submitted first, runs last
+		{2, 200 * sim.Microsecond},
+		{1, 100 * sim.Microsecond}, // submitted last, runs first
+	} {
+		e := entry(100, c.tenant)
+		e.Deadline = c.deadline
+		a.Offer(e, false)
+	}
+	k.Run()
+	if want := []int{1, 1, 2, 1}; len(tenants) != 4 ||
+		tenants[0] != want[0] || tenants[1] != want[1] ||
+		tenants[2] != want[2] || tenants[3] != want[3] {
+		t.Fatalf("execution order = %v, want %v", tenants, want)
+	}
+	// Execution order 1,1,2,1: initial wipe + 1->2 + 2->1 = 3 wipes.
+	// (Submission order 1,1,2,1 happens to also give 3 here, but the
+	// holds below pin WHICH entries were charged.)
+	if a.Stats.TenantWipes != 3 {
+		t.Errorf("tenant wipes = %d, want 3", a.Stats.TenantWipes)
+	}
+	// The second executed entry continues tenant 1 and must not carry a
+	// wipe; the third (tenant 2) and fourth (back to 1) must.
+	base := holds[1]
+	if holds[2] != base+cfg.ScratchWipe || holds[3] != base+cfg.ScratchWipe {
+		t.Errorf("tenant-switch entries not charged the wipe: holds = %v (wipe %v)", holds, cfg.ScratchWipe)
+	}
+	if holds[0] != base+cfg.ScratchWipe {
+		t.Errorf("first entry should carry the initial wipe: holds = %v", holds)
+	}
 }
 
 func TestGluePassAccounting(t *testing.T) {

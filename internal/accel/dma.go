@@ -119,3 +119,7 @@ func (d *DMAPool) Busy() sim.Time { return d.pool.BusyTime }
 
 // Engines reports the number of A-DMA engines in the pool.
 func (d *DMAPool) Engines() int { return d.pool.Servers }
+
+// SetEngines changes the live engine count (fault injection: removed
+// engines). Floored at one; in-flight transfers finish normally.
+func (d *DMAPool) SetEngines(n int) { d.pool.SetServers(n) }

@@ -17,6 +17,9 @@ type ATM struct {
 	syms     *trace.MapSymbols
 	programs map[string]*trace.Program
 	latency  sim.Time
+	// stall is extra per-read latency charged during a fault window
+	// (e.g. a stalled trace-memory arbiter); 0 outside windows.
+	stall sim.Time
 
 	Reads uint64
 
@@ -63,11 +66,24 @@ func (a *ATM) Read(name string) (*trace.Program, sim.Time, error) {
 		return nil, 0, fmt.Errorf("atm: no trace %q", name)
 	}
 	a.Reads++
+	lat := a.latency + a.stall
 	if a.OnRead != nil {
-		a.OnRead(name, a.latency)
+		a.OnRead(name, lat)
 	}
-	return p, a.latency, nil
+	return p, lat, nil
 }
+
+// SetStall sets the extra read latency charged while a fault window is
+// active; negative values are clamped to zero.
+func (a *ATM) SetStall(d sim.Time) {
+	if d < 0 {
+		d = 0
+	}
+	a.stall = d
+}
+
+// Stall reports the currently applied extra read latency.
+func (a *ATM) Stall() sim.Time { return a.stall }
 
 // Symbols exposes the symbol table for trace encoding.
 func (a *ATM) Symbols() *trace.MapSymbols { return a.syms }

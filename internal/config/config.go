@@ -142,8 +142,10 @@ type Config struct {
 	PollPickupDelay  sim.Time // delay until a polling core observes a user-level notification
 	ATMReadLatency   sim.Time // output dispatcher reading the next trace from the ATM
 	EnqueueRetries   int      // attempts before CPU fallback (§IV-A)
+	EnqueueBackoff   sim.Time // base delay before an Enqueue retry, doubling per attempt (0 = immediate retry)
 	OverflowEntries  int      // per-input-queue overflow area capacity
 	TCPTimeout       sim.Time // armed response-trace timeout (§IV-B)
+	TimeoutRearms    int      // re-arm attempts after a TCP timeout before giving up (0 = none)
 	TenantTraceLimit int      // N concurrent traces per tenant (§IV-D)
 	ScratchWipe      sim.Time // PE state clear between tenants (§IV-D)
 
@@ -347,6 +349,10 @@ func (c *Config) Validate() error {
 		return fmt.Errorf("config: Chiplets must be positive, got %d", c.Chiplets)
 	case c.SpeedupScale <= 0:
 		return fmt.Errorf("config: SpeedupScale must be positive, got %v", c.SpeedupScale)
+	case c.EnqueueBackoff < 0:
+		return fmt.Errorf("config: EnqueueBackoff must be non-negative, got %v", c.EnqueueBackoff)
+	case c.TimeoutRearms < 0:
+		return fmt.Errorf("config: TimeoutRearms must be non-negative, got %d", c.TimeoutRearms)
 	}
 	for k := AccelKind(0); k < NumAccelKinds; k++ {
 		if c.Speedup[k] <= 0 {

@@ -11,12 +11,18 @@ import (
 	"accelflow/internal/accel"
 	"accelflow/internal/atm"
 	"accelflow/internal/config"
+	"accelflow/internal/fault"
 	"accelflow/internal/mem"
 	"accelflow/internal/noc"
 	"accelflow/internal/obs"
 	"accelflow/internal/sim"
 	"accelflow/internal/trace"
 )
+
+// defaultRemoteLossRate is the paper's observed rate of lost remote
+// responses: 3.2 TCP timeouts per million requests (§VII-B.6). A fault
+// injector with Spec.RemoteLossRate > 0 overrides it for the run.
+const defaultRemoteLossRate = 3.2e-6
 
 // Engine is one simulated server under one policy.
 type Engine struct {
@@ -44,8 +50,12 @@ type Engine struct {
 	// WithObserver; nil disables recording (all obs calls no-op).
 	Obs *obs.Sink
 
+	// Faults is the attached injector (nil when injection is off).
+	Faults *fault.Injector
+
 	rng          *sim.RNG
 	tenantActive map[int]int
+	lossRate     float64
 	Stats        Stats
 
 	// centralQDispatchCost is the serialization cost of the base
@@ -78,6 +88,7 @@ func New(k *sim.Kernel, cfg *config.Config, pol Policy, opts ...Option) (*Engine
 		RemoteTails:  map[string]RemoteKind{},
 		rng:          rng,
 		tenantActive: map[int]int{},
+		lossRate:     defaultRemoteLossRate,
 
 		centralQDispatchCost: sim.FromNanos(150),
 	}
@@ -100,6 +111,23 @@ func New(k *sim.Kernel, cfg *config.Config, pol Policy, opts ...Option) (*Engine
 		atmRef.OnRead = func(string, sim.Time) {
 			sink.Sample("atm.reads", k.Now(), float64(atmRef.Reads))
 		}
+	}
+	if o.faults != nil {
+		if err := o.faults.Spec.Validate(); err != nil {
+			return nil, err
+		}
+		o.faults.Attach(k, fault.Targets{
+			Accels:  e.Accels,
+			DMA:     e.DMA,
+			Manager: e.Manager,
+			ATM:     e.ATM,
+			Net:     e.Net,
+			Sink:    e.Obs,
+		})
+		if lr := o.faults.Spec.RemoteLossRate; lr > 0 {
+			e.lossRate = lr
+		}
+		e.Faults = o.faults
 	}
 	return e, nil
 }

@@ -133,20 +133,43 @@ func (e *Engine) deliver(ent *entryState, fromDispatcher bool) {
 }
 
 func (e *Engine) offer(a *accel.Accelerator, ent *entryState, fromDispatcher bool) {
+	if a.Failed() {
+		// The accelerator is in a failure window: retrying cannot help,
+		// so the core services the rest of the trace in software
+		// immediately (graceful degradation under fault injection).
+		e.Stats.FallbacksFailed++
+		ent.chain.req.fellBack = true
+		e.cpuFallback(ent, ent.PC)
+		return
+	}
 	switch a.Offer(ent.Entry, fromDispatcher) {
 	case accel.Admitted, accel.Overflowed:
 		// The accelerator machinery takes over; OnReady resumes us.
 	case accel.Rejected:
 		if !fromDispatcher && ent.retries < e.Cfg.EnqueueRetries {
-			// Enqueue returned an error; the core retries (§IV-A).
+			// Enqueue returned an error; the core retries (§IV-A),
+			// optionally after an exponential backoff so a transient
+			// full queue can drain before the next attempt.
 			ent.retries++
 			r := ent.chain.req
-			t0 := e.K.Now()
-			e.Cores.Do(e.Cfg.EnqueueCost, func() {
-				r.bd.Orch += e.K.Now() - t0
-				ent.sp.QueuedSeg(obs.SegDispatch, "cores", t0, e.Cfg.EnqueueCost)
-				e.offer(a, ent, false)
-			})
+			retry := func() {
+				t0 := e.K.Now()
+				e.Cores.Do(e.Cfg.EnqueueCost, func() {
+					r.bd.Orch += e.K.Now() - t0
+					ent.sp.QueuedSeg(obs.SegDispatch, "cores", t0, e.Cfg.EnqueueCost)
+					e.offer(a, ent, false)
+				})
+			}
+			// With EnqueueBackoff 0 the retry runs inline, scheduling no
+			// kernel event — the pre-backoff event order is preserved
+			// exactly, keeping golden values unchanged by default.
+			if d := e.Cfg.EnqueueBackoff << uint(ent.retries-1); d > 0 {
+				e.Stats.EnqueueBackoffs++
+				ent.sp.Seg(obs.SegQueue, "backoff", e.K.Now(), e.K.Now()+d)
+				e.K.After(d, retry)
+			} else {
+				retry()
+			}
 			return
 		}
 		e.Stats.FallbacksQueue++
@@ -446,32 +469,69 @@ func (e *Engine) loadTail(a *accel.Accelerator, ent *entryState, name string, vi
 			e.resumeProgram(a, ent)
 			return
 		}
-		wait := e.remoteWait(rk)
-		r.bd.Remote += wait
 		if viaMediator {
 			// Without arming, the mediator re-dispatches the response
-			// trace when the message arrives.
+			// trace when the message arrives; the full drawn wait
+			// elapses (the mediator path has no timeout cutoff).
+			wait := e.remoteWait(rk)
+			r.bd.Remote += wait
 			ent.sp.Seg(obs.SegRemote, "net", e.K.Now(), e.K.Now()+wait)
 			e.K.After(wait, func() {
 				e.mediate(ent, func() { e.deliver(ent, true) })
 			})
 			return
 		}
-		// The armed wait ends at the response or the TCP timeout,
-		// whichever comes first.
-		w := wait
-		if w > e.Cfg.TCPTimeout {
-			w = e.Cfg.TCPTimeout
+		// AccelFlow arms the response trace in the accelerator's input
+		// queue (§IV-B); the arrival triggers it directly.
+		e.armTail(a, ent, rk, 0)
+	})
+}
+
+// armTail arms the response trace and handles the three outcomes:
+// arrival (the accelerator machinery resumes the chain), TCP timeout
+// (optionally re-armed up to Cfg.TimeoutRearms times, modeling a
+// retransmitted request), and arm rejection (no free queue slot: the
+// response is serviced by a core in software when it arrives — it is
+// back-pressure, not a timeout). Breakdown.Remote is charged with the
+// time that actually elapses — min(wait, TCPTimeout) per armed window
+// — never the full drawn wait of a lost response, so breakdown
+// segments stay inside the request window on timeout paths.
+func (e *Engine) armTail(a *accel.Accelerator, ent *entryState, rk RemoteKind, attempt int) {
+	r := ent.chain.req
+	wait := e.remoteWait(rk)
+	w := wait
+	if w > e.Cfg.TCPTimeout {
+		w = e.Cfg.TCPTimeout
+	}
+	t0 := e.K.Now()
+	res := a.Arm(ent.Entry, wait, func() {
+		if attempt < e.Cfg.TimeoutRearms {
+			e.Stats.TimeoutRearms++
+			e.armTail(a, ent, rk, attempt+1)
+			return
 		}
-		ent.sp.Seg(obs.SegRemote, "net", e.K.Now(), e.K.Now()+w)
-		// AccelFlow arms the response trace in the TCP accelerator's
-		// input queue (§IV-B); the arrival triggers it directly.
-		a.Arm(ent.Entry, wait, func() {
+		e.Stats.Timeouts++
+		r.timedOut = true
+		e.notifyCore(ent)
+	})
+	r.bd.Remote += w
+	ent.sp.Seg(obs.SegRemote, "net", t0, t0+w)
+	if res != accel.ArmRejected {
+		return
+	}
+	e.Stats.ArmRejects++
+	if wait > e.Cfg.TCPTimeout {
+		// The response was lost as well; with or without a slot this
+		// is a genuine timeout.
+		e.K.After(w, func() {
 			e.Stats.Timeouts++
 			r.timedOut = true
 			e.notifyCore(ent)
 		})
-	})
+		return
+	}
+	r.fellBack = true
+	e.K.After(w, func() { e.cpuFallback(ent, 0) })
 }
 
 // remoteWait draws the time until the remote side's response arrives.
@@ -489,8 +549,9 @@ func (e *Engine) remoteWait(rk RemoteKind) sim.Time {
 	}
 	w := e.Cfg.RemoteRTT + sim.Time(e.rng.LogNormal(float64(svc), 0.3))
 	// Rare lost responses exercise the TCP timeout path (§VII-B.6
-	// reports 3.2 timeouts per million requests).
-	if e.rng.Bool(3.2e-6) {
+	// reports 3.2 timeouts per million requests). A fault injector can
+	// raise the rate via Spec.RemoteLossRate.
+	if e.rng.Bool(e.lossRate) {
 		w = e.Cfg.TCPTimeout + sim.Microsecond
 	}
 	return w

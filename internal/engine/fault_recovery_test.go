@@ -1,0 +1,243 @@
+package engine
+
+import (
+	"sort"
+	"testing"
+
+	"accelflow/internal/config"
+	"accelflow/internal/fault"
+	"accelflow/internal/obs"
+	"accelflow/internal/sim"
+)
+
+// faultEngine builds the standard test catalog with a fault injector.
+func faultEngine(t *testing.T, cfg *config.Config, pol Policy, spec fault.Spec, extra ...Option) *Engine {
+	t.Helper()
+	k := sim.NewKernel()
+	opts := append([]Option{WithSeed(7), WithFaults(fault.New(spec, sim.DeriveSeed(7, "faults")))}, extra...)
+	e, err := New(k, cfg, pol, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Register(testPrograms(t), map[string]RemoteKind{"send": RemoteSvc}); err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestTimeoutRearmRetriesBeforeGivingUp(t *testing.T) {
+	cfg := config.Default()
+	cfg.TimeoutRearms = 2
+	e := faultEngine(t, cfg, AccelFlow(), fault.Spec{RemoteLossRate: 1})
+	var got *Result
+	e.Submit(simpleJob(Step{Kind: StepChain, Trace: "send"}), func(r Result) { got = &r })
+	e.K.Run()
+	if got == nil {
+		t.Fatal("request never completed")
+	}
+	// Every response is lost: the arm times out, re-arms twice, and
+	// only the final attempt counts as a genuine timeout.
+	if e.Stats.TimeoutRearms != 2 {
+		t.Errorf("TimeoutRearms = %d, want 2", e.Stats.TimeoutRearms)
+	}
+	if e.Stats.Timeouts != 1 {
+		t.Errorf("Timeouts = %d, want 1", e.Stats.Timeouts)
+	}
+	if !got.TimedOut {
+		t.Error("request did not report the timeout")
+	}
+	// Each armed window charges one timeout's worth of remote wait.
+	if want := 3 * cfg.TCPTimeout; got.Breakdown.Remote != want {
+		t.Errorf("Remote = %v, want %v (3 armed windows)", got.Breakdown.Remote, want)
+	}
+}
+
+func TestRearmedResponseCanStillArrive(t *testing.T) {
+	// With losses disabled, TimeoutRearms must not change anything.
+	cfg := config.Default()
+	cfg.TimeoutRearms = 3
+	e := testEngine(t, cfg, AccelFlow())
+	var got *Result
+	e.Submit(simpleJob(Step{Kind: StepChain, Trace: "send"}), func(r Result) { got = &r })
+	e.K.Run()
+	if got == nil || got.TimedOut {
+		t.Fatalf("clean remote chain misbehaved: %+v", got)
+	}
+	if e.Stats.TimeoutRearms != 0 || e.Stats.Timeouts != 0 {
+		t.Errorf("spurious rearms/timeouts: %d/%d", e.Stats.TimeoutRearms, e.Stats.Timeouts)
+	}
+}
+
+func TestEnqueueBackoffDrainsTransientPressure(t *testing.T) {
+	cfg := config.Default()
+	cfg.PEsPerAccel = 1
+	cfg.InputQueueEntries = 2
+	cfg.OverflowEntries = 2
+	cfg.TenantTraceLimit = 10000 // keep the tenant guard out of the way
+	cfg.EnqueueBackoff = 200 * sim.Nanosecond
+	e := testEngine(t, cfg, AccelFlow())
+	done := 0
+	const n = 300
+	for i := 0; i < n; i++ {
+		// "forky" is core-triggered (first accel is not TCP), so a full
+		// queue surfaces as an Enqueue error and exercises the retry.
+		e.Submit(simpleJob(Step{Kind: StepChain, Trace: "forky"}), func(Result) { done++ })
+	}
+	e.K.Run()
+	if done != n {
+		t.Fatalf("completed %d/%d", done, n)
+	}
+	if e.Stats.EnqueueBackoffs == 0 {
+		t.Error("no delayed retries despite tiny queues under flood")
+	}
+}
+
+func TestFailedAcceleratorTriggersCPUFallback(t *testing.T) {
+	e := testEngine(t, config.Default(), AccelFlow())
+	// Permanent failure of the chain's first accelerator: every chain
+	// must complete through the CPU fallback path.
+	e.Accels[config.TCP].SetFailed(true)
+	var got *Result
+	e.Submit(simpleJob(Step{Kind: StepChain, Trace: "recv"}), func(r Result) { got = &r })
+	e.K.Run()
+	if got == nil {
+		t.Fatal("request on a failed accelerator never completed")
+	}
+	if !got.FellBack {
+		t.Error("request did not report the fallback")
+	}
+	if e.Stats.FallbacksFailed == 0 {
+		t.Error("FallbacksFailed did not count")
+	}
+	if got.Breakdown.CPU == 0 {
+		t.Error("fallback ran without CPU time")
+	}
+}
+
+func TestInjectedFaultWindowsStillCompleteAllRequests(t *testing.T) {
+	cfg := config.Default()
+	cfg.EnqueueBackoff = 100 * sim.Nanosecond
+	cfg.TimeoutRearms = 1
+	spec := fault.Spec{
+		Rate:          200000, // dense windows so a short run sees many
+		MeanWindow:    20 * sim.Microsecond,
+		Horizon:       50 * sim.Millisecond,
+		PEDegradeFrac: 0.5,
+		PEFail:        true,
+		ADMARemove:    2,
+		ManagerStall:  true,
+		ATMStall:      500 * sim.Nanosecond,
+		NoCInflate:    4,
+	}
+	e := faultEngine(t, cfg, AccelFlow(), spec)
+	done := 0
+	const n = 200
+	for i := 0; i < n; i++ {
+		e.Submit(simpleJob(Step{Kind: StepChain, Trace: "recv"}), func(Result) { done++ })
+	}
+	e.K.Run()
+	if done != n {
+		t.Fatalf("completed %d/%d under fault windows", done, n)
+	}
+	if e.Faults.Stats.Windows == 0 {
+		t.Fatal("no fault windows fired during the run")
+	}
+	if e.Faults.Active() != 0 {
+		t.Errorf("%d windows still open after the run", e.Faults.Active())
+	}
+}
+
+func TestInvalidFaultSpecRejected(t *testing.T) {
+	k := sim.NewKernel()
+	_, err := New(k, config.Default(), AccelFlow(), WithSeed(1),
+		WithFaults(fault.New(fault.Spec{Rate: -5}, 1)))
+	if err == nil {
+		t.Fatal("engine accepted an invalid fault spec")
+	}
+}
+
+// TestSegmentsTileUnderTimeoutAndRejection extends the tiling invariant
+// to the repaired accounting paths: a run forcing at least one genuine
+// TCP timeout AND at least one arm rejection must still produce, for
+// every request, segments that sum exactly to its latency without
+// pairwise overlap. Before the fix the timeout path charged the full
+// drawn wait (which never elapses), pushing segments past the request
+// window.
+func TestSegmentsTileUnderTimeoutAndRejection(t *testing.T) {
+	cfg := config.Default()
+	cfg.PageFaultRate = 0
+	cfg.TLBHitRate = 1
+	cfg.PEsPerAccel = 1
+	cfg.InputQueueEntries = 1
+	cfg.OverflowEntries = 1
+	cfg.TCPTimeout = 30 * sim.Microsecond
+	sink := obs.New()
+	// Half the responses are lost: armed tails both time out (lost,
+	// slot held) and get rejected (concurrent chains hold the single
+	// input-queue slot when the tail arms).
+	e := faultEngine(t, cfg, AccelFlow(), fault.Spec{RemoteLossRate: 0.5}, WithObserver(sink))
+	done := 0
+	const n = 40
+	for i := 0; i < n; i++ {
+		e.Submit(simpleJob(Step{Kind: StepChain, Trace: "send"}), func(Result) { done++ })
+	}
+	e.K.Run()
+	if done != n {
+		t.Fatalf("completed %d/%d", done, n)
+	}
+	if e.Stats.Timeouts == 0 {
+		t.Fatal("run forced no timeouts; the invariant is untested")
+	}
+	if e.Stats.ArmRejects == 0 {
+		t.Fatal("run forced no arm rejections; the invariant is untested")
+	}
+
+	spans := sink.Spans()
+	byID := map[int32]obs.SpanData{}
+	children := map[int32][]int32{}
+	for i := range spans {
+		byID[spans[i].ID] = spans[i]
+		if spans[i].Parent >= 0 {
+			children[spans[i].Parent] = append(children[spans[i].Parent], spans[i].ID)
+		}
+	}
+	requests := 0
+	for _, sp := range spans {
+		if sp.Kind != obs.SpanRequest {
+			continue
+		}
+		requests++
+		// Collect every segment in this request's span tree.
+		var segs []obs.Seg
+		stack := []int32{sp.ID}
+		for len(stack) > 0 {
+			id := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			segs = append(segs, byID[id].Segs...)
+			stack = append(stack, children[id]...)
+		}
+		var sum sim.Time
+		for _, g := range segs {
+			if g.Start < sp.Start || g.End > sp.End {
+				t.Fatalf("segment %v %s [%v,%v] outside request window [%v,%v]",
+					g.Kind, g.Resource, g.Start, g.End, sp.Start, sp.End)
+			}
+			sum += g.End - g.Start
+		}
+		if lat := sp.End - sp.Start; sum != lat {
+			t.Errorf("request %d: segments sum to %v, want latency %v", sp.ID, sum, lat)
+		}
+		sort.Slice(segs, func(i, j int) bool { return segs[i].Start < segs[j].Start })
+		for i := 1; i < len(segs); i++ {
+			if segs[i].Start < segs[i-1].End {
+				t.Errorf("request %d: segments overlap: %v %s [%v,%v] and %v %s [%v,%v]",
+					sp.ID,
+					segs[i-1].Kind, segs[i-1].Resource, segs[i-1].Start, segs[i-1].End,
+					segs[i].Kind, segs[i].Resource, segs[i].Start, segs[i].End)
+			}
+		}
+	}
+	if requests != n {
+		t.Errorf("recorded %d request spans, want %d", requests, n)
+	}
+}

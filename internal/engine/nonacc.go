@@ -76,14 +76,17 @@ func (e *Engine) runCPUSegment(r *request, c *chainState, prog *trace.Program, f
 		}
 		rk := e.RemoteTails[prog.Name]
 		wait := e.remoteWait(rk)
-		r.bd.Remote += wait
 		if wait > e.Cfg.TCPTimeout {
+			// Lost response: only the timeout window elapses on this
+			// server — charge that, not the full drawn wait.
+			r.bd.Remote += e.Cfg.TCPTimeout
 			e.Stats.Timeouts++
 			r.timedOut = true
 			c.sp.Seg(obs.SegRemote, "net", e.K.Now(), e.K.Now()+e.Cfg.TCPTimeout)
 			e.K.After(e.Cfg.TCPTimeout, func() { c.childDone(e) })
 			return
 		}
+		r.bd.Remote += wait
 		c.sp.Seg(obs.SegRemote, "net", e.K.Now(), e.K.Now()+wait)
 		e.K.After(wait, func() { e.runCPUSegment(r, c, np, flags, outBytes) })
 	})
@@ -132,8 +135,10 @@ func (e *Engine) cpuFallback(ent *entryState, fromPC int) {
 		}
 		rk := e.RemoteTails[prog.Name]
 		wait := e.remoteWait(rk)
-		r.bd.Remote += wait
 		if wait > e.Cfg.TCPTimeout {
+			// Same elapsed-time rule as runCPUSegment: a lost response
+			// costs the timeout window, not the drawn wait.
+			r.bd.Remote += e.Cfg.TCPTimeout
 			e.Stats.Timeouts++
 			r.timedOut = true
 			ent.sp.End()
@@ -141,6 +146,7 @@ func (e *Engine) cpuFallback(ent *entryState, fromPC int) {
 			e.K.After(e.Cfg.TCPTimeout, func() { c.childDone(e) })
 			return
 		}
+		r.bd.Remote += wait
 		ent.sp.End()
 		c.sp.Seg(obs.SegRemote, "net", e.K.Now(), e.K.Now()+wait)
 		e.K.After(wait, func() {

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"accelflow/internal/fault"
 	"accelflow/internal/obs"
 )
 
@@ -9,8 +10,9 @@ import (
 type Option func(*options)
 
 type options struct {
-	seed int64
-	obs  *obs.Sink
+	seed   int64
+	obs    *obs.Sink
+	faults *fault.Injector
 }
 
 func defaultOptions() options {
@@ -29,4 +31,13 @@ func WithSeed(seed int64) Option {
 // disables recording.
 func WithObserver(s *obs.Sink) Option {
 	return func(o *options) { o.obs = s }
+}
+
+// WithFaults attaches a fault injector: New wires it to the built
+// accelerators, A-DMA pool, manager, ATM, and NoC, and schedules its
+// windows on the kernel. A nil injector is valid and disables
+// injection; an injector with Rate 0 attaches but schedules nothing,
+// leaving results bit-identical to no injector.
+func WithFaults(inj *fault.Injector) Option {
+	return func(o *options) { o.faults = inj }
 }

@@ -10,6 +10,7 @@ import (
 var convertedIDs = []string{
 	"fig11", "fig12", "fig13", "fig14", "fig15",
 	"fig18", "fig19", "fig20", "sens2", "sens5",
+	"resilience",
 }
 
 // detOpts keeps the three-runs-per-experiment determinism sweep fast;

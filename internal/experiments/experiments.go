@@ -93,31 +93,32 @@ type Runner func(Options) (*Result, error)
 
 // Registry maps experiment IDs to runners. IDs match DESIGN.md §3.
 var Registry = map[string]Runner{
-	"fig1":   Fig1Breakdown,
-	"fig3":   Fig3OrchOverhead,
-	"tab1":   Tab1Connectivity,
-	"q2":     Q2BranchStats,
-	"fig5":   Fig5DataSizes,
-	"tab2":   Tab2Traces,
-	"tab3":   Tab3Parameters,
-	"tab4":   Tab4Paths,
-	"fig11":  Fig11Latency,
-	"fig12":  Fig12Loads,
-	"fig13":  Fig13Ablation,
-	"fig14":  Fig14Throughput,
-	"fig15":  Fig15Coarse,
-	"fig16":  Fig16Serverless,
-	"fig17":  Fig17Components,
-	"glue":   GlueInstructions,
-	"util":   AccelUtilization,
-	"energy": EnergyReport,
-	"events": HighOverheadEvents,
-	"fig18":  Fig18Chiplets,
-	"sens2":  Sens2InterChiplet,
-	"fig19":  Fig19PECount,
-	"fig20":  Fig20Generations,
-	"sens5":  Sens5Speedups,
-	"area":   AreaAccounting,
+	"fig1":       Fig1Breakdown,
+	"fig3":       Fig3OrchOverhead,
+	"tab1":       Tab1Connectivity,
+	"q2":         Q2BranchStats,
+	"fig5":       Fig5DataSizes,
+	"tab2":       Tab2Traces,
+	"tab3":       Tab3Parameters,
+	"tab4":       Tab4Paths,
+	"fig11":      Fig11Latency,
+	"fig12":      Fig12Loads,
+	"fig13":      Fig13Ablation,
+	"fig14":      Fig14Throughput,
+	"fig15":      Fig15Coarse,
+	"fig16":      Fig16Serverless,
+	"fig17":      Fig17Components,
+	"glue":       GlueInstructions,
+	"util":       AccelUtilization,
+	"energy":     EnergyReport,
+	"events":     HighOverheadEvents,
+	"fig18":      Fig18Chiplets,
+	"sens2":      Sens2InterChiplet,
+	"fig19":      Fig19PECount,
+	"fig20":      Fig20Generations,
+	"sens5":      Sens5Speedups,
+	"area":       AreaAccounting,
+	"resilience": Resilience,
 }
 
 // IDs returns the registered experiment names, sorted.

@@ -1,0 +1,80 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+
+	"accelflow/internal/workload"
+)
+
+// TestResilienceRateZeroMatchesNoFaultRun pins the experiment's
+// zero-overhead claim per policy: the rate-0 cells must produce values
+// bit-identical to the same run with the fault layer absent entirely.
+func TestResilienceRateZeroMatchesNoFaultRun(t *testing.T) {
+	const n, seed = 80, 21
+	for _, pol := range resiliencePolicies() {
+		with := resilienceSpec(pol, 0, n, seed)
+		without := resilienceSpec(pol, 0, n, seed)
+		without.Faults = nil
+		a, err := with.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := without.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Float64bits(float64(a.All.P99())) != math.Float64bits(float64(b.All.P99())) ||
+			a.All.Mean() != b.All.Mean() ||
+			a.Completed != b.Completed ||
+			a.FellBack != b.FellBack ||
+			a.TimedOut != b.TimedOut ||
+			a.Elapsed != b.Elapsed ||
+			a.Breakdown != b.Breakdown {
+			t.Errorf("%s: rate-0 injector changed the run (p99 %v vs %v, elapsed %v vs %v)",
+				pol.Name, a.All.P99(), b.All.P99(), a.Elapsed, b.Elapsed)
+		}
+	}
+}
+
+// TestResilienceFaultsDegradeButComplete checks the experiment's shape
+// on a small budget: the faulty cells complete every request and report
+// sane, non-negative rates.
+func TestResilienceFaultsDegradeButComplete(t *testing.T) {
+	res, err := Resilience(Options{Requests: 60, Seed: 7, Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Values) == 0 {
+		t.Fatal("no values produced")
+	}
+	for _, pol := range resiliencePolicies() {
+		for _, rate := range resilienceRates(true) {
+			for _, metric := range []string{"/p99us", "/fallback_pct", "/timeouts_per_m"} {
+				key := pol.Name + "/r" + map[float64]string{0: "0", 2000: "2000"}[rate] + metric
+				v, ok := res.Values[key]
+				if !ok {
+					t.Errorf("missing value %q", key)
+					continue
+				}
+				if v < 0 || math.IsNaN(v) {
+					t.Errorf("%s = %v", key, v)
+				}
+			}
+		}
+	}
+}
+
+// Guard against the experiment silently dropping its workload shape:
+// resilienceSpec must budget exactly n requests across the catalog.
+func TestResilienceSpecBudget(t *testing.T) {
+	spec := resilienceSpec(resiliencePolicies()[0], 2000, 150, 3)
+	total := 0
+	for _, src := range spec.Sources {
+		total += src.Requests
+	}
+	if total != 150 {
+		t.Errorf("spec budgets %d requests, want 150", total)
+	}
+	var _ []workload.Source = spec.Sources
+}

@@ -1,0 +1,183 @@
+package fault
+
+import (
+	"testing"
+
+	"accelflow/internal/accel"
+	"accelflow/internal/atm"
+	"accelflow/internal/config"
+	"accelflow/internal/mem"
+	"accelflow/internal/noc"
+	"accelflow/internal/sim"
+)
+
+// testTargets builds a full component set the injector can act on.
+func testTargets(t *testing.T, k *sim.Kernel) (Targets, *config.Config) {
+	t.Helper()
+	cfg := config.Default()
+	net := noc.NewNetwork(k, cfg)
+	memory := mem.NewMemory(k, cfg)
+	tg := Targets{
+		DMA:     accel.NewDMAPool(k, cfg, net, memory),
+		Manager: sim.NewResource(k, "manager", 4, sim.FIFO),
+		ATM:     atm.New(200 * sim.Nanosecond),
+		Net:     net,
+	}
+	for _, kd := range config.AllAccelKinds() {
+		tg.Accels[kd] = accel.New(k, cfg, kd, noc.Node{Chiplet: 1}, sim.NewRNG(int64(kd)+11), sim.FIFO)
+	}
+	return tg, cfg
+}
+
+// allMechanisms enables every window type so picks exercise each path.
+func allMechanisms(rate float64) Spec {
+	return Spec{
+		Rate:          rate,
+		MeanWindow:    50 * sim.Microsecond,
+		Horizon:       20 * sim.Millisecond,
+		PEDegradeFrac: 0.5,
+		PEFail:        true,
+		ADMARemove:    2,
+		ManagerStall:  true,
+		ATMStall:      500 * sim.Nanosecond,
+		NoCInflate:    4,
+	}
+}
+
+func TestZeroRateSchedulesNothing(t *testing.T) {
+	k := sim.NewKernel()
+	tg, _ := testTargets(t, k)
+	base := k.Pending()
+	in := New(allMechanisms(0), 42)
+	in.Attach(k, tg)
+	if got := k.Pending(); got != base {
+		t.Errorf("rate-0 Attach scheduled events: pending %d -> %d", base, got)
+	}
+	k.Run()
+	if in.Stats != (Stats{}) {
+		t.Errorf("rate-0 run recorded stats: %+v", in.Stats)
+	}
+}
+
+func TestNoMechanismsSchedulesNothing(t *testing.T) {
+	k := sim.NewKernel()
+	tg, _ := testTargets(t, k)
+	base := k.Pending()
+	// Positive rate but nothing enabled: still a no-op.
+	in := New(Spec{Rate: 1e6}, 42)
+	in.Attach(k, tg)
+	if got := k.Pending(); got != base {
+		t.Errorf("no-mechanism Attach scheduled events: pending %d -> %d", base, got)
+	}
+}
+
+func TestWindowsApplyAndRevert(t *testing.T) {
+	k := sim.NewKernel()
+	tg, cfg := testTargets(t, k)
+	in := New(allMechanisms(50000), 42) // ~1000 windows over 20ms
+	in.Attach(k, tg)
+
+	// Snapshot the healthy state, watch for degradation mid-run, and
+	// verify full restoration after the last window closes.
+	basePEs := tg.Accels[config.TCP].PEs.Servers
+	baseDMA := tg.DMA.Engines()
+	sawChange := false
+	k.Every(10*sim.Microsecond, func() {
+		if in.Active() > 0 {
+			sawChange = true
+		}
+	})
+	k.Run()
+
+	if in.Stats.Windows == 0 {
+		t.Fatal("no fault windows fired")
+	}
+	if !sawChange {
+		t.Error("sampler never observed an open window")
+	}
+	if in.Active() != 0 {
+		t.Errorf("windows left open at end of run: %d", in.Active())
+	}
+	perMech := in.Stats.PEDegrades + in.Stats.PEFails + in.Stats.ADMARemovals +
+		in.Stats.ManagerStalls + in.Stats.ATMStalls + in.Stats.NoCInflations
+	if perMech != in.Stats.Windows {
+		t.Errorf("per-mechanism counts %d != total windows %d", perMech, in.Stats.Windows)
+	}
+	// Everything must be back to the healthy configuration.
+	for _, kd := range config.AllAccelKinds() {
+		if tg.Accels[kd].PEs.Servers != basePEs {
+			t.Errorf("%v PEs not restored: %d, want %d", kd, tg.Accels[kd].PEs.Servers, basePEs)
+		}
+		if tg.Accels[kd].Failed() {
+			t.Errorf("%v still marked failed after run", kd)
+		}
+	}
+	if tg.DMA.Engines() != baseDMA {
+		t.Errorf("A-DMA engines not restored: %d, want %d", tg.DMA.Engines(), baseDMA)
+	}
+	if tg.Manager.Servers != 4 {
+		t.Errorf("manager servers not restored: %d, want 4", tg.Manager.Servers)
+	}
+	if tg.ATM.Stall() != 0 {
+		t.Errorf("ATM stall not cleared: %v", tg.ATM.Stall())
+	}
+	if tg.Net.LatencyScale() != 1 {
+		t.Errorf("NoC latency scale not restored: %v", tg.Net.LatencyScale())
+	}
+	_ = cfg
+}
+
+func TestScheduleDeterministicPerSeed(t *testing.T) {
+	run := func(seed int64) Stats {
+		k := sim.NewKernel()
+		tg, _ := testTargets(t, k)
+		in := New(allMechanisms(20000), seed)
+		in.Attach(k, tg)
+		k.Run()
+		return in.Stats
+	}
+	a, b := run(42), run(42)
+	if a != b {
+		t.Errorf("same seed gave different schedules: %+v vs %+v", a, b)
+	}
+	if c := run(43); c == a {
+		t.Errorf("different seeds gave identical schedules: %+v", c)
+	}
+}
+
+func TestAttachTwicePanics(t *testing.T) {
+	k := sim.NewKernel()
+	tg, _ := testTargets(t, k)
+	in := New(Spec{}, 1)
+	in.Attach(k, tg)
+	defer func() {
+		if recover() == nil {
+			t.Error("second Attach did not panic")
+		}
+	}()
+	in.Attach(k, tg)
+}
+
+func TestSpecValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		spec Spec
+		ok   bool
+	}{
+		{"zero", Spec{}, true},
+		{"full", allMechanisms(1000), true},
+		{"negative rate", Spec{Rate: -1}, false},
+		{"negative window", Spec{MeanWindow: -1}, false},
+		{"degrade frac above one", Spec{PEDegradeFrac: 1.5}, false},
+		{"negative adma", Spec{ADMARemove: -1}, false},
+		{"negative atm stall", Spec{ATMStall: -1}, false},
+		{"noc inflate below one", Spec{NoCInflate: 0.5}, false},
+		{"loss rate above one", Spec{RemoteLossRate: 1.5}, false},
+		{"loss rate one", Spec{RemoteLossRate: 1}, true},
+	}
+	for _, c := range cases {
+		if err := c.spec.Validate(); (err == nil) != c.ok {
+			t.Errorf("%s: Validate() = %v, want ok=%v", c.name, err, c.ok)
+		}
+	}
+}

@@ -27,6 +27,11 @@ type Network struct {
 	// links[a][b] serializes traffic between chiplet pair (a<b).
 	links map[[2]int]*sim.Resource
 
+	// latScale multiplies head latency during a fault window (link
+	// degradation). Zero means unset and is treated as 1; the scale-1
+	// path avoids float math entirely so the default is bit-exact.
+	latScale float64
+
 	// Stats for the energy model.
 	Messages   uint64
 	BytesMoved uint64
@@ -62,15 +67,39 @@ func meshHops(a, b Node) int {
 // inter-chiplet port (placed at the origin).
 func edgeHops(a Node) int { return a.X + a.Y }
 
+// SetLatencyScale sets the head-latency multiplier (fault injection:
+// degraded links). Values <= 0 and exactly 1 restore the exact
+// integer-arithmetic default path.
+func (n *Network) SetLatencyScale(f float64) {
+	if f <= 0 {
+		f = 1
+	}
+	n.latScale = f
+}
+
+// LatencyScale reports the active multiplier (1 when unset).
+func (n *Network) LatencyScale() float64 {
+	if n.latScale == 0 {
+		return 1
+	}
+	return n.latScale
+}
+
 // Latency returns the head latency of a message from a to b (no
 // serialization, no contention).
 func (n *Network) Latency(a, b Node) sim.Time {
 	hop := n.cfg.Cycles(n.cfg.MeshHopCycles)
+	var t sim.Time
 	if a.Chiplet == b.Chiplet {
-		return sim.Time(meshHops(a, b)) * hop
+		t = sim.Time(meshHops(a, b)) * hop
+	} else {
+		cross := n.cfg.Cycles(n.cfg.InterChipletCycles)
+		t = sim.Time(edgeHops(a))*hop + cross + sim.Time(edgeHops(b))*hop
 	}
-	cross := n.cfg.Cycles(n.cfg.InterChipletCycles)
-	return sim.Time(edgeHops(a))*hop + cross + sim.Time(edgeHops(b))*hop
+	if n.latScale != 0 && n.latScale != 1 {
+		t = sim.Time(float64(t) * n.latScale)
+	}
+	return t
 }
 
 // serialization returns the time the payload occupies the narrowest

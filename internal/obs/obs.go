@@ -36,6 +36,10 @@ const (
 	// SpanEntry is one accelerator trace-execution instance as it
 	// moves between queues, PEs, and dispatchers.
 	SpanEntry
+	// SpanFault is a root span covering one injected fault window
+	// (degraded PEs, failed accelerator, removed A-DMA engines, stalled
+	// manager/ATM, inflated NoC latency). Not part of any request tree.
+	SpanFault
 )
 
 // String names the span kind for exports.
@@ -49,6 +53,8 @@ func (k SpanKind) String() string {
 		return "chain"
 	case SpanEntry:
 		return "entry"
+	case SpanFault:
+		return "fault"
 	}
 	return "span"
 }
@@ -79,6 +85,9 @@ const (
 	SegNotify
 	// SegCPU is application logic or fallback trace execution on cores.
 	SegCPU
+	// SegFault marks a fault-injection window on a SpanFault span, so
+	// Perfetto traces show when and where faults were active.
+	SegFault
 )
 
 // String names the segment kind for exports.
@@ -102,6 +111,8 @@ func (k SegKind) String() string {
 		return "notify"
 	case SegCPU:
 		return "cpu"
+	case SegFault:
+		return "fault"
 	}
 	return "seg"
 }
@@ -239,6 +250,17 @@ func (s *Sink) BeginRequest(service string) *Span {
 		return nil
 	}
 	return s.newSpan(-1, SpanRequest, service)
+}
+
+// BeginFault opens a root fault-window span (e.g.
+// "fault/pe-degrade/Cmp"). The injector ends it when the window
+// clears, after attaching a SegFault segment covering the window.
+// Returns nil on a nil sink.
+func (s *Sink) BeginFault(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	return s.newSpan(-1, SpanFault, name)
 }
 
 // Child opens a sub-span under sp. Returns nil on a nil span.

@@ -102,6 +102,19 @@ func (r *Resource) SetDiscipline(d Discipline) {
 	heap.Init(&r.q)
 }
 
+// SetServers changes the server count mid-run (fault injection:
+// degraded PEs, removed A-DMA engines, a stalled manager). Growing the
+// pool starts queued tasks immediately; shrinking it never preempts —
+// in-service tasks finish and the pool drains down to the new size.
+// The count is floored at one server so queued work cannot strand.
+func (r *Resource) SetServers(n int) {
+	if n < 1 {
+		n = 1
+	}
+	r.Servers = n
+	r.tryStart()
+}
+
 // Submit enqueues a task. If a server is free it starts immediately.
 func (r *Resource) Submit(t *Task) {
 	r.seq++

@@ -261,3 +261,55 @@ func TestRNGBoolProbability(t *testing.T) {
 		t.Errorf("Bool(0.3) rate = %v", p)
 	}
 }
+
+func TestResourceSetServersGrowStartsQueued(t *testing.T) {
+	k := NewKernel()
+	r := NewResource(k, "srv", 1, FIFO)
+	var ends []Time
+	for i := 0; i < 3; i++ {
+		r.Do(10*Nanosecond, func() { ends = append(ends, k.Now()) })
+	}
+	// Growing mid-run must immediately start the queued tasks.
+	k.At(5*Nanosecond, func() { r.SetServers(3) })
+	k.Run()
+	want := []Time{10 * Nanosecond, 15 * Nanosecond, 15 * Nanosecond}
+	for i, w := range want {
+		if ends[i] != w {
+			t.Errorf("task %d ended at %v, want %v", i, ends[i], w)
+		}
+	}
+}
+
+func TestResourceSetServersShrinkDrains(t *testing.T) {
+	k := NewKernel()
+	r := NewResource(k, "srv", 3, FIFO)
+	var ends []Time
+	for i := 0; i < 5; i++ {
+		r.Do(10*Nanosecond, func() { ends = append(ends, k.Now()) })
+	}
+	// Shrinking never preempts: the three in-flight tasks finish, then
+	// the remaining two serialize on the single surviving server.
+	k.At(0, func() { r.SetServers(1) })
+	k.Run()
+	want := []Time{10 * Nanosecond, 10 * Nanosecond, 10 * Nanosecond, 20 * Nanosecond, 30 * Nanosecond}
+	for i, w := range want {
+		if ends[i] != w {
+			t.Errorf("task %d ended at %v, want %v", i, ends[i], w)
+		}
+	}
+}
+
+func TestResourceSetServersFloorsAtOne(t *testing.T) {
+	k := NewKernel()
+	r := NewResource(k, "srv", 4, FIFO)
+	r.SetServers(-3)
+	if r.Servers != 1 {
+		t.Errorf("SetServers(-3) left Servers = %d, want 1", r.Servers)
+	}
+	done := false
+	r.Do(Nanosecond, func() { done = true })
+	k.Run()
+	if !done {
+		t.Error("floored resource no longer serves tasks")
+	}
+}

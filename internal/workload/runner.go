@@ -2,9 +2,11 @@ package workload
 
 import (
 	"fmt"
+	"sort"
 
 	"accelflow/internal/config"
 	"accelflow/internal/engine"
+	"accelflow/internal/fault"
 	"accelflow/internal/metrics"
 	"accelflow/internal/obs"
 	"accelflow/internal/services"
@@ -57,14 +59,22 @@ type RunSpec struct {
 	// utilization of PEs, manager, NoC links, DRAM, and the A-DMA
 	// pool. Each Sink records exactly one run.
 	Obs *obs.Sink
+	// Faults, when non-nil, attaches a deterministic fault injector
+	// seeded with DeriveSeed(Seed, "faults"); a spec with Rate 0 (and
+	// RemoteLossRate 0) leaves results bit-identical to Faults == nil.
+	Faults *fault.Spec
 }
 
 // Run drives one engine with the spec's sources until every request
 // completes and returns the collected metrics.
 func (s *RunSpec) Run() (*RunResult, error) {
 	k := sim.NewKernel()
-	e, err := engine.New(k, s.Config, s.Policy,
-		engine.WithSeed(s.Seed), engine.WithObserver(s.Obs))
+	opts := []engine.Option{engine.WithSeed(s.Seed), engine.WithObserver(s.Obs)}
+	if s.Faults != nil {
+		opts = append(opts, engine.WithFaults(
+			fault.New(*s.Faults, sim.DeriveSeed(s.Seed, "faults"))))
+	}
+	e, err := engine.New(k, s.Config, s.Policy, opts...)
 	if err != nil {
 		return nil, err
 	}
@@ -232,22 +242,67 @@ func SingleService(svc *services.Service, arr Arrivals, n int) []Source {
 
 // Mix builds sources for a catalog with each service at its own
 // Alibaba-like rate, scaled by loadScale, splitting the request budget
-// proportionally to the rates.
+// proportionally to the rates with largest-remainder apportionment:
+// whenever totalRequests >= len(svcs), the per-source budgets sum to
+// exactly totalRequests (plain flooring used to drop up to len(svcs)-1
+// requests). Every source still gets at least one request, so for
+// totalRequests < len(svcs) the sum is len(svcs).
 func Mix(svcs []*services.Service, loadScale float64, totalRequests int) []Source {
 	var rateSum float64
 	for _, s := range svcs {
 		rateSum += s.RatekRPS
 	}
-	out := make([]Source, 0, len(svcs))
-	for _, s := range svcs {
-		n := int(float64(totalRequests) * s.RatekRPS / rateSum)
-		if n < 1 {
-			n = 1
+	n := len(svcs)
+	quota := make([]int, n)
+	rem := make([]float64, n)
+	assigned := 0
+	for i, s := range svcs {
+		share := float64(totalRequests) * s.RatekRPS / rateSum
+		quota[i] = int(share)
+		rem[i] = share - float64(quota[i])
+		assigned += quota[i]
+	}
+	// Hand the flooring leftover (< n requests) to the largest
+	// fractional parts; ties break toward the earlier service, keeping
+	// the split deterministic.
+	if left := totalRequests - assigned; left > 0 {
+		order := make([]int, n)
+		for i := range order {
+			order[i] = i
 		}
+		sort.SliceStable(order, func(a, b int) bool {
+			return rem[order[a]] > rem[order[b]]
+		})
+		if left > n {
+			left = n
+		}
+		for _, i := range order[:left] {
+			quota[i]++
+		}
+	}
+	// Rebalance zero-quota sources from the largest ones so every
+	// service appears without changing the exact total.
+	for i := range quota {
+		if quota[i] > 0 {
+			continue
+		}
+		big := -1
+		for j := range quota {
+			if quota[j] > 1 && (big < 0 || quota[j] > quota[big]) {
+				big = j
+			}
+		}
+		if big >= 0 {
+			quota[big]--
+		}
+		quota[i] = 1
+	}
+	out := make([]Source, 0, n)
+	for i, s := range svcs {
 		out = append(out, Source{
 			Service:  s,
 			Arrivals: &Alibaba{RPS: s.RatekRPS * 1000 * loadScale},
-			Requests: n,
+			Requests: quota[i],
 		})
 	}
 	return out

@@ -178,8 +178,40 @@ func TestMixBudgetsAndRates(t *testing.T) {
 		}
 		total += s.Requests
 	}
-	if total < 700 || total > 900 {
-		t.Errorf("total budget = %d, want ~800", total)
+	if total != 800 {
+		t.Errorf("total budget = %d, want exactly 800", total)
+	}
+}
+
+// TestMixExactBudget pins the largest-remainder apportionment: the
+// per-source budgets sum to exactly the requested total whenever it is
+// at least the catalog size (plain flooring used to drop requests).
+func TestMixExactBudget(t *testing.T) {
+	svcs := services.SocialNetwork()
+	for _, total := range []int{len(svcs), 150, 800, 1000, 2497} {
+		sources := Mix(svcs, 1.0, total)
+		sum := 0
+		for _, s := range sources {
+			if s.Requests < 1 {
+				t.Errorf("total %d: %s has no budget", total, s.Service.Name)
+			}
+			sum += s.Requests
+		}
+		if sum != total {
+			t.Errorf("total %d: budgets sum to %d", total, sum)
+		}
+	}
+	// Below the catalog size every service still gets one request.
+	small := Mix(svcs, 1.0, 3)
+	sum := 0
+	for _, s := range small {
+		if s.Requests != 1 {
+			t.Errorf("tiny budget: %s got %d requests, want 1", s.Service.Name, s.Requests)
+		}
+		sum += s.Requests
+	}
+	if sum != len(svcs) {
+		t.Errorf("tiny budget: sum = %d, want %d", sum, len(svcs))
 	}
 }
 
