@@ -6,13 +6,18 @@
 package main
 
 import (
+	"bufio"
+	"net/http"
+	"net/http/httptest"
 	"runtime"
+	"strings"
 	"testing"
 
 	"accelflow/internal/config"
 	"accelflow/internal/engine"
 	"accelflow/internal/experiments"
 	"accelflow/internal/obs"
+	"accelflow/internal/serve"
 	"accelflow/internal/services"
 	"accelflow/internal/workload"
 )
@@ -130,6 +135,43 @@ func benchRunObs(b *testing.B, observed bool) {
 
 func BenchmarkRunObsDisabled(b *testing.B) { benchRunObs(b, false) }
 func BenchmarkRunObsEnabled(b *testing.B)  { benchRunObs(b, true) }
+
+// BenchmarkServeSubmitQuick measures a full job round trip through the
+// in-process HTTP daemon: submit a quick experiment, then read the
+// NDJSON progress stream to EOF (the completion barrier — its last
+// line is the "done" event). This is the serving layer's end-to-end
+// overhead on top of the simulation itself.
+func BenchmarkServeSubmitQuick(b *testing.B) {
+	sched := serve.NewScheduler(serve.Config{Workers: 1, QueueDepth: 2})
+	defer sched.Close()
+	handler := serve.NewServer(sched).Handler()
+	body := `{"type":"experiment","experiment":"fig19","quick":true,"requests":40,"seed":1,"parallelism":1}`
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		req := httptest.NewRequest("POST", "/v1/jobs", strings.NewReader(body))
+		rec := httptest.NewRecorder()
+		handler.ServeHTTP(rec, req)
+		if rec.Code != http.StatusAccepted {
+			b.Fatalf("submit: status %d: %s", rec.Code, rec.Body.String())
+		}
+		id := rec.Header().Get("Location")
+		prec := httptest.NewRecorder()
+		handler.ServeHTTP(prec, httptest.NewRequest("GET", id+"/progress", nil))
+		if prec.Code != http.StatusOK {
+			b.Fatalf("progress: status %d", prec.Code)
+		}
+		var last string
+		sc := bufio.NewScanner(prec.Body)
+		for sc.Scan() {
+			if s := strings.TrimSpace(sc.Text()); s != "" {
+				last = s
+			}
+		}
+		if !strings.Contains(last, `"done"`) {
+			b.Fatalf("job did not finish cleanly: %s", last)
+		}
+	}
+}
 
 func BenchmarkSweepSerial(b *testing.B) { benchSweep(b, 1) }
 func BenchmarkSweepParallel(b *testing.B) {

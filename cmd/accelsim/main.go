@@ -26,12 +26,7 @@ import (
 	"strings"
 	"time"
 
-	"accelflow/internal/config"
-	"accelflow/internal/engine"
 	"accelflow/internal/experiments"
-	"accelflow/internal/fault"
-	"accelflow/internal/obs"
-	"accelflow/internal/services"
 	"accelflow/internal/sim"
 	"accelflow/internal/workload"
 )
@@ -52,6 +47,24 @@ func main() {
 		faultLoss  = flag.Float64("faultloss", 0, "remote-response loss rate override in [0,1] for the observed run")
 	)
 	flag.Parse()
+
+	// Validate flags up front: a bad value should fail fast with a
+	// clear message, not surface as a late panic or a silent zero run.
+	if *faultRate < 0 {
+		fatalf("-faults must be non-negative, got %v", *faultRate)
+	}
+	if *faultLoss < 0 || *faultLoss > 1 {
+		fatalf("-faultloss must be in [0,1], got %v", *faultLoss)
+	}
+	if *n <= 0 {
+		fatalf("-n must be positive, got %d", *n)
+	}
+	if *exp != "" && *exp != "all" {
+		if _, ok := experiments.Registry[*exp]; !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %s\ntry -list\n", *exp)
+			os.Exit(2)
+		}
+	}
 
 	if *tracePath != "" || *reportPath != "" {
 		if err := observedRun(*tracePath, *reportPath, *seed, *n, *quick, *faultRate, *faultWin, *faultLoss); err != nil {
@@ -115,35 +128,29 @@ func effectiveParallelism(p int) int {
 	return runtime.GOMAXPROCS(0)
 }
 
+func fatalf(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(2)
+}
+
 // observedRun drives one AccelFlow SocialNetwork mix with the span and
 // utilization observer attached and writes the requested exports.
 // A nonzero faultRate (or faultLoss) attaches the deterministic fault
 // injector, so Perfetto traces show the fault windows as root spans.
+// The spec comes from workload.BuildObserved — the same builder the
+// accelsimd daemon uses — so a job submitted over HTTP with the same
+// parameters yields byte-identical artifacts.
 func observedRun(tracePath, reportPath string, seed int64, n int, quick bool, faultRate float64, faultWin time.Duration, faultLoss float64) error {
-	if quick && n > 600 {
-		n = 600
-	}
-	sink := obs.New()
-	spec := &workload.RunSpec{
-		Config:  config.Default(),
-		Policy:  engine.AccelFlow(),
-		Sources: workload.Mix(services.SocialNetwork(), 1.0, n),
-		Seed:    seed,
-		Obs:     sink,
-	}
-	if faultRate > 0 || faultLoss > 0 {
-		spec.Faults = &fault.Spec{
-			Rate:           faultRate,
-			MeanWindow:     sim.FromNanos(float64(faultWin.Nanoseconds())),
-			Horizon:        sim.Second,
-			PEDegradeFrac:  0.5,
-			PEFail:         true,
-			ADMARemove:     2,
-			ManagerStall:   true,
-			ATMStall:       500 * sim.Nanosecond,
-			NoCInflate:     4,
-			RemoteLossRate: faultLoss,
-		}
+	spec, sink, err := workload.BuildObserved(workload.ObservedParams{
+		Seed:        seed,
+		Requests:    n,
+		Quick:       quick,
+		FaultRate:   faultRate,
+		FaultWindow: sim.FromNanos(float64(faultWin.Nanoseconds())),
+		FaultLoss:   faultLoss,
+	})
+	if err != nil {
+		return err
 	}
 	res, err := spec.Run()
 	if err != nil {

@@ -1,0 +1,91 @@
+// Command accelsimd serves simulation jobs over HTTP: submit any
+// registered experiment or an observed SocialNetwork run (with
+// optional fault injection), stream per-cell progress as NDJSON, and
+// download the resulting values and Chrome-trace/report artifacts.
+//
+// Usage:
+//
+//	accelsimd                          # listen on :8080, 2 workers, queue depth 8
+//	accelsimd -addr :9000 -workers 4 -queue 16
+//
+//	curl -XPOST localhost:8080/v1/jobs -d '{"type":"experiment","experiment":"fig11","quick":true}'
+//	curl localhost:8080/v1/jobs/job-1/progress        # NDJSON until done
+//	curl localhost:8080/v1/jobs/job-1/values
+//	curl -XPOST localhost:8080/v1/jobs -d '{"type":"observed","requests":600,"faultRate":2000}'
+//	curl -o trace.json localhost:8080/v1/jobs/job-2/artifacts/trace
+//
+// Admission is bounded: a full queue answers 429 with a Retry-After
+// hint. SIGINT/SIGTERM drain gracefully — admission closes (503),
+// running and queued jobs finish, then the process exits 0; jobs still
+// running when -draintimeout expires are cancelled through their
+// contexts. Results are deterministic: a job yields byte-identical
+// values and artifacts to the same parameters run through cmd/accelsim.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"accelflow/internal/serve"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", ":8080", "listen address")
+		workers      = flag.Int("workers", 2, "concurrently running jobs")
+		queue        = flag.Int("queue", 8, "bounded admission queue depth (full queue -> 429)")
+		retryAfter   = flag.Duration("retryafter", time.Second, "Retry-After hint on 429/503 responses")
+		drainTimeout = flag.Duration("draintimeout", 2*time.Minute, "graceful-drain budget on SIGTERM before running jobs are cancelled")
+	)
+	flag.Parse()
+
+	sched := serve.NewScheduler(serve.Config{
+		Workers:    *workers,
+		QueueDepth: *queue,
+		RetryAfter: *retryAfter,
+	})
+	srv := &http.Server{Handler: serve.NewServer(sched).Handler()}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("accelsimd: listen: %v", err)
+	}
+	log.Printf("accelsimd: listening on %s (%d workers, queue depth %d)",
+		ln.Addr(), sched.Config().Workers, sched.Config().QueueDepth)
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-errc:
+		log.Fatalf("accelsimd: serve: %v", err)
+	case <-ctx.Done():
+	}
+	stop()
+
+	// Graceful drain: close admission first so clients get 503 +
+	// Retry-After, let admitted jobs run to completion, then stop the
+	// HTTP server (progress streams end when their jobs do).
+	log.Printf("accelsimd: draining (budget %v)", *drainTimeout)
+	dctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := sched.Drain(dctx); err != nil {
+		log.Printf("accelsimd: drain budget exceeded, running jobs cancelled: %v", err)
+	}
+	sctx, scancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer scancel()
+	if err := srv.Shutdown(sctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("accelsimd: http shutdown: %v", err)
+	}
+	log.Printf("accelsimd: drained, exiting")
+}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -40,7 +41,7 @@ func Fig11Latency(o Options) (*Result, error) {
 					Sources: workload.Mix(svcs, 1.0, o.reqs()*len(svcs)),
 					Seed:    seed,
 				}
-				run, err := spec.Run()
+				run, err := spec.RunCtx(o.ctx())
 				if err != nil {
 					return latencies{}, err
 				}
@@ -147,7 +148,7 @@ func Fig12Loads(o Options) (*Result, error) {
 						Config: config.Default(), Policy: pol,
 						Sources: sources, Seed: seed,
 					}
-					run, err := spec.Run()
+					run, err := spec.RunCtx(o.ctx())
 					if err != nil {
 						return 0, err
 					}
@@ -208,7 +209,7 @@ func Fig13Ablation(o Options) (*Result, error) {
 					Sources: workload.Mix(svcs, 1.0, o.reqs()*len(svcs)),
 					Seed:    seed,
 				}
-				run, err := spec.Run()
+				run, err := spec.RunCtx(o.ctx())
 				if err != nil {
 					return nil, err
 				}
@@ -296,7 +297,7 @@ func Fig14Throughput(o Options) (*Result, error) {
 			cells = append(cells, Cell[float64]{
 				Key: "fig14/" + pol.Name + "/" + svc.Name,
 				Run: func(seed int64) (float64, error) {
-					um, err := unloadedMean(config.Default(), pol, svc, seed)
+					um, err := unloadedMean(o.ctx(), config.Default(), pol, svc, seed)
 					if err != nil {
 						return 0, err
 					}
@@ -313,7 +314,7 @@ func Fig14Throughput(o Options) (*Result, error) {
 						if reqs > sustainCap {
 							reqs = sustainCap
 						}
-						run, err := runOne(config.Default(), pol, svc, workload.Poisson{RPS: rps}, reqs, seed)
+						run, err := runOne(o.ctx(), config.Default(), pol, svc, workload.Poisson{RPS: rps}, reqs, seed)
 						if err != nil {
 							return sim.Time(1) << 60
 						}
@@ -396,7 +397,7 @@ func Fig15Coarse(o Options) (*Result, error) {
 				Run: func(seed int64) (float64, error) {
 					cfg := services.CoarseConfig()
 					sloSeed := sim.DeriveSeed(o.Seed, "fig15/"+app.Name+"/slo")
-					um, err := unloadedMeanCoarse(cfg, engine.AccelFlow(), app, sloSeed)
+					um, err := unloadedMeanCoarse(o.ctx(), cfg, engine.AccelFlow(), app, sloSeed)
 					if err != nil {
 						return 0, err
 					}
@@ -410,7 +411,7 @@ func Fig15Coarse(o Options) (*Result, error) {
 							Programs: services.CoarseCatalog(),
 							Remote:   map[string]engine.RemoteKind{},
 						}
-						run, err := spec.Run()
+						run, err := spec.RunCtx(o.ctx())
 						if err != nil {
 							return sim.Time(1) << 60
 						}
@@ -447,7 +448,7 @@ func Fig15Coarse(o Options) (*Result, error) {
 	return res, nil
 }
 
-func unloadedMeanCoarse(cfg *config.Config, pol engine.Policy, app *services.Service, seed int64) (float64, error) {
+func unloadedMeanCoarse(ctx context.Context, cfg *config.Config, pol engine.Policy, app *services.Service, seed int64) (float64, error) {
 	spec := &workload.RunSpec{
 		Config:   cfg,
 		Policy:   pol,
@@ -456,7 +457,7 @@ func unloadedMeanCoarse(cfg *config.Config, pol engine.Policy, app *services.Ser
 		Programs: services.CoarseCatalog(),
 		Remote:   map[string]engine.RemoteKind{},
 	}
-	run, err := spec.Run()
+	run, err := spec.RunCtx(ctx)
 	if err != nil {
 		return 0, err
 	}
@@ -493,7 +494,7 @@ func Fig16Serverless(o Options) (*Result, error) {
 			Config: config.Default(), Policy: pol,
 			Sources: sources, Seed: o.Seed,
 		}
-		run, err := spec.Run()
+		run, err := spec.RunCtx(o.ctx())
 		if err != nil {
 			return nil, err
 		}
@@ -529,7 +530,7 @@ func Fig17Components(o Options) (*Result, error) {
 	var orchAvg float64
 	svcs := services.SocialNetwork()
 	for _, svc := range svcs {
-		run, err := runOne(config.Default(), engine.AccelFlow(), svc, workload.Poisson{RPS: 50}, o.reqs()/8+40, o.Seed)
+		run, err := runOne(o.ctx(), config.Default(), engine.AccelFlow(), svc, workload.Poisson{RPS: 50}, o.reqs()/8+40, o.Seed)
 		if err != nil {
 			return nil, err
 		}
@@ -559,7 +560,7 @@ func GlueInstructions(o Options) (*Result, error) {
 		Sources: workload.Mix(services.SocialNetwork(), 0.3, o.reqs()),
 		Seed:    o.Seed,
 	}
-	run, err := spec.Run()
+	run, err := spec.RunCtx(o.ctx())
 	if err != nil {
 		return nil, err
 	}
@@ -591,7 +592,7 @@ func AccelUtilization(o Options) (*Result, error) {
 		Sources: workload.Mix(services.SocialNetwork(), 3.1, o.reqs()*2),
 		Seed:    o.Seed,
 	}
-	run, err := spec.Run()
+	run, err := spec.RunCtx(o.ctx())
 	if err != nil {
 		return nil, err
 	}
@@ -623,7 +624,7 @@ func EnergyReport(o Options) (*Result, error) {
 			Sources: workload.Mix(services.SocialNetwork(), 1.0, o.reqs()*2),
 			Seed:    o.Seed,
 		}
-		run, err := spec.Run()
+		run, err := spec.RunCtx(o.ctx())
 		if err != nil {
 			return nil, err
 		}
@@ -673,7 +674,7 @@ func HighOverheadEvents(o Options) (*Result, error) {
 			Sources: workload.Mix(services.SocialNetwork(), load.scale, o.reqs()*2),
 			Seed:    o.Seed,
 		}
-		run, err := spec.Run()
+		run, err := spec.RunCtx(o.ctx())
 		if err != nil {
 			return nil, err
 		}

@@ -5,6 +5,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -28,6 +29,37 @@ type Options struct {
 	// Parallelism bounds the sweep worker pool; <= 0 means
 	// runtime.GOMAXPROCS(0). It never affects results, only wall clock.
 	Parallelism int
+	// Ctx, when non-nil, cancels a run cooperatively: RunCells stops
+	// dispatching new cells, in-flight simulations stop at their next
+	// kernel check, and the run reports Ctx's error. A nil Ctx means
+	// context.Background() — no cancellation, bit-identical behavior to
+	// before the field existed.
+	Ctx context.Context
+	// OnCell, when non-nil, is invoked once per finished sweep cell
+	// (including failed ones). Calls arrive from concurrent worker
+	// goroutines, so the callback must be safe for concurrent use and
+	// must not block: it is progress plumbing for the serving layer,
+	// not a results channel — cell outputs still only travel through
+	// RunCells return values.
+	OnCell func(CellEvent)
+}
+
+// CellEvent reports one finished sweep cell to Options.OnCell.
+type CellEvent struct {
+	// Key is the cell's sweep key, Index its submission position, and
+	// Total the sweep's cell count.
+	Key          string
+	Index, Total int
+	// Err is the cell's error (nil on success).
+	Err error
+}
+
+// ctx resolves Options.Ctx, defaulting to the background context.
+func (o Options) ctx() context.Context {
+	if o.Ctx != nil {
+		return o.Ctx
+	}
+	return context.Background()
 }
 
 // DefaultOptions is the CLI default.
@@ -143,21 +175,21 @@ func architectures() []engine.Policy {
 }
 
 // runOne simulates one service under one policy with the given arrival
-// process.
-func runOne(cfg *config.Config, pol engine.Policy, svc *services.Service, arr workload.Arrivals, n int, seed int64) (*workload.RunResult, error) {
+// process. ctx cancels the simulation cooperatively (see RunSpec.RunCtx).
+func runOne(ctx context.Context, cfg *config.Config, pol engine.Policy, svc *services.Service, arr workload.Arrivals, n int, seed int64) (*workload.RunResult, error) {
 	spec := &workload.RunSpec{
 		Config:  cfg,
 		Policy:  pol,
 		Sources: workload.SingleService(svc, arr, n),
 		Seed:    seed,
 	}
-	return spec.Run()
+	return spec.RunCtx(ctx)
 }
 
 // unloadedMean measures a service's mean on-server latency (excluding
 // remote-peer waits) with one request in flight at a time.
-func unloadedMean(cfg *config.Config, pol engine.Policy, svc *services.Service, seed int64) (float64, error) {
-	res, err := runOne(cfg, pol, svc, workload.Poisson{RPS: 50}, 60, seed)
+func unloadedMean(ctx context.Context, cfg *config.Config, pol engine.Policy, svc *services.Service, seed int64) (float64, error) {
+	res, err := runOne(ctx, cfg, pol, svc, workload.Poisson{RPS: 50}, 60, seed)
 	if err != nil {
 		return 0, err
 	}

@@ -85,7 +85,7 @@ func Resilience(o Options) (*Result, error) {
 			cells = append(cells, Cell[out]{
 				Key: fmt.Sprintf("resilience/%s/r%g", pol.Name, rate),
 				Run: func(seed int64) (out, error) {
-					run, err := resilienceSpec(pol, rate, o.reqs(), seed).Run()
+					run, err := resilienceSpec(pol, rate, o.reqs(), seed).RunCtx(o.ctx())
 					if err != nil {
 						return out{}, err
 					}

@@ -23,7 +23,7 @@ func avgP99(o Options, cfg *config.Config, pol engine.Policy, seed int64) (float
 		Sources: workload.Mix(svcs, 1.0, o.reqs()*len(svcs)),
 		Seed:    seed,
 	}
-	run, err := spec.Run()
+	run, err := spec.RunCtx(o.ctx())
 	if err != nil {
 		return 0, err
 	}
@@ -144,7 +144,7 @@ func Fig19PECount(o Options) (*Result, error) {
 					Sources: workload.Mix(svcs, 1.0, o.reqs()*len(svcs)),
 					Seed:    seed,
 				}
-				run, err := spec.Run()
+				run, err := spec.RunCtx(o.ctx())
 				if err != nil {
 					return peStats{}, err
 				}

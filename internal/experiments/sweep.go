@@ -18,6 +18,8 @@
 package experiments
 
 import (
+	"context"
+	"errors"
 	"runtime"
 	"sync"
 	"time"
@@ -46,8 +48,23 @@ func (o Options) parallelism() int {
 // their outputs in submission order. Results are independent of the
 // worker count and of completion order; see the package comment above
 // for the contract.
+//
+// Cancellation (Options.Ctx) is cooperative: once the context is done,
+// no new cell starts — the feeder stops dispatching and workers skip
+// cells already handed to them — and cells whose Run observes the
+// context (e.g. via workload.RunSpec.RunCtx) stop mid-simulation. The
+// error path stays deterministic under cancellation: the
+// lowest-indexed genuine cell failure wins over any cancellation
+// error, and a sweep that only saw cancellation reports ctx's error. A
+// zero-cell sweep spawns no workers and returns immediately — with
+// ctx's error when the context is already cancelled, else with an
+// empty result.
 func RunCells[T any](o Options, cells []Cell[T]) ([]T, error) {
+	ctx := o.ctx()
 	results := make([]T, len(cells))
+	if len(cells) == 0 {
+		return results, ctx.Err()
+	}
 	errs := make([]error, len(cells))
 	workers := o.parallelism()
 	if workers > len(cells) {
@@ -63,20 +80,50 @@ func RunCells[T any](o Options, cells []Cell[T]) ([]T, error) {
 		go func() {
 			defer wg.Done()
 			for i := range idx {
-				c := cells[i]
-				results[i], errs[i] = c.Run(sim.DeriveSeed(o.Seed, c.Key))
+				if err := ctx.Err(); err != nil {
+					errs[i] = err
+				} else {
+					c := cells[i]
+					results[i], errs[i] = c.Run(sim.DeriveSeed(o.Seed, c.Key))
+				}
+				if o.OnCell != nil {
+					o.OnCell(CellEvent{Key: cells[i].Key, Index: i, Total: len(cells), Err: errs[i]})
+				}
 			}
 		}()
 	}
+feed:
 	for i := range cells {
-		idx <- i
+		select {
+		case idx <- i:
+		case <-ctx.Done():
+			// Cells from i on were never dispatched; no worker touches
+			// their slots, so writing here cannot race.
+			for j := i; j < len(cells); j++ {
+				errs[j] = ctx.Err()
+			}
+			break feed
+		}
 	}
 	close(idx)
 	wg.Wait()
+	var cancelErr error
 	for _, err := range errs {
-		if err != nil {
+		switch {
+		case err == nil:
+		case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+			if cancelErr == nil {
+				cancelErr = err
+			}
+		default:
+			// Lowest-indexed genuine failure, reproducible across worker
+			// counts and cancellation timing (a cancelled sweep can hide
+			// failures in cells it never ran, but never reorders them).
 			return nil, err
 		}
+	}
+	if cancelErr != nil {
+		return nil, cancelErr
 	}
 	return results, nil
 }
@@ -95,8 +142,14 @@ type Outcome struct {
 // in the order the ids were given. Experiment-level concurrency shares
 // the Options.Parallelism bound; with Parallelism 1 everything runs
 // serially, which is the baseline the sweep benchmarks compare against.
+// When Options.Ctx is cancelled, experiments not yet started report
+// ctx's error and started ones stop through their own sweep plumbing.
 func RunMany(ids []string, o Options) []Outcome {
 	out := make([]Outcome, len(ids))
+	if len(ids) == 0 {
+		return out
+	}
+	ctx := o.ctx()
 	workers := o.parallelism()
 	if workers > len(ids) {
 		workers = len(ids)
@@ -117,14 +170,26 @@ func RunMany(ids []string, o Options) []Outcome {
 					out[i] = Outcome{ID: id, Err: errUnknownExperiment(id)}
 					continue
 				}
+				if err := ctx.Err(); err != nil {
+					out[i] = Outcome{ID: id, Err: err}
+					continue
+				}
 				start := time.Now()
 				res, err := run(o)
 				out[i] = Outcome{ID: id, Res: res, Err: err, Elapsed: time.Since(start)}
 			}
 		}()
 	}
+feed:
 	for i := range ids {
-		idx <- i
+		select {
+		case idx <- i:
+		case <-ctx.Done():
+			for j := i; j < len(ids); j++ {
+				out[j] = Outcome{ID: ids[j], Err: ctx.Err()}
+			}
+			break feed
+		}
 	}
 	close(idx)
 	wg.Wait()

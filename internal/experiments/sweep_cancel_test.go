@@ -1,0 +1,179 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+
+	"accelflow/internal/config"
+	"accelflow/internal/engine"
+	"accelflow/internal/services"
+	"accelflow/internal/workload"
+)
+
+// TestRunCellsZeroCells pins the zero-cell fast path: no workers are
+// spawned, an empty result comes back immediately, and a cancelled
+// context is still honoured.
+func TestRunCellsZeroCells(t *testing.T) {
+	for _, tc := range []struct {
+		name      string
+		cancelled bool
+		wantErr   error
+	}{
+		{name: "live context", cancelled: false, wantErr: nil},
+		{name: "cancelled context", cancelled: true, wantErr: context.Canceled},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			ctx, cancel := context.WithCancel(context.Background())
+			if tc.cancelled {
+				cancel()
+			} else {
+				defer cancel()
+			}
+			res, err := RunCells(Options{Ctx: ctx}, []Cell[int]{})
+			if !errors.Is(err, tc.wantErr) {
+				t.Fatalf("err = %v, want %v", err, tc.wantErr)
+			}
+			if len(res) != 0 {
+				t.Fatalf("got %d results from a zero-cell sweep", len(res))
+			}
+		})
+	}
+}
+
+// TestRunCellsPreCancelled: a context cancelled before the sweep
+// starts runs zero cells and reports the cancellation at any
+// parallelism.
+func TestRunCellsPreCancelled(t *testing.T) {
+	for _, par := range []int{1, 8} {
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		var ran atomic.Int64
+		cells := []Cell[int]{
+			{Key: "a", Run: func(int64) (int, error) { ran.Add(1); return 1, nil }},
+			{Key: "b", Run: func(int64) (int, error) { ran.Add(1); return 2, nil }},
+		}
+		_, err := RunCells(Options{Parallelism: par, Ctx: ctx}, cells)
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("parallelism %d: err = %v, want context.Canceled", par, err)
+		}
+		if n := ran.Load(); n != 0 {
+			t.Errorf("parallelism %d: %d cells ran after pre-cancel", par, n)
+		}
+	}
+}
+
+// TestRunCellsCancelStopsDispatch: with one worker, cancelling from
+// inside the first cell stops every later cell from being dispatched.
+func TestRunCellsCancelStopsDispatch(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var ran atomic.Int64
+	var events atomic.Int64
+	cells := []Cell[int]{
+		{Key: "first", Run: func(int64) (int, error) {
+			ran.Add(1)
+			cancel()
+			return 1, nil
+		}},
+		{Key: "second", Run: func(int64) (int, error) { ran.Add(1); return 2, nil }},
+		{Key: "third", Run: func(int64) (int, error) { ran.Add(1); return 3, nil }},
+	}
+	o := Options{
+		Parallelism: 1,
+		Ctx:         ctx,
+		OnCell:      func(CellEvent) { events.Add(1) },
+	}
+	_, err := RunCells(o, cells)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if n := ran.Load(); n != 1 {
+		t.Fatalf("%d cells ran, want exactly the cancelling one", n)
+	}
+	// Only dispatched cells emit progress events; after the cancel the
+	// feeder may still hand a cell or two to the (skipping) worker.
+	if n := events.Load(); n < 1 || n > int64(len(cells)) {
+		t.Fatalf("%d OnCell events for a %d-cell sweep", n, len(cells))
+	}
+}
+
+// TestRunCellsRealFailureBeatsCancel: the lowest-indexed genuine cell
+// failure wins over cancellation errors, so a cancelled sweep still
+// reports failures deterministically.
+func TestRunCellsRealFailureBeatsCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	boom := errors.New("boom")
+	cells := []Cell[int]{
+		{Key: "bad", Run: func(int64) (int, error) {
+			cancel() // later cells see a dead context
+			return 0, boom
+		}},
+		{Key: "never", Run: func(int64) (int, error) { return 1, nil }},
+	}
+	_, err := RunCells(Options{Parallelism: 1, Ctx: ctx}, cells)
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want the genuine cell failure", err)
+	}
+}
+
+// TestRunManyCancelled: experiments not yet started when the context
+// dies report the cancellation instead of running.
+func TestRunManyCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	outs := RunMany([]string{"fig19", "area"}, Options{Requests: 40, Quick: true, Ctx: ctx})
+	for _, out := range outs {
+		if !errors.Is(out.Err, context.Canceled) {
+			t.Errorf("%s: err = %v, want context.Canceled", out.ID, out.Err)
+		}
+	}
+}
+
+// TestRunSpecRunCtxPreCancelled: the workload layer honours an
+// already-cancelled context without executing a single kernel event.
+func TestRunSpecRunCtxPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	spec := &workload.RunSpec{
+		Config:  config.Default(),
+		Policy:  engine.AccelFlow(),
+		Sources: workload.Mix(services.SocialNetwork(), 1.0, 100),
+		Seed:    1,
+	}
+	res, err := spec.RunCtx(ctx)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if res != nil {
+		t.Fatal("cancelled run returned a partial result")
+	}
+}
+
+// TestRunSpecRunCtxBackgroundIdentical: a background context changes
+// nothing — Run and RunCtx produce identical metrics.
+func TestRunSpecRunCtxBackgroundIdentical(t *testing.T) {
+	mk := func() *workload.RunSpec {
+		return &workload.RunSpec{
+			Config:  config.Default(),
+			Policy:  engine.AccelFlow(),
+			Sources: workload.Mix(services.SocialNetwork(), 1.0, 200),
+			Seed:    3,
+		}
+	}
+	a, err := mk().Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := mk().RunCtx(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Completed != b.Completed || a.Elapsed != b.Elapsed ||
+		a.All.P99() != b.All.P99() || a.AccelCount != b.AccelCount {
+		t.Fatalf("RunCtx(Background) diverged from Run: %+v vs %+v",
+			a.Completed, b.Completed)
+	}
+}

@@ -1,0 +1,36 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+)
+
+// Artifact names one of the Sink's streamable export formats, the unit
+// the serving layer exposes for download.
+type Artifact string
+
+const (
+	// ArtifactTrace is the Chrome trace-event JSON (WriteChromeTrace).
+	ArtifactTrace Artifact = "trace"
+	// ArtifactReport is the structured JSON report (WriteReport).
+	ArtifactReport Artifact = "report"
+)
+
+// Artifacts lists the exportable formats in a fixed order.
+func Artifacts() []Artifact { return []Artifact{ArtifactTrace, ArtifactReport} }
+
+// WriteArtifact streams the named export to w. Exports only read the
+// recorded data (spans are copied, aggregation uses local state), so
+// concurrent WriteArtifact calls on the same finished Sink are safe —
+// the serving layer relies on this to stream one run's artifacts to
+// several HTTP clients at once. Unknown names are an error; a nil sink
+// writes the corresponding empty export.
+func (s *Sink) WriteArtifact(a Artifact, w io.Writer) error {
+	switch a {
+	case ArtifactTrace:
+		return s.WriteChromeTrace(w)
+	case ArtifactReport:
+		return s.WriteReport(w)
+	}
+	return fmt.Errorf("obs: unknown artifact %q", a)
+}

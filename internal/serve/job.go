@@ -1,0 +1,352 @@
+// Package serve turns the batch simulator into a long-running service:
+// an in-process scheduler admits simulation jobs into a bounded queue,
+// runs them on a fixed worker pool with per-job context cancellation,
+// and an HTTP layer (server.go) exposes the job lifecycle — submit,
+// status, cancel, result values, artifact download, and an NDJSON
+// per-cell progress stream.
+//
+// Determinism contract: a job only carries the same parameters the CLI
+// accepts (experiment ID or observed-run knobs, request budget, seed,
+// quick, parallelism), and execution goes through exactly the same
+// code paths — experiments.Registry runners over RunCells, or
+// workload.BuildObserved + RunSpec.Run. Values and artifact bytes
+// therefore depend only on the submitted parameters, never on the
+// transport, queueing delay, or concurrent jobs; determinism_test.go
+// pins this against direct in-process runs.
+package serve
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"accelflow/internal/experiments"
+	"accelflow/internal/obs"
+	"accelflow/internal/sim"
+	"accelflow/internal/workload"
+)
+
+// JobState is a job's lifecycle phase.
+type JobState string
+
+const (
+	StateQueued    JobState = "queued"
+	StateRunning   JobState = "running"
+	StateDone      JobState = "done"
+	StateFailed    JobState = "failed"
+	StateCancelled JobState = "cancelled"
+)
+
+// Terminal reports whether the state is final.
+func (s JobState) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCancelled
+}
+
+// Job types.
+const (
+	// JobExperiment runs one experiments.Registry entry.
+	JobExperiment = "experiment"
+	// JobObserved runs the canonical observed SocialNetwork mix
+	// (workload.BuildObserved) and keeps its trace/report artifacts.
+	JobObserved = "observed"
+)
+
+// JobRequest is the submit payload (POST /v1/jobs body).
+type JobRequest struct {
+	// Type is "experiment" or "observed".
+	Type string `json:"type"`
+	// Experiment names the Registry entry for experiment jobs.
+	Experiment string `json:"experiment,omitempty"`
+	// Requests, Seed, Quick, Parallelism mirror the CLI's -n, -seed,
+	// -quick and -parallel flags (zero values take the same defaults).
+	Requests    int   `json:"requests,omitempty"`
+	Seed        int64 `json:"seed,omitempty"`
+	Quick       bool  `json:"quick,omitempty"`
+	Parallelism int   `json:"parallelism,omitempty"`
+	// Fault knobs, observed jobs only; they mirror -faults,
+	// -faultwindow (in microseconds) and -faultloss.
+	FaultRate     float64 `json:"faultRate,omitempty"`
+	FaultWindowUs float64 `json:"faultWindowUs,omitempty"`
+	FaultLoss     float64 `json:"faultLoss,omitempty"`
+}
+
+// Validate rejects requests admission should never accept: unknown
+// types, unresolvable experiment IDs, negative budgets, or fault knobs
+// on job types that cannot honour them.
+func (r JobRequest) Validate() error {
+	switch r.Type {
+	case JobExperiment:
+		if r.Experiment == "" {
+			return fmt.Errorf("serve: experiment job needs an experiment ID (see GET /v1/experiments)")
+		}
+		if _, ok := experiments.Registry[r.Experiment]; !ok {
+			return fmt.Errorf("serve: unknown experiment %q", r.Experiment)
+		}
+		if r.FaultRate != 0 || r.FaultWindowUs != 0 || r.FaultLoss != 0 {
+			return fmt.Errorf("serve: fault injection knobs only apply to observed jobs")
+		}
+		if r.Requests < 0 {
+			return fmt.Errorf("serve: requests must be non-negative, got %d", r.Requests)
+		}
+	case JobObserved:
+		if r.Experiment != "" {
+			return fmt.Errorf("serve: observed jobs take no experiment ID")
+		}
+		if err := r.observedParams().Validate(); err != nil {
+			return err
+		}
+		if r.FaultWindowUs < 0 {
+			return fmt.Errorf("serve: faultWindowUs must be non-negative, got %v", r.FaultWindowUs)
+		}
+	default:
+		return fmt.Errorf("serve: job type must be %q or %q, got %q", JobExperiment, JobObserved, r.Type)
+	}
+	if r.Parallelism < 0 {
+		return fmt.Errorf("serve: parallelism must be non-negative, got %d", r.Parallelism)
+	}
+	return nil
+}
+
+// observedParams maps the wire request onto the shared observed-run
+// builder's parameters.
+func (r JobRequest) observedParams() workload.ObservedParams {
+	return workload.ObservedParams{
+		Seed:        r.Seed,
+		Requests:    r.Requests,
+		Quick:       r.Quick,
+		FaultRate:   r.FaultRate,
+		FaultWindow: sim.FromMicros(r.FaultWindowUs),
+		FaultLoss:   r.FaultLoss,
+	}
+}
+
+// options maps the wire request onto experiment Options; the scheduler
+// adds Ctx and OnCell when it starts the job.
+func (r JobRequest) options() experiments.Options {
+	return experiments.Options{
+		Requests:    r.Requests,
+		Seed:        r.Seed,
+		Quick:       r.Quick,
+		Parallelism: r.Parallelism,
+	}
+}
+
+// Event is one NDJSON progress record on GET /v1/jobs/{id}/progress.
+type Event struct {
+	Seq   int    `json:"seq"`
+	Job   string `json:"job"`
+	Event string `json:"event"` // queued | started | cell | done
+	// State is set on "done" events (done/failed/cancelled).
+	State JobState `json:"state,omitempty"`
+	// Key/Index/Total identify the finished sweep cell on "cell"
+	// events; Done counts cells finished so far.
+	Key   string `json:"key,omitempty"`
+	Index int    `json:"index,omitempty"`
+	Total int    `json:"total,omitempty"`
+	Done  int    `json:"done,omitempty"`
+	Error string `json:"error,omitempty"`
+}
+
+// JobView is the status JSON for one job.
+type JobView struct {
+	ID         string   `json:"id"`
+	Type       string   `json:"type"`
+	Experiment string   `json:"experiment,omitempty"`
+	State      JobState `json:"state"`
+	Error      string   `json:"error,omitempty"`
+	CellsDone  int      `json:"cellsDone"`
+	// Artifacts lists downloadable exports once the job is done
+	// (observed jobs only).
+	Artifacts   []string  `json:"artifacts,omitempty"`
+	SubmittedAt time.Time `json:"submittedAt"`
+	StartedAt   time.Time `json:"startedAt,omitempty"`
+	FinishedAt  time.Time `json:"finishedAt,omitempty"`
+}
+
+// Job is one admitted simulation run. All mutable state sits behind mu;
+// the HTTP layer only reads through snapshot/eventsSince/valuesCopy.
+type Job struct {
+	ID  string
+	Req JobRequest
+
+	mu              sync.Mutex
+	state           JobState
+	errMsg          string
+	cancel          func() // non-nil while running
+	cancelRequested bool
+	cellsDone       int
+	values          map[string]float64
+	lines           []string
+	sink            *obs.Sink
+	events          []Event
+	// updated is closed and replaced on every emit, so progress
+	// streamers can wait for new events without polling.
+	updated chan struct{}
+	// done is closed when the job reaches a terminal state.
+	done chan struct{}
+
+	submitted, started, finished time.Time
+}
+
+func newJob(id string, req JobRequest) *Job {
+	j := &Job{
+		ID:        id,
+		Req:       req,
+		state:     StateQueued,
+		updated:   make(chan struct{}),
+		done:      make(chan struct{}),
+		submitted: time.Now(),
+	}
+	j.emitLockedOrNot(Event{Event: "queued"})
+	return j
+}
+
+// emitLockedOrNot appends a progress event. Callers holding mu pass
+// through appendEvent; newJob is the only caller before the job is
+// shared, so it can emit without the lock.
+func (j *Job) emitLockedOrNot(ev Event) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.appendEvent(ev)
+}
+
+// appendEvent requires mu.
+func (j *Job) appendEvent(ev Event) {
+	ev.Seq = len(j.events)
+	ev.Job = j.ID
+	j.events = append(j.events, ev)
+	close(j.updated)
+	j.updated = make(chan struct{})
+}
+
+// start transitions queued -> running and installs the cancel hook.
+// It returns false when the job was cancelled while queued, telling
+// the worker to skip it.
+func (j *Job) start(cancel func()) bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != StateQueued {
+		return false
+	}
+	j.state = StateRunning
+	j.cancel = cancel
+	j.started = time.Now()
+	j.appendEvent(Event{Event: "started"})
+	return true
+}
+
+// finish moves the job to a terminal state (idempotent: the first
+// transition wins) and wakes everyone waiting on it.
+func (j *Job) finish(state JobState, errMsg string) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.finishLocked(state, errMsg)
+}
+
+// finishLocked requires mu.
+func (j *Job) finishLocked(state JobState, errMsg string) {
+	if j.state.Terminal() {
+		return
+	}
+	j.state = state
+	j.errMsg = errMsg
+	j.cancel = nil
+	j.finished = time.Now()
+	j.appendEvent(Event{Event: "done", State: state, Error: errMsg})
+	close(j.done)
+}
+
+// requestCancel cancels the job: a queued job dies immediately, a
+// running one has its context cancelled and finishes through the
+// worker's error path.
+func (j *Job) requestCancel() {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.cancelRequested = true
+	switch j.state {
+	case StateQueued:
+		j.finishLocked(StateCancelled, "cancelled before start")
+	case StateRunning:
+		if j.cancel != nil {
+			j.cancel()
+		}
+	}
+}
+
+// cellDone is the experiments.Options.OnCell hook; it runs on sweep
+// worker goroutines.
+func (j *Job) cellDone(ev experiments.CellEvent) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.cellsDone++
+	e := Event{Event: "cell", Key: ev.Key, Index: ev.Index, Total: ev.Total, Done: j.cellsDone}
+	if ev.Err != nil {
+		e.Error = ev.Err.Error()
+	}
+	j.appendEvent(e)
+}
+
+// setResult stores the finished run's outputs; call before finish.
+func (j *Job) setResult(values map[string]float64, lines []string, sink *obs.Sink) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.values = values
+	j.lines = lines
+	j.sink = sink
+}
+
+// snapshot returns the status view.
+func (j *Job) snapshot() JobView {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	v := JobView{
+		ID:          j.ID,
+		Type:        j.Req.Type,
+		Experiment:  j.Req.Experiment,
+		State:       j.state,
+		Error:       j.errMsg,
+		CellsDone:   j.cellsDone,
+		SubmittedAt: j.submitted,
+		StartedAt:   j.started,
+		FinishedAt:  j.finished,
+	}
+	if j.state == StateDone && j.sink != nil {
+		for _, a := range obs.Artifacts() {
+			v.Artifacts = append(v.Artifacts, string(a))
+		}
+	}
+	return v
+}
+
+// eventsSince returns events with Seq >= n plus a channel that closes
+// when more arrive and whether the job is terminal; the progress
+// streamer loops on it.
+func (j *Job) eventsSince(n int) (evs []Event, more <-chan struct{}, terminal bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if n < len(j.events) {
+		evs = append(evs, j.events[n:]...)
+	}
+	return evs, j.updated, j.state.Terminal()
+}
+
+// results returns the stored values/lines and whether the job is done.
+func (j *Job) results() (map[string]float64, []string, JobState) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	vals := make(map[string]float64, len(j.values))
+	for k, v := range j.values {
+		vals[k] = v
+	}
+	return vals, append([]string(nil), j.lines...), j.state
+}
+
+// artifactSink returns the observability sink once the job is done.
+func (j *Job) artifactSink() (*obs.Sink, JobState) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.sink, j.state
+}
+
+// Done exposes the terminal-state channel (closed when finished).
+func (j *Job) Done() <-chan struct{} { return j.done }

@@ -1,0 +1,279 @@
+// The in-process job scheduler: a bounded admission queue feeding a
+// fixed worker pool, with per-job cancellation and graceful drain.
+// Admission control is strict — a full queue rejects immediately with
+// ErrQueueFull (the HTTP layer maps it to 429 + Retry-After) instead
+// of queueing unboundedly, which is what keeps a daemon under heavy
+// traffic from accumulating hours of simulation backlog.
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"accelflow/internal/experiments"
+	"accelflow/internal/workload"
+)
+
+// Admission errors; the HTTP layer maps them to status codes.
+var (
+	// ErrQueueFull means the bounded queue is at capacity (HTTP 429).
+	ErrQueueFull = errors.New("serve: job queue full")
+	// ErrDraining means the scheduler is shutting down (HTTP 503).
+	ErrDraining = errors.New("serve: scheduler draining, not accepting jobs")
+	// ErrNotFound means no job has the requested ID (HTTP 404).
+	ErrNotFound = errors.New("serve: no such job")
+)
+
+// Config sizes the scheduler.
+type Config struct {
+	// Workers bounds concurrently running jobs; <= 0 means 2.
+	Workers int
+	// QueueDepth bounds jobs admitted but not yet picked up by a
+	// worker; <= 0 means 8. Submissions beyond it fail with
+	// ErrQueueFull.
+	QueueDepth int
+	// RetryAfter is the backoff hint returned with 429/503 responses;
+	// <= 0 means 1s.
+	RetryAfter time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = 2
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 8
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+	return c
+}
+
+// Scheduler admits, runs, cancels, and drains jobs.
+type Scheduler struct {
+	cfg        Config
+	root       context.Context
+	rootCancel context.CancelFunc
+	queue      chan *Job
+	wg         sync.WaitGroup
+
+	mu       sync.Mutex
+	jobs     map[string]*Job
+	order    []string
+	draining bool
+	nextID   int64
+
+	// runJob executes one started job; tests swap it for a stub to
+	// exercise admission/cancel/drain without real simulations.
+	runJob func(ctx context.Context, j *Job)
+}
+
+// NewScheduler starts cfg.Workers workers and returns the scheduler.
+func NewScheduler(cfg Config) *Scheduler {
+	return newScheduler(cfg, nil)
+}
+
+// newScheduler optionally injects a job runner (tests stub it to
+// exercise admission, cancellation, and drain without simulating); it
+// must be wired before the workers start to stay race-free.
+func newScheduler(cfg Config, runFn func(ctx context.Context, j *Job)) *Scheduler {
+	cfg = cfg.withDefaults()
+	root, cancel := context.WithCancel(context.Background())
+	s := &Scheduler{
+		cfg:        cfg,
+		root:       root,
+		rootCancel: cancel,
+		queue:      make(chan *Job, cfg.QueueDepth),
+		jobs:       map[string]*Job{},
+	}
+	s.runJob = s.execute
+	if runFn != nil {
+		s.runJob = runFn
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// Config returns the effective (defaulted) configuration.
+func (s *Scheduler) Config() Config { return s.cfg }
+
+func (s *Scheduler) worker() {
+	defer s.wg.Done()
+	for j := range s.queue {
+		ctx, cancel := context.WithCancel(s.root)
+		if !j.start(cancel) {
+			// Cancelled while queued; nothing to run.
+			cancel()
+			continue
+		}
+		s.runJob(ctx, j)
+		cancel()
+	}
+}
+
+// Submit validates and admits one job. It never blocks: a full queue
+// returns ErrQueueFull, a draining scheduler ErrDraining, and a
+// malformed request its validation error.
+func (s *Scheduler) Submit(req JobRequest) (*Job, error) {
+	if err := req.Validate(); err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return nil, ErrDraining
+	}
+	j := newJob(fmt.Sprintf("job-%d", s.nextID+1), req)
+	select {
+	case s.queue <- j:
+		s.nextID++
+		s.jobs[j.ID] = j
+		s.order = append(s.order, j.ID)
+		return j, nil
+	default:
+		return nil, ErrQueueFull
+	}
+}
+
+// Get returns a job by ID (nil when unknown).
+func (s *Scheduler) Get(id string) *Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.jobs[id]
+}
+
+// Jobs returns all admitted jobs in submission order.
+func (s *Scheduler) Jobs() []*Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*Job, 0, len(s.order))
+	for _, id := range s.order {
+		out = append(out, s.jobs[id])
+	}
+	return out
+}
+
+// Cancel requests cancellation of one job: queued jobs die
+// immediately, running ones stop at their sweep/kernel checkpoints.
+func (s *Scheduler) Cancel(id string) error {
+	j := s.Get(id)
+	if j == nil {
+		return ErrNotFound
+	}
+	j.requestCancel()
+	return nil
+}
+
+// Draining reports whether admission is closed.
+func (s *Scheduler) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// StartDrain closes admission: later Submits fail with ErrDraining
+// while already-admitted jobs (queued and running) continue to
+// completion. Idempotent.
+func (s *Scheduler) StartDrain() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return
+	}
+	s.draining = true
+	// Submit sends only under mu after checking draining, so closing
+	// here cannot race a send.
+	close(s.queue)
+}
+
+// Drain closes admission and waits until every admitted job has
+// reached a terminal state. If ctx expires first, running jobs are
+// cancelled via the scheduler root context and Drain still waits for
+// the (now fast, cooperative) worker exit before returning ctx's
+// error.
+func (s *Scheduler) Drain(ctx context.Context) error {
+	s.StartDrain()
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.rootCancel()
+		<-done
+		return ctx.Err()
+	}
+}
+
+// Close force-stops the scheduler: admission closes, running jobs are
+// cancelled, and workers are joined. Tests use it; the daemon prefers
+// Drain.
+func (s *Scheduler) Close() {
+	s.StartDrain()
+	s.rootCancel()
+	s.wg.Wait()
+}
+
+// execute runs one started job to a terminal state.
+func (s *Scheduler) execute(ctx context.Context, j *Job) {
+	switch j.Req.Type {
+	case JobExperiment:
+		o := j.Req.options()
+		o.Ctx = ctx
+		o.OnCell = j.cellDone
+		res, err := experiments.Registry[j.Req.Experiment](o)
+		if err != nil {
+			j.finish(classify(ctx, err), err.Error())
+			return
+		}
+		vals := make(map[string]float64, len(res.Values))
+		for k, v := range res.Values {
+			vals[k] = v
+		}
+		j.setResult(vals, append([]string(nil), res.Lines...), nil)
+		j.finish(StateDone, "")
+	case JobObserved:
+		spec, sink, err := workload.BuildObserved(j.Req.observedParams())
+		if err != nil {
+			j.finish(StateFailed, err.Error())
+			return
+		}
+		res, err := spec.RunCtx(ctx)
+		if err != nil {
+			j.finish(classify(ctx, err), err.Error())
+			return
+		}
+		vals := map[string]float64{
+			"completed": float64(res.Completed),
+			"timedOut":  float64(res.TimedOut),
+			"fellBack":  float64(res.FellBack),
+			"elapsedUs": res.Elapsed.Micros(),
+			"p99Us":     res.All.P99().Micros(),
+			"meanUs":    res.All.Mean().Micros(),
+			"spans":     float64(sink.SpanCount()),
+		}
+		j.setResult(vals, nil, sink)
+		j.finish(StateDone, "")
+	default:
+		// Validate rejected anything else at admission.
+		j.finish(StateFailed, fmt.Sprintf("unreachable job type %q", j.Req.Type))
+	}
+}
+
+// classify distinguishes a cancelled run from a genuine failure.
+func classify(ctx context.Context, err error) JobState {
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) || ctx.Err() != nil {
+		return StateCancelled
+	}
+	return StateFailed
+}

@@ -1,0 +1,221 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// stubReq is a valid request for stub-runner tests (never actually
+// simulated — the stub runner intercepts execution).
+func stubReq() JobRequest {
+	return JobRequest{Type: JobExperiment, Experiment: "area", Quick: true}
+}
+
+// waitState polls until the job reaches want (fatal on timeout).
+func waitState(t *testing.T, j *Job, want JobState) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if j.snapshot().State == want {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("job %s: state %s, want %s", j.ID, j.snapshot().State, want)
+}
+
+// TestSubmitValidation: admission rejects malformed requests before
+// they reach the queue.
+func TestSubmitValidation(t *testing.T) {
+	s := NewScheduler(Config{Workers: 1, QueueDepth: 1})
+	defer s.Close()
+	for _, req := range []JobRequest{
+		{Type: "nope"},
+		{Type: JobExperiment},                                      // missing ID
+		{Type: JobExperiment, Experiment: "no-such-figure"},        // unknown ID
+		{Type: JobExperiment, Experiment: "fig11", Requests: -1},   // negative budget
+		{Type: JobExperiment, Experiment: "fig11", FaultRate: 2},   // faults on experiment
+		{Type: JobObserved, Experiment: "fig11"},                   // experiment on observed
+		{Type: JobObserved, FaultLoss: 1.5},                        // loss out of range
+		{Type: JobObserved, FaultRate: -1},                         // negative rate
+		{Type: JobExperiment, Experiment: "fig11", Parallelism: -2},
+	} {
+		if _, err := s.Submit(req); err == nil {
+			t.Errorf("Submit(%+v) accepted an invalid request", req)
+		}
+	}
+}
+
+// TestQueueFull: with one busy worker and a depth-1 queue, a third
+// submission is rejected with ErrQueueFull and admitted work still
+// completes after the worker frees up.
+func TestQueueFull(t *testing.T) {
+	release := make(chan struct{})
+	started := make(chan string, 8)
+	s := newScheduler(Config{Workers: 1, QueueDepth: 1}, func(ctx context.Context, j *Job) {
+		started <- j.ID
+		<-release
+		j.finish(StateDone, "")
+	})
+	defer s.Close()
+
+	a, err := s.Submit(stubReq())
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started // a is running, queue is empty again
+	b, err := s.Submit(stubReq())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Submit(stubReq()); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("third submit: err = %v, want ErrQueueFull", err)
+	}
+	close(release)
+	waitState(t, a, StateDone)
+	waitState(t, b, StateDone)
+	// Queue drained: admission opens again.
+	if _, err := s.Submit(stubReq()); err != nil {
+		t.Fatalf("submit after drain of backlog: %v", err)
+	}
+}
+
+// TestCancelQueued: a job cancelled while still queued dies
+// immediately and is skipped by the worker.
+func TestCancelQueued(t *testing.T) {
+	release := make(chan struct{})
+	ran := make(chan string, 8)
+	s := newScheduler(Config{Workers: 1, QueueDepth: 2}, func(ctx context.Context, j *Job) {
+		ran <- j.ID
+		<-release
+		j.finish(StateDone, "")
+	})
+	defer s.Close()
+
+	a, _ := s.Submit(stubReq())
+	<-ran
+	b, _ := s.Submit(stubReq())
+	if err := s.Cancel(b.ID); err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, b, StateCancelled) // immediate — before the worker frees up
+	close(release)
+	waitState(t, a, StateDone)
+	select {
+	case id := <-ran:
+		t.Fatalf("cancelled queued job %s was executed", id)
+	case <-time.After(50 * time.Millisecond):
+	}
+	if s.Cancel("job-999") == nil {
+		t.Fatal("cancelling an unknown job did not error")
+	}
+}
+
+// TestCancelRunning: cancelling a running job fires its context; the
+// runner observes it and the job ends cancelled.
+func TestCancelRunning(t *testing.T) {
+	started := make(chan struct{})
+	s := newScheduler(Config{Workers: 1, QueueDepth: 1}, func(ctx context.Context, j *Job) {
+		close(started)
+		<-ctx.Done()
+		j.finish(classify(ctx, ctx.Err()), ctx.Err().Error())
+	})
+	defer s.Close()
+
+	j, err := s.Submit(stubReq())
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	if err := s.Cancel(j.ID); err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, j, StateCancelled)
+}
+
+// TestDrainOrdering: drain closes admission (ErrDraining), lets the
+// running and the queued job finish, and only then returns.
+func TestDrainOrdering(t *testing.T) {
+	release := make(chan struct{})
+	s := newScheduler(Config{Workers: 1, QueueDepth: 2}, func(ctx context.Context, j *Job) {
+		<-release
+		j.finish(StateDone, "")
+	})
+
+	a, _ := s.Submit(stubReq())
+	b, _ := s.Submit(stubReq())
+	s.StartDrain()
+	if _, err := s.Submit(stubReq()); !errors.Is(err, ErrDraining) {
+		t.Fatalf("submit during drain: err = %v, want ErrDraining", err)
+	}
+	drained := make(chan error, 1)
+	go func() { drained <- s.Drain(context.Background()) }()
+	select {
+	case err := <-drained:
+		t.Fatalf("Drain returned %v with jobs still admitted", err)
+	case <-time.After(30 * time.Millisecond):
+	}
+	close(release)
+	if err := <-drained; err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+	// Both admitted jobs ran to completion before Drain returned.
+	for _, j := range []*Job{a, b} {
+		if st := j.snapshot().State; st != StateDone {
+			t.Errorf("job %s: state %s after drain, want done", j.ID, st)
+		}
+	}
+}
+
+// TestDrainTimeoutCancels: when the drain budget expires, running jobs
+// are cancelled through the root context and Drain still joins the
+// workers before returning the context error.
+func TestDrainTimeoutCancels(t *testing.T) {
+	started := make(chan struct{})
+	s := newScheduler(Config{Workers: 1, QueueDepth: 1}, func(ctx context.Context, j *Job) {
+		close(started)
+		<-ctx.Done() // ignores polite drain, yields only to cancellation
+		j.finish(StateCancelled, ctx.Err().Error())
+	})
+
+	j, _ := s.Submit(stubReq())
+	<-started
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if err := s.Drain(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Drain: err = %v, want DeadlineExceeded", err)
+	}
+	if st := j.snapshot().State; st != StateCancelled {
+		t.Fatalf("job state %s after forced drain, want cancelled", st)
+	}
+}
+
+// TestJobIDsSequential: IDs are assigned in admission order and
+// rejected submissions don't consume them.
+func TestJobIDsSequential(t *testing.T) {
+	release := make(chan struct{})
+	started := make(chan struct{}, 8)
+	s := newScheduler(Config{Workers: 1, QueueDepth: 1}, func(ctx context.Context, j *Job) {
+		started <- struct{}{}
+		<-release
+		j.finish(StateDone, "")
+	})
+	defer s.Close()
+	a, _ := s.Submit(stubReq())
+	<-started
+	b, _ := s.Submit(stubReq())
+	if _, err := s.Submit(stubReq()); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("expected queue full, got %v", err)
+	}
+	close(release)
+	waitState(t, b, StateDone)
+	c, err := s.Submit(stubReq())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.ID != "job-1" || b.ID != "job-2" || c.ID != "job-3" {
+		t.Fatalf("IDs = %s, %s, %s; want job-1..3 (rejections must not burn IDs)", a.ID, b.ID, c.ID)
+	}
+}

@@ -1,0 +1,237 @@
+// HTTP surface of the job daemon. Endpoints (all JSON):
+//
+//	POST   /v1/jobs                      submit  -> 202 JobView (429 + Retry-After when the queue is full)
+//	GET    /v1/jobs                      list    -> {"jobs":[JobView...]}
+//	GET    /v1/jobs/{id}                 status  -> JobView
+//	POST   /v1/jobs/{id}/cancel         cancel  -> 202 JobView
+//	GET    /v1/jobs/{id}/values          results -> {"values":{...},"lines":[...]}
+//	GET    /v1/jobs/{id}/progress        NDJSON event stream until the job ends
+//	GET    /v1/jobs/{id}/artifacts/{kind} Chrome trace / JSON report, streamed
+//	GET    /v1/experiments               registered experiment IDs
+//	GET    /healthz                      liveness + drain state
+//
+// Artifact and values bytes come straight from the same exporters the
+// CLI uses, so they are byte-identical to a local run with the same
+// parameters.
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"accelflow/internal/experiments"
+	"accelflow/internal/obs"
+)
+
+// Server routes the HTTP API onto a Scheduler.
+type Server struct {
+	sched *Scheduler
+	mux   *http.ServeMux
+}
+
+// NewServer builds the route table.
+func NewServer(sched *Scheduler) *Server {
+	s := &Server{sched: sched, mux: http.NewServeMux()}
+	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	s.mux.HandleFunc("GET /v1/jobs", s.handleList)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
+	s.mux.HandleFunc("POST /v1/jobs/{id}/cancel", s.handleCancel)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/values", s.handleValues)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/progress", s.handleProgress)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/artifacts/{kind}", s.handleArtifact)
+	s.mux.HandleFunc("GET /v1/experiments", s.handleExperiments)
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	return s
+}
+
+// Handler returns the root handler for an http.Server.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// maxBody bounds submit payloads; job requests are tiny.
+const maxBody = 1 << 20
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}
+
+func (s *Server) retryAfterSeconds() string {
+	secs := int(s.sched.Config().RetryAfter.Seconds())
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.Itoa(secs)
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req JobRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBody))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("serve: bad job request: %w", err))
+		return
+	}
+	j, err := s.sched.Submit(req)
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		// Admission control: tell the client when to come back instead
+		// of letting the backlog grow.
+		w.Header().Set("Retry-After", s.retryAfterSeconds())
+		writeError(w, http.StatusTooManyRequests, err)
+		return
+	case errors.Is(err, ErrDraining):
+		w.Header().Set("Retry-After", s.retryAfterSeconds())
+		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	case err != nil:
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	w.Header().Set("Location", "/v1/jobs/"+j.ID)
+	writeJSON(w, http.StatusAccepted, j.snapshot())
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	jobs := s.sched.Jobs()
+	views := make([]JobView, 0, len(jobs))
+	for _, j := range jobs {
+		views = append(views, j.snapshot())
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": views})
+}
+
+// job resolves the {id} path segment, writing the 404 itself when
+// unknown.
+func (s *Server) job(w http.ResponseWriter, r *http.Request) *Job {
+	j := s.sched.Get(r.PathValue("id"))
+	if j == nil {
+		writeError(w, http.StatusNotFound, ErrNotFound)
+	}
+	return j
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	if j := s.job(w, r); j != nil {
+		writeJSON(w, http.StatusOK, j.snapshot())
+	}
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	j := s.job(w, r)
+	if j == nil {
+		return
+	}
+	j.requestCancel()
+	writeJSON(w, http.StatusAccepted, j.snapshot())
+}
+
+func (s *Server) handleValues(w http.ResponseWriter, r *http.Request) {
+	j := s.job(w, r)
+	if j == nil {
+		return
+	}
+	values, lines, state := j.results()
+	if !state.Terminal() {
+		writeError(w, http.StatusConflict,
+			fmt.Errorf("serve: job %s is %s; values are available once it finishes", j.ID, state))
+		return
+	}
+	if state != StateDone {
+		writeError(w, http.StatusConflict,
+			fmt.Errorf("serve: job %s finished %s and produced no values", j.ID, state))
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"id": j.ID, "values": values, "lines": lines})
+}
+
+// handleProgress streams the job's events as NDJSON (one JSON object
+// per line), flushing after every event, until the job reaches a
+// terminal state or the client goes away. Reading the stream to EOF is
+// therefore a completion barrier: the last line is the "done" event.
+func (s *Server) handleProgress(w http.ResponseWriter, r *http.Request) {
+	j := s.job(w, r)
+	if j == nil {
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	next := 0
+	for {
+		evs, more, terminal := j.eventsSince(next)
+		for _, ev := range evs {
+			if err := enc.Encode(ev); err != nil {
+				return
+			}
+		}
+		next += len(evs)
+		if flusher != nil && len(evs) > 0 {
+			flusher.Flush()
+		}
+		if terminal {
+			return
+		}
+		select {
+		case <-more:
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+func (s *Server) handleArtifact(w http.ResponseWriter, r *http.Request) {
+	j := s.job(w, r)
+	if j == nil {
+		return
+	}
+	kind := obs.Artifact(r.PathValue("kind"))
+	known := false
+	for _, a := range obs.Artifacts() {
+		if a == kind {
+			known = true
+		}
+	}
+	if !known {
+		writeError(w, http.StatusNotFound, fmt.Errorf("serve: unknown artifact %q (want trace or report)", kind))
+		return
+	}
+	sink, state := j.artifactSink()
+	if !state.Terminal() {
+		writeError(w, http.StatusConflict,
+			fmt.Errorf("serve: job %s is %s; artifacts are available once it finishes", j.ID, state))
+		return
+	}
+	if state != StateDone || sink == nil {
+		writeError(w, http.StatusNotFound,
+			fmt.Errorf("serve: job %s has no %s artifact (only successful observed jobs export artifacts)", j.ID, kind))
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Disposition", fmt.Sprintf("attachment; filename=%s-%s.json", j.ID, kind))
+	// Streamed straight from the sink; exports are read-only, so
+	// concurrent downloads of the same job are safe.
+	_ = sink.WriteArtifact(kind, w)
+}
+
+func (s *Server) handleExperiments(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"experiments": experiments.IDs()})
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":   "ok",
+		"draining": s.sched.Draining(),
+	})
+}

@@ -1,0 +1,423 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// testServer boots a scheduler (real runner unless runFn is given)
+// behind an httptest server.
+func testServer(t *testing.T, cfg Config, runFn func(context.Context, *Job)) (*Scheduler, *httptest.Server) {
+	t.Helper()
+	sched := newScheduler(cfg, runFn)
+	ts := httptest.NewServer(NewServer(sched).Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		sched.Close()
+	})
+	return sched, ts
+}
+
+func postJSON(t *testing.T, url string, body string) *http.Response {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func decodeView(t *testing.T, resp *http.Response) JobView {
+	t.Helper()
+	defer resp.Body.Close()
+	var v JobView
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+// drainProgress reads the NDJSON progress stream to EOF (a completion
+// barrier), validating every line parses and returning the events.
+func drainProgress(t *testing.T, url string) []Event {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("progress: status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("progress: Content-Type %q", ct)
+	}
+	var evs []Event
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var ev Event
+		if err := json.Unmarshal(line, &ev); err != nil {
+			t.Fatalf("progress line %q: %v", line, err)
+		}
+		evs = append(evs, ev)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return evs
+}
+
+// TestSubmitPollFetch walks the happy path over HTTP: submit an
+// experiment job, follow its progress stream to completion, then poll
+// status and fetch values.
+func TestSubmitPollFetch(t *testing.T) {
+	_, ts := testServer(t, Config{Workers: 1, QueueDepth: 4}, nil)
+
+	resp := postJSON(t, ts.URL+"/v1/jobs",
+		`{"type":"experiment","experiment":"fig19","quick":true,"requests":40,"seed":3,"parallelism":2}`)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: status %d", resp.StatusCode)
+	}
+	if loc := resp.Header.Get("Location"); loc == "" {
+		t.Fatal("submit: no Location header")
+	}
+	view := decodeView(t, resp)
+	if view.ID == "" || view.Type != JobExperiment {
+		t.Fatalf("submit view: %+v", view)
+	}
+
+	evs := drainProgress(t, ts.URL+"/v1/jobs/"+view.ID+"/progress")
+	if len(evs) < 3 {
+		t.Fatalf("only %d progress events", len(evs))
+	}
+	if evs[0].Event != "queued" {
+		t.Errorf("first event %q, want queued", evs[0].Event)
+	}
+	last := evs[len(evs)-1]
+	if last.Event != "done" || last.State != StateDone {
+		t.Fatalf("last event %+v, want done/done", last)
+	}
+	cells := 0
+	for _, ev := range evs {
+		if ev.Event == "cell" {
+			cells++
+			if ev.Total != 3 { // fig19 sweeps 8/4/2 PEs
+				t.Errorf("cell event total = %d, want 3", ev.Total)
+			}
+		}
+	}
+	if cells != 3 {
+		t.Errorf("%d cell events, want 3", cells)
+	}
+	for i, ev := range evs {
+		if ev.Seq != i {
+			t.Errorf("event %d has seq %d", i, ev.Seq)
+		}
+	}
+
+	statusResp, err := http.Get(ts.URL + "/v1/jobs/" + view.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := decodeView(t, statusResp); got.State != StateDone || got.CellsDone != 3 {
+		t.Fatalf("status after completion: %+v", got)
+	}
+
+	valResp, err := http.Get(ts.URL + "/v1/jobs/" + view.ID + "/values")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer valResp.Body.Close()
+	if valResp.StatusCode != http.StatusOK {
+		t.Fatalf("values: status %d", valResp.StatusCode)
+	}
+	var out struct {
+		Values map[string]float64 `json:"values"`
+		Lines  []string           `json:"lines"`
+	}
+	if err := json.NewDecoder(valResp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Values) == 0 || len(out.Lines) == 0 {
+		t.Fatalf("empty results: %d values, %d lines", len(out.Values), len(out.Lines))
+	}
+	if _, ok := out.Values["8pe/p99us"]; !ok {
+		t.Error("fig19 values missing 8pe/p99us")
+	}
+
+	// Experiment jobs expose no artifacts.
+	artResp, err := http.Get(ts.URL + "/v1/jobs/" + view.ID + "/artifacts/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	artResp.Body.Close()
+	if artResp.StatusCode != http.StatusNotFound {
+		t.Errorf("experiment artifact: status %d, want 404", artResp.StatusCode)
+	}
+}
+
+// TestQueueFullHTTP: a full queue answers 429 with a Retry-After hint.
+func TestQueueFullHTTP(t *testing.T) {
+	release := make(chan struct{})
+	started := make(chan struct{}, 4)
+	_, ts := testServer(t, Config{Workers: 1, QueueDepth: 1, RetryAfter: 3 * time.Second},
+		func(ctx context.Context, j *Job) {
+			started <- struct{}{}
+			<-release
+			j.finish(StateDone, "")
+		})
+	defer close(release)
+
+	body := `{"type":"experiment","experiment":"area","quick":true}`
+	resp := postJSON(t, ts.URL+"/v1/jobs", body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("first submit: %d", resp.StatusCode)
+	}
+	<-started
+	resp = postJSON(t, ts.URL+"/v1/jobs", body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("second submit: %d", resp.StatusCode)
+	}
+	resp = postJSON(t, ts.URL+"/v1/jobs", body)
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("third submit: status %d, want 429", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "3" {
+		t.Fatalf("Retry-After = %q, want \"3\"", ra)
+	}
+}
+
+// TestCancelMidJobHTTP: cancelling an in-flight observed job over the
+// API stops its simulation via context and reports "cancelled".
+func TestCancelMidJobHTTP(t *testing.T) {
+	_, ts := testServer(t, Config{Workers: 1, QueueDepth: 2}, nil)
+
+	// A large observed run: long enough that cancellation lands while
+	// the kernel is executing events.
+	resp := postJSON(t, ts.URL+"/v1/jobs", `{"type":"observed","requests":20000,"seed":9}`)
+	view := decodeView(t, resp)
+
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		st, err := http.Get(ts.URL + "/v1/jobs/" + view.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		v := decodeView(t, st)
+		if v.State == StateRunning {
+			break
+		}
+		if v.State.Terminal() {
+			t.Fatalf("job finished %s before it could be cancelled; grow the run", v.State)
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("job never started running")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	cresp := postJSON(t, ts.URL+"/v1/jobs/"+view.ID+"/cancel", "")
+	if got := decodeView(t, cresp); got.State != StateRunning && got.State != StateCancelled {
+		t.Fatalf("cancel ack state %s", got.State)
+	}
+	evs := drainProgress(t, ts.URL+"/v1/jobs/"+view.ID+"/progress")
+	last := evs[len(evs)-1]
+	if last.Event != "done" || last.State != StateCancelled {
+		t.Fatalf("last event %+v, want done/cancelled", last)
+	}
+	// A cancelled job serves neither values nor artifacts.
+	vresp, err := http.Get(ts.URL + "/v1/jobs/" + view.ID + "/values")
+	if err != nil {
+		t.Fatal(err)
+	}
+	vresp.Body.Close()
+	if vresp.StatusCode != http.StatusConflict {
+		t.Errorf("values of cancelled job: status %d, want 409", vresp.StatusCode)
+	}
+}
+
+// TestDrainRejectsHTTP: a draining scheduler answers 503 + Retry-After
+// and finishes admitted work (graceful SIGTERM path minus the signal).
+func TestDrainRejectsHTTP(t *testing.T) {
+	release := make(chan struct{})
+	started := make(chan struct{}, 4)
+	sched, ts := testServer(t, Config{Workers: 1, QueueDepth: 2},
+		func(ctx context.Context, j *Job) {
+			started <- struct{}{}
+			<-release
+			j.finish(StateDone, "")
+		})
+
+	resp := postJSON(t, ts.URL+"/v1/jobs", `{"type":"experiment","experiment":"area","quick":true}`)
+	view := decodeView(t, resp)
+	<-started
+	sched.StartDrain()
+
+	resp = postJSON(t, ts.URL+"/v1/jobs", `{"type":"experiment","experiment":"area","quick":true}`)
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("submit while draining: status %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("503 without Retry-After")
+	}
+
+	var health struct {
+		Draining bool `json:"draining"`
+	}
+	hr, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(hr.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	hr.Body.Close()
+	if !health.Draining {
+		t.Fatal("healthz does not report draining")
+	}
+
+	close(release)
+	if err := sched.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if st := sched.Get(view.ID).snapshot().State; st != StateDone {
+		t.Fatalf("admitted job state %s after drain, want done", st)
+	}
+}
+
+// TestNotFoundAndBadRequests covers the 4xx surface.
+func TestNotFoundAndBadRequests(t *testing.T) {
+	_, ts := testServer(t, Config{Workers: 1, QueueDepth: 2}, nil)
+
+	for _, url := range []string{
+		"/v1/jobs/job-404",
+		"/v1/jobs/job-404/values",
+		"/v1/jobs/job-404/progress",
+		"/v1/jobs/job-404/artifacts/trace",
+	} {
+		resp, err := http.Get(ts.URL + url)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Errorf("GET %s: status %d, want 404", url, resp.StatusCode)
+		}
+	}
+	for _, body := range []string{
+		`not json`,
+		`{"type":"experiment"}`,
+		`{"type":"experiment","experiment":"nope"}`,
+		`{"type":"observed","faultLoss":2}`,
+		`{"type":"experiment","experiment":"fig11","bogusField":1}`,
+	} {
+		resp := postJSON(t, ts.URL+"/v1/jobs", body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("submit %q: status %d, want 400", body, resp.StatusCode)
+		}
+	}
+
+	// Listing and registry endpoints respond.
+	lr, err := http.Get(ts.URL + "/v1/jobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var list struct {
+		Jobs []JobView `json:"jobs"`
+	}
+	if err := json.NewDecoder(lr.Body).Decode(&list); err != nil {
+		t.Fatal(err)
+	}
+	lr.Body.Close()
+	er, err := http.Get(ts.URL + "/v1/experiments")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var exps struct {
+		Experiments []string `json:"experiments"`
+	}
+	if err := json.NewDecoder(er.Body).Decode(&exps); err != nil {
+		t.Fatal(err)
+	}
+	er.Body.Close()
+	if len(exps.Experiments) == 0 {
+		t.Fatal("experiments listing is empty")
+	}
+}
+
+// fetchBytes GETs a URL and returns the body, failing on non-200.
+func fetchBytes(t *testing.T, url string) []byte {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		t.Fatalf("GET %s: status %d (%s)", url, resp.StatusCode, body)
+	}
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// submitAndWait submits a job and blocks until it completes.
+func submitAndWait(t *testing.T, base, body string) string {
+	t.Helper()
+	view := decodeView(t, postJSON(t, base+"/v1/jobs", body))
+	evs := drainProgress(t, base+"/v1/jobs/"+view.ID+"/progress")
+	last := evs[len(evs)-1]
+	if last.State != StateDone {
+		t.Fatalf("job %s ended %s: %s", view.ID, last.State, last.Error)
+	}
+	return view.ID
+}
+
+// TestConcurrentArtifactDownloads streams the same finished job's
+// trace to several clients at once (exports are read-only).
+func TestConcurrentArtifactDownloads(t *testing.T) {
+	_, ts := testServer(t, Config{Workers: 1, QueueDepth: 2}, nil)
+	id := submitAndWait(t, ts.URL, `{"type":"observed","requests":120,"quick":true,"seed":4}`)
+
+	want := fetchBytes(t, ts.URL+"/v1/jobs/"+id+"/artifacts/trace")
+	results := make(chan []byte, 4)
+	for i := 0; i < 4; i++ {
+		go func() {
+			resp, err := http.Get(ts.URL + "/v1/jobs/" + id + "/artifacts/trace")
+			if err != nil {
+				results <- nil
+				return
+			}
+			defer resp.Body.Close()
+			b, _ := io.ReadAll(resp.Body)
+			results <- b
+		}()
+	}
+	for i := 0; i < 4; i++ {
+		got := <-results
+		if !bytes.Equal(got, want) {
+			t.Fatalf("concurrent download %d diverged (%d vs %d bytes)", i, len(got), len(want))
+		}
+	}
+}

@@ -6,6 +6,7 @@ package sim
 
 import (
 	"container/heap"
+	"context"
 	"fmt"
 	"math"
 )
@@ -138,6 +139,45 @@ func (k *Kernel) RunUntil(deadline Time) {
 		}
 		e.fn()
 	}
+}
+
+// RunCtx executes events until the heap is empty or ctx is cancelled,
+// and returns ctx's error in the latter case (nil when the heap
+// drained). Cancellation is cooperative: ctx is polled once up front —
+// an already-cancelled context runs zero events — and then every
+// checkEvery executed events (<= 0 means the default of 4096), so the
+// hot loop pays one cheap Err() call per batch. Events are never
+// interrupted mid-callback; the kernel always stops on an event
+// boundary, leaving the remaining events queued. A simulation
+// abandoned this way is in a consistent but incomplete state — callers
+// discard it rather than reading partial metrics.
+func (k *Kernel) RunCtx(ctx context.Context, checkEvery uint64) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if checkEvery <= 0 {
+		checkEvery = 4096
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	var batch uint64
+	for len(k.events) > 0 {
+		if batch++; batch >= checkEvery {
+			batch = 0
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
+		e := heap.Pop(&k.events).(event)
+		k.now = e.at
+		k.Processed++
+		if k.MaxEvents > 0 && k.Processed > k.MaxEvents {
+			panic("sim: MaxEvents exceeded; likely an event loop")
+		}
+		e.fn()
+	}
+	return nil
 }
 
 // Every schedules fn to run repeatedly with period d, starting at

@@ -1,0 +1,101 @@
+// The canonical observed run: the full SocialNetwork mix under the
+// AccelFlow policy with the span/utilization observer attached, and
+// optionally the deterministic fault injector. Both front ends — the
+// accelsim CLI's -trace/-report flags and the accelsimd job daemon —
+// build their observed runs through this file, which is what makes the
+// daemon's determinism contract checkable: the same ObservedParams
+// produce the same RunSpec, so the exported artifact bytes can only
+// depend on (Seed, Requests, Quick, fault knobs).
+package workload
+
+import (
+	"fmt"
+
+	"accelflow/internal/config"
+	"accelflow/internal/engine"
+	"accelflow/internal/fault"
+	"accelflow/internal/obs"
+	"accelflow/internal/services"
+	"accelflow/internal/sim"
+)
+
+// ObservedParams configures one observed SocialNetwork run.
+type ObservedParams struct {
+	// Seed is the run's RNG seed (the CLI default is 1).
+	Seed int64
+	// Requests is the total request budget across the mix; <= 0 means
+	// the CLI default of 2500. Quick caps it at 600.
+	Requests int
+	Quick    bool
+
+	// FaultRate is the fault-window arrival rate in windows per
+	// simulated second; 0 disables window scheduling.
+	FaultRate float64
+	// FaultWindow is the mean fault-window duration; <= 0 means the
+	// default of 200us.
+	FaultWindow sim.Time
+	// FaultLoss overrides the remote-response loss rate (in [0,1]; 0
+	// keeps the baked-in 3.2e-6).
+	FaultLoss float64
+}
+
+// Validate rejects out-of-range parameters with a caller-facing
+// message. Run front ends call it before admitting work so a bad
+// request fails fast instead of panicking mid-simulation.
+func (p ObservedParams) Validate() error {
+	switch {
+	case p.Requests < 0:
+		return fmt.Errorf("observed run: requests must be non-negative, got %d", p.Requests)
+	case p.FaultRate < 0:
+		return fmt.Errorf("observed run: fault rate must be non-negative, got %v", p.FaultRate)
+	case p.FaultWindow < 0:
+		return fmt.Errorf("observed run: fault window must be non-negative, got %v", p.FaultWindow)
+	case p.FaultLoss < 0 || p.FaultLoss > 1:
+		return fmt.Errorf("observed run: fault loss rate must be in [0,1], got %v", p.FaultLoss)
+	}
+	return nil
+}
+
+// BuildObserved validates p and assembles the observed run's RunSpec
+// together with its attached Sink. The caller runs the spec (Run or
+// RunCtx) and exports artifacts from the sink; nothing here starts the
+// simulation.
+func BuildObserved(p ObservedParams) (*RunSpec, *obs.Sink, error) {
+	if err := p.Validate(); err != nil {
+		return nil, nil, err
+	}
+	n := p.Requests
+	if n <= 0 {
+		n = 2500
+	}
+	if p.Quick && n > 600 {
+		n = 600
+	}
+	sink := obs.New()
+	spec := &RunSpec{
+		Config:  config.Default(),
+		Policy:  engine.AccelFlow(),
+		Sources: Mix(services.SocialNetwork(), 1.0, n),
+		Seed:    p.Seed,
+		Obs:     sink,
+	}
+	if p.FaultRate > 0 || p.FaultLoss > 0 {
+		win := p.FaultWindow
+		if win <= 0 {
+			win = 200 * sim.Microsecond
+		}
+		spec.Faults = &fault.Spec{
+			Rate:           p.FaultRate,
+			MeanWindow:     win,
+			Horizon:        sim.Second,
+			PEDegradeFrac:  0.5,
+			PEFail:         true,
+			ADMARemove:     2,
+			ManagerStall:   true,
+			ATMStall:       500 * sim.Nanosecond,
+			NoCInflate:     4,
+			RemoteLossRate: p.FaultLoss,
+		}
+	}
+	return spec, sink, nil
+}

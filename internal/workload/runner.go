@@ -1,6 +1,7 @@
 package workload
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -68,6 +69,17 @@ type RunSpec struct {
 // Run drives one engine with the spec's sources until every request
 // completes and returns the collected metrics.
 func (s *RunSpec) Run() (*RunResult, error) {
+	return s.RunCtx(context.Background())
+}
+
+// RunCtx is Run with cooperative cancellation: when ctx is cancelled
+// the kernel stops at the next event-batch boundary and RunCtx returns
+// an error wrapping ctx.Err() (so errors.Is(err, context.Canceled)
+// holds). A cancelled run returns no RunResult — the simulation state
+// is consistent but incomplete, and partial metrics would be
+// misleading. With a background (or nil) context the behavior and
+// results are bit-identical to Run.
+func (s *RunSpec) RunCtx(ctx context.Context) (*RunResult, error) {
 	k := sim.NewKernel()
 	opts := []engine.Option{engine.WithSeed(s.Seed), engine.WithObserver(s.Obs)}
 	if s.Faults != nil {
@@ -115,7 +127,9 @@ func (s *RunSpec) Run() (*RunResult, error) {
 	if s.Obs != nil {
 		startSampler(k, e, s.Obs)
 	}
-	k.Run()
+	if err := k.RunCtx(ctx, 0); err != nil {
+		return nil, fmt.Errorf("workload: run interrupted: %w", err)
+	}
 	res.Elapsed = k.Now()
 	return res, nil
 }
