@@ -13,6 +13,7 @@ import (
 	"strings"
 	"testing"
 
+	"accelflow/internal/check"
 	"accelflow/internal/config"
 	"accelflow/internal/engine"
 	"accelflow/internal/experiments"
@@ -135,6 +136,38 @@ func benchRunObs(b *testing.B, observed bool) {
 
 func BenchmarkRunObsDisabled(b *testing.B) { benchRunObs(b, false) }
 func BenchmarkRunObsEnabled(b *testing.B)  { benchRunObs(b, true) }
+
+// benchRunCheck is the same guard for the invariant checker: with no
+// checker attached every check call is a nil-receiver no-op, so the
+// Disabled benchmark must stay within noise (<2%) of the pre-check
+// baseline. Compare with
+//
+//	go test -bench='BenchmarkRunCheck' -benchtime=20x -count=5
+var benchRunCheckResult *workload.RunResult
+
+func benchRunCheck(b *testing.B, checked bool) {
+	svcs := services.SocialNetwork()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		spec := &workload.RunSpec{
+			Config:  config.Default(),
+			Policy:  engine.AccelFlow(),
+			Sources: workload.Mix(svcs, 1.0, 300),
+			Seed:    1,
+		}
+		if checked {
+			spec.Check = check.New()
+		}
+		res, err := spec.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchRunCheckResult = res
+	}
+}
+
+func BenchmarkRunCheckDisabled(b *testing.B) { benchRunCheck(b, false) }
+func BenchmarkRunCheckEnabled(b *testing.B)  { benchRunCheck(b, true) }
 
 // BenchmarkServeSubmitQuick measures a full job round trip through the
 // in-process HTTP daemon: submit a quick experiment, then read the

@@ -45,6 +45,7 @@ func main() {
 		faultRate  = flag.Float64("faults", 0, "fault-window arrival rate in windows/s for the observed run (0 = off)")
 		faultWin   = flag.Duration("faultwindow", 200*time.Microsecond, "mean fault-window duration for -faults")
 		faultLoss  = flag.Float64("faultloss", 0, "remote-response loss rate override in [0,1] for the observed run")
+		check      = flag.Bool("check", false, "run with runtime invariant checking (same results; violations fail the run)")
 	)
 	flag.Parse()
 
@@ -67,7 +68,7 @@ func main() {
 	}
 
 	if *tracePath != "" || *reportPath != "" {
-		if err := observedRun(*tracePath, *reportPath, *seed, *n, *quick, *faultRate, *faultWin, *faultLoss); err != nil {
+		if err := observedRun(*tracePath, *reportPath, *seed, *n, *quick, *faultRate, *faultWin, *faultLoss, *check); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -87,7 +88,7 @@ func main() {
 		return
 	}
 
-	opts := experiments.Options{Requests: *n, Seed: *seed, Quick: *quick, Parallelism: *parallel}
+	opts := experiments.Options{Requests: *n, Seed: *seed, Quick: *quick, Parallelism: *parallel, Check: *check}
 	ids := []string{*exp}
 	if *exp == "all" {
 		ids = experiments.IDs()
@@ -140,7 +141,7 @@ func fatalf(format string, args ...interface{}) {
 // The spec comes from workload.BuildObserved — the same builder the
 // accelsimd daemon uses — so a job submitted over HTTP with the same
 // parameters yields byte-identical artifacts.
-func observedRun(tracePath, reportPath string, seed int64, n int, quick bool, faultRate float64, faultWin time.Duration, faultLoss float64) error {
+func observedRun(tracePath, reportPath string, seed int64, n int, quick bool, faultRate float64, faultWin time.Duration, faultLoss float64, check bool) error {
 	spec, sink, err := workload.BuildObserved(workload.ObservedParams{
 		Seed:        seed,
 		Requests:    n,
@@ -148,6 +149,7 @@ func observedRun(tracePath, reportPath string, seed int64, n int, quick bool, fa
 		FaultRate:   faultRate,
 		FaultWindow: sim.FromNanos(float64(faultWin.Nanoseconds())),
 		FaultLoss:   faultLoss,
+		Check:       check,
 	})
 	if err != nil {
 		return err

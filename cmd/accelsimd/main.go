@@ -44,6 +44,7 @@ func main() {
 		queue        = flag.Int("queue", 8, "bounded admission queue depth (full queue -> 429)")
 		retryAfter   = flag.Duration("retryafter", time.Second, "Retry-After hint on 429/503 responses")
 		drainTimeout = flag.Duration("draintimeout", 2*time.Minute, "graceful-drain budget on SIGTERM before running jobs are cancelled")
+		check        = flag.Bool("check", false, "run every job with runtime invariant checking (same results; violations fail the job)")
 	)
 	flag.Parse()
 
@@ -51,6 +52,7 @@ func main() {
 		Workers:    *workers,
 		QueueDepth: *queue,
 		RetryAfter: *retryAfter,
+		Check:      *check,
 	})
 	srv := &http.Server{Handler: serve.NewServer(sched).Handler()}
 

@@ -361,3 +361,12 @@ func (a *Accelerator) OverflowLen() int { return len(a.overflow) }
 
 // InQueueLen reports occupied input-queue slots (including armed).
 func (a *Accelerator) InQueueLen() int { return a.inCount + a.armed }
+
+// InQueueCap reports the input queue's slot capacity.
+func (a *Accelerator) InQueueCap() int { return a.inCap }
+
+// OverflowCap reports the overflow area's entry capacity.
+func (a *Accelerator) OverflowCap() int { return a.ovCap }
+
+// Armed reports queue slots currently held by armed response traces.
+func (a *Accelerator) Armed() int { return a.armed }

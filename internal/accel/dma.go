@@ -123,3 +123,8 @@ func (d *DMAPool) Engines() int { return d.pool.Servers }
 // SetEngines changes the live engine count (fault injection: removed
 // engines). Floored at one; in-flight transfers finish normally.
 func (d *DMAPool) SetEngines(n int) { d.pool.SetServers(n) }
+
+// Resource exposes the underlying engine pool for read-only inspection
+// (the invariant checker's per-resource suite). Callers must not
+// submit work through it.
+func (d *DMAPool) Resource() *sim.Resource { return d.pool }

@@ -1,0 +1,141 @@
+// The config-space generator behind the property harness: seed-derived
+// (no external fuzzing deps), it fuzzes config.Config, fault.Spec, and
+// workload-mix shape through valid but deliberately odd corners of the
+// parameter space. The harness (property_test.go) materializes each
+// Scenario into a short run and asserts every runtime invariant plus
+// the metamorphic properties.
+//
+// Scenarios are pure functions of (baseSeed, index) via
+// sim.DeriveSeed, so any violation found in CI reproduces from the
+// two integers alone — the nightly long-fuzz job uploads exactly that
+// pair with each repro.
+package check
+
+import (
+	"fmt"
+
+	"accelflow/internal/config"
+	"accelflow/internal/fault"
+	"accelflow/internal/sim"
+)
+
+// Scenario is one generated point in the configuration space. The
+// workload side is plain data (policy name, load scale, budget) so
+// this package stays import-cycle-free with engine/workload; the
+// harness maps PolicyName onto an engine.Policy.
+type Scenario struct {
+	// Index and BaseSeed identify the scenario; Seed is the run seed
+	// derived from them.
+	Index    int
+	BaseSeed int64
+	Seed     int64
+
+	Cfg    *config.Config
+	Faults *fault.Spec // nil = no injector attached
+
+	// PolicyName selects the orchestration policy: one of "accelflow",
+	// "relief", "cohort", "cpucentric", "nonacc".
+	PolicyName string
+	// LoadScale multiplies the SocialNetwork mix arrival rates.
+	LoadScale float64
+	// Requests is the run's total request budget.
+	Requests int
+}
+
+// policyNames in generation order; the AccelFlow policy is weighted
+// heaviest since it exercises the most machinery (arming, overflow,
+// tenant limits).
+var policyNames = []string{"accelflow", "accelflow", "accelflow", "relief", "cohort", "cpucentric", "nonacc"}
+
+// GenScenario derives scenario i from baseSeed. Every draw comes from
+// an RNG forked off DeriveSeed(baseSeed, "check/gen/<i>"), so the
+// scenario is reproducible independent of how many others were
+// generated before it.
+func GenScenario(baseSeed int64, i int) Scenario {
+	rng := sim.NewRNG(sim.DeriveSeed(baseSeed, fmt.Sprintf("check/gen/%d", i)))
+	sc := Scenario{
+		Index:    i,
+		BaseSeed: baseSeed,
+		Seed:     sim.DeriveSeed(baseSeed, fmt.Sprintf("check/run/%d", i)),
+	}
+
+	cfg := config.Default()
+	cfg.Cores = []int{4, 8, 16, 36}[rng.Intn(4)]
+	cfg.PEsPerAccel = []int{1, 2, 4, 8}[rng.Intn(4)]
+	cfg.InputQueueEntries = []int{4, 16, 64}[rng.Intn(3)]
+	cfg.OutputQueueEntries = cfg.InputQueueEntries
+	cfg.OverflowEntries = []int{4, 32, 256}[rng.Intn(3)]
+	cfg.ADMAEngines = []int{2, 4, 10}[rng.Intn(3)]
+	cfg.ManagerWidth = []int{1, 4, 16}[rng.Intn(3)]
+	cfg.TenantTraceLimit = []int{2, 8, 64}[rng.Intn(3)]
+	cfg.EnqueueRetries = rng.Intn(4)
+	cfg.TimeoutRearms = rng.Intn(3)
+	cfg.TCPTimeout = []sim.Time{2, 5, 10}[rng.Intn(3)] * sim.Millisecond
+	cfg.SpeedupScale = []float64{0.5, 1.0, 2.0}[rng.Intn(3)]
+	cfg.Generation = config.AllGenerations()[rng.Intn(5)]
+
+	// Chiplet layout: 1-4 chiplets, each non-LdB accelerator assigned
+	// uniformly; LdB stays on the core chiplet (a Validate rule).
+	cfg.Chiplets = 1 + rng.Intn(4)
+	for k := range cfg.ChipletOf {
+		cfg.ChipletOf[k] = rng.Intn(cfg.Chiplets)
+	}
+	cfg.ChipletOf[config.LdB] = 0
+	sc.Cfg = cfg
+
+	// Roughly a third of scenarios run under fault injection, with the
+	// mechanism set itself drawn per scenario.
+	if rng.Bool(0.35) {
+		sp := &fault.Spec{
+			Rate:       1000 + 4000*rng.Float64(),
+			MeanWindow: sim.Time(50+rng.Intn(300)) * sim.Microsecond,
+			Horizon:    20 * sim.Millisecond,
+		}
+		if rng.Bool(0.5) {
+			sp.PEDegradeFrac = 0.5
+		}
+		if rng.Bool(0.3) {
+			sp.PEFail = true
+		}
+		if rng.Bool(0.4) {
+			sp.ADMARemove = 1 + rng.Intn(2)
+		}
+		if rng.Bool(0.3) {
+			sp.ManagerStall = true
+		}
+		if rng.Bool(0.3) {
+			sp.ATMStall = 500 * sim.Nanosecond
+		}
+		if rng.Bool(0.3) {
+			sp.NoCInflate = 2 + 2*rng.Float64()
+		}
+		if rng.Bool(0.2) {
+			sp.RemoteLossRate = 0.001
+		}
+		sc.Faults = sp
+	}
+
+	sc.PolicyName = policyNames[rng.Intn(len(policyNames))]
+	sc.LoadScale = 0.3 + 1.2*rng.Float64()
+	sc.Requests = 60 + rng.Intn(120)
+	return sc
+}
+
+// Validate confirms the generated scenario is self-consistent (the
+// harness runs it on every scenario so a generator bug fails loudly
+// instead of producing vacuous runs).
+func (s Scenario) Validate() error {
+	if err := s.Cfg.Validate(); err != nil {
+		return fmt.Errorf("scenario %d: %w", s.Index, err)
+	}
+	if s.Faults != nil {
+		if err := s.Faults.Validate(); err != nil {
+			return fmt.Errorf("scenario %d: %w", s.Index, err)
+		}
+	}
+	if s.Requests <= 0 || s.LoadScale <= 0 {
+		return fmt.Errorf("scenario %d: degenerate workload (requests %d, load %v)",
+			s.Index, s.Requests, s.LoadScale)
+	}
+	return nil
+}

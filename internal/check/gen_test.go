@@ -1,0 +1,65 @@
+package check
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestGenScenarioDeterministic pins the repro contract: a scenario is
+// a pure function of (baseSeed, index), independent of generation
+// order — that pair is all a CI repro artifact needs to carry.
+func TestGenScenarioDeterministic(t *testing.T) {
+	for i := 0; i < 20; i++ {
+		a := GenScenario(42, i)
+		b := GenScenario(42, i)
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("scenario %d not deterministic:\n%+v\n%+v", i, a, b)
+		}
+	}
+	if reflect.DeepEqual(GenScenario(42, 0), GenScenario(43, 0)) {
+		t.Fatal("different base seeds produced identical scenarios")
+	}
+}
+
+// TestGenScenarioValid runs the generator across a wide index range:
+// every emitted scenario must pass its own validation (config rules,
+// fault-spec rules, non-degenerate workload).
+func TestGenScenarioValid(t *testing.T) {
+	for i := 0; i < 300; i++ {
+		sc := GenScenario(7, i)
+		if err := sc.Validate(); err != nil {
+			t.Fatalf("generated invalid scenario: %v\n%+v", err, sc)
+		}
+		if sc.Seed == 0 {
+			t.Fatalf("scenario %d derived a zero run seed", i)
+		}
+	}
+}
+
+// TestGenScenarioCoverage checks the generator actually explores the
+// space: across a modest sample it must produce multiple policies,
+// chiplet counts, and both faulted and fault-free runs.
+func TestGenScenarioCoverage(t *testing.T) {
+	pols := map[string]bool{}
+	chiplets := map[int]bool{}
+	faulted, clean := 0, 0
+	for i := 0; i < 120; i++ {
+		sc := GenScenario(1, i)
+		pols[sc.PolicyName] = true
+		chiplets[sc.Cfg.Chiplets] = true
+		if sc.Faults != nil {
+			faulted++
+		} else {
+			clean++
+		}
+	}
+	if len(pols) < 3 {
+		t.Errorf("only %d distinct policies generated: %v", len(pols), pols)
+	}
+	if len(chiplets) < 2 {
+		t.Errorf("only %d distinct chiplet counts generated", len(chiplets))
+	}
+	if faulted == 0 || clean == 0 {
+		t.Errorf("fault mix degenerate: %d faulted, %d clean", faulted, clean)
+	}
+}

@@ -1,0 +1,71 @@
+// The differential oracle: closed-form queueing results the simulated
+// Resource is compared against at low-to-moderate load. Pinning the
+// queue model to textbook M/D/1 and M/M/k answers is what separates
+// "the simulator is internally consistent" from "the simulator gets
+// the physics right" — every orchestration result in the paper is
+// downstream of these waits.
+package check
+
+import (
+	"math"
+
+	"accelflow/internal/sim"
+)
+
+// MD1MeanWait returns the M/D/1 mean queueing delay (excluding
+// service) for Poisson arrivals at lambda per second into a single
+// server with deterministic service time: Wq = ρ·S / (2(1-ρ)),
+// the Pollaczek–Khinchine formula with zero service variance.
+// It returns 0 for an unstable or degenerate system (ρ >= 1).
+func MD1MeanWait(lambda float64, service sim.Time) sim.Time {
+	s := service.Seconds()
+	rho := lambda * s
+	if rho <= 0 || rho >= 1 {
+		return 0
+	}
+	wq := rho * s / (2 * (1 - rho))
+	return sim.Time(math.Round(wq * float64(sim.Second)))
+}
+
+// ErlangC returns the probability an arrival waits in an M/M/k queue
+// with offered load a = λ/μ Erlangs on k servers (the Erlang-C
+// formula). It returns 1 for an overloaded system (a >= k) and 0 for
+// degenerate inputs.
+func ErlangC(k int, a float64) float64 {
+	if k <= 0 || a <= 0 {
+		return 0
+	}
+	if a >= float64(k) {
+		return 1
+	}
+	// Compute Σ_{n=0}^{k-1} a^n/n! and a^k/k! iteratively to stay
+	// stable for moderate k without explicit factorials.
+	term := 1.0 // a^0/0!
+	sum := 1.0
+	for n := 1; n < k; n++ {
+		term *= a / float64(n)
+		sum += term
+	}
+	top := term * a / float64(k) // a^k/k!
+	rho := a / float64(k)
+	c := top / (1 - rho)
+	return c / (sum + c)
+}
+
+// MMkMeanWait returns the M/M/k mean queueing delay (excluding
+// service) for Poisson arrivals at lambda per second into k servers
+// with exponential service of the given mean:
+// Wq = C(k, a) / (kμ - λ). Returns 0 when unstable or degenerate.
+func MMkMeanWait(lambda float64, meanService sim.Time, k int) sim.Time {
+	s := meanService.Seconds()
+	if lambda <= 0 || s <= 0 || k <= 0 {
+		return 0
+	}
+	mu := 1 / s
+	a := lambda / mu
+	if a >= float64(k) {
+		return 0
+	}
+	wq := ErlangC(k, a) / (float64(k)*mu - lambda)
+	return sim.Time(math.Round(wq * float64(sim.Second)))
+}

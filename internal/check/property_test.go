@@ -1,0 +1,223 @@
+// The property-based harness: generated scenarios (gen.go) are
+// materialized into full simulator runs with the invariant checker
+// attached, plus metamorphic properties relating runs to each other.
+// It lives in the external check_test package so it can drive
+// engine/workload without creating an import cycle (check itself is
+// imported by the engine).
+//
+// Iteration budget and repro artifacts are flag-controlled:
+//
+//	go test ./internal/check -prop.iters=250 -prop.artifacts=/tmp/repros
+//
+// The nightly CI job runs 10x the PR-time budget and uploads any
+// written repro files; each carries the (baseSeed, index) pair that
+// regenerates the failing scenario exactly.
+package check_test
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"accelflow/internal/check"
+	"accelflow/internal/config"
+	"accelflow/internal/engine"
+	"accelflow/internal/fault"
+	"accelflow/internal/services"
+	"accelflow/internal/sim"
+	"accelflow/internal/workload"
+)
+
+var (
+	propIters = flag.Int("prop.iters", 25, "property-harness scenarios per run (nightly uses 10x)")
+	propSeed  = flag.Int64("prop.seed", 1, "property-harness base seed")
+	propArt   = flag.String("prop.artifacts", "", "directory for violation repro artifacts (empty = none)")
+)
+
+// policyByName maps the generator's plain-data policy names onto
+// engine policies; keeping the mapping here is what keeps the check
+// package import-cycle-free.
+func policyByName(t *testing.T, name string) engine.Policy {
+	t.Helper()
+	switch name {
+	case "accelflow":
+		return engine.AccelFlow()
+	case "relief":
+		return engine.RELIEF()
+	case "cohort":
+		return engine.Cohort(engine.DefaultCohortPairs())
+	case "cpucentric":
+		return engine.CPUCentric()
+	case "nonacc":
+		return engine.NonAcc()
+	}
+	t.Fatalf("generator emitted unknown policy %q", name)
+	return engine.Policy{}
+}
+
+// specFor materializes one generated scenario into a runnable spec
+// with a fresh checker attached.
+func specFor(t *testing.T, sc check.Scenario) *workload.RunSpec {
+	t.Helper()
+	return &workload.RunSpec{
+		Config:  sc.Cfg,
+		Policy:  policyByName(t, sc.PolicyName),
+		Sources: workload.Mix(services.SocialNetwork(), sc.LoadScale, sc.Requests),
+		Seed:    sc.Seed,
+		Faults:  sc.Faults,
+		Check:   check.New(),
+	}
+}
+
+// repro is the artifact written for a failing scenario: the two
+// integers regenerate it exactly via check.GenScenario.
+type repro struct {
+	BaseSeed int64  `json:"baseSeed"`
+	Index    int    `json:"index"`
+	RunSeed  int64  `json:"runSeed"`
+	Policy   string `json:"policy"`
+	Error    string `json:"error"`
+}
+
+func writeRepro(t *testing.T, sc check.Scenario, runErr error) {
+	t.Helper()
+	if *propArt == "" {
+		return
+	}
+	if err := os.MkdirAll(*propArt, 0o755); err != nil {
+		t.Errorf("repro dir: %v", err)
+		return
+	}
+	r := repro{BaseSeed: sc.BaseSeed, Index: sc.Index, RunSeed: sc.Seed,
+		Policy: sc.PolicyName, Error: runErr.Error()}
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		t.Errorf("repro marshal: %v", err)
+		return
+	}
+	path := filepath.Join(*propArt, fmt.Sprintf("repro-seed%d-idx%d.json", sc.BaseSeed, sc.Index))
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		t.Errorf("repro write: %v", err)
+	}
+}
+
+// TestPropertyInvariants is the harness core: every generated scenario
+// runs with the full invariant suite attached; any violation fails the
+// test and (when -prop.artifacts is set) writes a repro file.
+func TestPropertyInvariants(t *testing.T) {
+	if testing.Short() {
+		t.Skip("property harness runs full simulations")
+	}
+	for i := 0; i < *propIters; i++ {
+		sc := check.GenScenario(*propSeed, i)
+		if err := sc.Validate(); err != nil {
+			t.Fatalf("generator emitted invalid scenario: %v", err)
+		}
+		spec := specFor(t, sc)
+		if _, err := spec.Run(); err != nil {
+			writeRepro(t, sc, err)
+			t.Errorf("scenario (seed %d, index %d, policy %s): %v",
+				sc.BaseSeed, sc.Index, sc.PolicyName, err)
+		}
+	}
+}
+
+// runMix runs the SocialNetwork mix under AccelFlow at the given load
+// scale with the invariant checker attached, on a config mutated by
+// tweak (nil = default).
+func runMix(t *testing.T, loadScale float64, seed int64, tweak func(*config.Config)) *workload.RunResult {
+	t.Helper()
+	cfg := config.Default()
+	if tweak != nil {
+		tweak(cfg)
+	}
+	spec := &workload.RunSpec{
+		Config:  cfg,
+		Policy:  engine.AccelFlow(),
+		Sources: workload.Mix(services.SocialNetwork(), loadScale, 400),
+		Seed:    seed,
+		Check:   check.New(),
+	}
+	res, err := spec.Run()
+	if err != nil {
+		t.Fatalf("load %.2f: %v", loadScale, err)
+	}
+	return res
+}
+
+// TestMetamorphicLoadScaling: scaling arrival rates down at fixed
+// capacity must not increase mean latency. Arrival gaps are drawn from
+// the same seeded streams at every scale, so only the spacing changes;
+// the slack absorbs second-order effects (timeout/retry paths shifting
+// which requests contend).
+func TestMetamorphicLoadScaling(t *testing.T) {
+	if testing.Short() {
+		t.Skip("metamorphic properties run full simulations")
+	}
+	const slack = 1.05
+	prev := runMix(t, 1.5, 9, nil)
+	for _, scale := range []float64{0.75, 0.3} {
+		cur := runMix(t, scale, 9, nil)
+		if cur.All.Mean().Micros() > prev.All.Mean().Micros()*slack {
+			t.Errorf("mean latency rose when load fell: %.1fus at lower load vs %.1fus at higher",
+				cur.All.Mean().Micros(), prev.All.Mean().Micros())
+		}
+		prev = cur
+	}
+}
+
+// TestMetamorphicMorePEs: adding PEs at identical request streams must
+// not worsen the P99 beyond noise — capacity can only relieve queues.
+func TestMetamorphicMorePEs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("metamorphic properties run full simulations")
+	}
+	const slack = 1.10
+	few := runMix(t, 1.2, 17, func(c *config.Config) { c.PEsPerAccel = 2 })
+	many := runMix(t, 1.2, 17, func(c *config.Config) { c.PEsPerAccel = 8 })
+	if many.All.P99().Micros() > few.All.P99().Micros()*slack {
+		t.Errorf("P99 worsened with more PEs: 8 PEs %.1fus vs 2 PEs %.1fus",
+			many.All.P99().Micros(), few.All.P99().Micros())
+	}
+}
+
+// TestMetamorphicFaultRateZero: a rate-0, loss-0 fault spec attaches
+// the injector but schedules nothing, so results must be bit-identical
+// to running with no injector at all (the zero-overhead contract the
+// resilience experiment's golden values rest on).
+func TestMetamorphicFaultRateZero(t *testing.T) {
+	if testing.Short() {
+		t.Skip("metamorphic properties run full simulations")
+	}
+	base := &workload.RunSpec{
+		Config:  config.Default(),
+		Policy:  engine.AccelFlow(),
+		Sources: workload.Mix(services.SocialNetwork(), 1.0, 300),
+		Seed:    5,
+		Check:   check.New(),
+	}
+	withZero := *base
+	withZero.Check = check.New()
+	withZero.Faults = &fault.Spec{Rate: 0, MeanWindow: 200 * sim.Microsecond, Horizon: sim.Second,
+		PEFail: true, ManagerStall: true, NoCInflate: 4}
+
+	a, err := base.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := withZero.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Completed != b.Completed || a.TimedOut != b.TimedOut || a.FellBack != b.FellBack {
+		t.Errorf("counters diverge: no injector %d/%d/%d vs rate-0 %d/%d/%d",
+			a.Completed, a.TimedOut, a.FellBack, b.Completed, b.TimedOut, b.FellBack)
+	}
+	if a.Elapsed != b.Elapsed || a.All.Mean() != b.All.Mean() || a.All.P99() != b.All.P99() {
+		t.Errorf("timings diverge: no injector (%v, mean %v, p99 %v) vs rate-0 (%v, mean %v, p99 %v)",
+			a.Elapsed, a.All.Mean(), a.All.P99(), b.Elapsed, b.All.Mean(), b.All.P99())
+	}
+}

@@ -341,8 +341,16 @@ func (c *Config) Validate() error {
 		return fmt.Errorf("config: PEsPerAccel must be positive, got %d", c.PEsPerAccel)
 	case c.InputQueueEntries <= 0 || c.OutputQueueEntries <= 0:
 		return fmt.Errorf("config: queue entries must be positive")
+	case c.OverflowEntries <= 0:
+		return fmt.Errorf("config: OverflowEntries must be positive, got %d", c.OverflowEntries)
 	case c.ADMAEngines <= 0:
 		return fmt.Errorf("config: ADMAEngines must be positive, got %d", c.ADMAEngines)
+	case c.ManagerWidth <= 0:
+		return fmt.Errorf("config: ManagerWidth must be positive, got %d", c.ManagerWidth)
+	case c.TenantTraceLimit <= 0:
+		return fmt.Errorf("config: TenantTraceLimit must be positive, got %d", c.TenantTraceLimit)
+	case c.EnqueueRetries < 0:
+		return fmt.Errorf("config: EnqueueRetries must be non-negative, got %d", c.EnqueueRetries)
 	case c.TLBHitRate < 0 || c.TLBHitRate > 1:
 		return fmt.Errorf("config: TLBHitRate must be in [0,1], got %v", c.TLBHitRate)
 	case c.Chiplets <= 0:
@@ -353,6 +361,13 @@ func (c *Config) Validate() error {
 		return fmt.Errorf("config: EnqueueBackoff must be non-negative, got %v", c.EnqueueBackoff)
 	case c.TimeoutRearms < 0:
 		return fmt.Errorf("config: TimeoutRearms must be non-negative, got %d", c.TimeoutRearms)
+	case c.TCPTimeout <= 0:
+		return fmt.Errorf("config: TCPTimeout must be positive, got %v", c.TCPTimeout)
+	case c.TCPTimeout <= c.RemoteRTT:
+		// Every remote wait is at least one RTT, so a timeout at or
+		// below it would fire on every armed trace — a run that only
+		// measures its own timeout path.
+		return fmt.Errorf("config: TCPTimeout (%v) must exceed RemoteRTT (%v)", c.TCPTimeout, c.RemoteRTT)
 	}
 	for k := AccelKind(0); k < NumAccelKinds; k++ {
 		if c.Speedup[k] <= 0 {

@@ -1,0 +1,63 @@
+package config
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestValidateEdgeCases exercises the boundary semantics of every
+// numeric rule: exact zeros, negatives, and the cross-field timeout
+// consistency check, with the error text naming the offending field so
+// a property-harness repro is actionable.
+func TestValidateEdgeCases(t *testing.T) {
+	cases := []struct {
+		name    string
+		mutate  func(*Config)
+		wantSub string // substring the error must carry ("" = valid)
+	}{
+		{"default", func(c *Config) {}, ""},
+		{"zero cores", func(c *Config) { c.Cores = 0 }, "Cores"},
+		{"negative cores", func(c *Config) { c.Cores = -4 }, "Cores"},
+		{"zero PEs", func(c *Config) { c.PEsPerAccel = 0 }, "PEsPerAccel"},
+		{"negative PEs", func(c *Config) { c.PEsPerAccel = -2 }, "PEsPerAccel"},
+		{"empty chiplet set", func(c *Config) { c.Chiplets = 0 }, "Chiplets"},
+		{"negative chiplets", func(c *Config) { c.Chiplets = -1 }, "Chiplets"},
+		{"zero overflow entries", func(c *Config) { c.OverflowEntries = 0 }, "OverflowEntries"},
+		{"zero manager width", func(c *Config) { c.ManagerWidth = 0 }, "ManagerWidth"},
+		{"zero tenant limit", func(c *Config) { c.TenantTraceLimit = 0 }, "TenantTraceLimit"},
+		{"negative retries", func(c *Config) { c.EnqueueRetries = -1 }, "EnqueueRetries"},
+		{"negative rearms", func(c *Config) { c.TimeoutRearms = -1 }, "TimeoutRearms"},
+		{"negative backoff", func(c *Config) { c.EnqueueBackoff = -1 }, "EnqueueBackoff"},
+		{"zero TCP timeout", func(c *Config) { c.TCPTimeout = 0 }, "TCPTimeout"},
+		{"negative TCP timeout", func(c *Config) { c.TCPTimeout = -1 }, "TCPTimeout"},
+		{"timeout below RTT", func(c *Config) { c.TCPTimeout = c.RemoteRTT / 2 }, "TCPTimeout"},
+		{"timeout equals RTT", func(c *Config) { c.TCPTimeout = c.RemoteRTT }, "TCPTimeout"},
+		{"timeout just above RTT", func(c *Config) { c.TCPTimeout = c.RemoteRTT + 1 }, ""},
+		{"single core is fine", func(c *Config) { c.Cores = 1 }, ""},
+		// Shrinking to one chiplet without moving the accelerators off
+		// chiplet 1 leaves placements out of range — caught, not silent.
+		{"single chiplet stale placement", func(c *Config) { c.Chiplets = 1 }, "ChipletOf"},
+		{"single chiplet is fine", func(c *Config) {
+			c.Chiplets = 1
+			for k := range c.ChipletOf {
+				c.ChipletOf[k] = 0
+			}
+		}, ""},
+	}
+	for _, tc := range cases {
+		c := Default()
+		tc.mutate(c)
+		err := c.Validate()
+		if tc.wantSub == "" {
+			if err != nil {
+				t.Errorf("%s: Validate() = %v, want nil", tc.name, err)
+			}
+			continue
+		}
+		if err == nil {
+			t.Errorf("%s: Validate() accepted a bad config", tc.name)
+		} else if !strings.Contains(err.Error(), tc.wantSub) {
+			t.Errorf("%s: error %q does not name %q", tc.name, err, tc.wantSub)
+		}
+	}
+}

@@ -10,6 +10,7 @@ import (
 
 	"accelflow/internal/accel"
 	"accelflow/internal/atm"
+	"accelflow/internal/check"
 	"accelflow/internal/config"
 	"accelflow/internal/fault"
 	"accelflow/internal/mem"
@@ -52,6 +53,10 @@ type Engine struct {
 
 	// Faults is the attached injector (nil when injection is off).
 	Faults *fault.Injector
+
+	// Check is the attached runtime invariant checker (nil disables
+	// checking; every check call no-ops on nil).
+	Check *check.Checker
 
 	rng          *sim.RNG
 	tenantActive map[int]int
@@ -129,6 +134,12 @@ func New(k *sim.Kernel, cfg *config.Config, pol Policy, opts ...Option) (*Engine
 		}
 		e.Faults = o.faults
 	}
+	if o.check != nil {
+		e.Check = o.check
+		// The kernel hook is only installed when checking is on, so the
+		// disabled hot loop pays a single nil comparison per event.
+		k.OnEvent = e.Check.Event
+	}
 	return e, nil
 }
 
@@ -148,6 +159,7 @@ func (e *Engine) Register(programs []*trace.Program, remote map[string]RemoteKin
 // Submit runs one request; done receives the result when it completes.
 func (e *Engine) Submit(job *Job, done func(Result)) {
 	e.Stats.Requests++
+	e.Check.RequestAdmitted()
 	r := &request{eng: e, job: job, arrived: e.K.Now(), done: done}
 	r.sp = e.Obs.BeginRequest(job.Service)
 	if job.SLO > 0 {
@@ -219,6 +231,7 @@ func (r *request) runStep(i int) {
 
 func (r *request) finish() {
 	r.sp.End()
+	r.eng.Check.RequestDone(r.timedOut, r.fellBack)
 	res := Result{
 		Latency:   r.eng.K.Now() - r.arrived,
 		Breakdown: r.bd,

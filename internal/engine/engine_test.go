@@ -249,7 +249,11 @@ func TestQueueSaturationFallsBackToCPU(t *testing.T) {
 
 func TestTimeoutPath(t *testing.T) {
 	cfg := config.Default()
-	cfg.TCPTimeout = 1 * sim.Microsecond // everything times out
+	// A timeout far below every remote service draw (9-25us lognormal)
+	// makes everything time out; RTT shrinks with it to keep the
+	// TCPTimeout > RemoteRTT validation rule satisfied.
+	cfg.RemoteRTT = 100 * sim.Nanosecond
+	cfg.TCPTimeout = 1 * sim.Microsecond
 	e := testEngine(t, cfg, AccelFlow())
 	var got *Result
 	e.Submit(simpleJob(Step{Kind: StepChain, Trace: "send"}), func(r Result) { got = &r })

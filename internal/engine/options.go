@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"accelflow/internal/check"
 	"accelflow/internal/fault"
 	"accelflow/internal/obs"
 )
@@ -13,6 +14,7 @@ type options struct {
 	seed   int64
 	obs    *obs.Sink
 	faults *fault.Injector
+	check  *check.Checker
 }
 
 func defaultOptions() options {
@@ -40,4 +42,14 @@ func WithObserver(s *obs.Sink) Option {
 // leaving results bit-identical to no injector.
 func WithFaults(inj *fault.Injector) Option {
 	return func(o *options) { o.faults = inj }
+}
+
+// WithChecker attaches a runtime invariant checker: New hooks it to
+// the kernel's per-event observer and the engine's request accounting,
+// and CheckEnd runs the per-resource end-of-run suite against it.
+// Checker hooks only read state — they never touch RNG streams or
+// schedule events — so an attached checker cannot change results. A
+// nil checker is valid and disables checking (every call no-ops).
+func WithChecker(c *check.Checker) Option {
+	return func(o *options) { o.check = c }
 }

@@ -36,7 +36,7 @@ func Fig1Breakdown(o Options) (*Result, error) {
 	avgTax := map[string]float64{}
 	svcs := services.SocialNetwork()
 	for _, svc := range svcs {
-		run, err := runOne(o.ctx(), config.Default(), engine.NonAcc(), svc, workload.Poisson{RPS: 100}, o.reqs()/4+50, o.Seed)
+		run, err := runOne(o, config.Default(), engine.NonAcc(), svc, workload.Poisson{RPS: 100}, o.reqs()/4+50, o.Seed)
 		if err != nil {
 			return nil, err
 		}
@@ -110,6 +110,7 @@ func Fig3OrchOverhead(o Options) (*Result, error) {
 			spec := &workload.RunSpec{
 				Config: config.Default(), Policy: pol,
 				Sources: sources, Seed: o.Seed,
+				Check: o.newCheck(),
 			}
 			run, err := spec.RunCtx(o.ctx())
 			if err != nil {
@@ -225,6 +226,7 @@ func Fig5DataSizes(o Options) (*Result, error) {
 		Policy:  engine.AccelFlow(),
 		Sources: workload.Mix(services.SocialNetwork(), 0.3, o.reqs()),
 		Seed:    o.Seed,
+		Check:   o.newCheck(),
 	}
 	run, err := spec.RunCtx(o.ctx())
 	if err != nil {
@@ -287,7 +289,7 @@ func Tab4Paths(o Options) (*Result, error) {
 	res.Linef("Table IV — most common path and accelerators per invocation")
 	res.Linef("%-8s %7s %7s   %s", "service", "paper#", "meas#", "steps")
 	for _, svc := range services.SocialNetwork() {
-		run, err := runOne(o.ctx(), config.Default(), engine.AccelFlow(), svc, workload.Poisson{RPS: 200}, o.reqs()/8+40, o.Seed)
+		run, err := runOne(o, config.Default(), engine.AccelFlow(), svc, workload.Poisson{RPS: 200}, o.reqs()/8+40, o.Seed)
 		if err != nil {
 			return nil, err
 		}

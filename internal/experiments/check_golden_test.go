@@ -1,0 +1,66 @@
+package experiments
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+)
+
+// checkGoldenIDs is the representative slice rerun with the invariant
+// checker attached: a latency sweep, a PE sensitivity sweep, and the
+// fault-injection experiment (the one whose golden values are most
+// exposed to a checker accidentally perturbing RNG or event order).
+var checkGoldenIDs = []string{"fig11", "fig19", "resilience"}
+
+// TestGoldenUnchangedWithChecking is the determinism half of the
+// checker contract: -check must change results by exactly nothing.
+// It reruns a representative subset at the golden options with
+// Check=true and compares every value against the committed golden
+// file at the same last-ulp tolerance the unchecked comparison uses:
+// the committed golden_quick.json must hold byte-unchanged whether or
+// not checking is on, so any drift here means the checker touched the
+// simulation (RNG draws, event order, or counters).
+func TestGoldenUnchangedWithChecking(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment runs are slow")
+	}
+	data, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("missing golden file (regenerate with -update): %v", err)
+	}
+	want := map[string]map[string]float64{}
+	if err := json.Unmarshal(data, &want); err != nil {
+		t.Fatalf("corrupt golden file: %v", err)
+	}
+
+	opts := goldenOptions()
+	opts.Check = true
+	for _, id := range checkGoldenIDs {
+		run, ok := Registry[id]
+		if !ok {
+			t.Fatalf("unknown experiment %q", id)
+		}
+		res, err := run(opts)
+		if err != nil {
+			t.Errorf("%s with -check: %v", id, err)
+			continue
+		}
+		wantVals, ok := want[id]
+		if !ok {
+			t.Fatalf("experiment %q not in golden file", id)
+		}
+		if len(res.Values) != len(wantVals) {
+			t.Errorf("%s: %d values with -check, golden has %d", id, len(res.Values), len(wantVals))
+		}
+		for key, w := range wantVals {
+			g, ok := res.Values[key]
+			if !ok {
+				t.Errorf("%s: key %q missing with -check", id, key)
+				continue
+			}
+			if !withinTol(g, w, goldenTolerance(id+"/"+key)) {
+				t.Errorf("%s: %q = %v with -check, golden %v — the checker changed simulation results", id, key, g, w)
+			}
+		}
+	}
+}

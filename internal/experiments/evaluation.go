@@ -1,7 +1,6 @@
 package experiments
 
 import (
-	"context"
 	"fmt"
 	"math"
 
@@ -40,6 +39,7 @@ func Fig11Latency(o Options) (*Result, error) {
 					Policy:  pol,
 					Sources: workload.Mix(svcs, 1.0, o.reqs()*len(svcs)),
 					Seed:    seed,
+					Check:   o.newCheck(),
 				}
 				run, err := spec.RunCtx(o.ctx())
 				if err != nil {
@@ -147,6 +147,7 @@ func Fig12Loads(o Options) (*Result, error) {
 					spec := &workload.RunSpec{
 						Config: config.Default(), Policy: pol,
 						Sources: sources, Seed: seed,
+						Check: o.newCheck(),
 					}
 					run, err := spec.RunCtx(o.ctx())
 					if err != nil {
@@ -208,6 +209,7 @@ func Fig13Ablation(o Options) (*Result, error) {
 					Policy:  pol,
 					Sources: workload.Mix(svcs, 1.0, o.reqs()*len(svcs)),
 					Seed:    seed,
+					Check:   o.newCheck(),
 				}
 				run, err := spec.RunCtx(o.ctx())
 				if err != nil {
@@ -297,7 +299,7 @@ func Fig14Throughput(o Options) (*Result, error) {
 			cells = append(cells, Cell[float64]{
 				Key: "fig14/" + pol.Name + "/" + svc.Name,
 				Run: func(seed int64) (float64, error) {
-					um, err := unloadedMean(o.ctx(), config.Default(), pol, svc, seed)
+					um, err := unloadedMean(o, config.Default(), pol, svc, seed)
 					if err != nil {
 						return 0, err
 					}
@@ -314,7 +316,7 @@ func Fig14Throughput(o Options) (*Result, error) {
 						if reqs > sustainCap {
 							reqs = sustainCap
 						}
-						run, err := runOne(o.ctx(), config.Default(), pol, svc, workload.Poisson{RPS: rps}, reqs, seed)
+						run, err := runOne(o, config.Default(), pol, svc, workload.Poisson{RPS: rps}, reqs, seed)
 						if err != nil {
 							return sim.Time(1) << 60
 						}
@@ -397,7 +399,7 @@ func Fig15Coarse(o Options) (*Result, error) {
 				Run: func(seed int64) (float64, error) {
 					cfg := services.CoarseConfig()
 					sloSeed := sim.DeriveSeed(o.Seed, "fig15/"+app.Name+"/slo")
-					um, err := unloadedMeanCoarse(o.ctx(), cfg, engine.AccelFlow(), app, sloSeed)
+					um, err := unloadedMeanCoarse(o, cfg, engine.AccelFlow(), app, sloSeed)
 					if err != nil {
 						return 0, err
 					}
@@ -410,6 +412,7 @@ func Fig15Coarse(o Options) (*Result, error) {
 							Seed:     seed,
 							Programs: services.CoarseCatalog(),
 							Remote:   map[string]engine.RemoteKind{},
+							Check:    o.newCheck(),
 						}
 						run, err := spec.RunCtx(o.ctx())
 						if err != nil {
@@ -448,7 +451,7 @@ func Fig15Coarse(o Options) (*Result, error) {
 	return res, nil
 }
 
-func unloadedMeanCoarse(ctx context.Context, cfg *config.Config, pol engine.Policy, app *services.Service, seed int64) (float64, error) {
+func unloadedMeanCoarse(o Options, cfg *config.Config, pol engine.Policy, app *services.Service, seed int64) (float64, error) {
 	spec := &workload.RunSpec{
 		Config:   cfg,
 		Policy:   pol,
@@ -456,8 +459,9 @@ func unloadedMeanCoarse(ctx context.Context, cfg *config.Config, pol engine.Poli
 		Seed:     seed,
 		Programs: services.CoarseCatalog(),
 		Remote:   map[string]engine.RemoteKind{},
+		Check:    o.newCheck(),
 	}
-	run, err := spec.RunCtx(ctx)
+	run, err := spec.RunCtx(o.ctx())
 	if err != nil {
 		return 0, err
 	}
@@ -493,6 +497,7 @@ func Fig16Serverless(o Options) (*Result, error) {
 		spec := &workload.RunSpec{
 			Config: config.Default(), Policy: pol,
 			Sources: sources, Seed: o.Seed,
+			Check: o.newCheck(),
 		}
 		run, err := spec.RunCtx(o.ctx())
 		if err != nil {
@@ -530,7 +535,7 @@ func Fig17Components(o Options) (*Result, error) {
 	var orchAvg float64
 	svcs := services.SocialNetwork()
 	for _, svc := range svcs {
-		run, err := runOne(o.ctx(), config.Default(), engine.AccelFlow(), svc, workload.Poisson{RPS: 50}, o.reqs()/8+40, o.Seed)
+		run, err := runOne(o, config.Default(), engine.AccelFlow(), svc, workload.Poisson{RPS: 50}, o.reqs()/8+40, o.Seed)
 		if err != nil {
 			return nil, err
 		}
@@ -559,6 +564,7 @@ func GlueInstructions(o Options) (*Result, error) {
 		Policy:  engine.AccelFlow(),
 		Sources: workload.Mix(services.SocialNetwork(), 0.3, o.reqs()),
 		Seed:    o.Seed,
+		Check:   o.newCheck(),
 	}
 	run, err := spec.RunCtx(o.ctx())
 	if err != nil {
@@ -591,6 +597,7 @@ func AccelUtilization(o Options) (*Result, error) {
 		Policy:  engine.AccelFlow(),
 		Sources: workload.Mix(services.SocialNetwork(), 3.1, o.reqs()*2),
 		Seed:    o.Seed,
+		Check:   o.newCheck(),
 	}
 	run, err := spec.RunCtx(o.ctx())
 	if err != nil {
@@ -623,6 +630,7 @@ func EnergyReport(o Options) (*Result, error) {
 			Policy:  pol,
 			Sources: workload.Mix(services.SocialNetwork(), 1.0, o.reqs()*2),
 			Seed:    o.Seed,
+			Check:   o.newCheck(),
 		}
 		run, err := spec.RunCtx(o.ctx())
 		if err != nil {
@@ -673,6 +681,7 @@ func HighOverheadEvents(o Options) (*Result, error) {
 			Policy:  engine.AccelFlow(),
 			Sources: workload.Mix(services.SocialNetwork(), load.scale, o.reqs()*2),
 			Seed:    o.Seed,
+			Check:   o.newCheck(),
 		}
 		run, err := spec.RunCtx(o.ctx())
 		if err != nil {

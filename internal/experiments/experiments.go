@@ -10,6 +10,7 @@ import (
 	"sort"
 	"strings"
 
+	"accelflow/internal/check"
 	"accelflow/internal/config"
 	"accelflow/internal/engine"
 	"accelflow/internal/services"
@@ -42,6 +43,22 @@ type Options struct {
 	// not a results channel — cell outputs still only travel through
 	// RunCells return values.
 	OnCell func(CellEvent)
+	// Check attaches a fresh runtime invariant checker to every
+	// simulation the experiment runs (the accelsim -check flag).
+	// Checking is read-only — Values are bit-identical with it on —
+	// but any violated invariant fails the cell with a structured
+	// error instead of reporting numbers from broken physics.
+	Check bool
+}
+
+// newCheck returns a fresh checker when checking is enabled, else nil.
+// Each simulation cell needs its own instance: cells run concurrently
+// and a Checker covers exactly one run.
+func (o Options) newCheck() *check.Checker {
+	if !o.Check {
+		return nil
+	}
+	return check.New()
 }
 
 // CellEvent reports one finished sweep cell to Options.OnCell.
@@ -175,21 +192,23 @@ func architectures() []engine.Policy {
 }
 
 // runOne simulates one service under one policy with the given arrival
-// process. ctx cancels the simulation cooperatively (see RunSpec.RunCtx).
-func runOne(ctx context.Context, cfg *config.Config, pol engine.Policy, svc *services.Service, arr workload.Arrivals, n int, seed int64) (*workload.RunResult, error) {
+// process. Options carries the run context (cooperative cancellation,
+// see RunSpec.RunCtx) and whether to attach an invariant checker.
+func runOne(o Options, cfg *config.Config, pol engine.Policy, svc *services.Service, arr workload.Arrivals, n int, seed int64) (*workload.RunResult, error) {
 	spec := &workload.RunSpec{
 		Config:  cfg,
 		Policy:  pol,
 		Sources: workload.SingleService(svc, arr, n),
 		Seed:    seed,
+		Check:   o.newCheck(),
 	}
-	return spec.RunCtx(ctx)
+	return spec.RunCtx(o.ctx())
 }
 
 // unloadedMean measures a service's mean on-server latency (excluding
 // remote-peer waits) with one request in flight at a time.
-func unloadedMean(ctx context.Context, cfg *config.Config, pol engine.Policy, svc *services.Service, seed int64) (float64, error) {
-	res, err := runOne(ctx, cfg, pol, svc, workload.Poisson{RPS: 50}, 60, seed)
+func unloadedMean(o Options, cfg *config.Config, pol engine.Policy, svc *services.Service, seed int64) (float64, error) {
+	res, err := runOne(o, cfg, pol, svc, workload.Poisson{RPS: 50}, 60, seed)
 	if err != nil {
 		return 0, err
 	}

@@ -85,7 +85,9 @@ func Resilience(o Options) (*Result, error) {
 			cells = append(cells, Cell[out]{
 				Key: fmt.Sprintf("resilience/%s/r%g", pol.Name, rate),
 				Run: func(seed int64) (out, error) {
-					run, err := resilienceSpec(pol, rate, o.reqs(), seed).RunCtx(o.ctx())
+					spec := resilienceSpec(pol, rate, o.reqs(), seed)
+					spec.Check = o.newCheck()
+					run, err := spec.RunCtx(o.ctx())
 					if err != nil {
 						return out{}, err
 					}

@@ -22,6 +22,7 @@ func avgP99(o Options, cfg *config.Config, pol engine.Policy, seed int64) (float
 		Policy:  pol,
 		Sources: workload.Mix(svcs, 1.0, o.reqs()*len(svcs)),
 		Seed:    seed,
+		Check:   o.newCheck(),
 	}
 	run, err := spec.RunCtx(o.ctx())
 	if err != nil {
@@ -143,6 +144,7 @@ func Fig19PECount(o Options) (*Result, error) {
 					Policy:  engine.AccelFlow(),
 					Sources: workload.Mix(svcs, 1.0, o.reqs()*len(svcs)),
 					Seed:    seed,
+					Check:   o.newCheck(),
 				}
 				run, err := spec.RunCtx(o.ctx())
 				if err != nil {

@@ -76,6 +76,10 @@ func (s Spec) Validate() error {
 		return fmt.Errorf("fault: NoCInflate must be >= 1 (or 0 to disable), got %v", s.NoCInflate)
 	case s.RemoteLossRate < 0 || s.RemoteLossRate > 1:
 		return fmt.Errorf("fault: RemoteLossRate must be in [0,1], got %v", s.RemoteLossRate)
+	case s.MeanWindow > 0 && s.Horizon > 0 && s.MeanWindow > s.Horizon:
+		// A mean window longer than the injection horizon describes an
+		// experiment whose typical fault outlives the whole campaign.
+		return fmt.Errorf("fault: MeanWindow (%v) must not exceed Horizon (%v)", s.MeanWindow, s.Horizon)
 	}
 	return nil
 }

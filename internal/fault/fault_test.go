@@ -174,6 +174,9 @@ func TestSpecValidate(t *testing.T) {
 		{"noc inflate below one", Spec{NoCInflate: 0.5}, false},
 		{"loss rate above one", Spec{RemoteLossRate: 1.5}, false},
 		{"loss rate one", Spec{RemoteLossRate: 1}, true},
+		{"window exceeds horizon", Spec{MeanWindow: 2 * sim.Millisecond, Horizon: sim.Millisecond}, false},
+		{"window equals horizon", Spec{MeanWindow: sim.Millisecond, Horizon: sim.Millisecond}, true},
+		{"window without horizon", Spec{MeanWindow: sim.Millisecond}, true},
 	}
 	for _, c := range cases {
 		if err := c.spec.Validate(); (err == nil) != c.ok {

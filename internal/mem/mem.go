@@ -85,6 +85,13 @@ func (m *Memory) BusyTime() sim.Time {
 // CtrlCount reports the number of DRAM controllers.
 func (m *Memory) CtrlCount() int { return len(m.ctrls) }
 
+// Ctrls returns the controller resources in index order, for
+// read-only inspection by the invariant checker. Callers must not
+// submit work through them.
+func (m *Memory) Ctrls() []*sim.Resource {
+	return append([]*sim.Resource(nil), m.ctrls...)
+}
+
 // Utilization returns mean controller utilization over elapsed time.
 func (m *Memory) Utilization(elapsed sim.Time) float64 {
 	var u float64

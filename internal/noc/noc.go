@@ -8,6 +8,7 @@ package noc
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"accelflow/internal/config"
 	"accelflow/internal/sim"
@@ -139,6 +140,27 @@ func (n *Network) LinkBusy() sim.Time {
 
 // LinkCount reports the number of inter-chiplet links.
 func (n *Network) LinkCount() int { return len(n.links) }
+
+// Links returns the inter-chiplet link resources in a deterministic
+// (chiplet-pair) order, for read-only inspection by the invariant
+// checker. Callers must not submit work through them.
+func (n *Network) Links() []*sim.Resource {
+	keys := make([][2]int, 0, len(n.links))
+	for k := range n.links {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i][0] != keys[j][0] {
+			return keys[i][0] < keys[j][0]
+		}
+		return keys[i][1] < keys[j][1]
+	})
+	out := make([]*sim.Resource, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, n.links[k])
+	}
+	return out
+}
 
 // Send models a message: latency plus serialization, with inter-chiplet
 // messages serializing on the shared pair link. done fires at delivery.

@@ -116,3 +116,32 @@ func TestDeterminismRepeatSubmission(t *testing.T) {
 		}
 	}
 }
+
+// TestDeterminismCheckedDaemon: a daemon booted with -check produces
+// byte-identical artifacts and values to an unchecked one — the
+// invariant checker rides along without touching results, and every
+// checked job still completes (no false violations on real runs).
+func TestDeterminismCheckedDaemon(t *testing.T) {
+	_, plain := testServer(t, Config{Workers: 1, QueueDepth: 2}, nil)
+	_, checked := testServer(t, Config{Workers: 1, QueueDepth: 2, Check: true}, nil)
+
+	obsBody := `{"type":"observed","requests":120,"quick":true,"seed":11,"faultRate":2000}`
+	pa := submitAndWait(t, plain.URL, obsBody)
+	ca := submitAndWait(t, checked.URL, obsBody)
+	for _, kind := range obs.Artifacts() {
+		pb := fetchBytes(t, fmt.Sprintf("%s/v1/jobs/%s/artifacts/%s", plain.URL, pa, kind))
+		cb := fetchBytes(t, fmt.Sprintf("%s/v1/jobs/%s/artifacts/%s", checked.URL, ca, kind))
+		if !bytes.Equal(pb, cb) {
+			t.Errorf("%s artifact differs between unchecked and checked daemons", kind)
+		}
+	}
+
+	expBody := `{"type":"experiment","experiment":"fig19","quick":true,"requests":40,"seed":3}`
+	pe := submitAndWait(t, plain.URL, expBody)
+	ce := submitAndWait(t, checked.URL, expBody)
+	pv := fetchBytes(t, plain.URL+"/v1/jobs/"+pe+"/values")
+	cv := fetchBytes(t, checked.URL+"/v1/jobs/"+ce+"/values")
+	if !bytes.Equal(pv, cv) {
+		t.Errorf("experiment values differ between unchecked and checked daemons:\n%s\nvs\n%s", pv, cv)
+	}
+}

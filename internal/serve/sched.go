@@ -38,6 +38,11 @@ type Config struct {
 	// RetryAfter is the backoff hint returned with 429/503 responses;
 	// <= 0 means 1s.
 	RetryAfter time.Duration
+	// Check attaches the runtime invariant checker to every job the
+	// daemon runs (the -check flag). Checking never changes job values
+	// or artifact bytes; a violated invariant fails the job with a
+	// structured error instead.
+	Check bool
 }
 
 func (c Config) withDefaults() Config {
@@ -231,6 +236,7 @@ func (s *Scheduler) execute(ctx context.Context, j *Job) {
 		o := j.Req.options()
 		o.Ctx = ctx
 		o.OnCell = j.cellDone
+		o.Check = s.cfg.Check
 		res, err := experiments.Registry[j.Req.Experiment](o)
 		if err != nil {
 			j.finish(classify(ctx, err), err.Error())
@@ -243,7 +249,9 @@ func (s *Scheduler) execute(ctx context.Context, j *Job) {
 		j.setResult(vals, append([]string(nil), res.Lines...), nil)
 		j.finish(StateDone, "")
 	case JobObserved:
-		spec, sink, err := workload.BuildObserved(j.Req.observedParams())
+		p := j.Req.observedParams()
+		p.Check = s.cfg.Check
+		spec, sink, err := workload.BuildObserved(p)
 		if err != nil {
 			j.finish(StateFailed, err.Error())
 			return

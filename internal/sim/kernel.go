@@ -94,6 +94,11 @@ type Kernel struct {
 	Processed uint64
 	// MaxEvents aborts the run when exceeded (0 = unlimited).
 	MaxEvents uint64
+	// OnEvent, when non-nil, observes every executed event's timestamp
+	// just before its callback runs. It must only read simulation state
+	// (the invariant checker uses it to verify event-time monotonicity);
+	// a mutating hook would break run determinism.
+	OnEvent func(at Time)
 }
 
 // NewKernel returns an empty kernel at time zero.
@@ -137,6 +142,9 @@ func (k *Kernel) RunUntil(deadline Time) {
 		if k.MaxEvents > 0 && k.Processed > k.MaxEvents {
 			panic("sim: MaxEvents exceeded; likely an event loop")
 		}
+		if k.OnEvent != nil {
+			k.OnEvent(e.at)
+		}
 		e.fn()
 	}
 }
@@ -174,6 +182,9 @@ func (k *Kernel) RunCtx(ctx context.Context, checkEvery uint64) error {
 		k.Processed++
 		if k.MaxEvents > 0 && k.Processed > k.MaxEvents {
 			panic("sim: MaxEvents exceeded; likely an event loop")
+		}
+		if k.OnEvent != nil {
+			k.OnEvent(e.at)
 		}
 		e.fn()
 	}

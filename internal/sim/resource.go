@@ -84,6 +84,21 @@ type Resource struct {
 	WaitTime  Time // summed queueing delay
 	TaskCount uint64
 	MaxQueue  int
+
+	// Occupancy integrals, advanced lazily on every queue/busy change.
+	// qArea is ∫(queue length)dt in task-picoseconds; at any instant it
+	// equals the wait already accrued by departed tasks (WaitTime) plus
+	// the wait accrued so far by still-queued ones, which is the exact
+	// integer form of Little's law the invariant checker verifies.
+	// busyArea is ∫(busy servers)dt; once every admitted hold has
+	// elapsed it equals BusyTime exactly (BusyTime is charged up front,
+	// so the two only agree at quiescence).
+	qArea    Time
+	busyArea Time
+	lastTick Time
+	// maxServers tracks the largest server count ever configured, so
+	// utilization bounds stay valid across mid-run SetServers changes.
+	maxServers int
 }
 
 // NewResource creates a Resource with the given number of servers and
@@ -92,7 +107,20 @@ func NewResource(k *Kernel, name string, servers int, disc Discipline) *Resource
 	if servers <= 0 {
 		panic("sim: resource needs at least one server")
 	}
-	return &Resource{Name: name, Servers: servers, k: k, q: taskHeap{disc: disc}}
+	return &Resource{Name: name, Servers: servers, maxServers: servers, k: k, q: taskHeap{disc: disc}}
+}
+
+// advance accrues the occupancy integrals up to the current simulated
+// time. It must run before any queue-length or busy-count change; a
+// second call at the same instant is a no-op, so callers do not need
+// to coordinate.
+func (r *Resource) advance() {
+	now := r.k.Now()
+	if dt := now - r.lastTick; dt > 0 {
+		r.qArea += Time(len(r.q.tasks)) * dt
+		r.busyArea += Time(r.busy) * dt
+		r.lastTick = now
+	}
 }
 
 // SetDiscipline changes the queue discipline. Pending tasks are
@@ -112,11 +140,15 @@ func (r *Resource) SetServers(n int) {
 		n = 1
 	}
 	r.Servers = n
+	if n > r.maxServers {
+		r.maxServers = n
+	}
 	r.tryStart()
 }
 
 // Submit enqueues a task. If a server is free it starts immediately.
 func (r *Resource) Submit(t *Task) {
+	r.advance()
 	r.seq++
 	t.seq = r.seq
 	t.enq = r.k.Now()
@@ -143,6 +175,7 @@ func (r *Resource) InService() int { return r.busy }
 func (r *Resource) Idle() bool { return r.busy == 0 && len(r.q.tasks) == 0 }
 
 func (r *Resource) tryStart() {
+	r.advance()
 	for r.busy < r.Servers && len(r.q.tasks) > 0 {
 		t := heap.Pop(&r.q).(*Task)
 		r.busy++
@@ -156,6 +189,7 @@ func (r *Resource) tryStart() {
 		hold := t.Hold
 		done := t.Done
 		r.k.After(hold, func() {
+			r.advance()
 			r.busy--
 			if done != nil {
 				done()
@@ -181,3 +215,33 @@ func (r *Resource) MeanWait() Time {
 	}
 	return Time(int64(r.WaitTime) / int64(r.TaskCount))
 }
+
+// QueueArea returns ∫(queue length)dt up to now, in task-picoseconds.
+func (r *Resource) QueueArea() Time {
+	r.advance()
+	return r.qArea
+}
+
+// BusyArea returns ∫(busy servers)dt up to now, in server-picoseconds.
+// Unlike BusyTime (charged up front at task start), this accrues in
+// real time, so BusyArea <= BusyTime until all admitted holds elapse.
+func (r *Resource) BusyArea() Time {
+	r.advance()
+	return r.busyArea
+}
+
+// QueuedWaitResidual sums the wait already accrued by tasks still in
+// the queue, completing the Little's-law identity
+// QueueArea == WaitTime + QueuedWaitResidual at any instant.
+func (r *Resource) QueuedWaitResidual() Time {
+	now := r.k.Now()
+	var t Time
+	for _, task := range r.q.tasks {
+		t += now - task.enq
+	}
+	return t
+}
+
+// MaxServers reports the largest server count the resource ever had,
+// bounding utilization even across mid-run SetServers fault windows.
+func (r *Resource) MaxServers() int { return r.maxServers }

@@ -11,6 +11,7 @@ package workload
 import (
 	"fmt"
 
+	"accelflow/internal/check"
 	"accelflow/internal/config"
 	"accelflow/internal/engine"
 	"accelflow/internal/fault"
@@ -37,6 +38,11 @@ type ObservedParams struct {
 	// FaultLoss overrides the remote-response loss rate (in [0,1]; 0
 	// keeps the baked-in 3.2e-6).
 	FaultLoss float64
+
+	// Check attaches the runtime invariant checker to the run (the
+	// -check flag on both binaries). Checking never changes results;
+	// a violation fails the run with a structured error.
+	Check bool
 }
 
 // Validate rejects out-of-range parameters with a caller-facing
@@ -78,6 +84,9 @@ func BuildObserved(p ObservedParams) (*RunSpec, *obs.Sink, error) {
 		Sources: Mix(services.SocialNetwork(), 1.0, n),
 		Seed:    p.Seed,
 		Obs:     sink,
+	}
+	if p.Check {
+		spec.Check = check.New()
 	}
 	if p.FaultRate > 0 || p.FaultLoss > 0 {
 		win := p.FaultWindow

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 
+	"accelflow/internal/check"
 	"accelflow/internal/config"
 	"accelflow/internal/engine"
 	"accelflow/internal/fault"
@@ -64,6 +65,15 @@ type RunSpec struct {
 	// seeded with DeriveSeed(Seed, "faults"); a spec with Rate 0 (and
 	// RemoteLossRate 0) leaves results bit-identical to Faults == nil.
 	Faults *fault.Spec
+	// Check, when non-nil, attaches a runtime invariant checker: the
+	// kernel verifies event-time monotonicity as it runs, the engine
+	// feeds request-conservation counters, and after the run drains the
+	// full per-resource suite (utilization bounds, queue drain,
+	// Little's law) executes. Any violation makes RunCtx return a
+	// *check.Failure error alongside the result. Checker hooks only
+	// read state, so an attached checker never changes Values. Each
+	// Checker covers exactly one run.
+	Check *check.Checker
 }
 
 // Run drives one engine with the spec's sources until every request
@@ -85,6 +95,9 @@ func (s *RunSpec) RunCtx(ctx context.Context) (*RunResult, error) {
 	if s.Faults != nil {
 		opts = append(opts, engine.WithFaults(
 			fault.New(*s.Faults, sim.DeriveSeed(s.Seed, "faults"))))
+	}
+	if s.Check != nil {
+		opts = append(opts, engine.WithChecker(s.Check))
 	}
 	e, err := engine.New(k, s.Config, s.Policy, opts...)
 	if err != nil {
@@ -131,6 +144,16 @@ func (s *RunSpec) RunCtx(ctx context.Context) (*RunResult, error) {
 		return nil, fmt.Errorf("workload: run interrupted: %w", err)
 	}
 	res.Elapsed = k.Now()
+	if s.Check.Enabled() {
+		// The heap has drained, so the quiescence-only invariants hold;
+		// the runner's own counters serve as the independent accounting
+		// the conservation check compares against.
+		s.Check.CheckConservation(k.Now(), res.Completed, res.TimedOut, res.FellBack)
+		e.CheckEnd(s.Check)
+		if err := s.Check.Err(); err != nil {
+			return res, fmt.Errorf("workload: invariant check failed: %w", err)
+		}
+	}
 	return res, nil
 }
 
