@@ -104,6 +104,35 @@ func benchSweep(b *testing.B, parallelism int) {
 	}
 }
 
+// benchRunRequests is the fixed request budget of the single-run
+// benchmarks below; benchdump divides allocs/op by it to get the
+// allocs-per-request trajectory metric.
+const benchRunRequests = 300
+
+// benchRunSpec builds the RunSpec for one benchmark iteration. The
+// expensive, reusable inputs (service catalog, config, policy) are
+// built once by the caller outside the timed loop; only the genuinely
+// per-run state is assembled here: workload.Mix allocates fresh
+// Arrivals because the Alibaba process accumulates phase state across
+// draws, and an obs.Sink / check.Checker records exactly one run.
+func benchRunSpec(svcs []*services.Service, cfg *config.Config, pol engine.Policy) *workload.RunSpec {
+	return &workload.RunSpec{
+		Config:  cfg,
+		Policy:  pol,
+		Sources: workload.Mix(svcs, 1.0, benchRunRequests),
+		Seed:    1,
+	}
+}
+
+// reportRunMetrics attaches the trajectory metrics benchdump consumes:
+// kernel events per iteration (events/op, so events/sec and ns/event
+// fall out of ns/op) and the fixed request budget (requests/op, so
+// allocs/request falls out of allocs/op).
+func reportRunMetrics(b *testing.B, events uint64) {
+	b.ReportMetric(float64(events)/float64(b.N), "events/op")
+	b.ReportMetric(benchRunRequests, "requests/op")
+}
+
 // benchRunObs measures the per-run cost of the observability layer.
 // The Disabled/Enabled pair guards the nil-sink fast path: with no
 // sink attached every obs call is a nil-receiver no-op, so the
@@ -115,14 +144,12 @@ var benchRunObsResult *workload.RunResult
 
 func benchRunObs(b *testing.B, observed bool) {
 	svcs := services.SocialNetwork()
+	cfg := config.Default()
+	pol := engine.AccelFlow()
+	var events uint64
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		spec := &workload.RunSpec{
-			Config:  config.Default(),
-			Policy:  engine.AccelFlow(),
-			Sources: workload.Mix(svcs, 1.0, 300),
-			Seed:    1,
-		}
+		spec := benchRunSpec(svcs, cfg, pol)
 		if observed {
 			spec.Obs = obs.New()
 		}
@@ -130,8 +157,11 @@ func benchRunObs(b *testing.B, observed bool) {
 		if err != nil {
 			b.Fatal(err)
 		}
+		events += res.Engine.K.Processed
 		benchRunObsResult = res
 	}
+	b.StopTimer()
+	reportRunMetrics(b, events)
 }
 
 func BenchmarkRunObsDisabled(b *testing.B) { benchRunObs(b, false) }
@@ -147,14 +177,12 @@ var benchRunCheckResult *workload.RunResult
 
 func benchRunCheck(b *testing.B, checked bool) {
 	svcs := services.SocialNetwork()
+	cfg := config.Default()
+	pol := engine.AccelFlow()
+	var events uint64
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		spec := &workload.RunSpec{
-			Config:  config.Default(),
-			Policy:  engine.AccelFlow(),
-			Sources: workload.Mix(svcs, 1.0, 300),
-			Seed:    1,
-		}
+		spec := benchRunSpec(svcs, cfg, pol)
 		if checked {
 			spec.Check = check.New()
 		}
@@ -162,8 +190,11 @@ func benchRunCheck(b *testing.B, checked bool) {
 		if err != nil {
 			b.Fatal(err)
 		}
+		events += res.Engine.K.Processed
 		benchRunCheckResult = res
 	}
+	b.StopTimer()
+	reportRunMetrics(b, events)
 }
 
 func BenchmarkRunCheckDisabled(b *testing.B) { benchRunCheck(b, false) }

@@ -100,6 +100,14 @@ type Accelerator struct {
 	overflow []*pendingEntry
 	ovCap    int
 
+	// Interned observability resource tags. The hot path records a span
+	// segment per PE service and per overflow drain; building
+	// "pe/"+Kind.String() there allocated a string per invocation.
+	peName string
+	ovName string
+	// OutDispName tags the engine's per-pass glue segments.
+	OutDispName string
+
 	lastTenant int
 
 	// failed marks the accelerator as unavailable for new admissions
@@ -116,6 +124,77 @@ type Accelerator struct {
 
 	sampleEvery int
 	sampleCnt   int
+
+	// freePE recycles peTask records so each PE invocation reuses one
+	// pooled struct instead of allocating a Task and two closures.
+	freePE *peTask
+}
+
+// peTask is one pooled PE invocation: the submitted Task plus the
+// context its callbacks need. started/done are bound as method values
+// once, at allocation, so steady-state invocations allocate nothing.
+type peTask struct {
+	a       *Accelerator
+	e       *Entry
+	offered sim.Time
+	task    sim.Task
+	next    *peTask
+
+	// startedFn/doneFn hold the bound method values; evaluating p.started
+	// inline would allocate a fresh binding per invocation.
+	startedFn func()
+	doneFn    func()
+}
+
+// started is the Task.Started callback: the entry leaves the input
+// queue for the PE, and the inter-tenant scratchpad wipe is charged
+// in PE execution order (see the comment in start).
+func (p *peTask) started() {
+	a := p.a
+	e := p.e
+	a.inCount--
+	a.drainOverflow()
+	if e.Tenant != a.lastTenant {
+		a.lastTenant = e.Tenant
+		a.Stats.TenantWipes++
+		p.task.Hold += a.cfg.ScratchWipe
+		e.LastPEHold = p.task.Hold
+		a.Stats.BusyTime += a.cfg.ScratchWipe
+	}
+}
+
+// done is the Task.Done callback. It extracts its context and recycles
+// the record up front: OnReady can re-enter start (chained entries),
+// and the recycled record must be free for reuse by then — nothing
+// after the recycle reads p.
+func (p *peTask) done() {
+	a := p.a
+	e := p.e
+	offered := p.offered
+	p.e = nil
+	p.next = a.freePE
+	a.freePE = p
+	// The PE held the entry contiguously for LastPEHold, so the service
+	// window is [now-hold, now]; everything since the offer before that
+	// was input-queue wait.
+	now := a.k.Now()
+	e.Span.Seg(obs.SegQueue, a.peName, offered, now-e.LastPEHold)
+	e.Span.Seg(obs.SegCompute, a.peName, now-e.LastPEHold, now)
+	a.Stats.Invocations++
+	if a.sampleCnt%a.sampleEvery == 0 {
+		a.Stats.InSizes = append(a.Stats.InSizes, e.DataBytes)
+	}
+	a.Stats.InBytesTotal += uint64(e.DataBytes)
+	out := OutputBytes(a.cfg, a.Kind, e.DataBytes)
+	e.DataBytes = out
+	a.Stats.OutBytesTotal += uint64(out)
+	if a.sampleCnt%a.sampleEvery == 0 {
+		a.Stats.OutSizes = append(a.Stats.OutSizes, out)
+	}
+	a.sampleCnt++
+	if a.OnReady != nil {
+		a.OnReady(e)
+	}
 }
 
 type pendingEntry struct {
@@ -137,6 +216,9 @@ func New(k *sim.Kernel, cfg *config.Config, kind config.AccelKind, node noc.Node
 		ovCap:       cfg.OverflowEntries,
 		lastTenant:  -1,
 		sampleEvery: 7,
+		peName:      "pe/" + kind.String(),
+		ovName:      "overflow/" + kind.String(),
+		OutDispName: "outdisp/" + kind.String(),
 	}
 }
 
@@ -224,62 +306,37 @@ func (a *Accelerator) Arm(e *Entry, wait sim.Time, onTimeout func()) ArmResult {
 // access, queue-to-scratchpad transfer, PE compute, and deposit into
 // the output queue. The queue slot frees when the entry moves into a
 // PE, which is when overflow entries are pulled in (§V-1).
+// start runs the input-dispatcher path for an admitted entry via a
+// pooled peTask. The inter-tenant scratchpad wipe (§IV-D) is decided
+// in peTask.started — in PE execution order — not at submission:
+// queued entries from interleaved tenants can be admitted in a
+// different order than they were offered (EDF/Priority), and the wipe
+// belongs to whichever entry actually follows a different tenant onto
+// the PE. Started runs before the resource reads task.Hold, so the
+// extension is charged.
 func (a *Accelerator) start(e *Entry) {
 	load := a.loadTime(e.DataBytes) + a.TLB.Access()
 	compute := a.cfg.AccelCost(a.Kind, e.DataBytes)
-	offered := a.k.Now()
-	peName := "pe/" + a.Kind.String()
-	var task *sim.Task
-	task = &sim.Task{
+	p := a.freePE
+	if p == nil {
+		p = &peTask{a: a}
+		p.startedFn = p.started
+		p.doneFn = p.done
+	} else {
+		a.freePE = p.next
+	}
+	p.e = e
+	p.offered = a.k.Now()
+	p.task = sim.Task{
 		Priority: e.Priority,
 		Deadline: e.Deadline,
-		Started: func() {
-			// Entry leaves the input queue for the PE.
-			a.inCount--
-			a.drainOverflow()
-			// Scratchpad and PE state wipe between tenants (§IV-D).
-			// Decided here — in PE execution order — not at submission:
-			// queued entries from interleaved tenants can be admitted in
-			// a different order than they were offered (EDF/Priority),
-			// and the wipe belongs to whichever entry actually follows a
-			// different tenant onto the PE. Started runs before the
-			// resource reads task.Hold, so the extension is charged.
-			if e.Tenant != a.lastTenant {
-				a.lastTenant = e.Tenant
-				a.Stats.TenantWipes++
-				task.Hold += a.cfg.ScratchWipe
-				e.LastPEHold = task.Hold
-				a.Stats.BusyTime += a.cfg.ScratchWipe
-			}
-		},
-		Done: func() {
-			// The PE held the entry contiguously for task.Hold, so the
-			// service window is [now-hold, now]; everything since the
-			// offer before that was input-queue wait.
-			now := a.k.Now()
-			e.Span.Seg(obs.SegQueue, peName, offered, now-e.LastPEHold)
-			e.Span.Seg(obs.SegCompute, peName, now-e.LastPEHold, now)
-			a.Stats.Invocations++
-			if a.sampleCnt%a.sampleEvery == 0 {
-				a.Stats.InSizes = append(a.Stats.InSizes, e.DataBytes)
-			}
-			a.Stats.InBytesTotal += uint64(e.DataBytes)
-			out := OutputBytes(a.cfg, a.Kind, e.DataBytes)
-			e.DataBytes = out
-			a.Stats.OutBytesTotal += uint64(out)
-			if a.sampleCnt%a.sampleEvery == 0 {
-				a.Stats.OutSizes = append(a.Stats.OutSizes, out)
-			}
-			a.sampleCnt++
-			if a.OnReady != nil {
-				a.OnReady(e)
-			}
-		},
+		Started:  p.startedFn,
+		Done:     p.doneFn,
+		Hold:     load + compute,
 	}
-	task.Hold = load + compute
-	e.LastPEHold = task.Hold
-	a.Stats.BusyTime += task.Hold
-	a.PEs.Submit(task)
+	e.LastPEHold = p.task.Hold
+	a.Stats.BusyTime += p.task.Hold
+	a.PEs.Submit(&p.task)
 }
 
 func (a *Accelerator) drainOverflow() {
@@ -292,7 +349,7 @@ func (a *Accelerator) drainOverflow() {
 		// touch before it can be dispatched; it holds its queue slot
 		// (inCount already incremented) during the read.
 		a.k.After(a.cfg.LLCLatency, func() {
-			pe.e.Span.Seg(obs.SegQueue, "overflow/"+a.Kind.String(), pe.parked, a.k.Now())
+			pe.e.Span.Seg(obs.SegQueue, a.ovName, pe.parked, a.k.Now())
 			a.start(pe.e)
 		})
 	}

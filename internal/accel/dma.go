@@ -18,8 +18,59 @@ type DMAPool struct {
 	mem  *mem.Memory
 	pool *sim.Resource
 
+	// freeDone recycles the inline-leg completion records, so the
+	// common no-spill transfer allocates nothing.
+	freeDone *dmaDone
+
 	Transfers  uint64
 	BytesMoved uint64
+}
+
+// dmaDone is one pooled inline-leg completion: the engine-wait and
+// NoC segments plus the caller's continuation, with fn bound once.
+type dmaDone struct {
+	d    *DMAPool
+	sp   *obs.Span
+	t0   sim.Time
+	hold sim.Time
+	done func()
+	next *dmaDone
+	fn   func()
+}
+
+// run extracts its fields, recycles the record (done may start another
+// transfer and reuse it — nothing below touches n again), then records
+// the segments and continues.
+func (n *dmaDone) run() {
+	d := n.d
+	sp := n.sp
+	t0, hold := n.t0, n.hold
+	done := n.done
+	n.sp, n.done = nil, nil
+	n.next = d.freeDone
+	d.freeDone = n
+	now := d.k.Now()
+	sp.Seg(obs.SegQueue, "adma", t0, now-hold)
+	sp.Seg(obs.SegNoC, "noc", now-hold, now)
+	if done != nil {
+		done()
+	}
+}
+
+// inlineDone returns a pooled completion for an inline-only transfer
+// whose engine hold starts now.
+func (d *DMAPool) inlineDone(sp *obs.Span, t0, hold sim.Time, done func()) func() {
+	n := d.freeDone
+	if n == nil {
+		n = &dmaDone{d: d}
+		n.fn = n.run
+	} else {
+		d.freeDone = n.next
+	}
+	n.sp = sp
+	n.t0, n.hold = t0, hold
+	n.done = done
+	return n.fn
 }
 
 // NewDMAPool builds the engine pool.
@@ -44,31 +95,32 @@ func (d *DMAPool) Transfer(src, dst noc.Node, bytes int, traceBytes int, sp *obs
 	}
 	spill := bytes - inline
 	t0 := d.k.Now()
-	outstanding := 1
+	// Inline part: the engine holds for the on-package route time.
+	hold := d.net.TransferTime(src, dst, inline+traceBytes)
+	if spill == 0 {
+		// Common case (payload fits the 2KB queue entry): no join
+		// counter needed — the inline leg is the only leg.
+		d.pool.Do(hold, d.inlineDone(sp, t0, hold, done))
+		return
+	}
+	outstanding := 2
 	finish := func() {
 		outstanding--
 		if outstanding == 0 && done != nil {
 			done()
 		}
 	}
-	if spill > 0 {
-		outstanding++
-	}
-	// Inline part: the engine holds for the on-package route time.
-	hold := d.net.TransferTime(src, dst, inline+traceBytes)
 	d.pool.Do(hold, func() {
 		now := d.k.Now()
 		sp.Seg(obs.SegQueue, "adma", t0, now-hold)
 		sp.Seg(obs.SegNoC, "noc", now-hold, now)
 		finish()
 	})
-	if spill > 0 {
-		// Spill part: moved through the cache-coherent LLC/memory path.
-		d.mem.Transfer(spill, func() {
-			sp.Seg(obs.SegDMA, "dram", t0, d.k.Now())
-			finish()
-		})
-	}
+	// Spill part: moved through the cache-coherent LLC/memory path.
+	d.mem.Transfer(spill, func() {
+		sp.Seg(obs.SegDMA, "dram", t0, d.k.Now())
+		finish()
+	})
 }
 
 // ToMemory deposits result data at a memory location (end of trace).
@@ -83,29 +135,28 @@ func (d *DMAPool) ToMemory(src noc.Node, memNode noc.Node, bytes int, sp *obs.Sp
 	}
 	spill := bytes - inline
 	t0 := d.k.Now()
-	outstanding := 1
+	hold := d.net.TransferTime(src, memNode, inline)
+	if spill == 0 {
+		d.pool.Do(hold, d.inlineDone(sp, t0, hold, done))
+		return
+	}
+	outstanding := 2
 	finish := func() {
 		outstanding--
 		if outstanding == 0 && done != nil {
 			done()
 		}
 	}
-	if spill > 0 {
-		outstanding++
-	}
-	hold := d.net.TransferTime(src, memNode, inline)
 	d.pool.Do(hold, func() {
 		now := d.k.Now()
 		sp.Seg(obs.SegQueue, "adma", t0, now-hold)
 		sp.Seg(obs.SegNoC, "noc", now-hold, now)
 		finish()
 	})
-	if spill > 0 {
-		d.mem.Transfer(spill, func() {
-			sp.Seg(obs.SegDMA, "dram", t0, d.k.Now())
-			finish()
-		})
-	}
+	d.mem.Transfer(spill, func() {
+		sp.Seg(obs.SegDMA, "dram", t0, d.k.Now())
+		finish()
+	})
 }
 
 // Utilization reports engine-pool utilization.

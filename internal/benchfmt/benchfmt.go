@@ -1,0 +1,287 @@
+// Package benchfmt defines the schema-versioned benchmark snapshot
+// format behind the repo's committed BENCH_<date>.json trajectory, and
+// the parser that turns `go test -bench -benchmem` output into it.
+//
+// A snapshot is one measured point: per-benchmark ns/op plus the
+// derived trajectory metrics (ns/event, events/sec, allocs/request,
+// computed from the events/op and requests/op custom metrics the root
+// benchmarks report), host metadata, and optionally the previous
+// committed point embedded as a baseline with speedup ratios. The
+// format is append-only versioned: readers reject snapshots whose
+// schema string they do not know, so a future v2 cannot be silently
+// misread as v1.
+package benchfmt
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Schema identifies the snapshot format. Bump on incompatible change.
+const Schema = "accelflow/bench/v1"
+
+// Host records where a snapshot was measured. Benchmark numbers are
+// only comparable within similar hosts; the CI regression gate is
+// deliberately loose (see Compare) because runners differ.
+type Host struct {
+	GoVersion string `json:"go_version"`
+	OS        string `json:"os"`
+	Arch      string `json:"arch"`
+	CPUs      int    `json:"cpus"`
+	CPUModel  string `json:"cpu_model,omitempty"`
+}
+
+// Benchmark is one benchmark's measured point: the best (minimum
+// ns/op) of the folded runs, with that run's companion metrics.
+type Benchmark struct {
+	// Name is the benchmark name without the "Benchmark" prefix and
+	// without the -GOMAXPROCS suffix, e.g. "RunObsDisabled".
+	Name       string  `json:"name"`
+	Runs       int     `json:"runs"`
+	Iterations int64   `json:"iterations"`
+	NsPerOp    float64 `json:"ns_per_op"`
+
+	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+
+	// EventsPerOp / RequestsPerOp come from the benchmarks' custom
+	// b.ReportMetric units; the three derived fields below are what the
+	// trajectory tracks across PRs.
+	EventsPerOp   float64 `json:"events_per_op,omitempty"`
+	RequestsPerOp float64 `json:"requests_per_op,omitempty"`
+
+	NsPerEvent       float64 `json:"ns_per_event,omitempty"`
+	EventsPerSec     float64 `json:"events_per_sec,omitempty"`
+	AllocsPerRequest float64 `json:"allocs_per_request,omitempty"`
+
+	// Extra holds any further custom metrics verbatim by unit.
+	Extra map[string]float64 `json:"extra,omitempty"`
+}
+
+// Snapshot is one committed trajectory point.
+type Snapshot struct {
+	Schema     string      `json:"schema"`
+	Date       string      `json:"date"`
+	Host       Host        `json:"host"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+
+	// Baseline embeds the previous trajectory point (without its own
+	// baseline, so snapshots do not grow unboundedly), and Speedup maps
+	// benchmark name -> baseline ns/op / current ns/op.
+	Baseline *Snapshot          `json:"baseline,omitempty"`
+	Speedup  map[string]float64 `json:"speedup_vs_baseline,omitempty"`
+}
+
+// Find returns the named benchmark, or nil.
+func (s *Snapshot) Find(name string) *Benchmark {
+	for i := range s.Benchmarks {
+		if s.Benchmarks[i].Name == name {
+			return &s.Benchmarks[i]
+		}
+	}
+	return nil
+}
+
+// ParseTestOutput reads `go test -bench` text output and folds it into
+// a Snapshot: one Benchmark per name, keeping the run with the minimum
+// ns/op (the least-noise sample) and counting the folded runs. The
+// host CPU model is taken from the "cpu:" banner line when present.
+// It is an error if the output contains no benchmark result lines or a
+// malformed one.
+func ParseTestOutput(r io.Reader) (*Snapshot, error) {
+	s := &Snapshot{Schema: Schema}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if cpu, ok := strings.CutPrefix(line, "cpu:"); ok {
+			s.Host.CPUModel = strings.TrimSpace(cpu)
+			continue
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		b, err := parseBenchLine(line)
+		if err != nil {
+			return nil, err
+		}
+		if prev := s.Find(b.Name); prev != nil {
+			runs := prev.Runs + 1
+			if b.NsPerOp < prev.NsPerOp {
+				*prev = b
+			}
+			prev.Runs = runs
+			continue
+		}
+		s.Benchmarks = append(s.Benchmarks, b)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("benchfmt: reading bench output: %w", err)
+	}
+	if len(s.Benchmarks) == 0 {
+		return nil, fmt.Errorf("benchfmt: no benchmark result lines found")
+	}
+	sort.Slice(s.Benchmarks, func(i, j int) bool {
+		return s.Benchmarks[i].Name < s.Benchmarks[j].Name
+	})
+	for i := range s.Benchmarks {
+		s.Benchmarks[i].derive()
+	}
+	return s, nil
+}
+
+// parseBenchLine parses one result line:
+//
+//	BenchmarkFoo-8   2   14255128 ns/op   25383 events/op   6906000 B/op   190673 allocs/op
+func parseBenchLine(line string) (Benchmark, error) {
+	f := strings.Fields(line)
+	if len(f) < 4 || len(f)%2 != 0 {
+		return Benchmark{}, fmt.Errorf("benchfmt: malformed benchmark line %q", line)
+	}
+	name := strings.TrimPrefix(f[0], "Benchmark")
+	if i := strings.LastIndexByte(name, '-'); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	iters, err := strconv.ParseInt(f[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, fmt.Errorf("benchfmt: bad iteration count in %q: %w", line, err)
+	}
+	b := Benchmark{Name: name, Runs: 1, Iterations: iters}
+	for i := 2; i < len(f); i += 2 {
+		v, err := strconv.ParseFloat(f[i], 64)
+		if err != nil {
+			return Benchmark{}, fmt.Errorf("benchfmt: bad value %q in %q: %w", f[i], line, err)
+		}
+		switch unit := f[i+1]; unit {
+		case "ns/op":
+			b.NsPerOp = v
+		case "B/op":
+			b.BytesPerOp = v
+		case "allocs/op":
+			b.AllocsPerOp = v
+		case "events/op":
+			b.EventsPerOp = v
+		case "requests/op":
+			b.RequestsPerOp = v
+		default:
+			if b.Extra == nil {
+				b.Extra = map[string]float64{}
+			}
+			b.Extra[unit] = v
+		}
+	}
+	if b.NsPerOp == 0 {
+		return Benchmark{}, fmt.Errorf("benchfmt: benchmark line %q has no ns/op", line)
+	}
+	return b, nil
+}
+
+// derive fills the trajectory metrics computable from the raw ones.
+func (b *Benchmark) derive() {
+	if b.EventsPerOp > 0 {
+		b.NsPerEvent = b.NsPerOp / b.EventsPerOp
+		b.EventsPerSec = b.EventsPerOp / (b.NsPerOp * 1e-9)
+	}
+	if b.RequestsPerOp > 0 && b.AllocsPerOp > 0 {
+		b.AllocsPerRequest = b.AllocsPerOp / b.RequestsPerOp
+	}
+}
+
+// SetBaseline embeds prev as this snapshot's baseline (stripped of its
+// own baseline chain) and computes per-benchmark speedups for the
+// names both snapshots measured.
+func (s *Snapshot) SetBaseline(prev *Snapshot) {
+	if prev == nil {
+		return
+	}
+	base := *prev
+	base.Baseline = nil
+	base.Speedup = nil
+	s.Baseline = &base
+	s.Speedup = map[string]float64{}
+	for i := range s.Benchmarks {
+		cur := &s.Benchmarks[i]
+		if old := base.Find(cur.Name); old != nil && cur.NsPerOp > 0 {
+			s.Speedup[cur.Name] = old.NsPerOp / cur.NsPerOp
+		}
+	}
+	if len(s.Speedup) == 0 {
+		s.Speedup = nil
+	}
+}
+
+// Encode writes the snapshot as indented, deterministic JSON.
+func (s *Snapshot) Encode(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// Decode reads and validates a snapshot. Unknown schema strings are an
+// error: a future incompatible format must not be silently misread.
+func Decode(r io.Reader) (*Snapshot, error) {
+	var s Snapshot
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&s); err != nil {
+		return nil, fmt.Errorf("benchfmt: decoding snapshot: %w", err)
+	}
+	if s.Schema != Schema {
+		return nil, fmt.Errorf("benchfmt: unknown schema %q (want %q)", s.Schema, Schema)
+	}
+	if len(s.Benchmarks) == 0 {
+		return nil, fmt.Errorf("benchfmt: snapshot has no benchmarks")
+	}
+	for _, b := range s.Benchmarks {
+		if b.Name == "" || b.NsPerOp <= 0 {
+			return nil, fmt.Errorf("benchfmt: snapshot benchmark %+v missing name or ns/op", b)
+		}
+	}
+	return &s, nil
+}
+
+// Regression is one benchmark that exceeded the gate.
+type Regression struct {
+	Name          string
+	CurrentNsOp   float64
+	CommittedNsOp float64
+	Ratio         float64
+	Gate          float64
+}
+
+func (r Regression) String() string {
+	return fmt.Sprintf("%s: %.0f ns/op vs committed %.0f ns/op (%.2fx > %.1fx gate)",
+		r.Name, r.CurrentNsOp, r.CommittedNsOp, r.Ratio, r.Gate)
+}
+
+// Compare checks current against a committed snapshot with a
+// multiplicative gate: a benchmark regresses when its current ns/op
+// exceeds gate times the committed value. The gate is deliberately
+// generous (CI default 3x) because snapshots cross machines — it
+// exists to catch order-of-magnitude regressions, not noise.
+// Benchmarks present on only one side are ignored.
+func Compare(current, committed *Snapshot, gate float64) []Regression {
+	if gate <= 0 {
+		gate = 3
+	}
+	var regs []Regression
+	for _, cur := range current.Benchmarks {
+		old := committed.Find(cur.Name)
+		if old == nil || old.NsPerOp <= 0 {
+			continue
+		}
+		if ratio := cur.NsPerOp / old.NsPerOp; ratio > gate {
+			regs = append(regs, Regression{
+				Name: cur.Name, CurrentNsOp: cur.NsPerOp,
+				CommittedNsOp: old.NsPerOp, Ratio: ratio, Gate: gate,
+			})
+		}
+	}
+	return regs
+}

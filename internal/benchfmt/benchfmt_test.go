@@ -1,0 +1,187 @@
+package benchfmt
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// sampleOutput is a realistic `go test -bench -benchmem -count=2`
+// capture: banner lines, two runs per benchmark (the second
+// RunObsDisabled run is faster and must win the fold), a custom-unit
+// metric, and a GOMAXPROCS suffix to strip.
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: accelflow
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkRunObsDisabled-8 	       2	  14255128 ns/op	     25383 events/op	       300.0 requests/op	 6906000 B/op	  190673 allocs/op
+BenchmarkRunObsDisabled-8 	       2	  13990001 ns/op	     25383 events/op	       300.0 requests/op	 6905800 B/op	  190671 allocs/op
+BenchmarkSweepSerial 	       1	1046951878 ns/op	 421034648 B/op	11656218 allocs/op
+BenchmarkFig13Ablation 	       2	  20000000 ns/op	         0.8123 reduction/AccelFlow
+PASS
+ok  	accelflow	3.5s
+`
+
+func TestParseTestOutput(t *testing.T) {
+	s, err := ParseTestOutput(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Host.CPUModel != "Intel(R) Xeon(R) Processor @ 2.10GHz" {
+		t.Errorf("cpu model = %q", s.Host.CPUModel)
+	}
+	if len(s.Benchmarks) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3", len(s.Benchmarks))
+	}
+	b := s.Find("RunObsDisabled")
+	if b == nil {
+		t.Fatal("RunObsDisabled not found (GOMAXPROCS suffix not stripped?)")
+	}
+	if b.Runs != 2 {
+		t.Errorf("runs = %d, want 2", b.Runs)
+	}
+	if b.NsPerOp != 13990001 {
+		t.Errorf("ns/op = %v, want the min-run 13990001", b.NsPerOp)
+	}
+	if b.EventsPerOp != 25383 || b.RequestsPerOp != 300 {
+		t.Errorf("custom metrics = %v events/op %v requests/op", b.EventsPerOp, b.RequestsPerOp)
+	}
+	wantNsPerEvent := 13990001.0 / 25383
+	if diff := b.NsPerEvent - wantNsPerEvent; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("ns/event = %v, want %v", b.NsPerEvent, wantNsPerEvent)
+	}
+	wantEps := 25383 / (13990001 * 1e-9)
+	if rel := (b.EventsPerSec - wantEps) / wantEps; rel > 1e-12 || rel < -1e-12 {
+		t.Errorf("events/sec = %v, want %v", b.EventsPerSec, wantEps)
+	}
+	wantApr := 190671.0 / 300
+	if b.AllocsPerRequest != wantApr {
+		t.Errorf("allocs/request = %v, want %v", b.AllocsPerRequest, wantApr)
+	}
+	if fig := s.Find("Fig13Ablation"); fig == nil || fig.Extra["reduction/AccelFlow"] != 0.8123 {
+		t.Errorf("custom unit not preserved: %+v", fig)
+	}
+	if sweep := s.Find("SweepSerial"); sweep == nil || sweep.EventsPerSec != 0 {
+		t.Errorf("sweep without events/op must not derive events/sec: %+v", sweep)
+	}
+}
+
+// TestRoundTrip is the schema round trip: parse -> emit -> parse must
+// be lossless, including the embedded baseline and speedup map.
+func TestRoundTrip(t *testing.T) {
+	s, err := ParseTestOutput(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Date = "2026-08-08"
+	s.Host.GoVersion = "go1.24.0"
+	s.Host.OS, s.Host.Arch, s.Host.CPUs = "linux", "amd64", 8
+
+	prev, err := ParseTestOutput(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev.Date = "2026-07-01"
+	prev.Benchmarks[0].NsPerOp *= 2 // pretend the baseline was 2x slower
+	s.SetBaseline(prev)
+
+	var buf bytes.Buffer
+	if err := s.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("decoding emitted snapshot: %v\n%s", err, buf.String())
+	}
+	if !reflect.DeepEqual(s, got) {
+		t.Errorf("round trip not lossless:\n in: %+v\nout: %+v", s, got)
+	}
+
+	// Emit the decoded copy again: byte-identical output proves the
+	// encoder is deterministic.
+	var buf2 bytes.Buffer
+	if err := got.Encode(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Error("re-encoding a decoded snapshot changed bytes")
+	}
+}
+
+func TestSetBaselineSpeedup(t *testing.T) {
+	cur, _ := ParseTestOutput(strings.NewReader(sampleOutput))
+	prev, _ := ParseTestOutput(strings.NewReader(sampleOutput))
+	prev.Find("RunObsDisabled").NsPerOp = 2 * cur.Find("RunObsDisabled").NsPerOp
+	cur.SetBaseline(prev)
+	if sp := cur.Speedup["RunObsDisabled"]; sp != 2 {
+		t.Errorf("speedup = %v, want 2", sp)
+	}
+	if cur.Baseline == nil || cur.Baseline.Baseline != nil {
+		t.Error("baseline must be embedded exactly one level deep")
+	}
+}
+
+// TestMalformedBenchOutput covers the parser's error paths: each input
+// must produce an error, not a silent zero snapshot.
+func TestMalformedBenchOutput(t *testing.T) {
+	cases := map[string]string{
+		"empty":            "",
+		"no bench lines":   "goos: linux\nPASS\nok accelflow 1s\n",
+		"odd field count":  "BenchmarkX 2 100 ns/op 42\n",
+		"too few fields":   "BenchmarkX 2\n",
+		"bad iterations":   "BenchmarkX two 100 ns/op\n",
+		"bad metric value": "BenchmarkX 2 abc ns/op\n",
+		"missing ns/op":    "BenchmarkX 2 100 B/op\n",
+	}
+	for name, in := range cases {
+		if _, err := ParseTestOutput(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: ParseTestOutput accepted malformed input %q", name, in)
+		}
+	}
+}
+
+// TestDecodeRejects covers the snapshot reader's validation: wrong
+// schema, truncated JSON, and structurally hollow snapshots.
+func TestDecodeRejects(t *testing.T) {
+	cases := map[string]string{
+		"truncated json": `{"schema": "accelflow/bench/v1", "benchmarks": [`,
+		"wrong schema":   `{"schema": "accelflow/bench/v999", "benchmarks": [{"name":"X","ns_per_op":1}]}`,
+		"no schema":      `{"benchmarks": [{"name":"X","ns_per_op":1}]}`,
+		"no benchmarks":  `{"schema": "accelflow/bench/v1", "benchmarks": []}`,
+		"nameless bench": `{"schema": "accelflow/bench/v1", "benchmarks": [{"ns_per_op":1}]}`,
+		"zero ns/op":     `{"schema": "accelflow/bench/v1", "benchmarks": [{"name":"X"}]}`,
+	}
+	for name, in := range cases {
+		if _, err := Decode(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: Decode accepted %q", name, in)
+		}
+	}
+}
+
+func TestCompareGate(t *testing.T) {
+	committed, _ := ParseTestOutput(strings.NewReader(sampleOutput))
+	current, _ := ParseTestOutput(strings.NewReader(sampleOutput))
+
+	if regs := Compare(current, committed, 3); len(regs) != 0 {
+		t.Errorf("identical snapshots regressed: %v", regs)
+	}
+	current.Find("RunObsDisabled").NsPerOp = 2.9 * committed.Find("RunObsDisabled").NsPerOp
+	if regs := Compare(current, committed, 3); len(regs) != 0 {
+		t.Errorf("2.9x inside a 3x gate flagged: %v", regs)
+	}
+	current.Find("RunObsDisabled").NsPerOp = 3.1 * committed.Find("RunObsDisabled").NsPerOp
+	regs := Compare(current, committed, 3)
+	if len(regs) != 1 || regs[0].Name != "RunObsDisabled" {
+		t.Fatalf("3.1x outside a 3x gate not flagged exactly once: %v", regs)
+	}
+	if got := regs[0].String(); !strings.Contains(got, "RunObsDisabled") || !strings.Contains(got, "3.0x gate") {
+		t.Errorf("regression string uninformative: %q", got)
+	}
+
+	// A benchmark present on only one side is ignored, not a failure.
+	current.Benchmarks = append(current.Benchmarks, Benchmark{Name: "OnlyHere", NsPerOp: 1e12})
+	if regs := Compare(current, committed, 3); len(regs) != 1 {
+		t.Errorf("one-sided benchmark changed the verdict: %v", regs)
+	}
+}

@@ -66,6 +66,14 @@ type Engine struct {
 	// centralQDispatchCost is the serialization cost of the base
 	// RELIEF single shared queue per dispatch.
 	centralQDispatchCost sim.Time
+
+	// Free lists recycling the hot-path continuation records (see
+	// exec.go): glue passes, post-DMA deliveries, and post-results
+	// notifications. An engine is single-threaded like its kernel, so
+	// plain linked lists suffice.
+	freeGlue   *gluePass
+	freeComm   *commDone
+	freeNotify *notifyDone
 }
 
 // New builds an engine for the given config and policy. Programs must
@@ -202,7 +210,12 @@ func (r *request) runStep(i int) {
 			r.runStep(i + 1)
 		})
 	case StepChain:
-		ssp := r.sp.Child(obs.SpanStep, "chain:"+st.Trace)
+		// Build the label only when a sink is attached: Child on a nil
+		// span no-ops, but the concat argument would still allocate.
+		var ssp *obs.Span
+		if r.sp != nil {
+			ssp = r.sp.Child(obs.SpanStep, "chain:"+st.Trace)
+		}
 		r.eng.startChain(r, ssp, st.Trace, r.stepProbs(st), func() {
 			ssp.End()
 			r.runStep(i + 1)

@@ -98,38 +98,81 @@ func (e *Engine) dmaToAccel(ent *entryState, src noc.Node, done func()) {
 	})
 }
 
+// commDone is a pooled "charge Comm, then deliver" continuation for
+// the accelerator-to-accelerator hop DMA: the common case of every
+// chain hop, so the per-hop closure is replaced with a recycled record
+// whose fn is bound once.
+type commDone struct {
+	eng            *Engine
+	ent            *entryState
+	t0             sim.Time
+	fromDispatcher bool
+	next           *commDone
+	fn             func()
+}
+
+func (n *commDone) run() {
+	e := n.eng
+	ent := n.ent
+	t0 := n.t0
+	fd := n.fromDispatcher
+	n.ent = nil
+	n.next = e.freeComm
+	e.freeComm = n
+	ent.chain.req.bd.Comm += e.K.Now() - t0
+	e.deliver(ent, fd)
+}
+
+// commThenDeliver returns a pooled continuation charging the elapsed
+// time since now to Breakdown.Comm and delivering the entry.
+func (e *Engine) commThenDeliver(ent *entryState, fromDispatcher bool) func() {
+	n := e.freeComm
+	if n == nil {
+		n = &commDone{eng: e}
+		n.fn = n.run
+	} else {
+		e.freeComm = n.next
+	}
+	n.ent = ent
+	n.t0 = e.K.Now()
+	n.fromDispatcher = fromDispatcher
+	return n.fn
+}
+
 // deliver admits an entry to its current target accelerator, passing
 // through the shared central queue under base RELIEF, and drawing
 // page-fault exceptions.
 func (e *Engine) deliver(ent *entryState, fromDispatcher bool) {
 	e.wireAccels()
 	a := e.Accels[ent.Prog.Instrs[ent.PC].Accel]
-	admit := func() {
-		if a.TLB.PageFault() {
-			// The accelerator stops; a core runs the OS handler, then
-			// execution resumes (§V-3).
-			e.Stats.FallbacksFault++
-			r := ent.chain.req
-			t0 := e.K.Now()
-			e.Cores.Do(e.Cfg.PageFaultCost, func() {
-				r.bd.Orch += e.K.Now() - t0
-				ent.sp.QueuedSeg(obs.SegInterrupt, "cores", t0, e.Cfg.PageFaultCost)
-				e.offer(a, ent, fromDispatcher)
-			})
-			return
-		}
-		e.offer(a, ent, fromDispatcher)
-	}
 	if e.Pol.SharedQueue {
 		t0 := e.K.Now()
 		e.CentralQ.Do(e.centralQDispatchCost, func() {
 			ent.chain.req.bd.Orch += e.K.Now() - t0
 			ent.sp.QueuedSeg(obs.SegDispatch, "centralq", t0, e.centralQDispatchCost)
-			admit()
+			e.admit(a, ent, fromDispatcher)
 		})
 		return
 	}
-	admit()
+	e.admit(a, ent, fromDispatcher)
+}
+
+// admit draws the page-fault exception and offers the entry.
+func (e *Engine) admit(a *accel.Accelerator, ent *entryState, fromDispatcher bool) {
+	if a.TLB.PageFault() {
+		// The accelerator stops; a core runs the OS handler, then
+		// execution resumes (§V-3).
+		e.Stats.FallbacksFault++
+		r := ent.chain.req
+		t0 := e.K.Now()
+		e.Cores.Do(e.Cfg.PageFaultCost, func() {
+			r.bd.Orch += e.K.Now() - t0
+			ent.sp.QueuedSeg(obs.SegInterrupt, "cores", t0, e.Cfg.PageFaultCost)
+			e.offer(a, ent, fromDispatcher)
+		})
+		return
+	}
+	e.offer(a, ent, fromDispatcher)
 }
 
 func (e *Engine) offer(a *accel.Accelerator, ent *entryState, fromDispatcher bool) {
@@ -211,7 +254,7 @@ func (e *Engine) walk(a *accel.Accelerator, ent *entryState, pc int, instrs int)
 				continue
 			}
 			next := prog.Next(pc, ent.Flags)
-			e.chargeGlue(a, ent, instrs, dte, forks, func() {
+			e.chargeGlue(a, ent, instrs, dte, forks, glueCont, "", func() {
 				e.Stats.MediatorBranches++
 				e.mediate(ent, func() { e.walk(a, ent, next, 0) })
 			})
@@ -225,7 +268,7 @@ func (e *Engine) walk(a *accel.Accelerator, ent *entryState, pc int, instrs int)
 				continue
 			}
 			npc := pc + 1
-			e.chargeGlue(a, ent, instrs, dte, forks, func() {
+			e.chargeGlue(a, ent, instrs, dte, forks, glueCont, "", func() {
 				e.Stats.MediatorTrans++
 				// The mediator moves the data out, transforms it on
 				// the CPU/manager, and moves it back.
@@ -246,16 +289,15 @@ func (e *Engine) walk(a *accel.Accelerator, ent *entryState, pc int, instrs int)
 			continue
 		case trace.OpInvoke:
 			ent.PC = pc
-			e.chargeGlue(a, ent, instrs, dte, forks, func() { e.hop(a, ent) })
+			e.chargeGlue(a, ent, instrs, dte, forks, glueHop, "", nil)
 			return
 		case trace.OpTail:
 			instrs += e.Cfg.DispEndInstrs
-			name := in.TailName
-			e.chargeGlue(a, ent, instrs, dte, forks, func() { e.handleTail(a, ent, name) })
+			e.chargeGlue(a, ent, instrs, dte, forks, glueTail, in.TailName, nil)
 			return
 		case trace.OpEnd:
 			instrs += e.Cfg.DispEndInstrs
-			e.chargeGlue(a, ent, instrs, dte, forks, func() { e.finishTrace(a, ent) })
+			e.chargeGlue(a, ent, instrs, dte, forks, glueEnd, "", nil)
 			return
 		default:
 			panic(fmt.Sprintf("engine: unknown op %d in trace %q", in.Kind, prog.Name))
@@ -263,24 +305,85 @@ func (e *Engine) walk(a *accel.Accelerator, ent *entryState, pc int, instrs int)
 	}
 }
 
+// Glue-pass continuations. The three hot outcomes of a dispatcher walk
+// (hop to the next invoke, load a tail, finish the trace) are encoded
+// as kinds on the pooled gluePass record, so no continuation closure
+// is allocated for them; the rare mediator paths pass glueCont with an
+// explicit closure.
+const (
+	glueCont = iota
+	glueHop
+	glueTail
+	glueEnd
+)
+
+// gluePass is one pooled output-dispatcher pass: what chargeGlue's
+// per-pass closure used to capture, recycled through Engine.freeGlue.
+type gluePass struct {
+	eng   *Engine
+	a     *accel.Accelerator
+	ent   *entryState
+	t0    sim.Time
+	hold  sim.Time
+	forks []string
+	kind  uint8
+	name  string // tail name for glueTail
+	cont  func() // for glueCont
+	next  *gluePass
+	fn    func()
+}
+
+// run executes after the dispatcher pass's hold: extract everything,
+// recycle the record (safe against re-entry — the continuation may
+// start another glue pass, which may reuse it), then account and
+// continue.
+func (g *gluePass) run() {
+	e := g.eng
+	a := g.a
+	ent := g.ent
+	t0, hold := g.t0, g.hold
+	forks := g.forks
+	kind, name, cont := g.kind, g.name, g.cont
+	g.a, g.ent, g.forks, g.cont = nil, nil, nil, nil
+	g.next = e.freeGlue
+	e.freeGlue = g
+	ent.chain.req.bd.Orch += e.K.Now() - t0
+	ent.sp.QueuedSeg(obs.SegDispatch, a.OutDispName, t0, hold)
+	for _, fn := range forks {
+		e.spawnFork(a, ent, fn)
+	}
+	switch kind {
+	case glueHop:
+		e.hop(a, ent)
+	case glueTail:
+		e.handleTail(a, ent, name)
+	case glueEnd:
+		e.finishTrace(a, ent)
+	default:
+		cont()
+	}
+}
+
 // chargeGlue charges one output-dispatcher pass (serialized per
 // accelerator) plus any Data Transform Engine time, spawns collected
-// forks, then continues.
-func (e *Engine) chargeGlue(a *accel.Accelerator, ent *entryState, instrs int, dte sim.Time, forks []string, cont func()) {
+// forks, then continues per kind (see the glue* constants).
+func (e *Engine) chargeGlue(a *accel.Accelerator, ent *entryState, instrs int, dte sim.Time, forks []string, kind uint8, name string, cont func()) {
 	hold := a.GluePass(instrs) + dte
 	if e.Pol.Ideal {
 		hold = 0
 	}
-	r := ent.chain.req
-	t0 := e.K.Now()
-	a.OutDisp.Do(hold, func() {
-		r.bd.Orch += e.K.Now() - t0
-		ent.sp.QueuedSeg(obs.SegDispatch, "outdisp/"+a.Kind.String(), t0, hold)
-		for _, fn := range forks {
-			e.spawnFork(a, ent, fn)
-		}
-		cont()
-	})
+	g := e.freeGlue
+	if g == nil {
+		g = &gluePass{eng: e}
+		g.fn = g.run
+	} else {
+		e.freeGlue = g.next
+	}
+	g.a, g.ent = a, ent
+	g.t0, g.hold = e.K.Now(), hold
+	g.forks = forks
+	g.kind, g.name, g.cont = kind, name, cont
+	a.OutDisp.Do(hold, g.fn)
 }
 
 // spawnFork launches a side trace from the ATM that joins the chain
@@ -343,11 +446,7 @@ func (e *Engine) hop(a *accel.Accelerator, ent *entryState) {
 			})
 			return
 		}
-		t0 := e.K.Now()
-		e.DMA.Transfer(a.Node, dst.Node, ent.DataBytes, traceBytes, ent.sp, func() {
-			r.bd.Comm += e.K.Now() - t0
-			e.deliver(ent, true)
-		})
+		e.DMA.Transfer(a.Node, dst.Node, ent.DataBytes, traceBytes, ent.sp, e.commThenDeliver(ent, true))
 	case HopManager:
 		t0 := e.K.Now()
 		// One manager engagement per completion (~1.5us, §VII-A.1)
@@ -382,11 +481,7 @@ func (e *Engine) hop(a *accel.Accelerator, ent *entryState) {
 		})
 	case HopSWQueue:
 		if e.Pol.CohortPairs[[2]config.AccelKind{a.Kind, dst.Kind}] {
-			t0 := e.K.Now()
-			e.DMA.Transfer(a.Node, dst.Node, ent.DataBytes, traceBytes, ent.sp, func() {
-				r.bd.Comm += e.K.Now() - t0
-				e.deliver(ent, true)
-			})
+			e.DMA.Transfer(a.Node, dst.Node, ent.DataBytes, traceBytes, ent.sp, e.commThenDeliver(ent, true))
 			return
 		}
 		// Unlinked hop: the entry sits in a shared-memory software
@@ -557,25 +652,51 @@ func (e *Engine) remoteWait(rk RemoteKind) sim.Time {
 	return w
 }
 
+// notifyDone is a pooled "charge Comm, then notify the core"
+// continuation for the end-of-trace results DMA.
+type notifyDone struct {
+	eng  *Engine
+	ent  *entryState
+	t0   sim.Time
+	next *notifyDone
+	fn   func()
+}
+
+func (n *notifyDone) run() {
+	e := n.eng
+	ent := n.ent
+	t0 := n.t0
+	n.ent = nil
+	n.next = e.freeNotify
+	e.freeNotify = n
+	ent.chain.req.bd.Comm += e.K.Now() - t0
+	e.notifyCore(ent)
+}
+
 // finishTrace handles OpEnd: results DMA to memory, user-level
 // notification to the initiating core, chain accounting. Under
 // mediator policies the manager is interrupted first and forwards the
 // completion to the CPU.
 func (e *Engine) finishTrace(a *accel.Accelerator, ent *entryState) {
-	fin := func() {
-		r := ent.chain.req
-		a.Stats.Notifies++
-		t0 := e.K.Now()
-		e.DMA.ToMemory(a.Node, e.Place.MemNode(), ent.DataBytes, ent.sp, func() {
-			r.bd.Comm += e.K.Now() - t0
-			e.notifyCore(ent)
-		})
-	}
 	if !e.Pol.ATMChaining {
-		e.mediate(ent, fin)
+		e.mediate(ent, func() { e.finishFin(a, ent) })
 		return
 	}
-	fin()
+	e.finishFin(a, ent)
+}
+
+func (e *Engine) finishFin(a *accel.Accelerator, ent *entryState) {
+	a.Stats.Notifies++
+	n := e.freeNotify
+	if n == nil {
+		n = &notifyDone{eng: e}
+		n.fn = n.run
+	} else {
+		e.freeNotify = n.next
+	}
+	n.ent = ent
+	n.t0 = e.K.Now()
+	e.DMA.ToMemory(a.Node, e.Place.MemNode(), ent.DataBytes, ent.sp, n.fn)
 }
 
 // notifyCore delivers the user-level completion notification (§IV-A:

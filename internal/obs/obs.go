@@ -126,16 +126,28 @@ type Seg struct {
 	End      sim.Time
 }
 
-// spanRec is the stored form of a span. Parent is -1 for roots.
+// spanRec is the stored form of a span. Parent is -1 for roots. Its
+// segments live in the sink-level slab as a linked list (segHead/
+// segTail index Sink.segs; -1 = none): one growing slab amortizes to
+// zero allocations per segment, where a per-span []Seg paid a fresh
+// backing array for every span's first append.
 type spanRec struct {
-	id     int32
-	parent int32
-	kind   SpanKind
-	name   string
-	start  sim.Time
-	end    sim.Time
-	ended  bool
-	segs   []Seg
+	id      int32
+	parent  int32
+	segHead int32
+	segTail int32
+	kind    SpanKind
+	ended   bool
+	name    string
+	start   sim.Time
+	end     sim.Time
+}
+
+// segNode is one slab cell: a segment plus the index of the owning
+// span's next segment (-1 = last).
+type segNode struct {
+	seg  Seg
+	next int32
 }
 
 // SpanData is the exported, immutable view of one recorded span.
@@ -167,9 +179,19 @@ type Sink struct {
 	interval sim.Time
 
 	spans  []spanRec
+	segs   []segNode // shared segment slab; spanRec.segHead/segTail index it
 	series []*Series
 	byName map[string]*Series
+
+	// handles is the current chunk of the Span-handle arena. Spans are
+	// created once per request/step/chain/entry on the hot path;
+	// carving handles out of fixed-size chunks replaces one heap object
+	// per span with one per handleChunk spans.
+	handles []Span
 }
+
+// handleChunk is the Span-handle arena chunk size.
+const handleChunk = 256
 
 // Option configures a Sink.
 type Option func(*Sink)
@@ -235,13 +257,19 @@ type Span struct {
 func (s *Sink) newSpan(parent int32, kind SpanKind, name string) *Span {
 	id := int32(len(s.spans))
 	s.spans = append(s.spans, spanRec{
-		id:     id,
-		parent: parent,
-		kind:   kind,
-		name:   name,
-		start:  s.now(),
+		id:      id,
+		parent:  parent,
+		segHead: -1,
+		segTail: -1,
+		kind:    kind,
+		name:    name,
+		start:   s.now(),
 	})
-	return &Span{sink: s, id: id}
+	if len(s.handles) == cap(s.handles) {
+		s.handles = make([]Span, 0, handleChunk)
+	}
+	s.handles = append(s.handles, Span{sink: s, id: id})
+	return &s.handles[len(s.handles)-1]
 }
 
 // BeginRequest opens a root request span. Returns nil on a nil sink.
@@ -293,8 +321,19 @@ func (sp *Span) Seg(kind SegKind, resource string, start, end sim.Time) {
 	if sp == nil || end <= start {
 		return
 	}
-	r := &sp.sink.spans[sp.id]
-	r.segs = append(r.segs, Seg{Kind: kind, Resource: resource, Start: start, End: end})
+	s := sp.sink
+	idx := int32(len(s.segs))
+	s.segs = append(s.segs, segNode{
+		seg:  Seg{Kind: kind, Resource: resource, Start: start, End: end},
+		next: -1,
+	})
+	r := &s.spans[sp.id]
+	if r.segTail >= 0 {
+		s.segs[r.segTail].next = idx
+	} else {
+		r.segHead = idx
+	}
+	r.segTail = idx
 }
 
 // QueuedSeg records a resource engagement that began waiting at t0 and
@@ -341,10 +380,14 @@ func (s *Sink) Spans() []SpanData {
 		if !r.ended {
 			end = r.start
 		}
+		var segs []Seg
+		for j := r.segHead; j >= 0; j = s.segs[j].next {
+			segs = append(segs, s.segs[j].seg)
+		}
 		out[i] = SpanData{
 			ID: r.id, Parent: r.parent, Kind: r.kind, Name: r.name,
 			Start: r.start, End: end,
-			Segs: append([]Seg(nil), r.segs...),
+			Segs: segs,
 		}
 	}
 	return out

@@ -1,0 +1,89 @@
+package sim
+
+import "testing"
+
+// TestKernelAllocsPerEventSteadyState pins the kernel loop's
+// steady-state allocation budget: a self-rescheduling event (the shape
+// of every periodic model component) must be close to allocation-free
+// once the queue's backing storage has warmed up — the concrete event
+// heap must not box events the way container/heap did (one interface{}
+// per Push and per Pop).
+func TestKernelAllocsPerEventSteadyState(t *testing.T) {
+	const events = 5000
+	avg := testing.AllocsPerRun(5, func() {
+		k := NewKernel()
+		left := events
+		var tick func()
+		tick = func() {
+			left--
+			if left > 0 {
+				k.After(Microsecond, tick)
+			}
+		}
+		k.At(0, tick)
+		k.Run()
+	})
+	// The whole run owns a handful of allocations (kernel, closure,
+	// first heap growth); amortized per event it must be ~zero. 0.05
+	// leaves 250 allocations of slack for runtime noise while failing
+	// loudly if per-event boxing ever returns (which would cost >= 1).
+	if perEvent := avg / events; perEvent > 0.05 {
+		t.Errorf("kernel loop allocates %.3f allocs/event (%.0f per %d-event run), budget 0.05",
+			perEvent, avg, events)
+	}
+}
+
+// TestKernelAllocsPerEventLadder is the same budget with the queue
+// forced into ladder mode: a pre-scheduled burst far above ladderOn,
+// drained while each event reschedules once. Bucket slices are reused
+// across rung promotions, so steady-state cost stays amortized-zero;
+// the budget is looser because the burst itself grows buckets.
+func TestKernelAllocsPerEventLadder(t *testing.T) {
+	const burst = 4 * ladderOn
+	avg := testing.AllocsPerRun(5, func() {
+		k := NewKernel()
+		fired := 0
+		var fn func()
+		fn = func() {
+			fired++
+			if fired <= burst {
+				// One reschedule per original event keeps occupancy high
+				// across the drain, exercising rung promotion and refills.
+				k.After(3*bucketWidth, func() {})
+			}
+		}
+		for i := 0; i < burst; i++ {
+			k.At(Time(i)*bucketWidth/7, fn)
+		}
+		k.Run()
+	})
+	if perEvent := avg / (2 * burst); perEvent > 0.5 {
+		t.Errorf("ladder-mode loop allocates %.3f allocs/event (%.0f per run), budget 0.5",
+			perEvent, avg)
+	}
+}
+
+// TestResourceAllocsPerTask pins the uncontended Resource.Do fast
+// path: no Task allocation, no queue round trip, and a pooled
+// completion record, so a serial chain of holds is ~allocation-free.
+func TestResourceAllocsPerTask(t *testing.T) {
+	const tasks = 2000
+	avg := testing.AllocsPerRun(5, func() {
+		k := NewKernel()
+		r := NewResource(k, "pe", 1, FIFO)
+		left := tasks
+		var next func()
+		next = func() {
+			left--
+			if left > 0 {
+				r.Do(Nanosecond, next)
+			}
+		}
+		r.Do(Nanosecond, next)
+		k.Run()
+	})
+	if perTask := avg / tasks; perTask > 0.05 {
+		t.Errorf("uncontended Do allocates %.3f allocs/task (%.0f per %d-task run), budget 0.05",
+			perTask, avg, tasks)
+	}
+}

@@ -5,7 +5,6 @@
 package sim
 
 import (
-	"container/heap"
 	"context"
 	"fmt"
 	"math"
@@ -65,31 +64,12 @@ type event struct {
 	fn  func()
 }
 
-type eventHeap []event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	*h = old[:n-1]
-	return e
-}
-
 // Kernel is the event loop. It is not safe for concurrent use: a
 // simulation is a single-threaded, deterministic program.
 type Kernel struct {
 	now    Time
 	seq    uint64
-	events eventHeap
+	events eventQueue
 	// Processed counts executed events, useful for run-away detection.
 	Processed uint64
 	// MaxEvents aborts the run when exceeded (0 = unlimited).
@@ -97,7 +77,10 @@ type Kernel struct {
 	// OnEvent, when non-nil, observes every executed event's timestamp
 	// just before its callback runs. It must only read simulation state
 	// (the invariant checker uses it to verify event-time monotonicity);
-	// a mutating hook would break run determinism.
+	// a mutating hook would break run determinism. Install it before
+	// the run starts: RunCtx selects a hook-free tight loop up front
+	// when no observer or checker is attached, so a hook set mid-run
+	// from inside an event callback is not guaranteed to be seen.
 	OnEvent func(at Time)
 }
 
@@ -114,7 +97,7 @@ func (k *Kernel) At(t Time, fn func()) {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, k.now))
 	}
 	k.seq++
-	heap.Push(&k.events, event{at: t, seq: k.seq, fn: fn})
+	k.events.push(event{at: t, seq: k.seq, fn: fn})
 }
 
 // After schedules fn to run d after the current time.
@@ -132,11 +115,11 @@ func (k *Kernel) Run() { k.RunUntil(math.MaxInt64) }
 // events queued. The clock ends at the last executed event (or deadline
 // if nothing ran beyond it).
 func (k *Kernel) RunUntil(deadline Time) {
-	for len(k.events) > 0 {
-		if k.events[0].at > deadline {
+	for k.events.Len() > 0 {
+		if k.events.minAt() > deadline {
 			break
 		}
-		e := heap.Pop(&k.events).(event)
+		e := k.events.pop()
 		k.now = e.at
 		k.Processed++
 		if k.MaxEvents > 0 && k.Processed > k.MaxEvents {
@@ -170,14 +153,33 @@ func (k *Kernel) RunCtx(ctx context.Context, checkEvery uint64) error {
 		return err
 	}
 	var batch uint64
-	for len(k.events) > 0 {
+	if k.OnEvent == nil && k.MaxEvents == 0 {
+		// Fast path: no observer/checker hook and no event budget. The
+		// per-event hook and budget branches are hoisted out of the hot
+		// loop entirely (the hook choice is made once, up front — see
+		// the OnEvent doc comment).
+		for k.events.Len() > 0 {
+			if batch++; batch >= checkEvery {
+				batch = 0
+				if err := ctx.Err(); err != nil {
+					return err
+				}
+			}
+			e := k.events.pop()
+			k.now = e.at
+			k.Processed++
+			e.fn()
+		}
+		return nil
+	}
+	for k.events.Len() > 0 {
 		if batch++; batch >= checkEvery {
 			batch = 0
 			if err := ctx.Err(); err != nil {
 				return err
 			}
 		}
-		e := heap.Pop(&k.events).(event)
+		e := k.events.pop()
 		k.now = e.at
 		k.Processed++
 		if k.MaxEvents > 0 && k.Processed > k.MaxEvents {
@@ -205,7 +207,7 @@ func (k *Kernel) Every(d Time, fn func()) {
 	var tick func()
 	tick = func() {
 		fn()
-		if len(k.events) > 0 {
+		if k.events.Len() > 0 {
 			k.After(d, tick)
 		}
 	}
@@ -213,4 +215,4 @@ func (k *Kernel) Every(d Time, fn func()) {
 }
 
 // Pending reports the number of queued events.
-func (k *Kernel) Pending() int { return len(k.events) }
+func (k *Kernel) Pending() int { return k.events.Len() }

@@ -1,0 +1,147 @@
+package sim
+
+import (
+	"container/heap"
+	"math/rand"
+	"testing"
+)
+
+// refHeap is an independent container/heap reference implementation of
+// the (at, seq) priority queue, deliberately kept as the old kernel
+// heap was written. The differential test below checks that eventQueue
+// pops the exact same sequence through every representation switch.
+type refHeap []event
+
+func (h refHeap) Len() int { return len(h) }
+func (h refHeap) Less(i, j int) bool {
+	return h[i].at < h[j].at || (h[i].at == h[j].at && h[i].seq < h[j].seq)
+}
+func (h refHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *refHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *refHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// queueRegime is one random stream shape. Delta draws the offset of a
+// new event's timestamp from the current simulated time.
+type queueRegime struct {
+	name  string
+	delta func(r *rand.Rand) Time
+}
+
+// TestEventQueueDifferential drives eventQueue and the container/heap
+// reference with identical seed-derived streams across regimes chosen
+// to cross every internal boundary: staying in plain-heap mode,
+// converting to the ladder and back (push bursts over ladderOn, drains
+// under ladderOff), rung-window promotion, far-heap refills (offsets
+// far beyond the 256-bucket near window), and heavy (at, seq)
+// tie-breaking. Pops must match exactly: (at, seq) is a unique total
+// order, so any divergence is a queue bug, not a tie ambiguity.
+func TestEventQueueDifferential(t *testing.T) {
+	regimes := []queueRegime{
+		// Sub-bucket offsets: everything lands in the active rung window
+		// or the first buckets; exercises rung pushes and tie ordering.
+		{"dense-ties", func(r *rand.Rand) Time {
+			return Time(r.Intn(3)) * (bucketWidth / 4)
+		}},
+		// Service-time scale offsets: spreads events across the near
+		// window, exercising bucket appends and rung promotion.
+		{"near-window", func(r *rand.Rand) Time {
+			return Time(r.Int63n(int64(numBuckets) * int64(bucketWidth) / 2))
+		}},
+		// Mostly near, occasionally far beyond the horizon: exercises
+		// the far heap and the near-window refill path.
+		{"far-refill", func(r *rand.Rand) Time {
+			if r.Intn(8) == 0 {
+				return Time(r.Int63n(int64(bucketWidth) * numBuckets * 50))
+			}
+			return Time(r.Int63n(int64(bucketWidth) * 4))
+		}},
+		// Pre-scheduled-arrival shape: a huge spread, so almost all
+		// events start in the far heap and refills repeat.
+		{"arrivals", func(r *rand.Rand) Time {
+			return Time(r.Int63n(int64(Millisecond)))
+		}},
+	}
+	for _, reg := range regimes {
+		for seed := int64(1); seed <= 4; seed++ {
+			t.Run(reg.name, func(t *testing.T) {
+				r := rand.New(rand.NewSource(seed * 7919))
+				var q eventQueue
+				ref := refHeap{}
+				var now Time // kernel invariant: pushes are never in the past
+				var seq uint64
+				push := func() {
+					seq++
+					e := event{at: now + reg.delta(r), seq: seq}
+					q.push(e)
+					heap.Push(&ref, e)
+				}
+				pop := func() bool {
+					if ref.Len() == 0 {
+						return false
+					}
+					want := heap.Pop(&ref).(event)
+					got := q.pop()
+					if got.at != want.at || got.seq != want.seq {
+						t.Fatalf("seed %d: pop mismatch: got (at=%d seq=%d), want (at=%d seq=%d)",
+							seed, got.at, got.seq, want.at, want.seq)
+					}
+					now = got.at
+					return true
+				}
+
+				// Burst high above ladderOn to force ladder mode, then
+				// interleave pushes and pops with a drain bias, crossing
+				// ladderOff (back to heap mode) and climbing again.
+				for i := 0; i < 3*ladderOn; i++ {
+					push()
+				}
+				for i := 0; i < 20000; i++ {
+					if q.Len() != ref.Len() {
+						t.Fatalf("seed %d: len mismatch: queue %d, ref %d", seed, q.Len(), ref.Len())
+					}
+					if r.Intn(5) < 2 && q.Len() < 4*ladderOn {
+						push()
+					} else if !pop() {
+						push()
+					}
+					// minAt must agree with the reference's head and must
+					// not perturb subsequent pops (it may promote a rung).
+					if q.Len() > 0 && r.Intn(16) == 0 {
+						if got, want := q.minAt(), ref[0].at; got != want {
+							t.Fatalf("seed %d: minAt = %d, want %d", seed, got, want)
+						}
+					}
+				}
+				// Full drain: every remaining event must still match.
+				for pop() {
+				}
+				if q.Len() != 0 {
+					t.Fatalf("seed %d: queue reports %d events after drain", seed, q.Len())
+				}
+			})
+		}
+	}
+}
+
+// TestEventQueueSameInstantOrder pins the determinism contract at its
+// sharpest point: many events at the identical timestamp must pop in
+// scheduling order, across heap mode, a ladder conversion, and a drain.
+func TestEventQueueSameInstantOrder(t *testing.T) {
+	var q eventQueue
+	const n = 2 * ladderOn // crosses the ladder conversion mid-burst
+	for i := 0; i < n; i++ {
+		q.push(event{at: 42 * Microsecond, seq: uint64(i + 1)})
+	}
+	for i := 0; i < n; i++ {
+		e := q.pop()
+		if e.seq != uint64(i+1) {
+			t.Fatalf("pop %d: seq %d, want %d", i, e.seq, i+1)
+		}
+	}
+}

@@ -1,7 +1,5 @@
 package sim
 
-import "container/heap"
-
 // Discipline selects the order in which queued tasks are admitted to a
 // free server of a Resource.
 type Discipline int
@@ -36,14 +34,16 @@ type Task struct {
 	seq uint64
 }
 
+// taskHeap is a concrete binary min-heap of queued tasks — no
+// container/heap, so admissions pay no interface dispatch. The
+// comparison key always ends in the unique per-resource seq, a total
+// order, so pop order does not depend on sift implementation details.
 type taskHeap struct {
 	tasks []*Task
 	disc  Discipline
 }
 
-func (h *taskHeap) Len() int { return len(h.tasks) }
-func (h *taskHeap) Less(i, j int) bool {
-	a, b := h.tasks[i], h.tasks[j]
+func (h *taskHeap) less(a, b *Task) bool {
 	switch h.disc {
 	case Priority:
 		if a.Priority != b.Priority {
@@ -56,14 +56,56 @@ func (h *taskHeap) Less(i, j int) bool {
 	}
 	return a.seq < b.seq
 }
-func (h *taskHeap) Swap(i, j int)      { h.tasks[i], h.tasks[j] = h.tasks[j], h.tasks[i] }
-func (h *taskHeap) Push(x interface{}) { h.tasks = append(h.tasks, x.(*Task)) }
-func (h *taskHeap) Pop() interface{} {
-	old := h.tasks
-	n := len(old)
-	t := old[n-1]
-	h.tasks = old[:n-1]
-	return t
+
+func (h *taskHeap) push(t *Task) {
+	h.tasks = append(h.tasks, t)
+	s := h.tasks
+	i := len(s) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !h.less(s[i], s[p]) {
+			break
+		}
+		s[i], s[p] = s[p], s[i]
+		i = p
+	}
+}
+
+func (h *taskHeap) pop() *Task {
+	s := h.tasks
+	top := s[0]
+	n := len(s) - 1
+	s[0] = s[n]
+	s[n] = nil // drop the reference for GC
+	h.tasks = s[:n]
+	h.down(0)
+	return top
+}
+
+func (h *taskHeap) down(i int) {
+	s := h.tasks
+	n := len(s)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			return
+		}
+		m := l
+		if r := l + 1; r < n && h.less(s[r], s[l]) {
+			m = r
+		}
+		if !h.less(s[m], s[i]) {
+			return
+		}
+		s[i], s[m] = s[m], s[i]
+		i = m
+	}
+}
+
+func (h *taskHeap) init() {
+	for i := len(h.tasks)/2 - 1; i >= 0; i-- {
+		h.down(i)
+	}
 }
 
 // Resource models a pool of identical servers with a shared queue, e.g.
@@ -99,6 +141,51 @@ type Resource struct {
 	// maxServers tracks the largest server count ever configured, so
 	// utilization bounds stay valid across mid-run SetServers changes.
 	maxServers int
+
+	// freeComp is a free list of recycled completion nodes, so admitting
+	// a task does not allocate a fresh closure for its completion event.
+	freeComp *compNode
+}
+
+// compNode is a pooled task completion: the kernel event that ends a
+// hold runs fn (a method value bound once, at node creation) instead
+// of a per-admission closure. Nodes recycle through Resource.freeComp.
+type compNode struct {
+	r    *Resource
+	done func()
+	next *compNode
+	fn   func()
+}
+
+// run ends one hold: it extracts the completion callback, returns the
+// node to the pool (safe even if done re-enters Do/Submit and reuses
+// it — nothing below reads the node again), then performs exactly what
+// the old inline closure did.
+func (n *compNode) run() {
+	r := n.r
+	done := n.done
+	n.done = nil
+	n.next = r.freeComp
+	r.freeComp = n
+	r.advance()
+	r.busy--
+	if done != nil {
+		done()
+	}
+	r.tryStart()
+}
+
+// complete schedules the end of a hold that is starting now.
+func (r *Resource) complete(done func(), hold Time) {
+	n := r.freeComp
+	if n == nil {
+		n = &compNode{r: r}
+		n.fn = n.run
+	} else {
+		r.freeComp = n.next
+	}
+	n.done = done
+	r.k.After(hold, n.fn)
 }
 
 // NewResource creates a Resource with the given number of servers and
@@ -127,7 +214,7 @@ func (r *Resource) advance() {
 // re-ordered lazily (heap property restored on next push/pop).
 func (r *Resource) SetDiscipline(d Discipline) {
 	r.q.disc = d
-	heap.Init(&r.q)
+	r.q.init()
 }
 
 // SetServers changes the server count mid-run (fault injection:
@@ -152,7 +239,7 @@ func (r *Resource) Submit(t *Task) {
 	r.seq++
 	t.seq = r.seq
 	t.enq = r.k.Now()
-	heap.Push(&r.q, t)
+	r.q.push(t)
 	if len(r.q.tasks) > r.MaxQueue {
 		r.MaxQueue = len(r.q.tasks)
 	}
@@ -160,8 +247,22 @@ func (r *Resource) Submit(t *Task) {
 }
 
 // Do is shorthand for submitting a FIFO task with only a hold and a
-// completion callback.
+// completion callback. When a server is free and nothing is queued it
+// skips the Task allocation and queue round trip entirely — the
+// accounting below is exactly what Submit+tryStart would have done
+// for an immediately-admitted Task (zero wait, nil Started), and the
+// completion is scheduled from the same program point, so kernel event
+// order and every statistic except MaxQueue (which no longer counts
+// the instantaneously-popped task) are bit-identical to the slow path.
 func (r *Resource) Do(hold Time, done func()) {
+	if r.busy < r.Servers && len(r.q.tasks) == 0 {
+		r.advance()
+		r.busy++
+		r.TaskCount++
+		r.BusyTime += hold
+		r.complete(done, hold)
+		return
+	}
 	r.Submit(&Task{Hold: hold, Done: done})
 }
 
@@ -177,7 +278,7 @@ func (r *Resource) Idle() bool { return r.busy == 0 && len(r.q.tasks) == 0 }
 func (r *Resource) tryStart() {
 	r.advance()
 	for r.busy < r.Servers && len(r.q.tasks) > 0 {
-		t := heap.Pop(&r.q).(*Task)
+		t := r.q.pop()
 		r.busy++
 		r.TaskCount++
 		wait := r.k.Now() - t.enq
@@ -186,16 +287,7 @@ func (r *Resource) tryStart() {
 			t.Started()
 		}
 		r.BusyTime += t.Hold
-		hold := t.Hold
-		done := t.Done
-		r.k.After(hold, func() {
-			r.advance()
-			r.busy--
-			if done != nil {
-				done()
-			}
-			r.tryStart()
-		})
+		r.complete(t.Done, t.Hold)
 	}
 }
 

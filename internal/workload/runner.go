@@ -183,6 +183,13 @@ func startSampler(k *sim.Kernel, e *engine.Engine, sink *obs.Sink) {
 		cores, manager, dram, noc, adma sim.Time
 		pes                             [config.NumAccelKinds]sim.Time
 	}
+	// Interned per-kind sample names: the tick fires every interval for
+	// the whole run, so building them inside the closure would allocate
+	// NumAccelKinds strings per tick.
+	var peNames [config.NumAccelKinds]string
+	for _, kd := range config.AllAccelKinds() {
+		peNames[kd] = "util/pe/" + kd.String()
+	}
 	k.Every(iv, func() {
 		now := k.Now()
 		cores := e.Cores.BusyTime
@@ -195,7 +202,7 @@ func startSampler(k *sim.Kernel, e *engine.Engine, sink *obs.Sink) {
 
 		for _, kd := range config.AllAccelKinds() {
 			pe := e.Accels[kd].PEs
-			sink.Sample("util/pe/"+kd.String(), now, util(pe.BusyTime-last.pes[kd], pe.Servers))
+			sink.Sample(peNames[kd], now, util(pe.BusyTime-last.pes[kd], pe.Servers))
 			last.pes[kd] = pe.BusyTime
 		}
 
