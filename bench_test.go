@@ -7,6 +7,7 @@ package main
 
 import (
 	"bufio"
+	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"runtime"
@@ -157,7 +158,7 @@ func benchRunObs(b *testing.B, observed bool) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		events += res.Engine.K.Processed
+		events += res.Engine.K.Processed()
 		benchRunObsResult = res
 	}
 	b.StopTimer()
@@ -190,7 +191,7 @@ func benchRunCheck(b *testing.B, checked bool) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		events += res.Engine.K.Processed
+		events += res.Engine.K.Processed()
 		benchRunCheckResult = res
 	}
 	b.StopTimer()
@@ -199,6 +200,58 @@ func benchRunCheck(b *testing.B, checked bool) {
 
 func BenchmarkRunCheckDisabled(b *testing.B) { benchRunCheck(b, false) }
 func BenchmarkRunCheckEnabled(b *testing.B)  { benchRunCheck(b, true) }
+
+// benchFleetRequests is the fleet benchmark's request budget: 30x the
+// single-run budget, spread over benchFleetReplicas servers so each
+// replica sees a comparable per-server load.
+const (
+	benchFleetRequests = 30 * benchRunRequests
+	benchFleetReplicas = 8
+)
+
+// benchRunSharded measures the sharded kernel's real parallelism: an
+// 8-replica fleet (workload.FleetSpec) executed at 1/2/4/8 workers.
+// Results are byte-identical at every shard count — the determinism
+// tests enforce it — so the sub-benchmarks differ only in wall clock,
+// and events/op divided by ns/op gives the events/sec scaling curve.
+// Compare against BenchmarkRunObsDisabled for the serial single-server
+// baseline:
+//
+//	go test -bench='BenchmarkRun(ObsDisabled|Sharded)' -benchtime=5x
+var benchRunShardedResult *workload.FleetResult
+
+func benchRunSharded(b *testing.B, shards int) {
+	svcs := services.SocialNetwork()
+	cfg := config.Default()
+	pol := engine.AccelFlow()
+	var events uint64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		spec := &workload.FleetSpec{
+			Config:   cfg,
+			Policy:   pol,
+			Sources:  workload.Mix(svcs, benchFleetReplicas, benchFleetRequests),
+			Seed:     1,
+			Replicas: benchFleetReplicas,
+			Shards:   shards,
+		}
+		res, err := spec.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		events += res.Events
+		benchRunShardedResult = res
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(events)/float64(b.N), "events/op")
+	b.ReportMetric(benchFleetRequests, "requests/op")
+}
+
+func BenchmarkRunSharded(b *testing.B) {
+	for _, shards := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) { benchRunSharded(b, shards) })
+	}
+}
 
 // BenchmarkServeSubmitQuick measures a full job round trip through the
 // in-process HTTP daemon: submit a quick experiment, then read the

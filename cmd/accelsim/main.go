@@ -14,7 +14,10 @@
 //
 // Results are bit-identical at any -parallel value: every simulation
 // cell draws from an RNG stream derived from (seed, cell key), so the
-// worker count only changes wall clock, never Values.
+// worker count only changes wall clock, never Values. The same holds
+// for -shards, which routes each cell's simulation through the sharded
+// execution path (see internal/sim.Sharded): any shard count produces
+// the same bytes as the serial kernel.
 package main
 
 import (
@@ -46,6 +49,7 @@ func main() {
 		faultWin   = flag.Duration("faultwindow", 200*time.Microsecond, "mean fault-window duration for -faults")
 		faultLoss  = flag.Float64("faultloss", 0, "remote-response loss rate override in [0,1] for the observed run")
 		check      = flag.Bool("check", false, "run with runtime invariant checking (same results; violations fail the run)")
+		shards     = flag.Int("shards", 0, "intra-run shard count for the sharded execution path (0/1 = serial kernel); results are identical at any value")
 	)
 	flag.Parse()
 
@@ -60,6 +64,9 @@ func main() {
 	if *n <= 0 {
 		fatalf("-n must be positive, got %d", *n)
 	}
+	if *shards < 0 {
+		fatalf("-shards must be non-negative, got %d", *shards)
+	}
 	if *exp != "" && *exp != "all" {
 		if _, ok := experiments.Registry[*exp]; !ok {
 			fmt.Fprintf(os.Stderr, "unknown experiment %s\ntry -list\n", *exp)
@@ -68,7 +75,7 @@ func main() {
 	}
 
 	if *tracePath != "" || *reportPath != "" {
-		if err := observedRun(*tracePath, *reportPath, *seed, *n, *quick, *faultRate, *faultWin, *faultLoss, *check); err != nil {
+		if err := observedRun(*tracePath, *reportPath, *seed, *n, *quick, *faultRate, *faultWin, *faultLoss, *check, *shards); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -88,7 +95,7 @@ func main() {
 		return
 	}
 
-	opts := experiments.Options{Requests: *n, Seed: *seed, Quick: *quick, Parallelism: *parallel, Check: *check}
+	opts := experiments.Options{Requests: *n, Seed: *seed, Quick: *quick, Parallelism: *parallel, Check: *check, Shards: *shards}
 	ids := []string{*exp}
 	if *exp == "all" {
 		ids = experiments.IDs()
@@ -141,7 +148,7 @@ func fatalf(format string, args ...interface{}) {
 // The spec comes from workload.BuildObserved — the same builder the
 // accelsimd daemon uses — so a job submitted over HTTP with the same
 // parameters yields byte-identical artifacts.
-func observedRun(tracePath, reportPath string, seed int64, n int, quick bool, faultRate float64, faultWin time.Duration, faultLoss float64, check bool) error {
+func observedRun(tracePath, reportPath string, seed int64, n int, quick bool, faultRate float64, faultWin time.Duration, faultLoss float64, check bool, shards int) error {
 	spec, sink, err := workload.BuildObserved(workload.ObservedParams{
 		Seed:        seed,
 		Requests:    n,
@@ -150,6 +157,7 @@ func observedRun(tracePath, reportPath string, seed int64, n int, quick bool, fa
 		FaultWindow: sim.FromNanos(float64(faultWin.Nanoseconds())),
 		FaultLoss:   faultLoss,
 		Check:       check,
+		Shards:      shards,
 	})
 	if err != nil {
 		return err

@@ -28,10 +28,13 @@ import (
 )
 
 // defaultBench is the curated subset: the two single-run pairs that
-// guard the nil-observer/nil-checker fast paths, the serial sweep, and
-// the end-to-end serving round trip. Small enough to run on every CI
-// push, load-bearing enough to anchor every speed claim.
-const defaultBench = "^(BenchmarkRunObsDisabled|BenchmarkRunObsEnabled|BenchmarkRunCheckDisabled|BenchmarkSweepSerial|BenchmarkServeSubmitQuick)$"
+// guard the nil-observer/nil-checker fast paths, the serial sweep, the
+// sharded fleet scaling curve, and the end-to-end serving round trip.
+// Small enough to run on every CI push, load-bearing enough to anchor
+// every speed claim. BenchmarkRunSharded expands to one snapshot entry
+// per shard count (RunSharded/shards=N), so the trajectory records the
+// whole scaling curve, not one point.
+const defaultBench = "^(BenchmarkRunObsDisabled|BenchmarkRunObsEnabled|BenchmarkRunCheckDisabled|BenchmarkRunSharded|BenchmarkSweepSerial|BenchmarkServeSubmitQuick)$"
 
 func main() {
 	var (

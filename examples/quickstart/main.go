@@ -39,7 +39,7 @@ func main() {
 	// 3. Build an AccelFlow server (Table III parameters) and submit
 	// one request whose payload is compressed, and one that is not.
 	k := sim.NewKernel()
-	eng, err := engine.New(k, config.Default(), engine.AccelFlow(), engine.WithSeed(42))
+	eng, err := engine.New(k, config.Default(), engine.AccelFlow(), engine.Params{Seed: 42})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -43,7 +43,7 @@ func TestQueueMemoryIsPaper2_4MB(t *testing.T) {
 func runFor(t *testing.T, pol engine.Policy) (*engine.Engine, sim.Time, uint64) {
 	t.Helper()
 	k := sim.NewKernel()
-	e, err := engine.New(k, config.Default(), pol, engine.WithSeed(5))
+	e, err := engine.New(k, config.Default(), pol, engine.Params{Seed: 5})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -48,7 +48,7 @@ type Engine struct {
 	RemoteTails map[string]RemoteKind
 
 	// Obs records per-request spans and segments when attached via
-	// WithObserver; nil disables recording (all obs calls no-op).
+	// Params.Obs; nil disables recording (all obs calls no-op).
 	Obs *obs.Sink
 
 	// Faults is the attached injector (nil when injection is off).
@@ -78,17 +78,14 @@ type Engine struct {
 
 // New builds an engine for the given config and policy. Programs must
 // be registered on the returned engine's ATM before submitting jobs.
-// Behavior beyond the required arguments — RNG seed, observability —
-// is configured with Options (WithSeed, WithObserver).
-func New(k *sim.Kernel, cfg *config.Config, pol Policy, opts ...Option) (*Engine, error) {
+// Behavior beyond the required arguments — RNG seed, observability,
+// fault injection, invariant checking — is configured with Params
+// (the zero value is valid).
+func New(k *sim.Kernel, cfg *config.Config, pol Policy, p Params) (*Engine, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	o := defaultOptions()
-	for _, opt := range opts {
-		opt(&o)
-	}
-	rng := sim.NewRNG(o.seed)
+	rng := sim.NewRNG(p.Seed)
 	e := &Engine{
 		K: k, Cfg: cfg, Pol: pol,
 		Net:          noc.NewNetwork(k, cfg),
@@ -114,7 +111,7 @@ func New(k *sim.Kernel, cfg *config.Config, pol Policy, opts ...Option) (*Engine
 		a := accel.New(k, cfg, kd, e.Place.AccelNode(kd), rng.Fork(int64(kd)+100), disc)
 		e.Accels[kd] = a
 	}
-	e.Obs = o.obs
+	e.Obs = p.Obs
 	e.Obs.SetClock(k)
 	if e.Obs != nil {
 		// Event-granular ATM visibility: every continuation-trace read
@@ -125,11 +122,11 @@ func New(k *sim.Kernel, cfg *config.Config, pol Policy, opts ...Option) (*Engine
 			sink.Sample("atm.reads", k.Now(), float64(atmRef.Reads))
 		}
 	}
-	if o.faults != nil {
-		if err := o.faults.Spec.Validate(); err != nil {
+	if p.Faults != nil {
+		if err := p.Faults.Spec.Validate(); err != nil {
 			return nil, err
 		}
-		o.faults.Attach(k, fault.Targets{
+		p.Faults.Attach(k, fault.Targets{
 			Accels:  e.Accels,
 			DMA:     e.DMA,
 			Manager: e.Manager,
@@ -137,16 +134,20 @@ func New(k *sim.Kernel, cfg *config.Config, pol Policy, opts ...Option) (*Engine
 			Net:     e.Net,
 			Sink:    e.Obs,
 		})
-		if lr := o.faults.Spec.RemoteLossRate; lr > 0 {
+		if lr := p.Faults.Spec.RemoteLossRate; lr > 0 {
 			e.lossRate = lr
 		}
-		e.Faults = o.faults
+		e.Faults = p.Faults
 	}
-	if o.check != nil {
-		e.Check = o.check
+	if p.Check != nil {
+		e.Check = p.Check
 		// The kernel hook is only installed when checking is on, so the
 		// disabled hot loop pays a single nil comparison per event.
-		k.OnEvent = e.Check.Event
+		// Layered through the hooks getter so knobs the caller already
+		// installed (e.g. a MaxEvents tripwire) survive.
+		h := k.Hooks()
+		h.OnEvent = e.Check.Event
+		k.SetHooks(h)
 	}
 	return e, nil
 }

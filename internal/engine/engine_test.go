@@ -43,7 +43,7 @@ func buildTestPrograms() []*trace.Program {
 func testEngine(t *testing.T, cfg *config.Config, pol Policy) *Engine {
 	t.Helper()
 	k := sim.NewKernel()
-	e, err := New(k, cfg, pol, WithSeed(7))
+	e, err := New(k, cfg, pol, Params{Seed: 7})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -378,7 +378,7 @@ func TestUnregisteredTracePanics(t *testing.T) {
 func TestInvalidConfigRejected(t *testing.T) {
 	cfg := config.Default()
 	cfg.Cores = 0
-	if _, err := New(sim.NewKernel(), cfg, AccelFlow()); err == nil {
+	if _, err := New(sim.NewKernel(), cfg, AccelFlow(), Params{}); err == nil {
 		t.Error("invalid config accepted")
 	}
 }

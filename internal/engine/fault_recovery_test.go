@@ -11,11 +11,15 @@ import (
 )
 
 // faultEngine builds the standard test catalog with a fault injector.
-func faultEngine(t *testing.T, cfg *config.Config, pol Policy, spec fault.Spec, extra ...Option) *Engine {
+// mod, when non-nil, adjusts the assembled Params before New.
+func faultEngine(t *testing.T, cfg *config.Config, pol Policy, spec fault.Spec, mod func(*Params)) *Engine {
 	t.Helper()
 	k := sim.NewKernel()
-	opts := append([]Option{WithSeed(7), WithFaults(fault.New(spec, sim.DeriveSeed(7, "faults")))}, extra...)
-	e, err := New(k, cfg, pol, opts...)
+	p := Params{Seed: 7, Faults: fault.New(spec, sim.DeriveSeed(7, "faults"))}
+	if mod != nil {
+		mod(&p)
+	}
+	e, err := New(k, cfg, pol, p)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -28,7 +32,7 @@ func faultEngine(t *testing.T, cfg *config.Config, pol Policy, spec fault.Spec, 
 func TestTimeoutRearmRetriesBeforeGivingUp(t *testing.T) {
 	cfg := config.Default()
 	cfg.TimeoutRearms = 2
-	e := faultEngine(t, cfg, AccelFlow(), fault.Spec{RemoteLossRate: 1})
+	e := faultEngine(t, cfg, AccelFlow(), fault.Spec{RemoteLossRate: 1}, nil)
 	var got *Result
 	e.Submit(simpleJob(Step{Kind: StepChain, Trace: "send"}), func(r Result) { got = &r })
 	e.K.Run()
@@ -129,7 +133,7 @@ func TestInjectedFaultWindowsStillCompleteAllRequests(t *testing.T) {
 		ATMStall:      500 * sim.Nanosecond,
 		NoCInflate:    4,
 	}
-	e := faultEngine(t, cfg, AccelFlow(), spec)
+	e := faultEngine(t, cfg, AccelFlow(), spec, nil)
 	done := 0
 	const n = 200
 	for i := 0; i < n; i++ {
@@ -149,8 +153,8 @@ func TestInjectedFaultWindowsStillCompleteAllRequests(t *testing.T) {
 
 func TestInvalidFaultSpecRejected(t *testing.T) {
 	k := sim.NewKernel()
-	_, err := New(k, config.Default(), AccelFlow(), WithSeed(1),
-		WithFaults(fault.New(fault.Spec{Rate: -5}, 1)))
+	_, err := New(k, config.Default(), AccelFlow(),
+		Params{Seed: 1, Faults: fault.New(fault.Spec{Rate: -5}, 1)})
 	if err == nil {
 		t.Fatal("engine accepted an invalid fault spec")
 	}
@@ -175,7 +179,8 @@ func TestSegmentsTileUnderTimeoutAndRejection(t *testing.T) {
 	// Half the responses are lost: armed tails both time out (lost,
 	// slot held) and get rejected (concurrent chains hold the single
 	// input-queue slot when the tail arms).
-	e := faultEngine(t, cfg, AccelFlow(), fault.Spec{RemoteLossRate: 0.5}, WithObserver(sink))
+	e := faultEngine(t, cfg, AccelFlow(), fault.Spec{RemoteLossRate: 0.5},
+		func(p *Params) { p.Obs = sink })
 	done := 0
 	const n = 40
 	for i := 0; i < n; i++ {

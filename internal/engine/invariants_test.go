@@ -24,8 +24,8 @@ func TestPropertyRequestConservation(t *testing.T) {
 			cfg.OverflowEntries = 1
 		}
 		k := sim.NewKernel()
-		k.MaxEvents = 20_000_000
-		e, err := New(k, cfg, pol, WithSeed(11))
+		k.SetHooks(sim.Hooks{MaxEvents: 20_000_000})
+		e, err := New(k, cfg, pol, Params{Seed: 11})
 		if err != nil {
 			return false
 		}
@@ -61,7 +61,7 @@ func TestPropertyRequestConservation(t *testing.T) {
 func TestIdealNeverSlowerUnderLoad(t *testing.T) {
 	p99 := func(pol Policy) sim.Time {
 		k := sim.NewKernel()
-		e, err := New(k, config.Default(), pol, WithSeed(13))
+		e, err := New(k, config.Default(), pol, Params{Seed: 13})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -98,7 +98,7 @@ func TestTenantIsolationUnderContention(t *testing.T) {
 	cfg := config.Default()
 	cfg.TenantTraceLimit = 2
 	k := sim.NewKernel()
-	e, err := New(k, cfg, AccelFlow(), WithSeed(17))
+	e, err := New(k, cfg, AccelFlow(), Params{Seed: 17})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -24,7 +24,7 @@ func TestSpanSegmentsTileRequestLatency(t *testing.T) {
 	cfg.TLBHitRate = 1
 	sink := obs.New()
 	k := sim.NewKernel()
-	e, err := New(k, cfg, AccelFlow(), WithSeed(5), WithObserver(sink))
+	e, err := New(k, cfg, AccelFlow(), Params{Seed: 5, Obs: sink})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -114,7 +114,7 @@ func TestObserverDoesNotPerturbResults(t *testing.T) {
 			Seq(config.TCP, config.Decr, config.RPC).
 			MustBuild()
 		k := sim.NewKernel()
-		e, err := New(k, config.Default(), AccelFlow(), WithSeed(9), WithObserver(sink))
+		e, err := New(k, config.Default(), AccelFlow(), Params{Seed: 9, Obs: sink})
 		if err != nil {
 			t.Fatal(err)
 		}

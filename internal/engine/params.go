@@ -1,0 +1,41 @@
+package engine
+
+import (
+	"accelflow/internal/check"
+	"accelflow/internal/fault"
+	"accelflow/internal/obs"
+)
+
+// Params collects the engine's optional behavior in one documented
+// struct — the single options surface for engine assembly. It replaced
+// the accreted functional options (WithSeed/WithObserver/WithFaults/
+// WithChecker): workload.RunSpec is the user-facing spec, and its
+// RunCtx maps spec fields onto Params one-for-one, so there is exactly
+// one knob per behavior and no duplicate Seed/Observer/Check paths.
+// The zero value is valid: seed 0, no observability, no faults, no
+// checking.
+type Params struct {
+	// Seed seeds the engine's RNG (flag draws, payload sizes, remote
+	// waits, TLB streams). Used as-is; equal seeds give bit-identical
+	// runs.
+	Seed int64
+
+	// Obs, when non-nil, records a span per request / chain /
+	// accelerator entry with queue, dispatch, compute, DMA, NoC, and
+	// interrupt segments. A nil sink disables recording (all obs calls
+	// no-op).
+	Obs *obs.Sink
+
+	// Faults, when non-nil, is wired to the built accelerators, A-DMA
+	// pool, manager, ATM, and NoC, and its windows are scheduled on the
+	// kernel. An injector with Rate 0 attaches but schedules nothing,
+	// leaving results bit-identical to Faults == nil.
+	Faults *fault.Injector
+
+	// Check, when non-nil, hooks the runtime invariant checker into the
+	// kernel's per-event observer and the engine's request accounting;
+	// CheckEnd runs the per-resource end-of-run suite against it.
+	// Checker hooks only read state — they never touch RNG streams or
+	// schedule events — so an attached checker cannot change results.
+	Check *check.Checker
+}

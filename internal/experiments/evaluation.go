@@ -35,6 +35,7 @@ func Fig11Latency(o Options) (*Result, error) {
 			Key: "fig11/" + pol.Name,
 			Run: func(seed int64) (latencies, error) {
 				spec := &workload.RunSpec{
+					Shards:  o.Shards,
 					Config:  config.Default(),
 					Policy:  pol,
 					Sources: workload.Mix(svcs, 1.0, o.reqs()*len(svcs)),
@@ -145,6 +146,7 @@ func Fig12Loads(o Options) (*Result, error) {
 						})
 					}
 					spec := &workload.RunSpec{
+						Shards: o.Shards,
 						Config: config.Default(), Policy: pol,
 						Sources: sources, Seed: seed,
 						Check: o.newCheck(),
@@ -205,6 +207,7 @@ func Fig13Ablation(o Options) (*Result, error) {
 			Key: "fig13/" + pol.Name,
 			Run: func(seed int64) (map[string]float64, error) {
 				spec := &workload.RunSpec{
+					Shards:  o.Shards,
 					Config:  config.Default(),
 					Policy:  pol,
 					Sources: workload.Mix(svcs, 1.0, o.reqs()*len(svcs)),
@@ -406,6 +409,7 @@ func Fig15Coarse(o Options) (*Result, error) {
 					slo := sim.FromMicros(5 * um)
 					measure := func(rps float64) sim.Time {
 						spec := &workload.RunSpec{
+							Shards:   o.Shards,
 							Config:   cfg,
 							Policy:   pol,
 							Sources:  workload.SingleService(app, workload.Poisson{RPS: rps}, n),
@@ -453,6 +457,7 @@ func Fig15Coarse(o Options) (*Result, error) {
 
 func unloadedMeanCoarse(o Options, cfg *config.Config, pol engine.Policy, app *services.Service, seed int64) (float64, error) {
 	spec := &workload.RunSpec{
+		Shards:   o.Shards,
 		Config:   cfg,
 		Policy:   pol,
 		Sources:  workload.SingleService(app, workload.Poisson{RPS: 20}, 40),
@@ -495,6 +500,7 @@ func Fig16Serverless(o Options) (*Result, error) {
 			})
 		}
 		spec := &workload.RunSpec{
+			Shards: o.Shards,
 			Config: config.Default(), Policy: pol,
 			Sources: sources, Seed: o.Seed,
 			Check: o.newCheck(),
@@ -560,6 +566,7 @@ func GlueInstructions(o Options) (*Result, error) {
 	res := newResult("glue")
 	res.Linef("§VII-B.2 — output dispatcher glue instructions")
 	spec := &workload.RunSpec{
+		Shards:  o.Shards,
 		Config:  config.Default(),
 		Policy:  engine.AccelFlow(),
 		Sources: workload.Mix(services.SocialNetwork(), 0.3, o.reqs()),
@@ -593,6 +600,7 @@ func AccelUtilization(o Options) (*Result, error) {
 	res.Linef("§VII-B.4 — accelerator utilization near peak")
 	// Load the mix close to the AccelFlow saturation point.
 	spec := &workload.RunSpec{
+		Shards:  o.Shards,
 		Config:  config.Default(),
 		Policy:  engine.AccelFlow(),
 		Sources: workload.Mix(services.SocialNetwork(), 3.1, o.reqs()*2),
@@ -626,6 +634,7 @@ func EnergyReport(o Options) (*Result, error) {
 	var rows []row
 	for _, pol := range []engine.Policy{engine.NonAcc(), engine.RELIEF(), engine.AccelFlow()} {
 		spec := &workload.RunSpec{
+			Shards:  o.Shards,
 			Config:  config.Default(),
 			Policy:  pol,
 			Sources: workload.Mix(services.SocialNetwork(), 1.0, o.reqs()*2),
@@ -677,6 +686,7 @@ func HighOverheadEvents(o Options) (*Result, error) {
 		scale float64
 	}{{"production", 1.0}, {"peak", 3.0}} {
 		spec := &workload.RunSpec{
+			Shards:  o.Shards,
 			Config:  config.Default(),
 			Policy:  engine.AccelFlow(),
 			Sources: workload.Mix(services.SocialNetwork(), load.scale, o.reqs()*2),

@@ -49,6 +49,12 @@ type Options struct {
 	// but any violated invariant fails the cell with a structured
 	// error instead of reporting numbers from broken physics.
 	Check bool
+	// Shards routes every simulation through the sharded kernel
+	// coordinator (the accelsim -shards flag). A registry experiment
+	// simulates one server — one resource domain — so Shards never
+	// changes Values: sharded output is byte-identical to serial at
+	// any shard count (pinned by TestShardsDoNotChangeResults).
+	Shards int
 }
 
 // newCheck returns a fresh checker when checking is enabled, else nil.
@@ -196,6 +202,7 @@ func architectures() []engine.Policy {
 // see RunSpec.RunCtx) and whether to attach an invariant checker.
 func runOne(o Options, cfg *config.Config, pol engine.Policy, svc *services.Service, arr workload.Arrivals, n int, seed int64) (*workload.RunResult, error) {
 	spec := &workload.RunSpec{
+		Shards:  o.Shards,
 		Config:  cfg,
 		Policy:  pol,
 		Sources: workload.SingleService(svc, arr, n),

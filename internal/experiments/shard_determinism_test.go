@@ -1,0 +1,42 @@
+package experiments
+
+import "testing"
+
+// shardOpts mirrors detOpts but varies the intra-run shard knob
+// instead of the sweep-engine worker count.
+func shardOpts(shards int) Options {
+	return Options{Requests: 60, Seed: 7, Quick: true, Parallelism: 4, Shards: shards}
+}
+
+// TestShardsDoNotChangeResults pins the sharded kernel's core
+// contract at the experiment layer: every registry experiment
+// produces bit-identical Values (and identical report text) whether
+// its runs execute on the serial kernel (Shards 0) or through the
+// sharded execution path at shard counts 1, 2, 4, and 8.
+func TestShardsDoNotChangeResults(t *testing.T) {
+	for _, id := range convertedIDs {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			if testing.Short() && (id == "fig14" || id == "fig15") {
+				t.Skip("throughput search is slow")
+			}
+			serial, err := Registry[id](shardOpts(0))
+			if err != nil {
+				t.Fatalf("serial run: %v", err)
+			}
+			if len(serial.Values) == 0 {
+				t.Fatal("no values produced")
+			}
+			for _, shards := range []int{1, 2, 4, 8} {
+				sharded, err := Registry[id](shardOpts(shards))
+				if err != nil {
+					t.Fatalf("shards=%d run: %v", shards, err)
+				}
+				sameValues(t, id+" serial-vs-sharded", serial.Values, sharded.Values)
+				if serial.Text() != sharded.Text() {
+					t.Errorf("%s: report text differs between serial and shards=%d runs", id, shards)
+				}
+			}
+		})
+	}
+}

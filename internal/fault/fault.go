@@ -117,7 +117,7 @@ const (
 )
 
 // Injector owns one run's fault schedule. Build with New, hand to
-// engine.WithFaults (which calls Attach while assembling the server).
+// engine.Params.Faults (New calls Attach while assembling the server).
 type Injector struct {
 	Spec  Spec
 	Stats Stats

@@ -171,7 +171,7 @@ type Series struct {
 
 // Sink records one simulation run's spans and series. Create with New,
 // attach a clock with SetClock (the engine does this when built with
-// WithObserver), then export with WriteChromeTrace / WriteReport.
+// engine.Params.Obs), then export with WriteChromeTrace / WriteReport.
 //
 // A nil *Sink is valid everywhere and records nothing.
 type Sink struct {

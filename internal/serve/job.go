@@ -7,7 +7,7 @@
 //
 // Determinism contract: a job only carries the same parameters the CLI
 // accepts (experiment ID or observed-run knobs, request budget, seed,
-// quick, parallelism), and execution goes through exactly the same
+// quick, parallelism, shards), and execution goes through exactly the same
 // code paths — experiments.Registry runners over RunCells, or
 // workload.BuildObserved + RunSpec.Run. Values and artifact bytes
 // therefore depend only on the submitted parameters, never on the
@@ -63,6 +63,9 @@ type JobRequest struct {
 	Seed        int64 `json:"seed,omitempty"`
 	Quick       bool  `json:"quick,omitempty"`
 	Parallelism int   `json:"parallelism,omitempty"`
+	// Shards mirrors -shards: the intra-run shard count for the sharded
+	// execution path. Results are byte-identical at any value.
+	Shards int `json:"shards,omitempty"`
 	// Fault knobs, observed jobs only; they mirror -faults,
 	// -faultwindow (in microseconds) and -faultloss.
 	FaultRate     float64 `json:"faultRate,omitempty"`
@@ -104,6 +107,9 @@ func (r JobRequest) Validate() error {
 	if r.Parallelism < 0 {
 		return fmt.Errorf("serve: parallelism must be non-negative, got %d", r.Parallelism)
 	}
+	if r.Shards < 0 {
+		return fmt.Errorf("serve: shards must be non-negative, got %d", r.Shards)
+	}
 	return nil
 }
 
@@ -117,6 +123,7 @@ func (r JobRequest) observedParams() workload.ObservedParams {
 		FaultRate:   r.FaultRate,
 		FaultWindow: sim.FromMicros(r.FaultWindowUs),
 		FaultLoss:   r.FaultLoss,
+		Shards:      r.Shards,
 	}
 }
 
@@ -128,6 +135,7 @@ func (r JobRequest) options() experiments.Options {
 		Seed:        r.Seed,
 		Quick:       r.Quick,
 		Parallelism: r.Parallelism,
+		Shards:      r.Shards,
 	}
 }
 

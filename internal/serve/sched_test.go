@@ -33,14 +33,16 @@ func TestSubmitValidation(t *testing.T) {
 	defer s.Close()
 	for _, req := range []JobRequest{
 		{Type: "nope"},
-		{Type: JobExperiment},                                      // missing ID
-		{Type: JobExperiment, Experiment: "no-such-figure"},        // unknown ID
-		{Type: JobExperiment, Experiment: "fig11", Requests: -1},   // negative budget
-		{Type: JobExperiment, Experiment: "fig11", FaultRate: 2},   // faults on experiment
-		{Type: JobObserved, Experiment: "fig11"},                   // experiment on observed
-		{Type: JobObserved, FaultLoss: 1.5},                        // loss out of range
-		{Type: JobObserved, FaultRate: -1},                         // negative rate
+		{Type: JobExperiment}, // missing ID
+		{Type: JobExperiment, Experiment: "no-such-figure"},      // unknown ID
+		{Type: JobExperiment, Experiment: "fig11", Requests: -1}, // negative budget
+		{Type: JobExperiment, Experiment: "fig11", FaultRate: 2}, // faults on experiment
+		{Type: JobObserved, Experiment: "fig11"},                 // experiment on observed
+		{Type: JobObserved, FaultLoss: 1.5},                      // loss out of range
+		{Type: JobObserved, FaultRate: -1},                       // negative rate
 		{Type: JobExperiment, Experiment: "fig11", Parallelism: -2},
+		{Type: JobExperiment, Experiment: "fig11", Shards: -1}, // negative shard count
+		{Type: JobObserved, Shards: -4},                        // negative shard count
 	} {
 		if _, err := s.Submit(req); err == nil {
 			t.Errorf("Submit(%+v) accepted an invalid request", req)

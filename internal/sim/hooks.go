@@ -1,0 +1,84 @@
+package sim
+
+import "context"
+
+// Hooks is the kernel's single instrumentation surface. It replaces
+// the hook points that accreted on Kernel one field at a time — the
+// per-event observer, the runaway-event budget, the cancellation poll
+// cadence, and periodic samplers registered through Every — with one
+// value installed through one call (SetHooks), so the serial Kernel
+// and the Sharded coordinator implement one contract instead of each
+// re-plumbing four ad-hoc knobs.
+//
+// All hook callbacks must only read simulation state: a mutating hook
+// would change results, and determinism (serial == sharded, byte for
+// byte) depends on hooks being pure observers.
+type Hooks struct {
+	// OnEvent, when non-nil, observes every executed event's timestamp
+	// just before its callback runs (the invariant checker uses it to
+	// verify event-time monotonicity). Install it before the run
+	// starts: the run loop selects a hook-free tight path up front when
+	// OnEvent is nil and MaxEvents is 0, so a hook installed mid-run
+	// from inside an event callback is not guaranteed to be seen.
+	OnEvent func(at Time)
+
+	// MaxEvents aborts the run (panics) when the processed-event count
+	// exceeds it; 0 means unlimited. Used as a runaway-loop tripwire.
+	MaxEvents uint64
+
+	// CheckEvery is the cooperative-cancellation poll cadence: RunCtx
+	// checks ctx.Err() every CheckEvery executed events. <= 0 selects
+	// the default of 4096.
+	CheckEvery uint64
+
+	// Periodic samplers armed when the hooks are installed. Each is
+	// scheduled through the kernel's self-terminating tick (see
+	// Kernel.Every): the tick reschedules itself only while other
+	// events are pending, so a sampler cannot keep a finished
+	// simulation alive. Entries arm in slice order, which fixes their
+	// event-sequence positions and keeps runs deterministic.
+	Periodic []Periodic
+}
+
+// Periodic is one repeating sampler in Hooks.
+type Periodic struct {
+	Every Time
+	Fn    func()
+}
+
+// defaultCheckEvery is the cancellation poll cadence when
+// Hooks.CheckEvery is unset.
+const defaultCheckEvery = 4096
+
+// Runner is the contract shared by the serial Kernel and the Sharded
+// coordinator: install instrumentation once, run to completion (or
+// cancellation), read the clock and the processed-event count. Code
+// that drives a simulation against Runner works identically — byte for
+// byte — over either implementation.
+type Runner interface {
+	// SetHooks installs the full instrumentation surface, replacing
+	// any previously installed hooks, and arms Periodic entries at the
+	// current point in the schedule. Call it before the run starts.
+	SetHooks(h Hooks)
+
+	// RunCtx executes events until none remain or ctx is cancelled
+	// (returning ctx's error in the latter case, nil when drained).
+	RunCtx(ctx context.Context) error
+
+	// Now returns the current simulated time: for a sharded run, the
+	// maximum across domains (the fleet-wide clock at quiescence).
+	Now() Time
+
+	// Processed returns the number of executed events, summed across
+	// domains for a sharded run.
+	Processed() uint64
+
+	// Pending reports queued events not yet executed, summed across
+	// domains plus undelivered cross-domain mail for a sharded run.
+	Pending() int
+}
+
+var (
+	_ Runner = (*Kernel)(nil)
+	_ Runner = (*Sharded)(nil)
+)

@@ -65,23 +65,27 @@ type event struct {
 }
 
 // Kernel is the event loop. It is not safe for concurrent use: a
-// simulation is a single-threaded, deterministic program.
+// simulation is a single-threaded, deterministic program. (A Sharded
+// coordinator runs one Kernel per domain, each still single-threaded;
+// see shard.go.)
 type Kernel struct {
-	now    Time
-	seq    uint64
-	events eventQueue
-	// Processed counts executed events, useful for run-away detection.
-	Processed uint64
-	// MaxEvents aborts the run when exceeded (0 = unlimited).
-	MaxEvents uint64
-	// OnEvent, when non-nil, observes every executed event's timestamp
-	// just before its callback runs. It must only read simulation state
-	// (the invariant checker uses it to verify event-time monotonicity);
-	// a mutating hook would break run determinism. Install it before
-	// the run starts: RunCtx selects a hook-free tight loop up front
-	// when no observer or checker is attached, so a hook set mid-run
-	// from inside an event callback is not guaranteed to be seen.
-	OnEvent func(at Time)
+	now       Time
+	seq       uint64
+	events    eventQueue
+	processed uint64
+
+	// hooks is the installed instrumentation surface (SetHooks).
+	hooks Hooks
+
+	// shard/domain backlink when this kernel is one domain of a
+	// Sharded coordinator; shard is nil for a standalone kernel.
+	shard  *Sharded
+	domain int
+
+	// ctxBatch counts events since the last cancellation poll. It
+	// persists across runEpoch calls so a sharded run polls ctx at the
+	// same amortized cadence as a serial one.
+	ctxBatch uint64
 }
 
 // NewKernel returns an empty kernel at time zero.
@@ -89,6 +93,37 @@ func NewKernel() *Kernel { return &Kernel{} }
 
 // Now returns the current simulated time.
 func (k *Kernel) Now() Time { return k.now }
+
+// Processed returns the number of executed events.
+func (k *Kernel) Processed() uint64 { return k.processed }
+
+// SetHooks installs the kernel's instrumentation (see Hooks). The
+// value knobs (OnEvent, MaxEvents, CheckEvery) replace any previously
+// installed ones; Periodic entries are armed immediately in slice
+// order — at the current point in the schedule — and are not retained
+// (Hooks never returns them), so the compose-modify-reinstall pattern
+//
+//	h := k.Hooks(); h.Periodic = [...]; k.SetHooks(h)
+//
+// layers new samplers on top of existing knobs without double-arming.
+// Install before the run starts; the run loop commits to a hook-free
+// fast path up front when OnEvent is nil and MaxEvents is 0.
+func (k *Kernel) SetHooks(h Hooks) {
+	for _, p := range h.Periodic {
+		k.Every(p.Every, p.Fn)
+	}
+	h.Periodic = nil
+	k.hooks = h
+}
+
+// Hooks returns the retained instrumentation knobs (Periodic entries
+// are consumed by SetHooks and never returned). Use it to layer
+// additional hooks over ones another component installed.
+func (k *Kernel) Hooks() Hooks { return k.hooks }
+
+// Domain returns this kernel's domain index within its Sharded
+// coordinator (0 for a standalone kernel).
+func (k *Kernel) Domain() int { return k.domain }
 
 // At schedules fn to run at absolute time t. Scheduling in the past
 // panics: it indicates a modeling bug rather than a recoverable error.
@@ -121,12 +156,12 @@ func (k *Kernel) RunUntil(deadline Time) {
 		}
 		e := k.events.pop()
 		k.now = e.at
-		k.Processed++
-		if k.MaxEvents > 0 && k.Processed > k.MaxEvents {
-			panic("sim: MaxEvents exceeded; likely an event loop")
+		k.processed++
+		if k.hooks.MaxEvents > 0 && k.processed > k.hooks.MaxEvents {
+			panic("sim: Hooks.MaxEvents exceeded; likely an event loop")
 		}
-		if k.OnEvent != nil {
-			k.OnEvent(e.at)
+		if k.hooks.OnEvent != nil {
+			k.hooks.OnEvent(e.at)
 		}
 		e.fn()
 	}
@@ -136,28 +171,29 @@ func (k *Kernel) RunUntil(deadline Time) {
 // and returns ctx's error in the latter case (nil when the heap
 // drained). Cancellation is cooperative: ctx is polled once up front —
 // an already-cancelled context runs zero events — and then every
-// checkEvery executed events (<= 0 means the default of 4096), so the
-// hot loop pays one cheap Err() call per batch. Events are never
-// interrupted mid-callback; the kernel always stops on an event
-// boundary, leaving the remaining events queued. A simulation
-// abandoned this way is in a consistent but incomplete state — callers
-// discard it rather than reading partial metrics.
-func (k *Kernel) RunCtx(ctx context.Context, checkEvery uint64) error {
+// Hooks.CheckEvery executed events (default 4096), so the hot loop
+// pays one cheap Err() call per batch. Events are never interrupted
+// mid-callback; the kernel always stops on an event boundary, leaving
+// the remaining events queued. A simulation abandoned this way is in a
+// consistent but incomplete state — callers discard it rather than
+// reading partial metrics.
+func (k *Kernel) RunCtx(ctx context.Context) error {
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	checkEvery := k.hooks.CheckEvery
 	if checkEvery <= 0 {
-		checkEvery = 4096
+		checkEvery = defaultCheckEvery
 	}
 	if err := ctx.Err(); err != nil {
 		return err
 	}
 	var batch uint64
-	if k.OnEvent == nil && k.MaxEvents == 0 {
+	if k.hooks.OnEvent == nil && k.hooks.MaxEvents == 0 {
 		// Fast path: no observer/checker hook and no event budget. The
 		// per-event hook and budget branches are hoisted out of the hot
 		// loop entirely (the hook choice is made once, up front — see
-		// the OnEvent doc comment).
+		// the Hooks.OnEvent doc comment).
 		for k.events.Len() > 0 {
 			if batch++; batch >= checkEvery {
 				batch = 0
@@ -167,7 +203,7 @@ func (k *Kernel) RunCtx(ctx context.Context, checkEvery uint64) error {
 			}
 			e := k.events.pop()
 			k.now = e.at
-			k.Processed++
+			k.processed++
 			e.fn()
 		}
 		return nil
@@ -181,12 +217,44 @@ func (k *Kernel) RunCtx(ctx context.Context, checkEvery uint64) error {
 		}
 		e := k.events.pop()
 		k.now = e.at
-		k.Processed++
-		if k.MaxEvents > 0 && k.Processed > k.MaxEvents {
-			panic("sim: MaxEvents exceeded; likely an event loop")
+		k.processed++
+		if k.hooks.MaxEvents > 0 && k.processed > k.hooks.MaxEvents {
+			panic("sim: Hooks.MaxEvents exceeded; likely an event loop")
 		}
-		if k.OnEvent != nil {
-			k.OnEvent(e.at)
+		if k.hooks.OnEvent != nil {
+			k.hooks.OnEvent(e.at)
+		}
+		e.fn()
+	}
+	return nil
+}
+
+// runEpoch executes events with timestamps strictly below horizon and
+// advances the cancellation-poll batch counter across calls. It is the
+// per-domain unit of work between two Sharded epoch barriers; the
+// strict bound means an event scheduled exactly at the horizon belongs
+// to the next epoch, matching the conservative send rule (Send
+// requires at >= horizon, so mail can never land inside the epoch that
+// produced it).
+func (k *Kernel) runEpoch(ctx context.Context, horizon Time, checkEvery uint64) error {
+	hookFree := k.hooks.OnEvent == nil && k.hooks.MaxEvents == 0
+	for k.events.Len() > 0 && k.events.minAt() < horizon {
+		if k.ctxBatch++; k.ctxBatch >= checkEvery {
+			k.ctxBatch = 0
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
+		e := k.events.pop()
+		k.now = e.at
+		k.processed++
+		if !hookFree {
+			if k.hooks.MaxEvents > 0 && k.processed > k.hooks.MaxEvents {
+				panic("sim: Hooks.MaxEvents exceeded; likely an event loop")
+			}
+			if k.hooks.OnEvent != nil {
+				k.hooks.OnEvent(e.at)
+			}
 		}
 		e.fn()
 	}
@@ -216,3 +284,23 @@ func (k *Kernel) Every(d Time, fn func()) {
 
 // Pending reports the number of queued events.
 func (k *Kernel) Pending() int { return k.events.Len() }
+
+// Send schedules fn at absolute time t on domain to of this kernel's
+// Sharded coordinator. Sends to the kernel's own domain are ordinary
+// local At scheduling (any future time). Cross-domain sends go through
+// the coordinator's mailbox and are delivered at the next epoch
+// barrier; the conservative rule t >= current epoch horizon must hold
+// (i.e. the model's cross-domain latency must be at least the
+// coordinator's lookahead) or Send panics — a violation means the
+// barrier sizing is wrong and determinism would be lost. On a
+// standalone kernel (no coordinator) only to == 0 is valid.
+func (k *Kernel) Send(to int, t Time, fn func()) {
+	if k.shard == nil || to == k.domain {
+		if k.shard == nil && to != 0 {
+			panic(fmt.Sprintf("sim: Send to domain %d on a standalone kernel", to))
+		}
+		k.At(t, fn)
+		return
+	}
+	k.shard.post(k.domain, to, t, fn)
+}

@@ -127,7 +127,7 @@ func TestKernelNegativeDelayPanics(t *testing.T) {
 
 func TestKernelMaxEvents(t *testing.T) {
 	k := NewKernel()
-	k.MaxEvents = 10
+	k.SetHooks(Hooks{MaxEvents: 10})
 	var loop func()
 	loop = func() { k.After(Nanosecond, loop) }
 	k.After(Nanosecond, loop)

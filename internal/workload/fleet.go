@@ -1,0 +1,309 @@
+package workload
+
+import (
+	"context"
+	"fmt"
+
+	"accelflow/internal/check"
+	"accelflow/internal/config"
+	"accelflow/internal/engine"
+	"accelflow/internal/fault"
+	"accelflow/internal/metrics"
+	"accelflow/internal/services"
+	"accelflow/internal/sim"
+	"accelflow/internal/trace"
+)
+
+// FleetSpec describes a multi-server run: an ingress load balancer in
+// front of Replicas identical AccelFlow servers, each server its own
+// resource domain on a sharded kernel (sim.Sharded). This is where
+// intra-run parallelism is real: a single server is one indivisible
+// domain (every component shares engine state), but a fleet's servers
+// only interact through the balancer, and the balancer-to-server
+// forwarding latency — microseconds of modeled network — is orders of
+// magnitude above the epoch floor, so domains run concurrently with
+// barriers that stay off the critical path.
+//
+// Determinism: results are byte-identical at every Shards value
+// because the sharded coordinator's execution is worker-count
+// invariant (see sim.Sharded) and the merge below walks replicas in
+// index order.
+type FleetSpec struct {
+	Config  *config.Config
+	Policy  engine.Policy
+	Sources []Source
+	// Seed seeds the arrival streams and derives each replica engine's
+	// seed (DeriveSeed(Seed, "replica/<i>")) and each replica fault
+	// injector's seed (DeriveSeed(Seed, "faults/replica/<i>")).
+	Seed     int64
+	Replicas int
+	// Shards is the execution worker count for the sharded kernel:
+	// <= 0 means one worker per domain (ingress + replicas), 1 forces
+	// the serial reference execution. Never changes results.
+	Shards int
+	// Balance selects the ingress policy: "rr" (default) round-robins;
+	// "least" routes to the replica with the fewest outstanding
+	// requests as observed at the ingress — completions report back
+	// over the same forwarding latency, so the view is delayed exactly
+	// like a real out-of-band health channel.
+	Balance string
+	// Forward is the one-way ingress->replica forwarding latency and
+	// the sharded kernel's lookahead; 0 defaults to Config.RemoteRTT/2
+	// (the one-way peer network latency).
+	Forward sim.Time
+	// Programs/Remote override the service catalog (nil = defaults).
+	Programs []*trace.Program
+	Remote   map[string]engine.RemoteKind
+	// Faults, when non-nil, attaches an independently seeded injector
+	// to every replica.
+	Faults *fault.Spec
+	// Check attaches a runtime invariant checker to every replica and
+	// runs the end-of-run suite per replica after the fleet drains.
+	Check bool
+}
+
+// FleetResult aggregates a finished fleet run.
+type FleetResult struct {
+	// Merged combines all replicas in replica-index order: recorders
+	// merged, counters summed. Merged.Engine is nil — per-engine state
+	// lives in Replicas.
+	Merged *RunResult
+	// Replicas holds each server's own result (Engine populated).
+	Replicas []*RunResult
+	// Routed counts requests the balancer sent to each replica.
+	Routed []uint64
+	// Events is the total executed event count across all domains;
+	// Epochs and Mail are the coordinator's barrier statistics.
+	Events uint64
+	Epochs uint64
+	Mail   uint64
+}
+
+// Run drives the fleet to completion.
+func (s *FleetSpec) Run() (*FleetResult, error) {
+	return s.RunCtx(context.Background())
+}
+
+// RunCtx is Run with cooperative cancellation, mirroring
+// RunSpec.RunCtx: a cancelled run returns no result.
+func (s *FleetSpec) RunCtx(ctx context.Context) (*FleetResult, error) {
+	if s.Replicas < 1 {
+		return nil, fmt.Errorf("workload: fleet needs at least one replica, got %d", s.Replicas)
+	}
+	switch s.Balance {
+	case "", "rr", "least":
+	default:
+		return nil, fmt.Errorf("workload: unknown balance policy %q (want rr or least)", s.Balance)
+	}
+	forward := s.Forward
+	if forward <= 0 {
+		forward = s.Config.RemoteRTT / 2
+	}
+	if forward <= 0 {
+		return nil, fmt.Errorf("workload: fleet forwarding latency must be positive, got %v", forward)
+	}
+
+	nd := 1 + s.Replicas // domain 0 = ingress, 1..R = servers
+	sk := sim.NewSharded(nd, forward, s.Shards)
+
+	programs := s.Programs
+	if programs == nil {
+		programs = services.Catalog()
+	}
+	remote := s.Remote
+	if remote == nil {
+		remote = services.RemoteTails()
+	}
+
+	out := &FleetResult{
+		Replicas: make([]*RunResult, s.Replicas),
+		Routed:   make([]uint64, s.Replicas),
+	}
+	engines := make([]*engine.Engine, s.Replicas)
+	checkers := make([]*check.Checker, s.Replicas)
+	for i := 0; i < s.Replicas; i++ {
+		k := sk.Domain(1 + i)
+		p := engine.Params{Seed: sim.DeriveSeed(s.Seed, fmt.Sprintf("replica/%d", i))}
+		if s.Faults != nil {
+			p.Faults = fault.New(*s.Faults,
+				sim.DeriveSeed(s.Seed, fmt.Sprintf("faults/replica/%d", i)))
+		}
+		if s.Check {
+			checkers[i] = check.New()
+			p.Check = checkers[i]
+		}
+		e, err := engine.New(k, s.Config, s.Policy, p)
+		if err != nil {
+			return nil, err
+		}
+		if err := e.Register(programs, remote); err != nil {
+			return nil, err
+		}
+		engines[i] = e
+		out.Replicas[i] = &RunResult{
+			PerService: map[string]*metrics.Recorder{},
+			All:        metrics.NewRecorder(s.Policy.Name),
+			Net:        metrics.NewRecorder(s.Policy.Name + "/net"),
+			Engine:     e,
+		}
+	}
+
+	lb := newBalancer(s.Balance, s.Replicas)
+	rng := sim.NewRNG(s.Seed ^ 0x5eed)
+	total := 0
+	for si, src := range s.Sources {
+		if src.Requests <= 0 {
+			return nil, fmt.Errorf("workload: source %d has no request budget", si)
+		}
+		total += src.Requests
+		for i := range out.Replicas {
+			if out.Replicas[i].PerService[src.Service.Name] == nil {
+				out.Replicas[i].PerService[src.Service.Name] = metrics.NewRecorder(src.Service.Name)
+			}
+		}
+		srcRNG := rng.Fork(int64(si) + 1)
+		scheduleFleetSource(sk, src, srcRNG, lb, engines, out, forward)
+	}
+	if total == 0 {
+		return nil, fmt.Errorf("workload: no requests to run")
+	}
+
+	if err := sk.RunCtx(ctx); err != nil {
+		return nil, fmt.Errorf("workload: fleet run interrupted: %w", err)
+	}
+
+	// Merge in replica-index order — the only order-sensitive step of
+	// result assembly, fixed independent of worker scheduling.
+	merged := &RunResult{
+		PerService: map[string]*metrics.Recorder{},
+		All:        metrics.NewRecorder(s.Policy.Name),
+		Net:        metrics.NewRecorder(s.Policy.Name + "/net"),
+		Elapsed:    sk.Now(),
+	}
+	for _, rr := range out.Replicas {
+		merged.All.Merge(rr.All)
+		merged.Net.Merge(rr.Net)
+		for name, rec := range rr.PerService {
+			if merged.PerService[name] == nil {
+				merged.PerService[name] = metrics.NewRecorder(name)
+			}
+			merged.PerService[name].Merge(rec)
+		}
+		merged.Completed += rr.Completed
+		merged.TimedOut += rr.TimedOut
+		merged.FellBack += rr.FellBack
+		merged.AccelCount += rr.AccelCount
+		addBreakdown(&merged.Breakdown, rr.Breakdown)
+	}
+	out.Merged = merged
+	out.Events = sk.Processed()
+	out.Epochs = sk.Stats.Epochs
+	out.Mail = sk.Stats.Delivered
+
+	if uint64(total) != merged.Completed {
+		return out, fmt.Errorf("workload: fleet lost requests: %d submitted, %d completed",
+			total, merged.Completed)
+	}
+	if s.Check {
+		for i, chk := range checkers {
+			rr := out.Replicas[i]
+			chk.CheckConservation(sk.Domain(1+i).Now(), rr.Completed, rr.TimedOut, rr.FellBack)
+			engines[i].CheckEnd(chk)
+			if err := chk.Err(); err != nil {
+				return out, fmt.Errorf("workload: replica %d invariant check failed: %w", i, err)
+			}
+		}
+	}
+	return out, nil
+}
+
+// scheduleFleetSource pre-schedules one source's arrivals on the
+// ingress domain. Each arrival picks a replica, then forwards the job
+// across domains with the modeled one-way latency; the completion
+// callback runs on the replica's domain and owns that replica's
+// recorders (domain confinement keeps the merge deterministic and the
+// run race-free).
+func scheduleFleetSource(sk *sim.Sharded, src Source, rng *sim.RNG, lb *balancer, engines []*engine.Engine, out *FleetResult, forward sim.Time) {
+	ing := sk.Domain(0)
+	t := sim.Time(0)
+	for i := 0; i < src.Requests; i++ {
+		t += src.Arrivals.Next(rng)
+		at := t
+		ing.At(at, func() {
+			ri := lb.pick()
+			out.Routed[ri]++
+			job := src.Service.Job(src.Tenant)
+			rr := out.Replicas[ri]
+			rec := rr.PerService[src.Service.Name]
+			repK := sk.Domain(1 + ri)
+			ing.Send(1+ri, at+forward, func() {
+				engines[ri].Submit(job, func(r engine.Result) {
+					rec.Add(r.Latency)
+					rr.All.Add(r.Latency)
+					net := r.Latency - r.Breakdown.Remote
+					if net < r.Latency/4 {
+						net = r.Latency / 4
+					}
+					rr.Net.Add(net)
+					rr.Completed++
+					rr.AccelCount += uint64(r.Accels)
+					if r.TimedOut {
+						rr.TimedOut++
+					}
+					if r.FellBack {
+						rr.FellBack++
+					}
+					addBreakdown(&rr.Breakdown, r.Breakdown)
+					if lb.tracksLoad() {
+						// Completion notice travels back to the ingress
+						// over the same forwarding latency.
+						done := ri
+						repK.Send(0, repK.Now()+forward, func() { lb.done(done) })
+					}
+				})
+			})
+		})
+	}
+}
+
+// balancer is the ingress routing policy. All state lives on the
+// ingress domain: pick runs in arrival events, done in mailbox
+// deliveries — never concurrently.
+type balancer struct {
+	least    bool
+	replicas int
+
+	next        int   // rr cursor
+	outstanding []int // least: in-flight per replica, as seen at ingress
+}
+
+func newBalancer(mode string, replicas int) *balancer {
+	b := &balancer{least: mode == "least", replicas: replicas}
+	if b.least {
+		b.outstanding = make([]int, replicas)
+	}
+	return b
+}
+
+// tracksLoad reports whether completions must be reported back to the
+// ingress (only the least-outstanding policy keeps load state).
+func (b *balancer) tracksLoad() bool { return b.least }
+
+func (b *balancer) pick() int {
+	if !b.least {
+		ri := b.next
+		b.next = (b.next + 1) % b.replicas
+		return ri
+	}
+	// Minimum outstanding, ties to the lowest index: deterministic.
+	best := 0
+	for i := 1; i < len(b.outstanding); i++ {
+		if b.outstanding[i] < b.outstanding[best] {
+			best = i
+		}
+	}
+	b.outstanding[best]++
+	return best
+}
+
+func (b *balancer) done(ri int) { b.outstanding[ri]-- }

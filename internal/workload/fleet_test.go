@@ -1,0 +1,193 @@
+package workload
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"accelflow/internal/config"
+	"accelflow/internal/engine"
+	"accelflow/internal/fault"
+	"accelflow/internal/services"
+	"accelflow/internal/sim"
+)
+
+func fleetSpec(replicas, requests, shards int, balance string) *FleetSpec {
+	return &FleetSpec{
+		Config:   config.Default(),
+		Policy:   engine.AccelFlow(),
+		Sources:  Mix(services.SocialNetwork(), float64(replicas), requests),
+		Seed:     11,
+		Replicas: replicas,
+		Shards:   shards,
+		Balance:  balance,
+	}
+}
+
+// fleetFingerprint flattens every result field a worker-count change
+// could plausibly disturb into comparable scalars (Float64 bit
+// patterns for latencies via integer picoseconds).
+type fleetFingerprint struct {
+	mean, p99, p50 sim.Time
+	completed      uint64
+	timedOut       uint64
+	fellBack       uint64
+	accels         uint64
+	events         uint64
+	epochs         uint64
+	mail           uint64
+	elapsed        sim.Time
+	routed         [8]uint64
+	perReplica     [8]uint64
+}
+
+func fingerprint(t *testing.T, res *FleetResult) fleetFingerprint {
+	t.Helper()
+	fp := fleetFingerprint{
+		mean: res.Merged.All.Mean(), p99: res.Merged.All.P99(), p50: res.Merged.All.P50(),
+		completed: res.Merged.Completed, timedOut: res.Merged.TimedOut,
+		fellBack: res.Merged.FellBack, accels: res.Merged.AccelCount,
+		events: res.Events, epochs: res.Epochs, mail: res.Mail,
+		elapsed: res.Merged.Elapsed,
+	}
+	for i, n := range res.Routed {
+		fp.routed[i] = n
+	}
+	for i, rr := range res.Replicas {
+		fp.perReplica[i] = rr.Completed
+	}
+	return fp
+}
+
+// TestFleetWorkerCountInvariance is the fleet-level determinism
+// acceptance test: a genuinely multi-domain run (mailbox traffic,
+// concurrent replica servers) is byte-identical at shard counts
+// {1, 2, 4, 8}.
+func TestFleetWorkerCountInvariance(t *testing.T) {
+	for _, balance := range []string{"rr", "least"} {
+		run := func(shards int) fleetFingerprint {
+			res, err := fleetSpec(4, 240, shards, balance).Run()
+			if err != nil {
+				t.Fatalf("balance=%s shards=%d: %v", balance, shards, err)
+			}
+			return fingerprint(t, res)
+		}
+		ref := run(1)
+		if ref.completed != 240 {
+			t.Fatalf("balance=%s: completed %d/240", balance, ref.completed)
+		}
+		if ref.mail == 0 || ref.epochs == 0 {
+			t.Fatalf("balance=%s: no cross-domain traffic (mail=%d epochs=%d) — test is vacuous",
+				balance, ref.mail, ref.epochs)
+		}
+		for _, shards := range []int{2, 4, 8} {
+			if got := run(shards); got != ref {
+				t.Errorf("balance=%s shards=%d diverged:\n got %+v\nwant %+v", balance, shards, got, ref)
+			}
+		}
+	}
+}
+
+// TestFleetBalancing pins routing behavior: rr spreads exactly
+// round-robin; least keeps the spread within a reasonable band and
+// exercises the replica->ingress completion mail.
+func TestFleetBalancing(t *testing.T) {
+	res, err := fleetSpec(4, 200, 4, "rr").Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, n := range res.Routed {
+		if n != 50 {
+			t.Errorf("rr routed[%d] = %d, want 50", i, n)
+		}
+	}
+	res, err = fleetSpec(4, 200, 4, "least").Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var min, max uint64 = math.MaxUint64, 0
+	for _, n := range res.Routed {
+		if n < min {
+			min = n
+		}
+		if n > max {
+			max = n
+		}
+	}
+	if min == 0 {
+		t.Errorf("least starved a replica: routed %v", res.Routed)
+	}
+	if max > 3*min {
+		t.Errorf("least spread implausibly skewed: routed %v", res.Routed)
+	}
+}
+
+// TestFleetCheckedWithFaults runs the invariant checkers over a
+// fault-injected fleet: PE-degrade windows (Resource.SetServers
+// resizes) fire throughout the run, and with ~200us mean windows vs
+// ~9us epochs every window crosses many epoch barriers. The run must
+// pass every per-replica invariant and stay worker-count invariant.
+func TestFleetCheckedWithFaults(t *testing.T) {
+	mk := func(shards int) *FleetSpec {
+		s := fleetSpec(3, 150, shards, "rr")
+		s.Check = true
+		s.Faults = &fault.Spec{
+			Rate:           3000,
+			MeanWindow:     200 * sim.Microsecond,
+			Horizon:        sim.Second,
+			PEDegradeFrac:  0.5,
+			PEFail:         true,
+			ADMARemove:     2,
+			ManagerStall:   true,
+			ATMStall:       500 * sim.Nanosecond,
+			NoCInflate:     4,
+			RemoteLossRate: 1e-3,
+		}
+		return s
+	}
+	run := func(shards int) (*FleetResult, fleetFingerprint) {
+		res, err := mk(shards).Run()
+		if err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		return res, fingerprint(t, res)
+	}
+	res, ref := run(1)
+	windows := uint64(0)
+	for _, rr := range res.Replicas {
+		if rr.Engine.Faults != nil {
+			windows += rr.Engine.Faults.Stats.Windows
+		}
+	}
+	if windows == 0 {
+		t.Fatal("no fault windows fired — SetServers/epoch interaction untested")
+	}
+	if _, got := run(4); got != ref {
+		t.Errorf("checked+faulted fleet diverged across worker counts:\n got %+v\nwant %+v", got, ref)
+	}
+}
+
+// TestFleetValidation covers the error paths.
+func TestFleetValidation(t *testing.T) {
+	if _, err := fleetSpec(0, 100, 1, "").Run(); err == nil {
+		t.Error("zero replicas accepted")
+	}
+	if _, err := fleetSpec(2, 100, 1, "p2c").Run(); err == nil {
+		t.Error("unknown balance policy accepted")
+	}
+	s := fleetSpec(2, 100, 1, "")
+	s.Sources[0].Requests = 0
+	if _, err := s.Run(); err == nil {
+		t.Error("zero-budget source accepted")
+	}
+}
+
+// TestFleetCancellation: a cancelled fleet run returns the context
+// error and no result.
+func TestFleetCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if res, err := fleetSpec(2, 100, 2, "").RunCtx(ctx); err == nil || res != nil {
+		t.Errorf("cancelled run returned res=%v err=%v", res, err)
+	}
+}

@@ -74,6 +74,15 @@ type RunSpec struct {
 	// read state, so an attached checker never changes Values. Each
 	// Checker covers exactly one run.
 	Check *check.Checker
+	// Shards > 1 routes execution through the sharded coordinator
+	// (sim.Sharded) instead of a bare kernel. A single simulated server
+	// is one resource domain — every component shares the engine's
+	// state — so a RunSpec run always occupies one domain and the knob
+	// changes the execution path, never the results: sharded output is
+	// byte-identical to serial at any shard count. Multi-domain
+	// parallelism (one domain per server plus an ingress balancer)
+	// comes from FleetSpec, where Shards sets the worker count.
+	Shards int
 }
 
 // Run drives one engine with the spec's sources until every request
@@ -90,16 +99,27 @@ func (s *RunSpec) Run() (*RunResult, error) {
 // misleading. With a background (or nil) context the behavior and
 // results are bit-identical to Run.
 func (s *RunSpec) RunCtx(ctx context.Context) (*RunResult, error) {
-	k := sim.NewKernel()
-	opts := []engine.Option{engine.WithSeed(s.Seed), engine.WithObserver(s.Obs)}
+	var (
+		k      *sim.Kernel
+		runner sim.Runner
+	)
+	if s.Shards > 1 {
+		// One server = one domain (see the Shards doc): the coordinator
+		// delegates a single domain to the kernel's own run loop, so
+		// this path is the serial path, executed through the unified
+		// Runner contract.
+		sk := sim.NewSharded(1, 0, s.Shards)
+		k = sk.Domain(0)
+		runner = sk
+	} else {
+		k = sim.NewKernel()
+		runner = k
+	}
+	p := engine.Params{Seed: s.Seed, Obs: s.Obs, Check: s.Check}
 	if s.Faults != nil {
-		opts = append(opts, engine.WithFaults(
-			fault.New(*s.Faults, sim.DeriveSeed(s.Seed, "faults"))))
+		p.Faults = fault.New(*s.Faults, sim.DeriveSeed(s.Seed, "faults"))
 	}
-	if s.Check != nil {
-		opts = append(opts, engine.WithChecker(s.Check))
-	}
-	e, err := engine.New(k, s.Config, s.Policy, opts...)
+	e, err := engine.New(k, s.Config, s.Policy, p)
 	if err != nil {
 		return nil, err
 	}
@@ -138,9 +158,15 @@ func (s *RunSpec) RunCtx(ctx context.Context) (*RunResult, error) {
 		return nil, fmt.Errorf("workload: no requests to run")
 	}
 	if s.Obs != nil {
-		startSampler(k, e, s.Obs)
+		// Layered over the hooks the engine installed (checker OnEvent):
+		// the sampler arms here, after all arrivals are scheduled, which
+		// fixes its event-sequence position exactly where the run needs
+		// it (see samplerHook).
+		h := k.Hooks()
+		h.Periodic = append(h.Periodic, samplerHook(k, e, s.Obs))
+		k.SetHooks(h)
 	}
-	if err := k.RunCtx(ctx, 0); err != nil {
+	if err := runner.RunCtx(ctx); err != nil {
 		return nil, fmt.Errorf("workload: run interrupted: %w", err)
 	}
 	res.Elapsed = k.Now()
@@ -157,14 +183,15 @@ func (s *RunSpec) RunCtx(ctx context.Context) (*RunResult, error) {
 	return res, nil
 }
 
-// startSampler attaches the periodic utilization sampler. Every
-// interval it converts each resource's busy-time delta into a [0,1]
-// utilization sample. The callbacks only read counters — they never
-// touch RNG streams or queue state — so enabling observability cannot
-// change simulation results; and because all arrivals are scheduled
-// up front, Kernel.Every's self-termination rule ends the sampler
-// exactly when the run ends.
-func startSampler(k *sim.Kernel, e *engine.Engine, sink *obs.Sink) {
+// samplerHook builds the periodic utilization sampler as a Hooks
+// entry. Every interval it converts each resource's busy-time delta
+// into a [0,1] utilization sample. The callback only reads counters —
+// it never touches RNG streams or queue state — so enabling
+// observability cannot change simulation results; and because all
+// arrivals are scheduled up front, Kernel.Every's self-termination
+// rule (which SetHooks arms Periodic entries through) ends the
+// sampler exactly when the run ends.
+func samplerHook(k *sim.Kernel, e *engine.Engine, sink *obs.Sink) sim.Periodic {
 	iv := sink.SampleInterval()
 	span := float64(iv)
 	util := func(delta sim.Time, servers int) float64 {
@@ -190,7 +217,7 @@ func startSampler(k *sim.Kernel, e *engine.Engine, sink *obs.Sink) {
 	for _, kd := range config.AllAccelKinds() {
 		peNames[kd] = "util/pe/" + kd.String()
 	}
-	k.Every(iv, func() {
+	return sim.Periodic{Every: iv, Fn: func() {
 		now := k.Now()
 		cores := e.Cores.BusyTime
 		sink.Sample("util/cores", now, util(cores-last.cores, e.Cores.Servers))
@@ -217,20 +244,7 @@ func startSampler(k *sim.Kernel, e *engine.Engine, sink *obs.Sink) {
 		adma := e.DMA.Busy()
 		sink.Sample("util/adma", now, util(adma-last.adma, e.DMA.Engines()))
 		last.adma = adma
-	})
-}
-
-// Run is the deprecated positional entry point.
-//
-// Deprecated: build a RunSpec and call its Run method; the struct form
-// has room for optional fields (observability, future knobs) without
-// signature churn.
-func Run(cfg *config.Config, pol engine.Policy, sources []Source, seed int64, programs []*trace.Program, remote map[string]engine.RemoteKind) (*RunResult, error) {
-	s := &RunSpec{
-		Config: cfg, Policy: pol, Sources: sources, Seed: seed,
-		Programs: programs, Remote: remote,
-	}
-	return s.Run()
+	}}
 }
 
 func scheduleSource(k *sim.Kernel, e *engine.Engine, src Source, rng *sim.RNG, rec *metrics.Recorder, res *RunResult) {

@@ -282,26 +282,34 @@ func TestRunCoarseCatalog(t *testing.T) {
 	}
 }
 
-// TestDeprecatedRunWrapper pins the legacy positional Run to the
-// RunSpec path: both must produce identical results.
-func TestDeprecatedRunWrapper(t *testing.T) {
+// TestShardsKnobIsByteIdentical pins the RunSpec.Shards contract: the
+// sharded execution path produces exactly the serial results — same
+// recorder contents, same counters — at every shard count.
+func TestShardsKnobIsByteIdentical(t *testing.T) {
 	svc := services.SocialNetwork()[6]
-	old, err := Run(config.Default(), engine.AccelFlow(),
-		SingleService(svc, Poisson{RPS: 2000}, 80), 3, nil, nil)
-	if err != nil {
-		t.Fatal(err)
+	mk := func(shards int) *RunResult {
+		spec := &RunSpec{
+			Config:  config.Default(),
+			Policy:  engine.AccelFlow(),
+			Sources: SingleService(svc, Poisson{RPS: 2000}, 80),
+			Seed:    3,
+			Shards:  shards,
+		}
+		res, err := spec.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
 	}
-	spec := &RunSpec{
-		Config:  config.Default(),
-		Policy:  engine.AccelFlow(),
-		Sources: SingleService(svc, Poisson{RPS: 2000}, 80),
-		Seed:    3,
-	}
-	neu, err := spec.Run()
-	if err != nil {
-		t.Fatal(err)
-	}
-	if old.All.Mean() != neu.All.Mean() || old.All.P99() != neu.All.P99() {
-		t.Errorf("wrapper diverged from RunSpec: mean %v vs %v", old.All.Mean(), neu.All.Mean())
+	ref := mk(0)
+	for _, shards := range []int{1, 2, 4, 8} {
+		got := mk(shards)
+		if got.All.Mean() != ref.All.Mean() || got.All.P99() != ref.All.P99() ||
+			got.Completed != ref.Completed || got.Elapsed != ref.Elapsed ||
+			got.Engine.K.Processed() != ref.Engine.K.Processed() {
+			t.Errorf("shards=%d diverged from serial: mean %v vs %v, processed %d vs %d",
+				shards, got.All.Mean(), ref.All.Mean(),
+				got.Engine.K.Processed(), ref.Engine.K.Processed())
+		}
 	}
 }
