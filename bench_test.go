@@ -290,6 +290,48 @@ func BenchmarkServeSubmitQuick(b *testing.B) {
 	}
 }
 
+// BenchmarkServeSubmitCached is the same round trip with the
+// content-addressed result cache enabled and primed: every timed
+// submission is served from cache ("cached": true, byte-identical
+// values), so the pair SubmitQuick/SubmitCached measures what
+// deduplication buys — the cached path must be >= 10x cheaper than
+// the cold one.
+func BenchmarkServeSubmitCached(b *testing.B) {
+	sched := serve.NewScheduler(serve.Config{Workers: 1, QueueDepth: 2, CacheEntries: 64})
+	defer sched.Close()
+	handler := serve.NewServer(sched).Handler()
+	body := `{"type":"experiment","experiment":"fig19","quick":true,"requests":40,"seed":1,"parallelism":1}`
+	roundTrip := func() {
+		req := httptest.NewRequest("POST", "/v1/jobs", strings.NewReader(body))
+		rec := httptest.NewRecorder()
+		handler.ServeHTTP(rec, req)
+		if rec.Code != http.StatusAccepted {
+			b.Fatalf("submit: status %d: %s", rec.Code, rec.Body.String())
+		}
+		id := rec.Header().Get("Location")
+		prec := httptest.NewRecorder()
+		handler.ServeHTTP(prec, httptest.NewRequest("GET", id+"/progress", nil))
+		if prec.Code != http.StatusOK {
+			b.Fatalf("progress: status %d", prec.Code)
+		}
+		var last string
+		sc := bufio.NewScanner(prec.Body)
+		for sc.Scan() {
+			if s := strings.TrimSpace(sc.Text()); s != "" {
+				last = s
+			}
+		}
+		if !strings.Contains(last, `"done"`) {
+			b.Fatalf("job did not finish cleanly: %s", last)
+		}
+	}
+	roundTrip() // prime the cache with the one cold run
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		roundTrip()
+	}
+}
+
 func BenchmarkSweepSerial(b *testing.B) { benchSweep(b, 1) }
 func BenchmarkSweepParallel(b *testing.B) {
 	if runtime.GOMAXPROCS(0) < 2 {

@@ -14,12 +14,20 @@
 //	curl -XPOST localhost:8080/v1/jobs -d '{"type":"observed","requests":600,"faultRate":2000}'
 //	curl -o trace.json localhost:8080/v1/jobs/job-2/artifacts/trace
 //
-// Admission is bounded: a full queue answers 429 with a Retry-After
-// hint. SIGINT/SIGTERM drain gracefully — admission closes (503),
-// running and queued jobs finish, then the process exits 0; jobs still
-// running when -draintimeout expires are cancelled through their
-// contexts. Results are deterministic: a job yields byte-identical
-// values and artifacts to the same parameters run through cmd/accelsim.
+// Admission is bounded per tenant: a full tenant queue or exhausted
+// token bucket (-tenantrate/-tenantburst) answers 429 with a
+// Retry-After hint, and tenants dequeue via weighted-fair deficit
+// round-robin so one tenant's batch backlog never starves another's
+// interactive jobs. Determinism makes results cacheable forever, so
+// repeated identical submissions are served byte-identically from a
+// bounded content-addressed cache (-cache; "cached": true in the job
+// view, stats on /v1/cache) and identical in-flight submissions
+// coalesce into one run. SIGINT/SIGTERM drain gracefully — admission
+// closes (503), running and queued jobs finish, then the process exits
+// 0; jobs still running when -draintimeout expires are cancelled
+// through their contexts. Results are deterministic: a job yields
+// byte-identical values and artifacts to the same parameters run
+// through cmd/accelsim, cached or not.
 package main
 
 import (
@@ -45,16 +53,25 @@ func main() {
 		retryAfter   = flag.Duration("retryafter", time.Second, "Retry-After hint on 429/503 responses")
 		drainTimeout = flag.Duration("draintimeout", 2*time.Minute, "graceful-drain budget on SIGTERM before running jobs are cancelled")
 		check        = flag.Bool("check", false, "run every job with runtime invariant checking (same results; violations fail the job)")
+		cacheSize    = flag.Int("cache", 512, "content-addressed result cache entries (jobs + sweep cells); 0 disables caching and coalescing")
+		tenantRate   = flag.Float64("tenantrate", 0, "per-tenant admission rate in jobs/sec (token bucket); 0 disables rate limiting")
+		tenantBurst  = flag.Int("tenantburst", 8, "per-tenant token-bucket burst capacity")
+		heartbeat    = flag.Duration("heartbeat", 15*time.Second, "progress-stream keep-alive interval; 0 disables heartbeats")
 	)
 	flag.Parse()
 
 	sched := serve.NewScheduler(serve.Config{
-		Workers:    *workers,
-		QueueDepth: *queue,
-		RetryAfter: *retryAfter,
-		Check:      *check,
+		Workers:      *workers,
+		QueueDepth:   *queue,
+		RetryAfter:   *retryAfter,
+		Check:        *check,
+		CacheEntries: *cacheSize,
+		TenantRate:   *tenantRate,
+		TenantBurst:  *tenantBurst,
 	})
-	srv := &http.Server{Handler: serve.NewServer(sched).Handler()}
+	api := serve.NewServer(sched)
+	api.SetHeartbeat(*heartbeat)
+	srv := &http.Server{Handler: api.Handler()}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

@@ -4,7 +4,10 @@
 // per benchmark, plus host metadata. The committed snapshots form the
 // performance trajectory the ROADMAP asks for; CI reruns benchdump in
 // compare mode (-against) with a generous gate to catch
-// order-of-magnitude regressions.
+// order-of-magnitude regressions. The gate only applies between hosts
+// with matching CPU counts — parallel-scaling numbers from a 1-core
+// container and a multicore runner are not comparable, so a mismatch
+// warns and skips the gate instead of emitting false verdicts.
 //
 // Usage:
 //
@@ -34,7 +37,7 @@ import (
 // every speed claim. BenchmarkRunSharded expands to one snapshot entry
 // per shard count (RunSharded/shards=N), so the trajectory records the
 // whole scaling curve, not one point.
-const defaultBench = "^(BenchmarkRunObsDisabled|BenchmarkRunObsEnabled|BenchmarkRunCheckDisabled|BenchmarkRunSharded|BenchmarkSweepSerial|BenchmarkServeSubmitQuick)$"
+const defaultBench = "^(BenchmarkRunObsDisabled|BenchmarkRunObsEnabled|BenchmarkRunCheckDisabled|BenchmarkRunSharded|BenchmarkSweepSerial|BenchmarkServeSubmitQuick|BenchmarkServeSubmitCached)$"
 
 func main() {
 	var (
@@ -105,6 +108,13 @@ func run(out, benchRe, benchtime string, count int, pkg, input, baseline, agains
 		committed, err := decodeFile(against)
 		if err != nil {
 			return fmt.Errorf("against: %w", err)
+		}
+		if ok, reason := snap.Host.ComparableTo(committed.Host); !ok {
+			// A cross-host gate emits false verdicts (e.g. a 1-core
+			// container vs a multicore runner); warn and skip rather
+			// than fail or vacuously pass.
+			fmt.Fprintf(os.Stderr, "benchdump: WARNING: skipping regression gate against %s: %s\n", against, reason)
+			return nil
 		}
 		if regs := benchfmt.Compare(snap, committed, gate); len(regs) > 0 {
 			for _, r := range regs {

@@ -36,6 +36,22 @@ type Host struct {
 	CPUModel  string `json:"cpu_model,omitempty"`
 }
 
+// ComparableTo reports whether benchmark numbers measured on h are
+// meaningfully comparable to ones measured on other, with a
+// human-readable reason when they are not. A CPU-count mismatch makes
+// the parallel benchmarks (sharded fleet scaling, parallel sweeps)
+// measure different machines entirely — a 1-core container's flat
+// scaling curve would read as a massive "regression" of a 16-core
+// snapshot and vice versa — so gating across it emits false verdicts
+// and must be skipped. An unrecorded count (0, from a pre-cpus
+// snapshot) cannot prove a mismatch and compares as equal.
+func (h Host) ComparableTo(other Host) (bool, string) {
+	if h.CPUs > 0 && other.CPUs > 0 && h.CPUs != other.CPUs {
+		return false, fmt.Sprintf("host cpu counts differ (%d vs %d); parallel-scaling numbers are not comparable", h.CPUs, other.CPUs)
+	}
+	return true, ""
+}
+
 // Benchmark is one benchmark's measured point: the best (minimum
 // ns/op) of the folded runs, with that run's companion metrics.
 type Benchmark struct {

@@ -185,3 +185,22 @@ func TestCompareGate(t *testing.T) {
 		t.Errorf("one-sided benchmark changed the verdict: %v", regs)
 	}
 }
+
+// TestHostComparable: the regression gate only runs between hosts with
+// matching CPU counts; an unrecorded count cannot prove a mismatch.
+func TestHostComparable(t *testing.T) {
+	one := Host{CPUs: 1}
+	sixteen := Host{CPUs: 16}
+	if ok, reason := one.ComparableTo(sixteen); ok || reason == "" {
+		t.Errorf("1-cpu vs 16-cpu hosts compared as comparable (%q)", reason)
+	}
+	if ok, _ := one.ComparableTo(one); !ok {
+		t.Error("identical hosts not comparable")
+	}
+	if ok, _ := (Host{}).ComparableTo(sixteen); !ok {
+		t.Error("unrecorded cpu count must not prove a mismatch")
+	}
+	if ok, _ := sixteen.ComparableTo(Host{}); !ok {
+		t.Error("unrecorded cpu count must not prove a mismatch (reversed)")
+	}
+}

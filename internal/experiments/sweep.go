@@ -80,14 +80,33 @@ func RunCells[T any](o Options, cells []Cell[T]) ([]T, error) {
 		go func() {
 			defer wg.Done()
 			for i := range idx {
+				cached := false
 				if err := ctx.Err(); err != nil {
 					errs[i] = err
 				} else {
 					c := cells[i]
-					results[i], errs[i] = c.Run(sim.DeriveSeed(o.Seed, c.Key))
+					// A memoized output replaces the run outright: the
+					// cache contract (Options.Cache) makes it the value
+					// this exact cell would compute. A wrong-type hit —
+					// a namespace bug upstream — falls through to a real
+					// run rather than corrupting the sweep.
+					if o.Cache != nil {
+						if v, ok := o.Cache.GetCell(c.Key); ok {
+							if tv, ok := v.(T); ok {
+								results[i] = tv
+								cached = true
+							}
+						}
+					}
+					if !cached {
+						results[i], errs[i] = c.Run(sim.DeriveSeed(o.Seed, c.Key))
+						if errs[i] == nil && o.Cache != nil {
+							o.Cache.PutCell(c.Key, results[i])
+						}
+					}
 				}
 				if o.OnCell != nil {
-					o.OnCell(CellEvent{Key: cells[i].Key, Index: i, Total: len(cells), Err: errs[i]})
+					o.OnCell(CellEvent{Key: cells[i].Key, Index: i, Total: len(cells), Err: errs[i], Cached: cached})
 				}
 			}
 		}()

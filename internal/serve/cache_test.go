@@ -1,0 +1,454 @@
+// Tests for the content-addressed result cache, singleflight
+// coalescing, and per-tenant admission (token buckets + weighted-fair
+// dequeue). Byte-equality tests go through the HTTP surface so they
+// pin what clients actually receive.
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// cachedServer boots a cache-enabled scheduler behind HTTP.
+func cachedServer(t *testing.T) (*Scheduler, string) {
+	t.Helper()
+	sched, ts := testServer(t, Config{Workers: 2, QueueDepth: 8, CacheEntries: 256}, nil)
+	return sched, ts.URL
+}
+
+// jobValues fetches and decodes a finished job's values payload.
+func jobValues(t *testing.T, base, id string) (map[string]float64, []string) {
+	t.Helper()
+	var out struct {
+		Values map[string]float64 `json:"values"`
+		Lines  []string           `json:"lines"`
+	}
+	if err := json.Unmarshal(fetchBytes(t, base+"/v1/jobs/"+id+"/values"), &out); err != nil {
+		t.Fatal(err)
+	}
+	return out.Values, out.Lines
+}
+
+func jobView(t *testing.T, base, id string) JobView {
+	t.Helper()
+	var v JobView
+	if err := json.Unmarshal(fetchBytes(t, base+"/v1/jobs/"+id), &v); err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func cacheStatsHTTP(t *testing.T, base string) (bool, CacheStats) {
+	t.Helper()
+	var out struct {
+		Enabled bool       `json:"enabled"`
+		Stats   CacheStats `json:"stats"`
+	}
+	if err := json.Unmarshal(fetchBytes(t, base+"/v1/cache"), &out); err != nil {
+		t.Fatal(err)
+	}
+	return out.Enabled, out.Stats
+}
+
+// TestCacheHitExperiment: a repeated identical experiment submission
+// is served from cache with identical values and lines, flagged
+// "cached": true, and visible in /v1/cache stats.
+func TestCacheHitExperiment(t *testing.T) {
+	_, base := cachedServer(t)
+	body := `{"type":"experiment","experiment":"fig19","quick":true,"requests":40,"seed":3}`
+
+	cold := submitAndWait(t, base, body)
+	warm := submitAndWait(t, base, body)
+
+	coldVals, coldLines := jobValues(t, base, cold)
+	warmVals, warmLines := jobValues(t, base, warm)
+	if !reflect.DeepEqual(coldVals, warmVals) || !reflect.DeepEqual(coldLines, warmLines) {
+		t.Fatal("cached experiment results differ from the cold run")
+	}
+	if jobView(t, base, cold).Cached {
+		t.Error("cold run reported cached")
+	}
+	if !jobView(t, base, warm).Cached {
+		t.Error("repeat submission not reported cached")
+	}
+	enabled, stats := cacheStatsHTTP(t, base)
+	if !enabled {
+		t.Fatal("/v1/cache reports caching disabled")
+	}
+	if stats.Hits < 1 || stats.Entries == 0 {
+		t.Errorf("cache stats after hit: %+v", stats)
+	}
+}
+
+// TestCacheHitObservedArtifacts: observed jobs cache their rendered
+// artifact bytes; a hit serves the exact bytes the cold run streamed,
+// and a sharded resubmission hits the serial run's entry (the key is
+// the normalized HashResult).
+func TestCacheHitObservedArtifacts(t *testing.T) {
+	_, base := cachedServer(t)
+
+	cold := submitAndWait(t, base, `{"type":"observed","requests":120,"quick":true,"seed":4}`)
+	warm := submitAndWait(t, base, `{"type":"observed","requests":120,"quick":true,"seed":4}`)
+	sharded := submitAndWait(t, base, `{"type":"observed","requests":120,"quick":true,"seed":4,"shards":2}`)
+
+	for _, kind := range []string{"trace", "report"} {
+		want := fetchBytes(t, base+"/v1/jobs/"+cold+"/artifacts/"+kind)
+		for _, id := range []string{warm, sharded} {
+			if got := fetchBytes(t, base+"/v1/jobs/"+id+"/artifacts/"+kind); !bytes.Equal(got, want) {
+				t.Errorf("%s artifact of %s differs from cold run (%d vs %d bytes)", kind, id, len(got), len(want))
+			}
+		}
+	}
+	coldVals, _ := jobValues(t, base, cold)
+	warmVals, _ := jobValues(t, base, warm)
+	if !reflect.DeepEqual(coldVals, warmVals) {
+		t.Fatal("cached observed values differ from the cold run")
+	}
+	if !jobView(t, base, warm).Cached || !jobView(t, base, sharded).Cached {
+		t.Error("repeat/sharded observed submissions not reported cached")
+	}
+	if arts := jobView(t, base, warm).Artifacts; len(arts) != 2 {
+		t.Errorf("cached job lists artifacts %v, want trace+report", arts)
+	}
+}
+
+// TestCoalesceConcurrentSubmissions: N identical in-flight submissions
+// run the simulation exactly once; every follower completes with the
+// leader's bytes.
+func TestCoalesceConcurrentSubmissions(t *testing.T) {
+	var runs int32
+	var sched *Scheduler
+	sched = newScheduler(Config{Workers: 2, QueueDepth: 4, CacheEntries: 64},
+		func(ctx context.Context, j *Job) {
+			atomic.AddInt32(&runs, 1)
+			sched.execute(ctx, j)
+		})
+	defer sched.Close()
+
+	const n = 20
+	req := JobRequest{Type: JobObserved, Requests: 120, Quick: true, Seed: 4}
+	jobs := make([]*Job, n)
+	var wg sync.WaitGroup
+	errc := make(chan error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			j, err := sched.Submit(req)
+			if err != nil {
+				errc <- fmt.Errorf("submit %d: %w", i, err)
+				return
+			}
+			jobs[i] = j
+			<-j.Done()
+		}(i)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		// Coalesced followers never occupy queue slots, so none of the
+		// 20 submissions should have been rejected.
+		t.Fatal(err)
+	}
+	if got := atomic.LoadInt32(&runs); got != 1 {
+		t.Fatalf("%d executions for %d identical submissions, want 1", got, n)
+	}
+	var want map[string]float64
+	for i, j := range jobs {
+		vals, _, state := j.results()
+		if state != StateDone {
+			t.Fatalf("job %d ended %s", i, state)
+		}
+		if want == nil {
+			want = vals
+		} else if !reflect.DeepEqual(vals, want) {
+			t.Fatalf("job %d values diverged", i)
+		}
+	}
+	// Late submissions may land after the leader finished and hit the
+	// completed entry instead of the flight; either way none of the
+	// n-1 repeats executed.
+	stats, ok := sched.CacheStats()
+	if !ok || stats.Coalesced+stats.Hits != n-1 {
+		t.Errorf("coalesced %d + hits %d (ok=%t), want %d total", stats.Coalesced, stats.Hits, ok, n-1)
+	}
+}
+
+// TestCancelledSweepCellsReused: a cancelled sweep's completed cells
+// are served from the per-cell cache when the job is resubmitted.
+func TestCancelledSweepCellsReused(t *testing.T) {
+	sched := NewScheduler(Config{Workers: 1, QueueDepth: 4, CacheEntries: 256})
+	defer sched.Close()
+
+	req := JobRequest{Type: JobExperiment, Experiment: "fig19", Quick: true, Requests: 200, Seed: 5, Parallelism: 1}
+	j, err := sched.Submit(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wait for the first finished cell (its output is in the cache
+	// before its event appears), then cancel the sweep.
+	deadline := time.Now().Add(30 * time.Second)
+	for j.snapshot().CellsDone == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("no cell finished")
+		}
+		if j.snapshot().State.Terminal() {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	j.requestCancel()
+	<-j.Done()
+
+	j2, err := sched.Submit(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-j2.Done()
+	if _, _, state := j2.results(); state != StateDone {
+		t.Fatalf("resubmission ended %s", state)
+	}
+	stats, _ := sched.CacheStats()
+	if first := j.snapshot().State; first == StateCancelled {
+		if stats.CellHits == 0 {
+			t.Errorf("cancelled sweep's completed cells were not reused: %+v", stats)
+		}
+	} else if !j2.snapshot().Cached {
+		// The sweep outran the cancel; then the resubmission must at
+		// least be a whole-job cache hit.
+		t.Errorf("first run ended %s yet resubmission was not cached", first)
+	}
+}
+
+// TestTenantRateLimit: token-bucket exhaustion rejects one tenant with
+// a per-tenant Retry-After while a second tenant still admits, and the
+// bucket refills with (injected) time.
+func TestTenantRateLimit(t *testing.T) {
+	release := make(chan struct{})
+	sched := newScheduler(Config{Workers: 1, QueueDepth: 16, TenantRate: 0.5, TenantBurst: 2},
+		func(ctx context.Context, j *Job) {
+			<-release
+			j.finish(StateDone, "")
+		})
+	defer sched.Close()
+	defer close(release) // LIFO: unblock workers before Close joins them
+	now := time.Unix(1_000_000, 0)
+	sched.now = func() time.Time { return now }
+
+	reqFor := func(tenant string, seed int64) JobRequest {
+		r := stubReq()
+		r.Tenant = tenant
+		r.Seed = seed
+		return r
+	}
+	for i := 0; i < 2; i++ {
+		if _, err := sched.Submit(reqFor("alpha", int64(i))); err != nil {
+			t.Fatalf("alpha submit %d within burst: %v", i, err)
+		}
+	}
+	_, err := sched.Submit(reqFor("alpha", 99))
+	var rle *RateLimitError
+	if !errors.As(err, &rle) {
+		t.Fatalf("exhausted bucket returned %v, want *RateLimitError", err)
+	}
+	if rle.Tenant != "alpha" || rle.RetryAfter <= 0 {
+		t.Fatalf("rate-limit error %+v", rle)
+	}
+	// ~2s until the next token at 0.5 tokens/sec.
+	if rle.RetryAfter > 3*time.Second {
+		t.Errorf("RetryAfter %v, want about 2s", rle.RetryAfter)
+	}
+
+	// A second tenant's admission is untouched by alpha's exhaustion.
+	for i := 0; i < 2; i++ {
+		if _, err := sched.Submit(reqFor("beta", int64(i))); err != nil {
+			t.Fatalf("beta submit %d while alpha limited: %v", i, err)
+		}
+	}
+
+	// Refill: advancing the clock past the deficit re-admits alpha.
+	now = now.Add(rle.RetryAfter + time.Second)
+	if _, err := sched.Submit(reqFor("alpha", 100)); err != nil {
+		t.Fatalf("alpha submit after refill: %v", err)
+	}
+}
+
+// TestWeightedFairDequeue: with one tenant holding a batch backlog and
+// another submitting interactive jobs, deficit round-robin dispatches
+// all the interactive work ahead of most of the batch queue.
+func TestWeightedFairDequeue(t *testing.T) {
+	var mu sync.Mutex
+	var order []string
+	blockerStarted := make(chan struct{})
+	gate := make(chan struct{})
+	sched := newScheduler(Config{Workers: 1, QueueDepth: 8},
+		func(ctx context.Context, j *Job) {
+			if j.Req.Tenant == "hold" {
+				blockerStarted <- struct{}{}
+				<-gate
+			} else {
+				mu.Lock()
+				order = append(order, j.Req.Tenant)
+				mu.Unlock()
+			}
+			j.finish(StateDone, "")
+		})
+	defer sched.Close()
+
+	submit := func(tenant, prio string, seed int64) {
+		t.Helper()
+		r := stubReq()
+		r.Tenant, r.Priority, r.Seed = tenant, prio, seed
+		if _, err := sched.Submit(r); err != nil {
+			t.Fatalf("submit %s/%s: %v", tenant, prio, err)
+		}
+	}
+	// Pin the single worker so the contest jobs all queue up first.
+	submit("hold", "", 0)
+	<-blockerStarted
+	for i := int64(1); i <= 4; i++ {
+		submit("batcher", PriorityBatch, i)
+	}
+	for i := int64(1); i <= 4; i++ {
+		submit("clicker", PriorityInteractive, i)
+	}
+	close(gate)
+	if err := sched.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(order) != 8 {
+		t.Fatalf("ran %d contest jobs, want 8: %v", len(order), order)
+	}
+	last := -1
+	for i, tenant := range order {
+		if tenant == "clicker" {
+			last = i
+		}
+	}
+	// With batch cost 4 vs interactive cost 1, every interactive job
+	// dispatches within the first five slots; FIFO would leave them in
+	// the last four.
+	if last > 4 {
+		t.Errorf("interactive job dispatched at position %d of %v, want all within first 5", last, order)
+	}
+}
+
+// TestCacheDisabledByDefault: the zero Config neither caches nor
+// coalesces — every identical submission runs.
+func TestCacheDisabledByDefault(t *testing.T) {
+	var runs int32
+	sched := newScheduler(Config{Workers: 1, QueueDepth: 8},
+		func(ctx context.Context, j *Job) {
+			atomic.AddInt32(&runs, 1)
+			j.finish(StateDone, "")
+		})
+	defer sched.Close()
+	for i := 0; i < 3; i++ {
+		j, err := sched.Submit(stubReq())
+		if err != nil {
+			t.Fatal(err)
+		}
+		<-j.Done()
+		if j.snapshot().Cached {
+			t.Fatal("cache-disabled scheduler served a cached job")
+		}
+	}
+	if got := atomic.LoadInt32(&runs); got != 3 {
+		t.Fatalf("%d runs for 3 submissions with caching off, want 3", got)
+	}
+	if _, ok := sched.CacheStats(); ok {
+		t.Error("CacheStats reports enabled with CacheEntries 0")
+	}
+}
+
+// TestCacheLRUEviction: the cache holds at most CacheEntries entries
+// and evicts least-recently-used first.
+func TestCacheLRUEviction(t *testing.T) {
+	c := newResultCache(2)
+	c.putJob("a", &jobResultEntry{})
+	c.putJob("b", &jobResultEntry{})
+	if _, ok := c.getJob("a"); !ok { // bump a; b is now LRU
+		t.Fatal("entry a missing")
+	}
+	c.putJob("c", &jobResultEntry{})
+	if _, ok := c.getJob("b"); ok {
+		t.Fatal("LRU entry b survived eviction")
+	}
+	if _, ok := c.getJob("a"); !ok {
+		t.Fatal("recently used entry a was evicted")
+	}
+	st := c.Stats()
+	if st.Entries != 2 || st.Evictions != 1 {
+		t.Errorf("stats %+v, want 2 entries, 1 eviction", st)
+	}
+}
+
+// TestCoalescedFollowerMirrorsCancel: followers of a cancelled leader
+// report cancelled, not done, and a follower cancelled on its own is
+// not resurrected by the leader finishing.
+func TestCoalescedFollowerMirrorsCancel(t *testing.T) {
+	started := make(chan *Job, 1)
+	proceed := make(chan struct{})
+	sched := newScheduler(Config{Workers: 1, QueueDepth: 4, CacheEntries: 64},
+		func(ctx context.Context, j *Job) {
+			started <- j
+			<-proceed
+			<-ctx.Done()
+			j.finish(StateCancelled, ctx.Err().Error())
+		})
+	defer sched.Close()
+
+	leader, err := sched.Submit(stubReq())
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	follower, err := sched.Submit(stubReq())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if follower == leader {
+		t.Fatal("second submission was not a distinct job")
+	}
+	leader.requestCancel()
+	close(proceed)
+	<-leader.Done()
+	<-follower.Done()
+	if st := follower.snapshot().State; st != StateCancelled {
+		t.Fatalf("follower of cancelled leader ended %s, want cancelled", st)
+	}
+}
+
+// TestSubmitError500HTTP: an internal (non-validation) submit failure
+// surfaces as 500, not 400 — pinned through a request that passes
+// Validate but whose experiment the HTTP layer cannot classify as a
+// client mistake. Exercised directly against submitErrorStatus in
+// server_test.go; here we confirm the full HTTP path keeps 400 for
+// validation and never mislabels sentinel-free errors.
+func TestSubmitStatusTaxonomyHTTP(t *testing.T) {
+	_, ts := testServer(t, Config{Workers: 1, QueueDepth: 2}, func(ctx context.Context, j *Job) {
+		j.finish(StateDone, "")
+	})
+	resp := postJSON(t, ts.URL+"/v1/jobs", `{"type":"experiment","experiment":"area","priority":"urgent"}`)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("invalid priority: status %d, want 400", resp.StatusCode)
+	}
+	resp = postJSON(t, ts.URL+"/v1/jobs", `{"type":"experiment","experiment":"area","quick":true,"tenant":"t1","priority":"batch"}`)
+	view := decodeView(t, resp)
+	if resp.StatusCode != http.StatusAccepted || view.Tenant != "t1" || view.Priority != PriorityBatch {
+		t.Errorf("tenant submit: status %d view %+v", resp.StatusCode, view)
+	}
+}

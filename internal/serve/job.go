@@ -16,6 +16,8 @@
 package serve
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
 	"sync"
 	"time"
@@ -51,6 +53,15 @@ const (
 	JobObserved = "observed"
 )
 
+// Priorities bias the weighted-fair scheduler: within a tenant's
+// queue, order stays FIFO, but a batch job costs 4x an interactive
+// one to dispatch, so under contention interactive work across tenants
+// dequeues first. Empty means interactive.
+const (
+	PriorityInteractive = "interactive"
+	PriorityBatch       = "batch"
+)
+
 // JobRequest is the submit payload (POST /v1/jobs body).
 type JobRequest struct {
 	// Type is "experiment" or "observed".
@@ -71,46 +82,88 @@ type JobRequest struct {
 	FaultRate     float64 `json:"faultRate,omitempty"`
 	FaultWindowUs float64 `json:"faultWindowUs,omitempty"`
 	FaultLoss     float64 `json:"faultLoss,omitempty"`
+	// Tenant names the submitting tenant for admission control (its
+	// own bounded queue and token bucket). Empty is the default tenant.
+	// Tenancy never affects results, only scheduling.
+	Tenant string `json:"tenant,omitempty"`
+	// Priority is "interactive" (default) or "batch"; see the priority
+	// constants. Like Tenant, it only biases scheduling.
+	Priority string `json:"priority,omitempty"`
 }
 
 // Validate rejects requests admission should never accept: unknown
 // types, unresolvable experiment IDs, negative budgets, or fault knobs
-// on job types that cannot honour them.
+// on job types that cannot honour them. Every error it returns matches
+// ErrBadRequest (errors.Is), which is what routes it to HTTP 400; an
+// error from any other Submit stage deliberately does not.
 func (r JobRequest) Validate() error {
 	switch r.Type {
 	case JobExperiment:
 		if r.Experiment == "" {
-			return fmt.Errorf("serve: experiment job needs an experiment ID (see GET /v1/experiments)")
+			return badRequestf("serve: experiment job needs an experiment ID (see GET /v1/experiments)")
 		}
 		if _, ok := experiments.Registry[r.Experiment]; !ok {
-			return fmt.Errorf("serve: unknown experiment %q", r.Experiment)
+			return badRequestf("serve: unknown experiment %q", r.Experiment)
 		}
 		if r.FaultRate != 0 || r.FaultWindowUs != 0 || r.FaultLoss != 0 {
-			return fmt.Errorf("serve: fault injection knobs only apply to observed jobs")
+			return badRequestf("serve: fault injection knobs only apply to observed jobs")
 		}
 		if r.Requests < 0 {
-			return fmt.Errorf("serve: requests must be non-negative, got %d", r.Requests)
+			return badRequestf("serve: requests must be non-negative, got %d", r.Requests)
 		}
 	case JobObserved:
 		if r.Experiment != "" {
-			return fmt.Errorf("serve: observed jobs take no experiment ID")
+			return badRequestf("serve: observed jobs take no experiment ID")
 		}
 		if err := r.observedParams().Validate(); err != nil {
-			return err
+			return badRequestf("%s", err)
 		}
 		if r.FaultWindowUs < 0 {
-			return fmt.Errorf("serve: faultWindowUs must be non-negative, got %v", r.FaultWindowUs)
+			return badRequestf("serve: faultWindowUs must be non-negative, got %v", r.FaultWindowUs)
 		}
 	default:
-		return fmt.Errorf("serve: job type must be %q or %q, got %q", JobExperiment, JobObserved, r.Type)
+		return badRequestf("serve: job type must be %q or %q, got %q", JobExperiment, JobObserved, r.Type)
 	}
 	if r.Parallelism < 0 {
-		return fmt.Errorf("serve: parallelism must be non-negative, got %d", r.Parallelism)
+		return badRequestf("serve: parallelism must be non-negative, got %d", r.Parallelism)
 	}
 	if r.Shards < 0 {
-		return fmt.Errorf("serve: shards must be non-negative, got %d", r.Shards)
+		return badRequestf("serve: shards must be non-negative, got %d", r.Shards)
+	}
+	switch r.Priority {
+	case "", PriorityInteractive, PriorityBatch:
+	default:
+		return badRequestf("serve: priority must be %q or %q, got %q", PriorityInteractive, PriorityBatch, r.Priority)
 	}
 	return nil
+}
+
+// resultKey is the content-addressed identity of the job's result:
+// two requests with equal keys produce byte-identical values, lines,
+// and artifacts, so the scheduler caches and coalesces on it. The key
+// covers only result-affecting parameters — Parallelism and Shards are
+// execution knobs that provably never change bytes (the sharded-vs-
+// serial equivalence suite), Tenant/Priority only steer scheduling,
+// and the daemon-level Check flag is observe-only — so a sharded
+// resubmission hits the entry a serial run populated. Observed jobs
+// key off the built RunSpec's HashResult (requests/quick normalization
+// happens inside BuildObserved); experiment jobs hash their raw
+// parameter tuple. Empty means "not cacheable" (never the case for a
+// validated request).
+func (r JobRequest) resultKey() string {
+	switch r.Type {
+	case JobExperiment:
+		sum := sha256.Sum256([]byte(fmt.Sprintf("experiment|%s|requests=%d|seed=%d|quick=%t",
+			r.Experiment, r.Requests, r.Seed, r.Quick)))
+		return "job|exp|" + hex.EncodeToString(sum[:])
+	case JobObserved:
+		spec, _, err := workload.BuildObserved(r.observedParams())
+		if err != nil {
+			return ""
+		}
+		return "job|obs|" + spec.HashResult()
+	}
+	return ""
 }
 
 // observedParams maps the wire request onto the shared observed-run
@@ -160,11 +213,17 @@ type JobView struct {
 	ID         string   `json:"id"`
 	Type       string   `json:"type"`
 	Experiment string   `json:"experiment,omitempty"`
+	Tenant     string   `json:"tenant,omitempty"`
+	Priority   string   `json:"priority,omitempty"`
 	State      JobState `json:"state"`
 	Error      string   `json:"error,omitempty"`
 	CellsDone  int      `json:"cellsDone"`
+	// Cached marks a job served from the content-addressed result
+	// cache (directly or by coalescing onto an identical in-flight
+	// run) instead of executing.
+	Cached bool `json:"cached"`
 	// Artifacts lists downloadable exports once the job is done
-	// (observed jobs only).
+	// (observed jobs only, whether run or served from cache).
 	Artifacts   []string  `json:"artifacts,omitempty"`
 	SubmittedAt time.Time `json:"submittedAt"`
 	StartedAt   time.Time `json:"startedAt,omitempty"`
@@ -177,6 +236,11 @@ type Job struct {
 	ID  string
 	Req JobRequest
 
+	// flightKey is the job's content-addressed result key when it was
+	// admitted as a cacheable leader ("" otherwise). Written once under
+	// the scheduler lock before the job is queued; read-only after.
+	flightKey string
+
 	mu              sync.Mutex
 	state           JobState
 	errMsg          string
@@ -186,6 +250,11 @@ type Job struct {
 	values          map[string]float64
 	lines           []string
 	sink            *obs.Sink
+	// cached marks completion from the result cache; cachedArtifacts
+	// then holds the rendered artifact bytes (shared read-only with the
+	// cache entry) in place of a sink.
+	cached          bool
+	cachedArtifacts map[obs.Artifact][]byte
 	events          []Event
 	// updated is closed and replaced on every emit, so progress
 	// streamers can wait for new events without polling.
@@ -281,6 +350,53 @@ func (j *Job) requestCancel() {
 	}
 }
 
+// completeCached finishes the job from a cache entry, emitting the
+// same started/done event sequence a run would so the progress-stream
+// contract (EOF after the "done" event) holds for cached jobs. The
+// entry's maps and artifact bytes are shared read-only — entries are
+// immutable and every accessor copies values on the way out. A job
+// already terminal (e.g. a coalesced follower cancelled while its
+// leader ran) is left untouched.
+func (j *Job) completeCached(e *jobResultEntry) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state.Terminal() {
+		return
+	}
+	if j.state == StateQueued {
+		j.state = StateRunning
+		j.started = time.Now()
+		j.appendEvent(Event{Event: "started"})
+	}
+	j.cached = true
+	j.values = e.values
+	j.lines = e.lines
+	j.cachedArtifacts = e.artifacts
+	j.finishLocked(StateDone, "")
+}
+
+// outcome reads the terminal state and error for flight settlement.
+func (j *Job) outcome() (JobState, string) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state, j.errMsg
+}
+
+// cacheEntry renders a successful job's outputs into an immutable
+// cache entry (nil unless the job is done).
+func (j *Job) cacheEntry() *jobResultEntry {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != StateDone {
+		return nil
+	}
+	if j.cached {
+		// Already served from cache; reshare the same immutable data.
+		return &jobResultEntry{values: j.values, lines: j.lines, artifacts: j.cachedArtifacts}
+	}
+	return renderEntry(j.values, j.lines, j.sink)
+}
+
 // cellDone is the experiments.Options.OnCell hook; it runs on sweep
 // worker goroutines.
 func (j *Job) cellDone(ev experiments.CellEvent) {
@@ -311,14 +427,17 @@ func (j *Job) snapshot() JobView {
 		ID:          j.ID,
 		Type:        j.Req.Type,
 		Experiment:  j.Req.Experiment,
+		Tenant:      j.Req.Tenant,
+		Priority:    j.Req.Priority,
 		State:       j.state,
 		Error:       j.errMsg,
 		CellsDone:   j.cellsDone,
+		Cached:      j.cached,
 		SubmittedAt: j.submitted,
 		StartedAt:   j.started,
 		FinishedAt:  j.finished,
 	}
-	if j.state == StateDone && j.sink != nil {
+	if j.state == StateDone && (j.sink != nil || len(j.cachedArtifacts) > 0) {
 		for _, a := range obs.Artifacts() {
 			v.Artifacts = append(v.Artifacts, string(a))
 		}
@@ -349,11 +468,13 @@ func (j *Job) results() (map[string]float64, []string, JobState) {
 	return vals, append([]string(nil), j.lines...), j.state
 }
 
-// artifactSink returns the observability sink once the job is done.
-func (j *Job) artifactSink() (*obs.Sink, JobState) {
+// artifactSource returns where artifact bytes come from: a live sink
+// (cold run) or pre-rendered cache bytes (cached completion). At most
+// one is non-nil.
+func (j *Job) artifactSource() (*obs.Sink, map[obs.Artifact][]byte, JobState) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	return j.sink, j.state
+	return j.sink, j.cachedArtifacts, j.state
 }
 
 // Done exposes the terminal-state channel (closed when finished).

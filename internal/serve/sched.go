@@ -1,15 +1,30 @@
-// The in-process job scheduler: a bounded admission queue feeding a
-// fixed worker pool, with per-job cancellation and graceful drain.
-// Admission control is strict — a full queue rejects immediately with
-// ErrQueueFull (the HTTP layer maps it to 429 + Retry-After) instead
-// of queueing unboundedly, which is what keeps a daemon under heavy
-// traffic from accumulating hours of simulation backlog.
+// The in-process job scheduler: per-tenant bounded admission queues
+// feeding a fixed worker pool via weighted-fair (deficit round-robin)
+// dequeue, with per-job cancellation, graceful drain, per-tenant token
+// buckets, and a content-addressed result cache with singleflight
+// coalescing (cache.go).
+//
+// Admission control is strict — a tenant's full queue rejects
+// immediately with ErrQueueFull and an exhausted token bucket with
+// *RateLimitError (the HTTP layer maps both to 429 + Retry-After)
+// instead of queueing unboundedly, which is what keeps a daemon under
+// heavy traffic from accumulating hours of simulation backlog. Both
+// bounds are per tenant: one tenant hammering its bucket or filling
+// its queue never delays another tenant's admission, and the
+// weighted-fair dequeue keeps one tenant's deep batch backlog from
+// starving another's interactive jobs.
+//
+// The zero-value knobs opt out: CacheEntries <= 0 disables caching and
+// coalescing, TenantRate <= 0 disables rate limiting, and every
+// request without a tenant falls into the "" tenant — so a zero
+// Config behaves exactly like the original single-queue scheduler.
 package serve
 
 import (
 	"context"
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
@@ -19,30 +34,73 @@ import (
 
 // Admission errors; the HTTP layer maps them to status codes.
 var (
-	// ErrQueueFull means the bounded queue is at capacity (HTTP 429).
+	// ErrQueueFull means the submitting tenant's bounded queue is at
+	// capacity (HTTP 429).
 	ErrQueueFull = errors.New("serve: job queue full")
 	// ErrDraining means the scheduler is shutting down (HTTP 503).
 	ErrDraining = errors.New("serve: scheduler draining, not accepting jobs")
 	// ErrNotFound means no job has the requested ID (HTTP 404).
 	ErrNotFound = errors.New("serve: no such job")
+	// ErrBadRequest is the sentinel all request-validation errors match
+	// via errors.Is (HTTP 400). Errors that do NOT match it — and are
+	// not one of the sentinels above — are internal failures and map to
+	// 500, never 400.
+	ErrBadRequest = errors.New("serve: invalid job request")
 )
+
+// requestError is a validation failure: errors.Is(err, ErrBadRequest)
+// holds for every error built with badRequestf.
+type requestError struct{ msg string }
+
+func (e *requestError) Error() string        { return e.msg }
+func (e *requestError) Is(target error) bool { return target == ErrBadRequest }
+
+// badRequestf builds a client-error (HTTP 400) validation failure.
+func badRequestf(format string, args ...any) error {
+	return &requestError{msg: fmt.Sprintf(format, args...)}
+}
+
+// RateLimitError reports token-bucket exhaustion for one tenant; the
+// HTTP layer maps it to 429 with the per-tenant Retry-After.
+type RateLimitError struct {
+	// Tenant is the rejected tenant ("" is the default tenant).
+	Tenant string
+	// RetryAfter is when the bucket will next hold a full token.
+	RetryAfter time.Duration
+}
+
+func (e *RateLimitError) Error() string {
+	return fmt.Sprintf("serve: tenant %q rate limited; retry in %s", e.Tenant, e.RetryAfter)
+}
 
 // Config sizes the scheduler.
 type Config struct {
 	// Workers bounds concurrently running jobs; <= 0 means 2.
 	Workers int
 	// QueueDepth bounds jobs admitted but not yet picked up by a
-	// worker; <= 0 means 8. Submissions beyond it fail with
+	// worker, per tenant; <= 0 means 8. Submissions beyond it fail with
 	// ErrQueueFull.
 	QueueDepth int
-	// RetryAfter is the backoff hint returned with 429/503 responses;
-	// <= 0 means 1s.
+	// RetryAfter is the backoff hint returned with queue-full/draining
+	// responses; <= 0 means 1s. (Rate-limit rejections compute their
+	// own per-tenant Retry-After from the bucket instead.)
 	RetryAfter time.Duration
 	// Check attaches the runtime invariant checker to every job the
 	// daemon runs (the -check flag). Checking never changes job values
 	// or artifact bytes; a violated invariant fails the job with a
 	// structured error instead.
 	Check bool
+	// CacheEntries bounds the content-addressed result cache (completed
+	// jobs and sweep cells share the bound; see cache.go). <= 0
+	// disables caching AND singleflight coalescing: every submission
+	// runs, exactly the pre-cache behavior.
+	CacheEntries int
+	// TenantRate is the per-tenant token-bucket refill rate in
+	// submissions per second; <= 0 disables rate limiting entirely.
+	TenantRate float64
+	// TenantBurst is the bucket capacity (tokens a previously idle
+	// tenant can spend at once); <= 0 means 8 when TenantRate is set.
+	TenantBurst int
 }
 
 func (c Config) withDefaults() Config {
@@ -55,7 +113,45 @@ func (c Config) withDefaults() Config {
 	if c.RetryAfter <= 0 {
 		c.RetryAfter = time.Second
 	}
+	if c.TenantRate > 0 && c.TenantBurst <= 0 {
+		c.TenantBurst = 8
+	}
 	return c
+}
+
+// tenantState is one tenant's admission state: its FIFO of queued
+// jobs, its deficit-round-robin credit, and its token bucket. All
+// fields are guarded by the scheduler mutex.
+type tenantState struct {
+	name string
+	fifo []*Job
+	// deficit is the DRR credit in cost units; a visit credits one
+	// quantum and a dispatch debits the job's cost (see jobCost).
+	deficit int
+	// Token bucket (TenantRate/TenantBurst). tokens lazily refills on
+	// each admission attempt; inited distinguishes a fresh (full)
+	// bucket from a drained one.
+	tokens     float64
+	lastRefill time.Time
+	inited     bool
+}
+
+// flight is one in-flight cacheable run: the leader executes, the
+// followers coalesced onto it and complete from its outcome without
+// ever occupying a queue slot or a worker.
+type flight struct {
+	leader    *Job
+	followers []*Job
+}
+
+// jobCost is the DRR cost of dispatching a job: batch jobs weigh 4x an
+// interactive one, so under contention a tenant's interactive work
+// dispatches ~4x as often per unit of credit.
+func jobCost(j *Job) int {
+	if j.Req.Priority == PriorityBatch {
+		return 4
+	}
+	return 1
 }
 
 // Scheduler admits, runs, cancels, and drains jobs.
@@ -63,14 +159,22 @@ type Scheduler struct {
 	cfg        Config
 	root       context.Context
 	rootCancel context.CancelFunc
-	queue      chan *Job
 	wg         sync.WaitGroup
+	cache      *resultCache // nil when CacheEntries <= 0
 
-	mu       sync.Mutex
-	jobs     map[string]*Job
-	order    []string
-	draining bool
-	nextID   int64
+	mu         sync.Mutex
+	cond       *sync.Cond // signals workers when work or drain arrives
+	jobs       map[string]*Job
+	order      []string
+	draining   bool
+	nextID     int64
+	tenants    map[string]*tenantState
+	lastTenant string // DRR cursor: iteration resumes after this name
+	flights    map[string]*flight
+
+	// now is the clock, injectable so token-bucket tests can step time
+	// deterministically.
+	now func() time.Time
 
 	// runJob executes one started job; tests swap it for a stub to
 	// exercise admission/cancel/drain without real simulations.
@@ -92,8 +196,14 @@ func newScheduler(cfg Config, runFn func(ctx context.Context, j *Job)) *Schedule
 		cfg:        cfg,
 		root:       root,
 		rootCancel: cancel,
-		queue:      make(chan *Job, cfg.QueueDepth),
 		jobs:       map[string]*Job{},
+		tenants:    map[string]*tenantState{},
+		flights:    map[string]*flight{},
+		now:        time.Now,
+	}
+	s.cond = sync.NewCond(&s.mu)
+	if cfg.CacheEntries > 0 {
+		s.cache = newResultCache(cfg.CacheEntries)
 	}
 	s.runJob = s.execute
 	if runFn != nil {
@@ -109,23 +219,153 @@ func newScheduler(cfg Config, runFn func(ctx context.Context, j *Job)) *Schedule
 // Config returns the effective (defaulted) configuration.
 func (s *Scheduler) Config() Config { return s.cfg }
 
+// CacheStats snapshots the result cache ("ok" false when caching is
+// disabled).
+func (s *Scheduler) CacheStats() (CacheStats, bool) {
+	if s.cache == nil {
+		return CacheStats{}, false
+	}
+	return s.cache.Stats(), true
+}
+
 func (s *Scheduler) worker() {
 	defer s.wg.Done()
-	for j := range s.queue {
-		ctx, cancel := context.WithCancel(s.root)
-		if !j.start(cancel) {
-			// Cancelled while queued; nothing to run.
-			cancel()
-			continue
+	for {
+		j := s.next()
+		if j == nil {
+			return
 		}
-		s.runJob(ctx, j)
+		ctx, cancel := context.WithCancel(s.root)
+		if j.start(cancel) {
+			s.runJob(ctx, j)
+		}
 		cancel()
+		s.settle(j)
 	}
 }
 
-// Submit validates and admits one job. It never blocks: a full queue
-// returns ErrQueueFull, a draining scheduler ErrDraining, and a
-// malformed request its validation error.
+// next blocks until a job is dispatchable (returning it) or the
+// scheduler is draining with nothing queued (returning nil, which
+// exits the worker).
+func (s *Scheduler) next() *Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		if j := s.pickLocked(); j != nil {
+			return j
+		}
+		if s.draining {
+			return nil
+		}
+		s.cond.Wait()
+	}
+}
+
+// pickLocked runs deficit round-robin over the tenants that have
+// queued jobs: tenant names iterate in sorted order starting after the
+// last-served tenant, each visit credits one quantum, and the first
+// head whose cost is covered dispatches. Rotations repeat until a job
+// dispatches (credit grows every rotation, so a rotation count bounded
+// by the maximum job cost suffices) or no tenant has anything queued.
+// Requires mu.
+func (s *Scheduler) pickLocked() *Job {
+	active := make([]*tenantState, 0, len(s.tenants))
+	for _, t := range s.tenants {
+		if len(t.fifo) > 0 {
+			active = append(active, t)
+		}
+	}
+	if len(active) == 0 {
+		return nil
+	}
+	sort.Slice(active, func(i, k int) bool { return active[i].name < active[k].name })
+	start := 0
+	for i, t := range active {
+		if t.name > s.lastTenant {
+			start = i
+			break
+		}
+	}
+	for {
+		for i := 0; i < len(active); i++ {
+			t := active[(start+i)%len(active)]
+			t.deficit++
+			if c := jobCost(t.fifo[0]); t.deficit >= c {
+				t.deficit -= c
+				j := t.fifo[0]
+				t.fifo = t.fifo[1:]
+				if len(t.fifo) == 0 {
+					// Classic DRR: an emptied queue forfeits its credit,
+					// so an idle tenant cannot bank an unbounded burst.
+					t.deficit = 0
+				}
+				s.lastTenant = t.name
+				return j
+			}
+		}
+	}
+}
+
+// tenantLocked returns (creating on first use) a tenant's state.
+// Requires mu.
+func (s *Scheduler) tenantLocked(name string) *tenantState {
+	t := s.tenants[name]
+	if t == nil {
+		t = &tenantState{name: name}
+		s.tenants[name] = t
+	}
+	return t
+}
+
+// admitLocked charges one token from the tenant's bucket, refilling
+// lazily from elapsed time. Requires mu.
+func (s *Scheduler) admitLocked(t *tenantState) error {
+	if s.cfg.TenantRate <= 0 {
+		return nil
+	}
+	now := s.now()
+	if !t.inited {
+		t.tokens = float64(s.cfg.TenantBurst)
+		t.inited = true
+	} else {
+		t.tokens += now.Sub(t.lastRefill).Seconds() * s.cfg.TenantRate
+		if max := float64(s.cfg.TenantBurst); t.tokens > max {
+			t.tokens = max
+		}
+	}
+	t.lastRefill = now
+	if t.tokens >= 1 {
+		t.tokens--
+		return nil
+	}
+	wait := time.Duration((1 - t.tokens) / s.cfg.TenantRate * float64(time.Second))
+	return &RateLimitError{Tenant: t.name, RetryAfter: wait}
+}
+
+// registerLocked assigns the next job ID and records the job; only
+// accepted submissions reach it, so rejections never burn IDs.
+// Requires mu.
+func (s *Scheduler) registerLocked(req JobRequest) *Job {
+	s.nextID++
+	j := newJob(fmt.Sprintf("job-%d", s.nextID), req)
+	s.jobs[j.ID] = j
+	s.order = append(s.order, j.ID)
+	return j
+}
+
+// Submit validates and admits one job. It never blocks. Outcomes, in
+// evaluation order:
+//
+//   - a malformed request returns its validation error (matches
+//     ErrBadRequest);
+//   - a draining scheduler returns ErrDraining;
+//   - an exhausted tenant bucket returns *RateLimitError;
+//   - with caching on, a completed identical result completes the job
+//     synchronously from cache ("cached": true, no queue slot), and an
+//     in-flight identical run coalesces the job onto it as a follower
+//     (also no queue slot);
+//   - a full tenant queue returns ErrQueueFull;
+//   - otherwise the job enqueues on its tenant's FIFO.
 func (s *Scheduler) Submit(req JobRequest) (*Job, error) {
 	if err := req.Validate(); err != nil {
 		return nil, err
@@ -135,15 +375,73 @@ func (s *Scheduler) Submit(req JobRequest) (*Job, error) {
 	if s.draining {
 		return nil, ErrDraining
 	}
-	j := newJob(fmt.Sprintf("job-%d", s.nextID+1), req)
-	select {
-	case s.queue <- j:
-		s.nextID++
-		s.jobs[j.ID] = j
-		s.order = append(s.order, j.ID)
-		return j, nil
-	default:
+	t := s.tenantLocked(req.Tenant)
+	if err := s.admitLocked(t); err != nil {
+		return nil, err
+	}
+	var key string
+	if s.cache != nil {
+		key = req.resultKey()
+	}
+	if key != "" {
+		if e, ok := s.cache.getJob(key); ok {
+			j := s.registerLocked(req)
+			j.completeCached(e)
+			return j, nil
+		}
+		if f := s.flights[key]; f != nil {
+			s.cache.coalesced()
+			j := s.registerLocked(req)
+			f.followers = append(f.followers, j)
+			return j, nil
+		}
+	}
+	if len(t.fifo) >= s.cfg.QueueDepth {
 		return nil, ErrQueueFull
+	}
+	j := s.registerLocked(req)
+	j.flightKey = key
+	if key != "" {
+		s.flights[key] = &flight{leader: j}
+	}
+	t.fifo = append(t.fifo, j)
+	s.cond.Broadcast()
+	return j, nil
+}
+
+// settle closes out a dispatched job after its worker is done with it:
+// a successful cacheable leader publishes its result entry, and every
+// coalesced follower completes — from the entry on success, mirroring
+// the leader's terminal state otherwise (a follower of a cancelled or
+// failed run reports that same outcome; resubmitting starts fresh).
+// The entry is published and the flight retired under one lock
+// acquisition, so a concurrent Submit either sees the flight (and
+// coalesces) or sees the entry (and hits) — never neither.
+func (s *Scheduler) settle(j *Job) {
+	if j.flightKey == "" {
+		return
+	}
+	state, errMsg := j.outcome()
+	var entry *jobResultEntry
+	if state == StateDone {
+		entry = j.cacheEntry()
+	}
+	s.mu.Lock()
+	var followers []*Job
+	if f := s.flights[j.flightKey]; f != nil && f.leader == j {
+		delete(s.flights, j.flightKey)
+		followers = f.followers
+	}
+	if entry != nil {
+		s.cache.putJob(j.flightKey, entry)
+	}
+	s.mu.Unlock()
+	for _, fo := range followers {
+		if entry != nil {
+			fo.completeCached(entry)
+		} else {
+			fo.finish(state, errMsg)
+		}
 	}
 }
 
@@ -193,9 +491,9 @@ func (s *Scheduler) StartDrain() {
 		return
 	}
 	s.draining = true
-	// Submit sends only under mu after checking draining, so closing
-	// here cannot race a send.
-	close(s.queue)
+	// Wake every idle worker so it can observe the drain and exit once
+	// the tenant queues are empty.
+	s.cond.Broadcast()
 }
 
 // Drain closes admission and waits until every admitted job has
@@ -237,6 +535,14 @@ func (s *Scheduler) execute(ctx context.Context, j *Job) {
 		o.Ctx = ctx
 		o.OnCell = j.cellDone
 		o.Check = s.cfg.Check
+		if s.cache != nil && j.flightKey != "" {
+			// Per-cell memoization, namespaced under the job's result
+			// key so a cancelled sweep's completed cells are reusable
+			// on resubmission. Safe despite non-concurrency-safe cell
+			// values: singleflight guarantees one execution per key at
+			// a time (see cache.go).
+			o.Cache = cellCache{c: s.cache, prefix: "cell|" + j.flightKey + "|"}
+		}
 		res, err := experiments.Registry[j.Req.Experiment](o)
 		if err != nil {
 			j.finish(classify(ctx, err), err.Error())

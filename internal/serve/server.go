@@ -1,26 +1,33 @@
 // HTTP surface of the job daemon. Endpoints (all JSON):
 //
-//	POST   /v1/jobs                      submit  -> 202 JobView (429 + Retry-After when the queue is full)
+//	POST   /v1/jobs                      submit  -> 202 JobView (400 invalid, 429 + Retry-After
+//	                                               when the tenant's queue or token bucket is full,
+//	                                               503 draining, 500 internal)
 //	GET    /v1/jobs                      list    -> {"jobs":[JobView...]}
-//	GET    /v1/jobs/{id}                 status  -> JobView
+//	GET    /v1/jobs/{id}                 status  -> JobView ("cached": true when served from cache)
 //	POST   /v1/jobs/{id}/cancel         cancel  -> 202 JobView
 //	GET    /v1/jobs/{id}/values          results -> {"values":{...},"lines":[...]}
 //	GET    /v1/jobs/{id}/progress        NDJSON event stream until the job ends
 //	GET    /v1/jobs/{id}/artifacts/{kind} Chrome trace / JSON report, streamed
 //	GET    /v1/experiments               registered experiment IDs
+//	GET    /v1/cache                     result-cache stats ({"enabled":false} when off)
 //	GET    /healthz                      liveness + drain state
 //
 // Artifact and values bytes come straight from the same exporters the
 // CLI uses, so they are byte-identical to a local run with the same
-// parameters.
+// parameters — including when served from the result cache, which
+// stores the rendered bytes themselves.
 package serve
 
 import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
+	"math"
 	"net/http"
 	"strconv"
+	"time"
 
 	"accelflow/internal/experiments"
 	"accelflow/internal/obs"
@@ -30,11 +37,14 @@ import (
 type Server struct {
 	sched *Scheduler
 	mux   *http.ServeMux
+	// heartbeat is the progress-stream keep-alive interval (see
+	// handleProgress); SetHeartbeat overrides the 15s default.
+	heartbeat time.Duration
 }
 
 // NewServer builds the route table.
 func NewServer(sched *Scheduler) *Server {
-	s := &Server{sched: sched, mux: http.NewServeMux()}
+	s := &Server{sched: sched, mux: http.NewServeMux(), heartbeat: 15 * time.Second}
 	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	s.mux.HandleFunc("GET /v1/jobs", s.handleList)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
@@ -43,9 +53,15 @@ func NewServer(sched *Scheduler) *Server {
 	s.mux.HandleFunc("GET /v1/jobs/{id}/progress", s.handleProgress)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/artifacts/{kind}", s.handleArtifact)
 	s.mux.HandleFunc("GET /v1/experiments", s.handleExperiments)
+	s.mux.HandleFunc("GET /v1/cache", s.handleCache)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	return s
 }
+
+// SetHeartbeat overrides the progress-stream keep-alive interval (the
+// daemon's -heartbeat flag; tests shrink it). d <= 0 disables
+// heartbeats.
+func (s *Server) SetHeartbeat(d time.Duration) { s.heartbeat = d }
 
 // Handler returns the root handler for an http.Server.
 func (s *Server) Handler() http.Handler { return s.mux }
@@ -82,23 +98,47 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	j, err := s.sched.Submit(req)
-	switch {
-	case errors.Is(err, ErrQueueFull):
-		// Admission control: tell the client when to come back instead
-		// of letting the backlog grow.
-		w.Header().Set("Retry-After", s.retryAfterSeconds())
-		writeError(w, http.StatusTooManyRequests, err)
-		return
-	case errors.Is(err, ErrDraining):
-		w.Header().Set("Retry-After", s.retryAfterSeconds())
-		writeError(w, http.StatusServiceUnavailable, err)
-		return
-	case err != nil:
-		writeError(w, http.StatusBadRequest, err)
+	if err != nil {
+		code, retryAfter := submitErrorStatus(err)
+		if code == http.StatusTooManyRequests || code == http.StatusServiceUnavailable {
+			// Admission control: tell the client when to come back
+			// instead of letting the backlog grow.
+			if retryAfter == "" {
+				retryAfter = s.retryAfterSeconds()
+			}
+			w.Header().Set("Retry-After", retryAfter)
+		}
+		writeError(w, code, err)
 		return
 	}
 	w.Header().Set("Location", "/v1/jobs/"+j.ID)
 	writeJSON(w, http.StatusAccepted, j.snapshot())
+}
+
+// submitErrorStatus maps a Submit error to its HTTP status plus, for
+// rate-limit rejections, the per-tenant Retry-After seconds (empty
+// otherwise; the caller falls back to the configured hint for
+// queue-full/draining). Only errors matching ErrBadRequest are client
+// errors — anything unrecognized is an internal failure and surfaces
+// as 500, never 400.
+func submitErrorStatus(err error) (code int, retryAfter string) {
+	var rle *RateLimitError
+	switch {
+	case errors.As(err, &rle):
+		secs := int(math.Ceil(rle.RetryAfter.Seconds()))
+		if secs < 1 {
+			secs = 1
+		}
+		return http.StatusTooManyRequests, strconv.Itoa(secs)
+	case errors.Is(err, ErrQueueFull):
+		return http.StatusTooManyRequests, ""
+	case errors.Is(err, ErrDraining):
+		return http.StatusServiceUnavailable, ""
+	case errors.Is(err, ErrBadRequest):
+		return http.StatusBadRequest, ""
+	default:
+		return http.StatusInternalServerError, ""
+	}
 }
 
 func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
@@ -157,7 +197,17 @@ func (s *Server) handleValues(w http.ResponseWriter, r *http.Request) {
 // handleProgress streams the job's events as NDJSON (one JSON object
 // per line), flushing after every event, until the job reaches a
 // terminal state or the client goes away. Reading the stream to EOF is
-// therefore a completion barrier: the last line is the "done" event.
+// therefore a completion barrier: the last event line is the "done"
+// event.
+//
+// Stream contract: every job-event line carries an "event" field.
+// While the job is idle (a long simulation emits no cell events for a
+// while) the stream additionally emits a keep-alive line
+// {"type":"heartbeat"} every heartbeat interval and flushes it, so
+// proxies and load balancers with idle timeouts keep the connection
+// open. Heartbeats carry no job state, are not part of the event
+// sequence (no "seq"), and may appear between any two events —
+// clients must skip lines with a "type" field.
 func (s *Server) handleProgress(w http.ResponseWriter, r *http.Request) {
 	j := s.job(w, r)
 	if j == nil {
@@ -166,6 +216,12 @@ func (s *Server) handleProgress(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.WriteHeader(http.StatusOK)
 	flusher, _ := w.(http.Flusher)
+	var beat <-chan time.Time
+	if s.heartbeat > 0 {
+		t := time.NewTicker(s.heartbeat)
+		defer t.Stop()
+		beat = t.C
+	}
 	enc := json.NewEncoder(w)
 	enc.SetEscapeHTML(false)
 	next := 0
@@ -185,6 +241,13 @@ func (s *Server) handleProgress(w http.ResponseWriter, r *http.Request) {
 		}
 		select {
 		case <-more:
+		case <-beat:
+			if _, err := io.WriteString(w, "{\"type\":\"heartbeat\"}\n"); err != nil {
+				return
+			}
+			if flusher != nil {
+				flusher.Flush()
+			}
 		case <-r.Context().Done():
 			return
 		}
@@ -207,22 +270,35 @@ func (s *Server) handleArtifact(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, fmt.Errorf("serve: unknown artifact %q (want trace or report)", kind))
 		return
 	}
-	sink, state := j.artifactSink()
+	sink, cached, state := j.artifactSource()
 	if !state.Terminal() {
 		writeError(w, http.StatusConflict,
 			fmt.Errorf("serve: job %s is %s; artifacts are available once it finishes", j.ID, state))
 		return
 	}
-	if state != StateDone || sink == nil {
+	if state != StateDone || (sink == nil && cached[kind] == nil) {
 		writeError(w, http.StatusNotFound,
 			fmt.Errorf("serve: job %s has no %s artifact (only successful observed jobs export artifacts)", j.ID, kind))
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
 	w.Header().Set("Content-Disposition", fmt.Sprintf("attachment; filename=%s-%s.json", j.ID, kind))
-	// Streamed straight from the sink; exports are read-only, so
-	// concurrent downloads of the same job are safe.
-	_ = sink.WriteArtifact(kind, w)
+	if sink != nil {
+		// Streamed straight from the sink; exports are read-only, so
+		// concurrent downloads of the same job are safe.
+		_ = sink.WriteArtifact(kind, w)
+		return
+	}
+	// Cache-served job: the entry holds the exact bytes the exporter
+	// rendered when the cold run finished.
+	_, _ = w.Write(cached[kind])
+}
+
+// handleCache reports result-cache statistics; a daemon started
+// without -cache answers {"enabled": false} and zero stats.
+func (s *Server) handleCache(w http.ResponseWriter, r *http.Request) {
+	stats, ok := s.sched.CacheStats()
+	writeJSON(w, http.StatusOK, map[string]any{"enabled": ok, "stats": stats})
 }
 
 func (s *Server) handleExperiments(w http.ResponseWriter, r *http.Request) {

@@ -5,6 +5,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"io"
 	"net/http"
 	"net/http/httptest"
@@ -66,6 +67,11 @@ func drainProgress(t *testing.T, url string) []Event {
 	for sc.Scan() {
 		line := bytes.TrimSpace(sc.Bytes())
 		if len(line) == 0 {
+			continue
+		}
+		// Keep-alive lines are not job events; the stream contract says
+		// to skip them (see handleProgress).
+		if bytes.Contains(line, []byte(`"type":"heartbeat"`)) {
 			continue
 		}
 		var ev Event
@@ -419,5 +425,108 @@ func TestConcurrentArtifactDownloads(t *testing.T) {
 		if !bytes.Equal(got, want) {
 			t.Fatalf("concurrent download %d diverged (%d vs %d bytes)", i, len(got), len(want))
 		}
+	}
+}
+
+// TestProgressHeartbeat: while a job is idle (no new events), the
+// progress stream emits flushed {"type":"heartbeat"} keep-alive lines
+// so proxies with idle timeouts keep the connection open, and the
+// event sequence around them is undisturbed.
+func TestProgressHeartbeat(t *testing.T) {
+	release := make(chan struct{})
+	started := make(chan struct{}, 1)
+	sched := newScheduler(Config{Workers: 1, QueueDepth: 2},
+		func(ctx context.Context, j *Job) {
+			started <- struct{}{}
+			<-release
+			j.finish(StateDone, "")
+		})
+	api := NewServer(sched)
+	api.SetHeartbeat(20 * time.Millisecond)
+	ts := httptest.NewServer(api.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		sched.Close()
+	})
+
+	j, err := sched.Submit(stubReq())
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started
+
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + j.ID + "/progress")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	beats, events := 0, 0
+	released := false
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		if string(line) == `{"type":"heartbeat"}` {
+			beats++
+			// Two heartbeats with no job activity prove the keep-alive
+			// fires periodically, not just once; then let the job end.
+			if beats == 2 && !released {
+				released = true
+				close(release)
+			}
+			continue
+		}
+		var ev Event
+		if err := json.Unmarshal(line, &ev); err != nil {
+			t.Fatalf("progress line %q: %v", line, err)
+		}
+		if ev.Seq != events {
+			t.Errorf("event seq %d at position %d: heartbeats must not consume sequence numbers", ev.Seq, events)
+		}
+		events++
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if !released {
+		close(release)
+		t.Fatalf("stream ended after %d heartbeats, want 2 before release", beats)
+	}
+	if events < 3 { // queued, started, done
+		t.Errorf("%d job events, want >= 3", events)
+	}
+}
+
+// TestSubmitErrorStatus pins the submit error taxonomy: only
+// validation errors are 400s; unrecognized failures surface as 500,
+// and rate-limit rejections carry their own per-tenant Retry-After.
+func TestSubmitErrorStatus(t *testing.T) {
+	cases := []struct {
+		err        error
+		code       int
+		retryAfter string
+	}{
+		{badRequestf("serve: bad field"), http.StatusBadRequest, ""},
+		{ErrQueueFull, http.StatusTooManyRequests, ""},
+		{ErrDraining, http.StatusServiceUnavailable, ""},
+		{&RateLimitError{Tenant: "a", RetryAfter: 1400 * time.Millisecond}, http.StatusTooManyRequests, "2"},
+		{&RateLimitError{Tenant: "a", RetryAfter: 10 * time.Millisecond}, http.StatusTooManyRequests, "1"},
+		{errors.New("scheduler exploded"), http.StatusInternalServerError, ""},
+		{context.DeadlineExceeded, http.StatusInternalServerError, ""},
+	}
+	for _, c := range cases {
+		code, ra := submitErrorStatus(c.err)
+		if code != c.code || ra != c.retryAfter {
+			t.Errorf("submitErrorStatus(%v) = (%d, %q), want (%d, %q)", c.err, code, ra, c.code, c.retryAfter)
+		}
+	}
+	// Every Validate failure must map to 400 via the sentinel.
+	if err := (JobRequest{Type: "nope"}).Validate(); !errors.Is(err, ErrBadRequest) {
+		t.Errorf("Validate error %v does not match ErrBadRequest", err)
+	}
+	if err := (JobRequest{Type: JobExperiment, Experiment: "area", Priority: "urgent"}).Validate(); !errors.Is(err, ErrBadRequest) {
+		t.Errorf("priority validation error %v does not match ErrBadRequest", err)
 	}
 }

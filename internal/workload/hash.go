@@ -21,14 +21,26 @@ import (
 // without changing its results) and any runtime state (an Arrivals
 // value is hashed by its declared parameters, not its internal
 // phase). Shards IS included even though it never changes results —
-// the hash names the exact execution request, and cache consumers that
-// want result identity can normalize it before hashing.
+// the hash names the exact execution request; cache consumers that
+// want result identity use HashResult, which normalizes it away.
 //
 // The encoding is canonical: struct fields serialize in declaration
 // order via encoding/json, map-valued fields are emitted in sorted key
 // order, and every section is length- and label-delimited so field
 // boundaries cannot alias.
-func (s *RunSpec) Hash() string {
+func (s *RunSpec) Hash() string { return s.hash(s.Shards) }
+
+// HashResult is the spec's result identity: Hash with the Shards knob
+// normalized to zero. Shards selects an execution path and provably
+// never changes output bytes (TestShardsDoNotChangeResults pins every
+// registry experiment at shard counts 1/2/4/8), so two specs that
+// differ only in Shards produce bit-identical Values and artifacts.
+// Content-addressed result caches key off HashResult so a sharded
+// submission hits the cache entry a serial run populated and vice
+// versa; Hash remains the execution-request identity.
+func (s *RunSpec) HashResult() string { return s.hash(0) }
+
+func (s *RunSpec) hash(shards int) string {
 	h := sha256.New()
 	section(h, "config", mustJSON(s.Config))
 
@@ -60,7 +72,7 @@ func (s *RunSpec) Hash() string {
 		section(h, "arrivals", mustJSON(src.Arrivals))
 	}
 
-	fmt.Fprintf(h, "seed|%d\nshards|%d\n", s.Seed, s.Shards)
+	fmt.Fprintf(h, "seed|%d\nshards|%d\n", s.Seed, shards)
 
 	programs := s.Programs
 	if programs == nil {

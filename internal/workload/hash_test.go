@@ -65,6 +65,38 @@ func TestHashSensitivity(t *testing.T) {
 	}
 }
 
+// TestHashResultNormalizesShards: HashResult is invariant under the
+// Shards knob (which never changes result bytes) but still tracks
+// every genuine simulation input, and Hash keeps distinguishing shard
+// counts as distinct execution requests.
+func TestHashResultNormalizesShards(t *testing.T) {
+	ref := hashSpec()
+	refResult := ref.HashResult()
+	for _, shards := range []int{0, 1, 2, 4, 8} {
+		s := hashSpec()
+		s.Shards = shards
+		if s.HashResult() != refResult {
+			t.Errorf("Shards=%d moved HashResult; shards never change result bytes", shards)
+		}
+	}
+	sharded := hashSpec()
+	sharded.Shards = 4
+	if sharded.Hash() == ref.Hash() {
+		t.Error("Hash ignored Shards; it names the execution request")
+	}
+	if got := hashSpec().HashResult(); got != refResult {
+		t.Error("repeat HashResult of equal specs differs")
+	}
+	reseeded := hashSpec()
+	reseeded.Seed++
+	if reseeded.HashResult() == refResult {
+		t.Error("seed change did not move HashResult")
+	}
+	if zero := hashSpec(); zero.Hash() != zero.HashResult() {
+		t.Error("with Shards unset, Hash and HashResult must agree")
+	}
+}
+
 // TestHashArrivalTypeMatters: two arrival processes with identical
 // parameters but different laws are different workloads.
 func TestHashArrivalTypeMatters(t *testing.T) {
