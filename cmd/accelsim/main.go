@@ -11,6 +11,7 @@
 //	accelsim -exp fig11 -quick     # CI-sized run
 //	accelsim -trace t.json         # observed SocialNetwork run, Chrome trace
 //	accelsim -report r.json        # same run, structured JSON report
+//	accelsim -tune p99 -quick      # closed-loop design-space search
 //
 // Results are bit-identical at any -parallel value: every simulation
 // cell draws from an RNG stream derived from (seed, cell key), so the
@@ -18,86 +19,262 @@
 // for -shards, which routes each cell's simulation through the sharded
 // execution path (see internal/sim.Sharded): any shard count produces
 // the same bytes as the serial kernel.
+//
+// The -tune mode searches a bounded design space (chiplet plan, PE
+// provisioning, policy, queue depths, TCP timeout — set via the
+// -tune* space flags) for the configuration minimizing the given
+// objective (p99, energy, or costperf), printing one NDJSON line per
+// generation on stdout. -tunestate FILE snapshots the search after
+// every generation (atomically); -tuneresume continues from that
+// snapshot with a byte-identical trajectory to an uninterrupted run.
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"runtime"
+	"strconv"
 	"strings"
 	"time"
 
 	"accelflow/internal/experiments"
 	"accelflow/internal/sim"
+	"accelflow/internal/tune"
 	"accelflow/internal/workload"
 )
 
+// cliArgs collects every parsed flag so validation is a pure,
+// table-testable function instead of inline fatalfs.
+type cliArgs struct {
+	exp       string
+	n         int
+	seed      int64
+	quick     bool
+	parallel  int
+	faultRate float64
+	faultLoss float64
+	check     bool
+	shards    int
+
+	tune         string // objective; "" disables the mode
+	tuneStrategy string
+	tuneGens     int
+	tunePatience int
+	tuneSLO      float64
+	tuneLoad     float64
+	tuneState    string
+	tuneResume   bool
+	tuneOut      string
+	tuneChiplets string
+	tunePEs      string
+	tunePolicies string
+	tuneQueues   string
+	tuneTimeouts string
+}
+
+// validate rejects bad flag combinations up front: a bad value should
+// fail fast (exit 2) with a clear message, not surface as a late panic
+// or a silent zero run. Returns the first violation.
+func (a cliArgs) validate() error {
+	if a.faultRate < 0 {
+		return fmt.Errorf("-faults must be non-negative, got %v", a.faultRate)
+	}
+	if a.faultLoss < 0 || a.faultLoss > 1 {
+		return fmt.Errorf("-faultloss must be in [0,1], got %v", a.faultLoss)
+	}
+	if a.n <= 0 {
+		return fmt.Errorf("-n must be positive, got %d", a.n)
+	}
+	if a.parallel < 0 {
+		return fmt.Errorf("-parallel must be non-negative, got %d", a.parallel)
+	}
+	if a.shards < 0 {
+		return fmt.Errorf("-shards must be non-negative, got %d", a.shards)
+	}
+	if a.exp != "" && a.exp != "all" {
+		if _, ok := experiments.Registry[a.exp]; !ok {
+			return fmt.Errorf("unknown experiment %s\ntry -list", a.exp)
+		}
+	}
+	if a.tune == "" {
+		// Tune-only flags require the mode, so a typo like -tuneresume
+		// without -tune cannot silently run the wrong mode.
+		if a.tuneResume || a.tuneState != "" || a.tuneOut != "" {
+			return fmt.Errorf("-tunestate/-tuneresume/-tuneout require -tune <objective>")
+		}
+		return nil
+	}
+	if a.exp != "" {
+		return fmt.Errorf("-tune and -exp are separate modes; run them separately")
+	}
+	if a.tuneResume && a.tuneState == "" {
+		return fmt.Errorf("-tuneresume needs -tunestate FILE to resume from")
+	}
+	if a.tuneGens < 0 || a.tunePatience < 0 {
+		return fmt.Errorf("-tunegens and -tunepatience must be non-negative, got %d/%d", a.tuneGens, a.tunePatience)
+	}
+	if a.tuneSLO < 0 {
+		return fmt.Errorf("-tuneslo must be non-negative, got %v", a.tuneSLO)
+	}
+	if a.tuneLoad < 0 {
+		return fmt.Errorf("-tuneload must be non-negative, got %v", a.tuneLoad)
+	}
+	p, err := a.tuneParams()
+	if err != nil {
+		return err
+	}
+	return p.Validate()
+}
+
+// tuneParams maps the flags onto search parameters. The space comes
+// from the -tune* list flags; leaving them all empty selects
+// tune.DefaultSpace (three dimensions around the paper's base design).
+func (a cliArgs) tuneParams() (tune.Params, error) {
+	space := tune.DefaultSpace()
+	if a.tuneChiplets != "" || a.tunePEs != "" || a.tunePolicies != "" ||
+		a.tuneQueues != "" || a.tuneTimeouts != "" {
+		space = tune.SpaceSpec{Policies: splitList(a.tunePolicies)}
+		var err error
+		if space.Chiplets, err = parseInts("-tunechiplets", a.tuneChiplets); err != nil {
+			return tune.Params{}, err
+		}
+		if space.PEs, err = parseInts("-tunepes", a.tunePEs); err != nil {
+			return tune.Params{}, err
+		}
+		if space.QueueDepths, err = parseInts("-tunequeues", a.tuneQueues); err != nil {
+			return tune.Params{}, err
+		}
+		if space.TCPTimeoutUs, err = parseFloats("-tunetimeouts", a.tuneTimeouts); err != nil {
+			return tune.Params{}, err
+		}
+	}
+	return tune.Params{
+		Strategy:       a.tuneStrategy,
+		Objective:      a.tune,
+		Space:          space,
+		Seed:           a.seed,
+		Requests:       a.n,
+		LoadScale:      a.tuneLoad,
+		SLOUs:          a.tuneSLO,
+		MaxGenerations: a.tuneGens,
+		Patience:       a.tunePatience,
+		Quick:          a.quick,
+		Parallelism:    a.parallel,
+		Shards:         a.shards,
+		Check:          a.check,
+	}, nil
+}
+
+func splitList(s string) []string {
+	if s == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	for i := range parts {
+		parts[i] = strings.TrimSpace(parts[i])
+	}
+	return parts
+}
+
+func parseInts(flagName, s string) ([]int, error) {
+	var out []int
+	for _, p := range splitList(s) {
+		v, err := strconv.Atoi(p)
+		if err != nil {
+			return nil, fmt.Errorf("%s: bad value %q (want comma-separated integers)", flagName, p)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func parseFloats(flagName, s string) ([]float64, error) {
+	var out []float64
+	for _, p := range splitList(s) {
+		v, err := strconv.ParseFloat(p, 64)
+		if err != nil {
+			return nil, fmt.Errorf("%s: bad value %q (want comma-separated numbers)", flagName, p)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
 func main() {
+	var a cliArgs
 	var (
-		exp        = flag.String("exp", "", "experiment ID (see -list), or 'all'")
-		n          = flag.Int("n", 2500, "request budget per simulation")
-		seed       = flag.Int64("seed", 1, "RNG seed")
-		quick      = flag.Bool("quick", false, "shrink workloads for a fast pass")
-		parallel   = flag.Int("parallel", 0, "sweep worker count (0 = GOMAXPROCS); results are identical at any value")
 		list       = flag.Bool("list", false, "list experiment IDs")
 		timing     = flag.Bool("time", true, "report per-experiment and total wall clock on stderr")
 		tracePath  = flag.String("trace", "", "run an observed SocialNetwork mix and write a Chrome trace-event JSON to this file")
 		reportPath = flag.String("report", "", "run an observed SocialNetwork mix and write a structured JSON report to this file")
-		faultRate  = flag.Float64("faults", 0, "fault-window arrival rate in windows/s for the observed run (0 = off)")
 		faultWin   = flag.Duration("faultwindow", 200*time.Microsecond, "mean fault-window duration for -faults")
-		faultLoss  = flag.Float64("faultloss", 0, "remote-response loss rate override in [0,1] for the observed run")
-		check      = flag.Bool("check", false, "run with runtime invariant checking (same results; violations fail the run)")
-		shards     = flag.Int("shards", 0, "intra-run shard count for the sharded execution path (0/1 = serial kernel); results are identical at any value")
 	)
+	flag.StringVar(&a.exp, "exp", "", "experiment ID (see -list), or 'all'")
+	flag.IntVar(&a.n, "n", 2500, "request budget per simulation")
+	flag.Int64Var(&a.seed, "seed", 1, "RNG seed")
+	flag.BoolVar(&a.quick, "quick", false, "shrink workloads for a fast pass")
+	flag.IntVar(&a.parallel, "parallel", 0, "sweep worker count (0 = GOMAXPROCS); results are identical at any value")
+	flag.Float64Var(&a.faultRate, "faults", 0, "fault-window arrival rate in windows/s for the observed run (0 = off)")
+	flag.Float64Var(&a.faultLoss, "faultloss", 0, "remote-response loss rate override in [0,1] for the observed run")
+	flag.BoolVar(&a.check, "check", false, "run with runtime invariant checking (same results; violations fail the run)")
+	flag.IntVar(&a.shards, "shards", 0, "intra-run shard count for the sharded execution path (0/1 = serial kernel); results are identical at any value")
+	flag.StringVar(&a.tune, "tune", "", "run a design-space search for this objective: p99, energy, or costperf")
+	flag.StringVar(&a.tuneStrategy, "tunestrategy", "", "search strategy: hill (default) or anneal")
+	flag.IntVar(&a.tuneGens, "tunegens", 0, "max search generations (0 = default)")
+	flag.IntVar(&a.tunePatience, "tunepatience", 0, "stop after this many stagnant generations (0 = default)")
+	flag.Float64Var(&a.tuneSLO, "tuneslo", 0, "p99 SLO target in microseconds for the p99 objective (0 = default)")
+	flag.Float64Var(&a.tuneLoad, "tuneload", 0, "workload load scale for evaluations (0 = 1.0)")
+	flag.StringVar(&a.tuneState, "tunestate", "", "snapshot the search state to this file after every generation (atomic rename)")
+	flag.BoolVar(&a.tuneResume, "tuneresume", false, "resume the search from -tunestate instead of starting fresh")
+	flag.StringVar(&a.tuneOut, "tuneout", "", "write the final search result JSON to this file")
+	flag.StringVar(&a.tuneChiplets, "tunechiplets", "", "comma-separated chiplet plans to search (first = start)")
+	flag.StringVar(&a.tunePEs, "tunepes", "", "comma-separated PEs-per-accelerator levels to search")
+	flag.StringVar(&a.tunePolicies, "tunepolicies", "", "comma-separated policies to search (accelflow,relief,cohort,cpucentric,nonacc)")
+	flag.StringVar(&a.tuneQueues, "tunequeues", "", "comma-separated queue depths to search")
+	flag.StringVar(&a.tuneTimeouts, "tunetimeouts", "", "comma-separated TCP timeouts (us) to search")
 	flag.Parse()
 
-	// Validate flags up front: a bad value should fail fast with a
-	// clear message, not surface as a late panic or a silent zero run.
-	if *faultRate < 0 {
-		fatalf("-faults must be non-negative, got %v", *faultRate)
-	}
-	if *faultLoss < 0 || *faultLoss > 1 {
-		fatalf("-faultloss must be in [0,1], got %v", *faultLoss)
-	}
-	if *n <= 0 {
-		fatalf("-n must be positive, got %d", *n)
-	}
-	if *shards < 0 {
-		fatalf("-shards must be non-negative, got %d", *shards)
-	}
-	if *exp != "" && *exp != "all" {
-		if _, ok := experiments.Registry[*exp]; !ok {
-			fmt.Fprintf(os.Stderr, "unknown experiment %s\ntry -list\n", *exp)
-			os.Exit(2)
-		}
+	if err := a.validate(); err != nil {
+		fatalf("%v", err)
 	}
 
-	if *tracePath != "" || *reportPath != "" {
-		if err := observedRun(*tracePath, *reportPath, *seed, *n, *quick, *faultRate, *faultWin, *faultLoss, *check, *shards); err != nil {
+	if a.tune != "" {
+		if err := runTune(a); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		if *exp == "" {
+		return
+	}
+
+	if *tracePath != "" || *reportPath != "" {
+		if err := observedRun(*tracePath, *reportPath, a.seed, a.n, a.quick, a.faultRate, *faultWin, a.faultLoss, a.check, a.shards); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if a.exp == "" {
 			return
 		}
 	}
 
-	if *list || *exp == "" {
+	if *list || a.exp == "" {
 		fmt.Println("experiments:")
 		for _, id := range experiments.IDs() {
 			fmt.Printf("  %s\n", id)
 		}
-		if *exp == "" {
+		if a.exp == "" {
 			fmt.Println("\nrun with -exp <id> or -exp all")
 		}
 		return
 	}
 
-	opts := experiments.Options{Requests: *n, Seed: *seed, Quick: *quick, Parallelism: *parallel, Check: *check, Shards: *shards}
-	ids := []string{*exp}
-	if *exp == "all" {
+	opts := experiments.Options{Requests: a.n, Seed: a.seed, Quick: a.quick, Parallelism: a.parallel, Check: a.check, Shards: a.shards}
+	ids := []string{a.exp}
+	if a.exp == "all" {
 		ids = experiments.IDs()
 	}
 	start := time.Now()
@@ -122,11 +299,99 @@ func main() {
 	}
 	if *timing {
 		fmt.Fprintf(os.Stderr, "[total: %v wall clock, %d experiments, parallelism %d]\n",
-			total.Round(time.Millisecond), len(ids), effectiveParallelism(*parallel))
+			total.Round(time.Millisecond), len(ids), effectiveParallelism(a.parallel))
 	}
 	if failed > 0 {
 		os.Exit(1)
 	}
+}
+
+// runTune drives the closed-loop search: one NDJSON line per
+// generation on stdout ({"event":"generation",...}), a final
+// {"event":"result",...} line, optional atomic state snapshots for
+// kill/resume, and an optional result-JSON file.
+func runTune(a cliArgs) error {
+	p, err := a.tuneParams()
+	if err != nil {
+		return err
+	}
+	var st *tune.SearchState
+	if a.tuneResume {
+		data, err := os.ReadFile(a.tuneState)
+		if err != nil {
+			return fmt.Errorf("-tuneresume: %w", err)
+		}
+		if st, err = tune.LoadState(data, p); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "[tune: resuming from %s at generation %d]\n", a.tuneState, st.Gen)
+	}
+
+	enc := json.NewEncoder(os.Stdout)
+	var hookErr error
+	h := tune.Hooks{
+		OnGeneration: func(pr tune.Progress, state []byte) {
+			line := struct {
+				Event string `json:"event"`
+				tune.Progress
+			}{"generation", pr}
+			if err := enc.Encode(line); err != nil && hookErr == nil {
+				hookErr = err
+			}
+			if a.tuneState != "" {
+				if err := writeFileAtomic(a.tuneState, state); err != nil && hookErr == nil {
+					hookErr = err
+				}
+			}
+		},
+	}
+	res, err := tune.Run(context.Background(), p, st, h)
+	if err != nil {
+		return err
+	}
+	if hookErr != nil {
+		return hookErr
+	}
+	final := struct {
+		Event string `json:"event"`
+		*tune.Result
+	}{"result", res}
+	if err := enc.Encode(final); err != nil {
+		return err
+	}
+	if a.tuneOut != "" {
+		out, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := writeFileAtomic(a.tuneOut, append(out, '\n')); err != nil {
+			return err
+		}
+	}
+	fmt.Fprintf(os.Stderr, "[tune: %s/%s best %s score=%.3f after %d generations, %d evals (%d cached), converged=%t]\n",
+		res.Strategy, res.Objective, res.BestKey, res.BestScore,
+		res.Generations, res.Evals, res.CacheHits, res.Converged)
+	return nil
+}
+
+// writeFileAtomic writes via a temp file + rename so a kill mid-write
+// never leaves a torn snapshot — the resume contract depends on it.
+func writeFileAtomic(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
 }
 
 func effectiveParallelism(p int) int {

@@ -1,0 +1,127 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// goodArgs mirrors the flag defaults so each row mutates exactly one
+// thing.
+func goodArgs() cliArgs {
+	return cliArgs{n: 2500, seed: 1}
+}
+
+// TestValidateFlags pins the upfront-validation contract: every bad
+// flag value is rejected before any simulation work starts (main turns
+// the error into an exit-2 fatalf), and each message names the flag.
+func TestValidateFlags(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*cliArgs)
+		want string // error substring; "" = valid
+	}{
+		{"defaults", func(a *cliArgs) {}, ""},
+		{"known experiment", func(a *cliArgs) { a.exp = "area" }, ""},
+		{"all experiments", func(a *cliArgs) { a.exp = "all" }, ""},
+		{"negative faults", func(a *cliArgs) { a.faultRate = -1 }, "-faults"},
+		{"faultloss above one", func(a *cliArgs) { a.faultLoss = 1.5 }, "-faultloss"},
+		{"negative faultloss", func(a *cliArgs) { a.faultLoss = -0.1 }, "-faultloss"},
+		{"zero requests", func(a *cliArgs) { a.n = 0 }, "-n"},
+		{"negative requests", func(a *cliArgs) { a.n = -5 }, "-n"},
+		{"negative parallel", func(a *cliArgs) { a.parallel = -1 }, "-parallel"},
+		{"shards serial", func(a *cliArgs) { a.shards = 1; a.exp = "area" }, ""},
+		{"shards sharded", func(a *cliArgs) { a.shards = 4; a.exp = "area" }, ""},
+		{"negative shards", func(a *cliArgs) { a.shards = -2 }, "-shards"},
+		{"unknown experiment", func(a *cliArgs) { a.exp = "fig99" }, "unknown experiment"},
+
+		{"tune defaults", func(a *cliArgs) { a.tune = "p99" }, ""},
+		{"tune energy", func(a *cliArgs) { a.tune = "energy" }, ""},
+		{"tune costperf anneal", func(a *cliArgs) { a.tune = "costperf"; a.tuneStrategy = "anneal" }, ""},
+		{"tune custom space", func(a *cliArgs) {
+			a.tune = "p99"
+			a.tuneChiplets = "2,4"
+			a.tunePEs = "8, 12"
+			a.tunePolicies = "accelflow,relief"
+		}, ""},
+		{"tune state without resume", func(a *cliArgs) { a.tune = "p99"; a.tuneState = "s.json" }, ""},
+		{"tune resume with state", func(a *cliArgs) {
+			a.tune = "p99"
+			a.tuneState = "s.json"
+			a.tuneResume = true
+		}, ""},
+		{"unknown objective", func(a *cliArgs) { a.tune = "latency" }, "objective"},
+		{"unknown strategy", func(a *cliArgs) { a.tune = "p99"; a.tuneStrategy = "gradient" }, "strategy"},
+		{"tune with exp", func(a *cliArgs) { a.tune = "p99"; a.exp = "area" }, "separate modes"},
+		{"resume without state", func(a *cliArgs) { a.tune = "p99"; a.tuneResume = true }, "-tunestate"},
+		{"resume without tune", func(a *cliArgs) { a.tuneResume = true }, "-tune"},
+		{"state without tune", func(a *cliArgs) { a.tuneState = "s.json" }, "-tune"},
+		{"out without tune", func(a *cliArgs) { a.tuneOut = "r.json" }, "-tune"},
+		{"negative generations", func(a *cliArgs) { a.tune = "p99"; a.tuneGens = -1 }, "-tunegens"},
+		{"negative patience", func(a *cliArgs) { a.tune = "p99"; a.tunePatience = -1 }, "-tunegens and -tunepatience"},
+		{"negative slo", func(a *cliArgs) { a.tune = "p99"; a.tuneSLO = -100 }, "-tuneslo"},
+		{"negative load", func(a *cliArgs) { a.tune = "p99"; a.tuneLoad = -0.5 }, "-tuneload"},
+		{"bad chiplet list", func(a *cliArgs) { a.tune = "p99"; a.tuneChiplets = "2,x" }, "-tunechiplets"},
+		{"bad pes list", func(a *cliArgs) { a.tune = "p99"; a.tunePEs = "8,," }, "-tunepes"},
+		{"bad queue list", func(a *cliArgs) { a.tune = "p99"; a.tuneQueues = "64,big" }, "-tunequeues"},
+		{"bad timeout list", func(a *cliArgs) { a.tune = "p99"; a.tuneTimeouts = "1e4,soon" }, "-tunetimeouts"},
+		{"invalid chiplet plan", func(a *cliArgs) { a.tune = "p99"; a.tuneChiplets = "5" }, "chiplet plan"},
+		{"unknown policy", func(a *cliArgs) { a.tune = "p99"; a.tunePolicies = "fifo" }, "unknown policy"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			a := goodArgs()
+			tc.mut(&a)
+			err := a.validate()
+			if tc.want == "" {
+				if err != nil {
+					t.Fatalf("validate() = %v, want nil", err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("validate() = %v, want substring %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestTuneParamsSpaceSelection: all space flags empty selects the
+// default space; any set flag switches to the explicit space.
+func TestTuneParamsSpaceSelection(t *testing.T) {
+	a := goodArgs()
+	a.tune = "p99"
+	p, err := a.tuneParams()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Space.Chiplets) == 0 || len(p.Space.PEs) == 0 || len(p.Space.Policies) == 0 {
+		t.Fatalf("empty space flags should select the default space, got %+v", p.Space)
+	}
+
+	a.tuneChiplets = "1,2"
+	p, err = a.tuneParams()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Space.Chiplets) != 2 || p.Space.Chiplets[0] != 1 {
+		t.Fatalf("explicit -tunechiplets ignored: %+v", p.Space.Chiplets)
+	}
+	if len(p.Space.PEs) != 0 || len(p.Space.Policies) != 0 {
+		t.Fatalf("explicit space must not inherit default dims: %+v", p.Space)
+	}
+}
+
+func TestParseLists(t *testing.T) {
+	if got, err := parseInts("-x", "1, 2,3"); err != nil || len(got) != 3 || got[2] != 3 {
+		t.Errorf("parseInts = %v, %v", got, err)
+	}
+	if got, err := parseFloats("-x", "1e4,5.5"); err != nil || len(got) != 2 || got[1] != 5.5 {
+		t.Errorf("parseFloats = %v, %v", got, err)
+	}
+	if got, err := parseInts("-x", ""); err != nil || got != nil {
+		t.Errorf("parseInts(empty) = %v, %v, want nil, nil", got, err)
+	}
+	if _, err := parseInts("-tunequeues", "64,deep"); err == nil || !strings.Contains(err.Error(), "-tunequeues") {
+		t.Errorf("parseInts error should name the flag: %v", err)
+	}
+}

@@ -34,6 +34,7 @@ import (
 	"context"
 	"errors"
 	"flag"
+	"fmt"
 	"log"
 	"net"
 	"net/http"
@@ -45,35 +46,88 @@ import (
 	"accelflow/internal/serve"
 )
 
+// daemonArgs collects the parsed flags so validation is a pure,
+// table-testable function; main turns its error into an exit-2 fatalf
+// before any listener or scheduler exists.
+type daemonArgs struct {
+	addr         string
+	workers      int
+	queue        int
+	retryAfter   time.Duration
+	drainTimeout time.Duration
+	cacheSize    int
+	tenantRate   float64
+	tenantBurst  int
+	heartbeat    time.Duration
+}
+
+// validate rejects bad flag values up front with a message naming the
+// flag, instead of letting them surface as a hung scheduler (zero
+// workers), a panic, or silently unbounded admission.
+func (a daemonArgs) validate() error {
+	if a.addr == "" {
+		return fmt.Errorf("-addr must not be empty")
+	}
+	if a.workers <= 0 {
+		return fmt.Errorf("-workers must be positive, got %d", a.workers)
+	}
+	if a.queue <= 0 {
+		return fmt.Errorf("-queue must be positive, got %d", a.queue)
+	}
+	if a.retryAfter < 0 {
+		return fmt.Errorf("-retryafter must be non-negative, got %v", a.retryAfter)
+	}
+	if a.drainTimeout < 0 {
+		return fmt.Errorf("-draintimeout must be non-negative, got %v", a.drainTimeout)
+	}
+	if a.cacheSize < 0 {
+		return fmt.Errorf("-cache must be non-negative (0 disables caching), got %d", a.cacheSize)
+	}
+	if a.tenantRate < 0 {
+		return fmt.Errorf("-tenantrate must be non-negative (0 disables rate limiting), got %v", a.tenantRate)
+	}
+	if a.tenantBurst <= 0 {
+		return fmt.Errorf("-tenantburst must be positive, got %d", a.tenantBurst)
+	}
+	if a.heartbeat < 0 {
+		return fmt.Errorf("-heartbeat must be non-negative (0 disables heartbeats), got %v", a.heartbeat)
+	}
+	return nil
+}
+
 func main() {
-	var (
-		addr         = flag.String("addr", ":8080", "listen address")
-		workers      = flag.Int("workers", 2, "concurrently running jobs")
-		queue        = flag.Int("queue", 8, "bounded admission queue depth (full queue -> 429)")
-		retryAfter   = flag.Duration("retryafter", time.Second, "Retry-After hint on 429/503 responses")
-		drainTimeout = flag.Duration("draintimeout", 2*time.Minute, "graceful-drain budget on SIGTERM before running jobs are cancelled")
-		check        = flag.Bool("check", false, "run every job with runtime invariant checking (same results; violations fail the job)")
-		cacheSize    = flag.Int("cache", 512, "content-addressed result cache entries (jobs + sweep cells); 0 disables caching and coalescing")
-		tenantRate   = flag.Float64("tenantrate", 0, "per-tenant admission rate in jobs/sec (token bucket); 0 disables rate limiting")
-		tenantBurst  = flag.Int("tenantburst", 8, "per-tenant token-bucket burst capacity")
-		heartbeat    = flag.Duration("heartbeat", 15*time.Second, "progress-stream keep-alive interval; 0 disables heartbeats")
-	)
+	var a daemonArgs
+	flag.StringVar(&a.addr, "addr", ":8080", "listen address")
+	flag.IntVar(&a.workers, "workers", 2, "concurrently running jobs")
+	flag.IntVar(&a.queue, "queue", 8, "bounded admission queue depth (full queue -> 429)")
+	flag.DurationVar(&a.retryAfter, "retryafter", time.Second, "Retry-After hint on 429/503 responses")
+	flag.DurationVar(&a.drainTimeout, "draintimeout", 2*time.Minute, "graceful-drain budget on SIGTERM before running jobs are cancelled")
+	check := flag.Bool("check", false, "run every job with runtime invariant checking (same results; violations fail the job)")
+	flag.IntVar(&a.cacheSize, "cache", 512, "content-addressed result cache entries (jobs + sweep cells); 0 disables caching and coalescing")
+	flag.Float64Var(&a.tenantRate, "tenantrate", 0, "per-tenant admission rate in jobs/sec (token bucket); 0 disables rate limiting")
+	flag.IntVar(&a.tenantBurst, "tenantburst", 8, "per-tenant token-bucket burst capacity")
+	flag.DurationVar(&a.heartbeat, "heartbeat", 15*time.Second, "progress-stream keep-alive interval; 0 disables heartbeats")
 	flag.Parse()
 
+	if err := a.validate(); err != nil {
+		fmt.Fprintf(os.Stderr, "accelsimd: %v\n", err)
+		os.Exit(2)
+	}
+
 	sched := serve.NewScheduler(serve.Config{
-		Workers:      *workers,
-		QueueDepth:   *queue,
-		RetryAfter:   *retryAfter,
+		Workers:      a.workers,
+		QueueDepth:   a.queue,
+		RetryAfter:   a.retryAfter,
 		Check:        *check,
-		CacheEntries: *cacheSize,
-		TenantRate:   *tenantRate,
-		TenantBurst:  *tenantBurst,
+		CacheEntries: a.cacheSize,
+		TenantRate:   a.tenantRate,
+		TenantBurst:  a.tenantBurst,
 	})
 	api := serve.NewServer(sched)
-	api.SetHeartbeat(*heartbeat)
+	api.SetHeartbeat(a.heartbeat)
 	srv := &http.Server{Handler: api.Handler()}
 
-	ln, err := net.Listen("tcp", *addr)
+	ln, err := net.Listen("tcp", a.addr)
 	if err != nil {
 		log.Fatalf("accelsimd: listen: %v", err)
 	}
@@ -95,8 +149,8 @@ func main() {
 	// Graceful drain: close admission first so clients get 503 +
 	// Retry-After, let admitted jobs run to completion, then stop the
 	// HTTP server (progress streams end when their jobs do).
-	log.Printf("accelsimd: draining (budget %v)", *drainTimeout)
-	dctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	log.Printf("accelsimd: draining (budget %v)", a.drainTimeout)
+	dctx, cancel := context.WithTimeout(context.Background(), a.drainTimeout)
 	defer cancel()
 	if err := sched.Drain(dctx); err != nil {
 		log.Printf("accelsimd: drain budget exceeded, running jobs cancelled: %v", err)

@@ -209,7 +209,7 @@ func New(k *sim.Kernel, cfg *config.Config, kind config.AccelKind, node noc.Node
 		Node:        node,
 		cfg:         cfg,
 		k:           k,
-		PEs:         sim.NewResource(k, fmt.Sprintf("%v.pes", kind), cfg.PEsPerAccel, disc),
+		PEs:         sim.NewResource(k, fmt.Sprintf("%v.pes", kind), cfg.PEsFor(kind), disc),
 		OutDisp:     sim.NewResource(k, fmt.Sprintf("%v.outdisp", kind), 1, sim.FIFO),
 		TLB:         mem.NewTLB(cfg, rng),
 		inCap:       cfg.InputQueueEntries,

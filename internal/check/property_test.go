@@ -15,6 +15,7 @@
 package check_test
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -28,6 +29,7 @@ import (
 	"accelflow/internal/fault"
 	"accelflow/internal/services"
 	"accelflow/internal/sim"
+	"accelflow/internal/tune"
 	"accelflow/internal/workload"
 )
 
@@ -316,5 +318,67 @@ func TestMetamorphicFaultRateZero(t *testing.T) {
 	if a.Elapsed != b.Elapsed || a.All.Mean() != b.All.Mean() || a.All.P99() != b.All.P99() {
 		t.Errorf("timings diverge: no injector (%v, mean %v, p99 %v) vs rate-0 (%v, mean %v, p99 %v)",
 			a.Elapsed, a.All.Mean(), a.All.P99(), b.Elapsed, b.All.Mean(), b.All.P99())
+	}
+}
+
+// TestMetamorphicWiderTuneSpace: widening the autotuner's search space
+// (appending levels to every bound, same seed) must never yield a
+// worse final objective. Every space in the chain shares the same
+// start candidate (index 0 of each dimension, and appending levels
+// never shifts it), whose evaluation seed derives from the candidate
+// key alone — so the wider search's best-so-far starts from the exact
+// same score and can only go down from there by exploring a superset
+// of configurations. Evaluations run with the invariant checker
+// attached, making this the harness's metamorphic property over the
+// search layer, not just a single run.
+func TestMetamorphicWiderTuneSpace(t *testing.T) {
+	if testing.Short() {
+		t.Skip("metamorphic properties run full simulations")
+	}
+	p := tune.Params{
+		Objective:      "p99",
+		Seed:           21,
+		Requests:       120,
+		Quick:          true,
+		MaxGenerations: 8,
+		Patience:       2,
+		Check:          true,
+	}
+	// Each space appends levels to the previous one; the first is a
+	// single deliberately under-provisioned point so the chain has room
+	// to improve.
+	chain := []tune.SpaceSpec{
+		{Chiplets: []int{1}, PEs: []int{4}, Policies: []string{"relief"}},
+		{Chiplets: []int{1, 2}, PEs: []int{4, 8}, Policies: []string{"relief"}},
+		{Chiplets: []int{1, 2}, PEs: []int{4, 8}, Policies: []string{"relief", "accelflow"}},
+		{Chiplets: []int{1, 2, 4}, PEs: []int{4, 8, 12}, Policies: []string{"relief", "accelflow", "cohort"}},
+	}
+	var prev *tune.Result
+	for i, space := range chain {
+		q := p
+		q.Space = space
+		res, err := tune.Run(context.Background(), q, nil, tune.Hooks{})
+		if err != nil {
+			t.Fatalf("space %d: %v", i, err)
+		}
+		if prev != nil && res.BestScore > prev.BestScore {
+			t.Errorf("widening the space worsened the objective: space %d best %.4f (%s) vs space %d best %.4f (%s)",
+				i, res.BestScore, res.BestKey, i-1, prev.BestScore, prev.BestKey)
+		}
+		prev = res
+	}
+	// The widest space must beat the single-point baseline outright:
+	// with more chiplets, PEs, and the paper's policy available, the
+	// searcher has to find something strictly better.
+	first := chain[0]
+	q := p
+	q.Space = first
+	base, err := tune.Run(context.Background(), q, nil, tune.Hooks{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prev.BestScore >= base.BestScore {
+		t.Errorf("widest space found nothing better than the single-point baseline: %.4f vs %.4f",
+			prev.BestScore, base.BestScore)
 	}
 }

@@ -154,6 +154,13 @@ type Config struct {
 	ChipletOf [NumAccelKinds]int
 	Chiplets  int
 
+	// PEMix optionally overrides PEsPerAccel per accelerator kind: a
+	// positive entry sets that kind's PE-pool size, zero falls back to
+	// the uniform PEsPerAccel. The autotuner searches over this field
+	// to size each pool to the workload instead of provisioning every
+	// kind identically. Read through PEsFor, never directly.
+	PEMix [NumAccelKinds]int
+
 	// Accelerator speedups over CPU for the op's compute (paper §VI).
 	Speedup [NumAccelKinds]float64
 	// SpeedupScale multiplies all accelerator speedups (§VII-C.5).
@@ -280,6 +287,24 @@ func (c *Config) Clone() *Config {
 	return &cp
 }
 
+// PEsFor returns the PE-pool size of one accelerator kind: the
+// per-kind PEMix override when set, else the uniform PEsPerAccel.
+func (c *Config) PEsFor(k AccelKind) int {
+	if n := c.PEMix[k]; n > 0 {
+		return n
+	}
+	return c.PEsPerAccel
+}
+
+// TotalPEs sums the PE pools across the ensemble.
+func (c *Config) TotalPEs() int {
+	total := 0
+	for k := AccelKind(0); k < NumAccelKinds; k++ {
+		total += c.PEsFor(k)
+	}
+	return total
+}
+
 // CyclePS returns the duration of one CPU clock cycle.
 func (c *Config) CyclePS() sim.Time {
 	return sim.Time(math.Round(1000.0 / c.CPUFreqGHz))
@@ -370,6 +395,9 @@ func (c *Config) Validate() error {
 		return fmt.Errorf("config: TCPTimeout (%v) must exceed RemoteRTT (%v)", c.TCPTimeout, c.RemoteRTT)
 	}
 	for k := AccelKind(0); k < NumAccelKinds; k++ {
+		if c.PEMix[k] < 0 {
+			return fmt.Errorf("config: PEMix[%v] must be non-negative, got %d", k, c.PEMix[k])
+		}
 		if c.Speedup[k] <= 0 {
 			return fmt.Errorf("config: Speedup[%v] must be positive", k)
 		}

@@ -34,6 +34,9 @@ func TestValidateEdgeCases(t *testing.T) {
 		{"timeout equals RTT", func(c *Config) { c.TCPTimeout = c.RemoteRTT }, "TCPTimeout"},
 		{"timeout just above RTT", func(c *Config) { c.TCPTimeout = c.RemoteRTT + 1 }, ""},
 		{"single core is fine", func(c *Config) { c.Cores = 1 }, ""},
+		{"negative PEMix entry", func(c *Config) { c.PEMix[TCP] = -4 }, "PEMix"},
+		{"PEMix override is fine", func(c *Config) { c.PEMix[TCP] = 16 }, ""},
+		{"PEMix zero means uniform", func(c *Config) { c.PEMix[Ser] = 0 }, ""},
 		// Shrinking to one chiplet without moving the accelerators off
 		// chiplet 1 leaves placements out of range — caught, not silent.
 		{"single chiplet stale placement", func(c *Config) { c.Chiplets = 1 }, "ChipletOf"},
@@ -59,5 +62,27 @@ func TestValidateEdgeCases(t *testing.T) {
 		} else if !strings.Contains(err.Error(), tc.wantSub) {
 			t.Errorf("%s: error %q does not name %q", tc.name, err, tc.wantSub)
 		}
+	}
+}
+
+// TestPEsForAndTotalPEs pins the PEMix read-through semantics: a zero
+// entry falls back to the uniform PEsPerAccel, a positive entry
+// overrides it for that kind only, and TotalPEs sums the effective
+// pools.
+func TestPEsForAndTotalPEs(t *testing.T) {
+	c := Default()
+	uniform := c.PEsPerAccel
+	if got := c.TotalPEs(); got != uniform*int(NumAccelKinds) {
+		t.Fatalf("uniform TotalPEs = %d, want %d", got, uniform*int(NumAccelKinds))
+	}
+	c.PEMix[TCP] = uniform + 8
+	if got := c.PEsFor(TCP); got != uniform+8 {
+		t.Errorf("PEsFor(TCP) = %d, want override %d", got, uniform+8)
+	}
+	if got := c.PEsFor(Ser); got != uniform {
+		t.Errorf("PEsFor(Ser) = %d, want uniform %d", got, uniform)
+	}
+	if got := c.TotalPEs(); got != uniform*int(NumAccelKinds)+8 {
+		t.Errorf("mixed TotalPEs = %d, want %d", got, uniform*int(NumAccelKinds)+8)
 	}
 }

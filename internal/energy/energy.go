@@ -157,9 +157,14 @@ func Integrate(pm PowerModel, e *engine.Engine, elapsed sim.Time) Report {
 	for _, kd := range config.AllAccelKinds() {
 		accelBusy += e.Accels[kd].Stats.BusyTime.Seconds()
 	}
-	ensembleSeconds := secs * float64(config.NumAccelKinds) * float64(cfg.PEsPerAccel)
+	// PE-seconds of the whole ensemble; with the default uniform mix
+	// (TotalPEs == NumAccelKinds*PEsPerAccel) this reduces to exactly
+	// the pre-PEMix formula, so default-config energy bytes are
+	// unchanged.
+	ensembleSeconds := secs * float64(cfg.TotalPEs())
 	if ensembleSeconds > 0 {
-		rep.AccelEnergyJ = pm.AccelMaxW * secs * (accelBusy / ensembleSeconds) * float64(cfg.PEsPerAccel)
+		rep.AccelEnergyJ = pm.AccelMaxW * secs * (accelBusy / ensembleSeconds) *
+			float64(cfg.TotalPEs()) / float64(config.NumAccelKinds)
 	}
 
 	// Orchestration: dispatcher + DMA + manager busy time against the

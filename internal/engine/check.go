@@ -91,9 +91,9 @@ func (e *Engine) CheckEnd(c *check.Checker) {
 				c.Violationf("fault-revert", kd.String(), now,
 					"accelerator still marked failed after the run")
 			}
-			if n := e.Accels[kd].PEs.Servers; n != e.Cfg.PEsPerAccel {
+			if n, want := e.Accels[kd].PEs.Servers, e.Cfg.PEsFor(kd); n != want {
 				c.Violationf("fault-revert", kd.String(), now,
-					"PE pool at %d servers, configured %d", n, e.Cfg.PEsPerAccel)
+					"PE pool at %d servers, configured %d", n, want)
 			}
 		}
 	}

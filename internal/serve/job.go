@@ -25,6 +25,7 @@ import (
 	"accelflow/internal/experiments"
 	"accelflow/internal/obs"
 	"accelflow/internal/sim"
+	"accelflow/internal/tune"
 	"accelflow/internal/workload"
 )
 
@@ -51,6 +52,9 @@ const (
 	// JobObserved runs the canonical observed SocialNetwork mix
 	// (workload.BuildObserved) and keeps its trace/report artifacts.
 	JobObserved = "observed"
+	// JobTune runs a closed-loop design-space search (tune.Run),
+	// streaming per-generation progress events.
+	JobTune = "tune"
 )
 
 // Priorities bias the weighted-fair scheduler: within a tenant's
@@ -64,7 +68,7 @@ const (
 
 // JobRequest is the submit payload (POST /v1/jobs body).
 type JobRequest struct {
-	// Type is "experiment" or "observed".
+	// Type is "experiment", "observed", or "tune".
 	Type string `json:"type"`
 	// Experiment names the Registry entry for experiment jobs.
 	Experiment string `json:"experiment,omitempty"`
@@ -82,6 +86,19 @@ type JobRequest struct {
 	FaultRate     float64 `json:"faultRate,omitempty"`
 	FaultWindowUs float64 `json:"faultWindowUs,omitempty"`
 	FaultLoss     float64 `json:"faultLoss,omitempty"`
+	// Tune knobs, tune jobs only; they mirror the CLI's -tune* flags.
+	// Strategy is "hill" (default) or "anneal"; Objective is "p99",
+	// "energy", or "costperf"; Space is the searched dimensions (nil
+	// takes tune.DefaultSpace); Generations/Patience bound the search;
+	// SLOUs and LoadScale shape the evaluation workload. Zero values
+	// take the tune package defaults.
+	Strategy    string          `json:"strategy,omitempty"`
+	Objective   string          `json:"objective,omitempty"`
+	Space       *tune.SpaceSpec `json:"space,omitempty"`
+	Generations int             `json:"generations,omitempty"`
+	Patience    int             `json:"patience,omitempty"`
+	SLOUs       float64         `json:"sloUs,omitempty"`
+	LoadScale   float64         `json:"loadScale,omitempty"`
 	// Tenant names the submitting tenant for admission control (its
 	// own bounded queue and token bucket). Empty is the default tenant.
 	// Tenancy never affects results, only scheduling.
@@ -108,6 +125,9 @@ func (r JobRequest) Validate() error {
 		if r.FaultRate != 0 || r.FaultWindowUs != 0 || r.FaultLoss != 0 {
 			return badRequestf("serve: fault injection knobs only apply to observed jobs")
 		}
+		if err := r.validateNoTuneKnobs(); err != nil {
+			return err
+		}
 		if r.Requests < 0 {
 			return badRequestf("serve: requests must be non-negative, got %d", r.Requests)
 		}
@@ -115,14 +135,36 @@ func (r JobRequest) Validate() error {
 		if r.Experiment != "" {
 			return badRequestf("serve: observed jobs take no experiment ID")
 		}
+		if err := r.validateNoTuneKnobs(); err != nil {
+			return err
+		}
 		if err := r.observedParams().Validate(); err != nil {
 			return badRequestf("%s", err)
 		}
 		if r.FaultWindowUs < 0 {
 			return badRequestf("serve: faultWindowUs must be non-negative, got %v", r.FaultWindowUs)
 		}
+	case JobTune:
+		if r.Experiment != "" {
+			return badRequestf("serve: tune jobs take no experiment ID")
+		}
+		if r.FaultRate != 0 || r.FaultWindowUs != 0 || r.FaultLoss != 0 {
+			return badRequestf("serve: fault injection knobs only apply to observed jobs")
+		}
+		if r.Requests < 0 {
+			return badRequestf("serve: requests must be non-negative, got %d", r.Requests)
+		}
+		if r.Generations < 0 || r.Patience < 0 {
+			return badRequestf("serve: generations and patience must be non-negative, got %d/%d", r.Generations, r.Patience)
+		}
+		if r.SLOUs < 0 || r.LoadScale < 0 {
+			return badRequestf("serve: sloUs and loadScale must be non-negative, got %v/%v", r.SLOUs, r.LoadScale)
+		}
+		if err := r.tuneParams().Validate(); err != nil {
+			return badRequestf("%s", err)
+		}
 	default:
-		return badRequestf("serve: job type must be %q or %q, got %q", JobExperiment, JobObserved, r.Type)
+		return badRequestf("serve: job type must be %q, %q, or %q, got %q", JobExperiment, JobObserved, JobTune, r.Type)
 	}
 	if r.Parallelism < 0 {
 		return badRequestf("serve: parallelism must be non-negative, got %d", r.Parallelism)
@@ -162,8 +204,48 @@ func (r JobRequest) resultKey() string {
 			return ""
 		}
 		return "job|obs|" + spec.HashResult()
+	case JobTune:
+		sig, err := r.tuneParams().Signature()
+		if err != nil {
+			return ""
+		}
+		return "job|tune|" + sig
 	}
 	return ""
+}
+
+// validateNoTuneKnobs rejects tune-only fields on other job types, the
+// same cross-type strictness the fault knobs get.
+func (r JobRequest) validateNoTuneKnobs() error {
+	if r.Strategy != "" || r.Objective != "" || r.Space != nil ||
+		r.Generations != 0 || r.Patience != 0 || r.SLOUs != 0 || r.LoadScale != 0 {
+		return badRequestf("serve: tune knobs only apply to tune jobs")
+	}
+	return nil
+}
+
+// tuneParams maps the wire request onto the search parameters.
+// Parallelism/Shards are execution-only (outside the signature), and
+// Check is stamped in by the scheduler from the daemon flag.
+func (r JobRequest) tuneParams() tune.Params {
+	space := tune.DefaultSpace()
+	if r.Space != nil {
+		space = *r.Space
+	}
+	return tune.Params{
+		Strategy:       r.Strategy,
+		Objective:      r.Objective,
+		Space:          space,
+		Seed:           r.Seed,
+		Requests:       r.Requests,
+		LoadScale:      r.LoadScale,
+		SLOUs:          r.SLOUs,
+		MaxGenerations: r.Generations,
+		Patience:       r.Patience,
+		Quick:          r.Quick,
+		Parallelism:    r.Parallelism,
+		Shards:         r.Shards,
+	}
 }
 
 // observedParams maps the wire request onto the shared observed-run
@@ -196,7 +278,7 @@ func (r JobRequest) options() experiments.Options {
 type Event struct {
 	Seq   int    `json:"seq"`
 	Job   string `json:"job"`
-	Event string `json:"event"` // queued | started | cell | done
+	Event string `json:"event"` // queued | started | cell | generation | done
 	// State is set on "done" events (done/failed/cancelled).
 	State JobState `json:"state,omitempty"`
 	// Key/Index/Total identify the finished sweep cell on "cell"
@@ -206,6 +288,10 @@ type Event struct {
 	Total int    `json:"total,omitempty"`
 	Done  int    `json:"done,omitempty"`
 	Error string `json:"error,omitempty"`
+	// Tune carries the per-generation search progress on "generation"
+	// events (tune jobs only): best-so-far, frontier, evaluation and
+	// cache-hit counts.
+	Tune *tune.Progress `json:"tune,omitempty"`
 }
 
 // JobView is the status JSON for one job.
@@ -408,6 +494,14 @@ func (j *Job) cellDone(ev experiments.CellEvent) {
 		e.Error = ev.Err.Error()
 	}
 	j.appendEvent(e)
+}
+
+// generationDone is the tune.Hooks.OnGeneration hook: one "generation"
+// event per completed search generation, from the driver goroutine.
+func (j *Job) generationDone(pr tune.Progress) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.appendEvent(Event{Event: "generation", Tune: &pr})
 }
 
 // setResult stores the finished run's outputs; call before finish.

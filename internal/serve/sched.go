@@ -29,8 +29,17 @@ import (
 	"time"
 
 	"accelflow/internal/experiments"
+	"accelflow/internal/tune"
 	"accelflow/internal/workload"
 )
+
+// boolVal renders a bool into the values map's float domain.
+func boolVal(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}
 
 // Admission errors; the HTTP layer maps them to status codes.
 var (
@@ -553,6 +562,47 @@ func (s *Scheduler) execute(ctx context.Context, j *Job) {
 			vals[k] = v
 		}
 		j.setResult(vals, append([]string(nil), res.Lines...), nil)
+		j.finish(StateDone, "")
+	case JobTune:
+		p := j.Req.tuneParams()
+		p.Check = s.cfg.Check
+		h := tune.Hooks{
+			OnEval:       j.cellDone,
+			OnGeneration: func(pr tune.Progress, _ []byte) { j.generationDone(pr) },
+		}
+		if s.cache != nil && j.flightKey != "" {
+			// Same per-cell memoization as experiment sweeps, namespaced
+			// under the search signature: a revisited candidate — within
+			// one search, after a cancel/resubmit, or across identical
+			// searches — replays its Eval instead of re-simulating.
+			h.Cache = cellCache{c: s.cache, prefix: "cell|" + j.flightKey + "|"}
+		}
+		res, err := tune.Run(ctx, p, nil, h)
+		if err != nil {
+			j.finish(classify(ctx, err), err.Error())
+			return
+		}
+		vals := map[string]float64{
+			"bestScore":     res.BestScore,
+			"bestP99Us":     res.BestEval.P99Us,
+			"bestMeanUs":    res.BestEval.MeanUs,
+			"bestJoulesReq": res.BestEval.JoulesPerReq,
+			"bestRPS":       res.BestEval.ThroughputRPS,
+			"generations":   float64(res.Generations),
+			"evals":         float64(res.Evals),
+			"cacheHits":     float64(res.CacheHits),
+			"converged":     boolVal(res.Converged),
+		}
+		lines := []string{
+			fmt.Sprintf("tune %s/%s: best %s score=%.3f", res.Strategy, res.Objective, res.BestKey, res.BestScore),
+			fmt.Sprintf("generations=%d evals=%d cacheHits=%d converged=%t",
+				res.Generations, res.Evals, res.CacheHits, res.Converged),
+		}
+		for name, level := range res.BestConfig {
+			lines = append(lines, fmt.Sprintf("  %s = %s", name, level))
+		}
+		sort.Strings(lines[2:])
+		j.setResult(vals, lines, nil)
 		j.finish(StateDone, "")
 	case JobObserved:
 		p := j.Req.observedParams()

@@ -3,7 +3,9 @@
 //	POST   /v1/jobs                      submit  -> 202 JobView (400 invalid, 429 + Retry-After
 //	                                               when the tenant's queue or token bucket is full,
 //	                                               503 draining, 500 internal)
-//	GET    /v1/jobs                      list    -> {"jobs":[JobView...]}
+//	GET    /v1/jobs                      list    -> {"jobs":[JobView...]}; optional
+//	                                               ?state= ?type= ?tenant= filters
+//	                                               (400 on unknown state/type)
 //	GET    /v1/jobs/{id}                 status  -> JobView ("cached": true when served from cache)
 //	POST   /v1/jobs/{id}/cancel         cancel  -> 202 JobView
 //	GET    /v1/jobs/{id}/values          results -> {"values":{...},"lines":[...]}
@@ -141,11 +143,45 @@ func submitErrorStatus(err error) (code int, retryAfter string) {
 	}
 }
 
+// handleList returns all admitted jobs in submission order. Optional
+// query filters compose conjunctively: ?state= (queued, running, done,
+// failed, cancelled), ?type= (experiment, observed, tune), and
+// ?tenant= (exact match; "tenant=" selects the default tenant — an
+// absent parameter means no filtering). Unknown state/type values are
+// a 400, not an empty result, so typos fail loudly.
 func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	state := JobState(q.Get("state"))
+	switch state {
+	case "", StateQueued, StateRunning, StateDone, StateFailed, StateCancelled:
+	default:
+		writeError(w, http.StatusBadRequest, badRequestf("serve: unknown state filter %q", state))
+		return
+	}
+	typ := q.Get("type")
+	switch typ {
+	case "", JobExperiment, JobObserved, JobTune:
+	default:
+		writeError(w, http.StatusBadRequest, badRequestf("serve: unknown type filter %q", typ))
+		return
+	}
+	_, filterTenant := q["tenant"]
+	tenant := q.Get("tenant")
+
 	jobs := s.sched.Jobs()
 	views := make([]JobView, 0, len(jobs))
 	for _, j := range jobs {
-		views = append(views, j.snapshot())
+		v := j.snapshot()
+		if state != "" && v.State != state {
+			continue
+		}
+		if typ != "" && v.Type != typ {
+			continue
+		}
+		if filterTenant && v.Tenant != tenant {
+			continue
+		}
+		views = append(views, v)
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"jobs": views})
 }

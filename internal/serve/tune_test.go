@@ -1,0 +1,265 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"testing"
+
+	"accelflow/internal/tune"
+)
+
+// tuneBody is the suite's small-but-real search request; tuneParamsFor
+// mirrors it for direct tune.Run comparisons.
+const tuneBody = `{"type":"tune","objective":"p99","seed":7,"requests":60,"quick":true,` +
+	`"generations":3,"patience":3,` +
+	`"space":{"chiplets":[2,1],"pes":[8,4],"policies":["accelflow","relief"]}}`
+
+func tuneParamsFor() tune.Params {
+	return tune.Params{
+		Objective: "p99",
+		Space: tune.SpaceSpec{
+			Chiplets: []int{2, 1},
+			PEs:      []int{8, 4},
+			Policies: []string{"accelflow", "relief"},
+		},
+		Seed:           7,
+		Requests:       60,
+		Quick:          true,
+		MaxGenerations: 3,
+		Patience:       3,
+	}
+}
+
+// TestTuneJobEndToEnd drives a tune job over HTTP: per-generation
+// NDJSON progress with the search payload, then values with the final
+// best.
+func TestTuneJobEndToEnd(t *testing.T) {
+	_, ts := testServer(t, Config{Workers: 1, QueueDepth: 4}, nil)
+
+	resp := postJSON(t, ts.URL+"/v1/jobs", tuneBody)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: status %d", resp.StatusCode)
+	}
+	view := decodeView(t, resp)
+	if view.Type != JobTune {
+		t.Fatalf("view type %q, want tune", view.Type)
+	}
+
+	evs := drainProgress(t, ts.URL+"/v1/jobs/"+view.ID+"/progress")
+	last := evs[len(evs)-1]
+	if last.Event != "done" || last.State != StateDone {
+		t.Fatalf("last event %+v, want done/done (error %q)", last, last.Error)
+	}
+	gens, cells := 0, 0
+	lastBest := 0.0
+	for _, ev := range evs {
+		switch ev.Event {
+		case "generation":
+			if ev.Tune == nil {
+				t.Fatalf("generation event without tune payload: %+v", ev)
+			}
+			if ev.Tune.Gen != gens {
+				t.Errorf("generation %d out of order (payload gen %d)", gens, ev.Tune.Gen)
+			}
+			if ev.Tune.BestKey == "" || ev.Tune.TotalEvals == 0 {
+				t.Errorf("generation payload incomplete: %+v", ev.Tune)
+			}
+			if gens > 0 && ev.Tune.BestScore > lastBest {
+				t.Errorf("bestScore rose across generations: %.4f -> %.4f", lastBest, ev.Tune.BestScore)
+			}
+			lastBest = ev.Tune.BestScore
+			gens++
+		case "cell":
+			cells++
+			if ev.Tune != nil {
+				t.Errorf("cell event carries a tune payload")
+			}
+		}
+	}
+	if gens < 2 {
+		t.Fatalf("%d generation events, want >= 2", gens)
+	}
+	if cells == 0 {
+		t.Fatal("tune job emitted no cell events")
+	}
+
+	var out struct {
+		Values map[string]float64 `json:"values"`
+		Lines  []string           `json:"lines"`
+	}
+	if err := json.Unmarshal(fetchBytes(t, ts.URL+"/v1/jobs/"+view.ID+"/values"), &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"bestScore", "generations", "evals", "cacheHits", "converged", "bestP99Us"} {
+		if _, ok := out.Values[key]; !ok {
+			t.Errorf("values missing %q: %v", key, out.Values)
+		}
+	}
+	if out.Values["generations"] != float64(gens) {
+		t.Errorf("values generations = %v, %d generation events", out.Values["generations"], gens)
+	}
+	if len(out.Lines) < 2 {
+		t.Errorf("tune job rendered %d lines, want >= 2", len(out.Lines))
+	}
+}
+
+// TestTuneJobMatchesDirectRun pins the serve determinism contract for
+// tune jobs: the daemon's outcome is byte-for-byte the library's.
+func TestTuneJobMatchesDirectRun(t *testing.T) {
+	direct, err := tune.Run(context.Background(), tuneParamsFor(), nil, tune.Hooks{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	_, ts := testServer(t, Config{Workers: 2, QueueDepth: 4}, nil)
+	id := submitAndWait(t, ts.URL, tuneBody)
+	var out struct {
+		Values map[string]float64 `json:"values"`
+		Lines  []string           `json:"lines"`
+	}
+	if err := json.Unmarshal(fetchBytes(t, ts.URL+"/v1/jobs/"+id+"/values"), &out); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := out.Values["bestScore"], direct.BestScore; got != want {
+		t.Errorf("job bestScore %v, direct run %v", got, want)
+	}
+	if got, want := out.Values["generations"], float64(direct.Generations); got != want {
+		t.Errorf("job generations %v, direct run %v", got, want)
+	}
+	if got, want := out.Values["evals"], float64(direct.Evals); got != want {
+		t.Errorf("job evals %v, direct run %v", got, want)
+	}
+	if got, want := out.Values["converged"], boolVal(direct.Converged); got != want {
+		t.Errorf("job converged %v, direct run %v", got, want)
+	}
+}
+
+// TestTuneJobUsesCellCache: with the result cache on, a tune job's
+// revisited candidates are served from the per-cell cache (cellHits
+// delta > 0), and resubmitting the identical search completes from the
+// job-level result cache without re-running.
+func TestTuneJobUsesCellCache(t *testing.T) {
+	sched, ts := testServer(t, Config{Workers: 1, QueueDepth: 4, CacheEntries: 256}, nil)
+
+	before, ok := sched.CacheStats()
+	if !ok {
+		t.Fatal("cache disabled")
+	}
+	id := submitAndWait(t, ts.URL, tuneBody)
+	after, _ := sched.CacheStats()
+	if after.CellHits <= before.CellHits {
+		t.Errorf("cellHits %d -> %d: no revisited candidate was served from the cell cache",
+			before.CellHits, after.CellHits)
+	}
+
+	// Identical resubmission: job-level cache hit, no execution.
+	resp := postJSON(t, ts.URL+"/v1/jobs", tuneBody)
+	v := decodeView(t, resp)
+	if !v.Cached || v.State != StateDone {
+		t.Errorf("resubmitted tune job: cached=%t state=%s, want cached done", v.Cached, v.State)
+	}
+	var first, second struct {
+		Values map[string]float64 `json:"values"`
+	}
+	if err := json.Unmarshal(fetchBytes(t, ts.URL+"/v1/jobs/"+id+"/values"), &first); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(fetchBytes(t, ts.URL+"/v1/jobs/"+v.ID+"/values"), &second); err != nil {
+		t.Fatal(err)
+	}
+	if first.Values["bestScore"] != second.Values["bestScore"] {
+		t.Errorf("cached bestScore %v differs from original %v",
+			second.Values["bestScore"], first.Values["bestScore"])
+	}
+}
+
+// TestTuneValidation covers the tune-specific 400 surface.
+func TestTuneValidation(t *testing.T) {
+	_, ts := testServer(t, Config{Workers: 1, QueueDepth: 2}, nil)
+	for _, body := range []string{
+		`{"type":"tune","strategy":"gradient"}`,
+		`{"type":"tune","objective":"latency"}`,
+		`{"type":"tune","space":{"policies":["fifo"]}}`,
+		`{"type":"tune","space":{"chiplets":[5]}}`,
+		`{"type":"tune","generations":-1}`,
+		`{"type":"tune","sloUs":-5}`,
+		`{"type":"tune","experiment":"area"}`,
+		`{"type":"tune","faultRate":0.5}`,
+		`{"type":"experiment","experiment":"area","objective":"p99"}`,
+		`{"type":"observed","strategy":"hill"}`,
+	} {
+		resp := postJSON(t, ts.URL+"/v1/jobs", body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("submit %s: status %d, want 400", body, resp.StatusCode)
+		}
+	}
+	// A minimal tune request is valid: defaults fill everything.
+	if err := (JobRequest{Type: JobTune}).Validate(); err != nil {
+		t.Errorf("zero-value tune request invalid: %v", err)
+	}
+}
+
+// TestListFilters exercises GET /v1/jobs?state=&type=&tenant=.
+func TestListFilters(t *testing.T) {
+	_, ts := testServer(t, Config{Workers: 1, QueueDepth: 8},
+		func(ctx context.Context, j *Job) { j.finish(StateDone, "") })
+
+	for _, body := range []string{
+		`{"type":"experiment","experiment":"area","quick":true,"tenant":"acme"}`,
+		`{"type":"experiment","experiment":"fig19","quick":true,"tenant":"umbrella"}`,
+		`{"type":"observed","requests":40,"quick":true,"tenant":"acme"}`,
+	} {
+		id := decodeView(t, postJSON(t, ts.URL+"/v1/jobs", body)).ID
+		evs := drainProgress(t, ts.URL+"/v1/jobs/"+id+"/progress")
+		if last := evs[len(evs)-1]; last.State != StateDone {
+			t.Fatalf("stub job ended %s", last.State)
+		}
+	}
+
+	list := func(query string) []JobView {
+		t.Helper()
+		var out struct {
+			Jobs []JobView `json:"jobs"`
+		}
+		if err := json.Unmarshal(fetchBytes(t, ts.URL+"/v1/jobs"+query), &out); err != nil {
+			t.Fatal(err)
+		}
+		return out.Jobs
+	}
+
+	if got := list(""); len(got) != 3 {
+		t.Fatalf("unfiltered list has %d jobs, want 3", len(got))
+	}
+	if got := list("?tenant=acme"); len(got) != 2 {
+		t.Errorf("tenant=acme: %d jobs, want 2", len(got))
+	}
+	if got := list("?type=observed"); len(got) != 1 || got[0].Type != JobObserved {
+		t.Errorf("type=observed: %+v", got)
+	}
+	if got := list("?type=experiment&tenant=umbrella"); len(got) != 1 || got[0].Experiment != "fig19" {
+		t.Errorf("combined filter: %+v", got)
+	}
+	if got := list("?state=done"); len(got) != 3 {
+		t.Errorf("state=done: %d jobs, want 3", len(got))
+	}
+	if got := list("?state=running"); len(got) != 0 {
+		t.Errorf("state=running: %d jobs, want 0", len(got))
+	}
+	if got := list("?tenant=nobody"); len(got) != 0 {
+		t.Errorf("tenant=nobody: %d jobs, want 0", len(got))
+	}
+
+	// Unknown state/type filters fail loudly.
+	for _, q := range []string{"?state=paused", "?type=batch"} {
+		resp, err := http.Get(ts.URL + "/v1/jobs" + q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("GET /v1/jobs%s: status %d, want 400", q, resp.StatusCode)
+		}
+	}
+}

@@ -1,0 +1,517 @@
+package tune
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"accelflow/internal/check"
+	"accelflow/internal/energy"
+	"accelflow/internal/experiments"
+	"accelflow/internal/services"
+	"accelflow/internal/sim"
+	"accelflow/internal/workload"
+)
+
+// Params fully determines a search. Every field above the
+// execution-only block is folded into Signature(), so two Params with
+// equal signatures provably walk the same trajectory; the
+// execution-only knobs change wall clock, never results (the same
+// contract experiments.Options documents for Parallelism, Check, and
+// Shards).
+type Params struct {
+	// Strategy picks the searcher: "hill" (batch-neighbor hill
+	// climbing, the default) or "anneal" (simulated annealing).
+	Strategy string `json:"strategy"`
+	// Objective picks the score: "p99" (the default), "energy", or
+	// "costperf" (see scoreObjective).
+	Objective string `json:"objective"`
+	// Space declares the dimensions searched over.
+	Space SpaceSpec `json:"space"`
+	// Seed roots every RNG stream: candidate evaluations derive theirs
+	// from (Seed, candidate key), the annealer from (Seed, generation).
+	Seed int64 `json:"seed"`
+	// Requests is the per-evaluation request budget (<=0: 600). Quick
+	// caps it at 200 and trims the service mix, like experiments.Quick.
+	Requests int `json:"requests"`
+	// LoadScale scales the service mix arrival rates (<=0: 1.0).
+	LoadScale float64 `json:"loadScale"`
+	// SLOUs is the p99 objective's latency target in microseconds
+	// (<=0: 1500).
+	SLOUs float64 `json:"sloUs"`
+	// MaxGenerations bounds proposal generations (<=0: 30).
+	MaxGenerations int `json:"maxGenerations"`
+	// Patience stops the search after this many consecutive
+	// generations without a best-score improvement (<=0: 3).
+	Patience int `json:"patience"`
+	// Proposals is the annealer's per-generation batch size (<=0: 6).
+	Proposals int `json:"proposals"`
+	// Quick shrinks evaluations for tests and CI.
+	Quick bool `json:"quick"`
+
+	// Execution-only knobs: excluded from Signature() because they
+	// never change search results, only how they are computed.
+	Parallelism int  `json:"-"`
+	Shards      int  `json:"-"`
+	Check       bool `json:"-"`
+}
+
+// Strategy and default constants.
+const (
+	StrategyHill   = "hill"
+	StrategyAnneal = "anneal"
+
+	defaultRequests    = 600
+	quickRequestCap    = 200
+	defaultLoadScale   = 1.0
+	defaultSLOUs       = 1500.0
+	defaultGenerations = 30
+	defaultPatience    = 3
+	defaultProposals   = 6
+
+	annealT0    = 0.2
+	annealDecay = 0.9
+)
+
+// withDefaults resolves zero values so Signature and Run agree on the
+// effective parameters.
+func (p Params) withDefaults() Params {
+	if p.Strategy == "" {
+		p.Strategy = StrategyHill
+	}
+	if p.Objective == "" {
+		p.Objective = "p99"
+	}
+	if p.Requests <= 0 {
+		p.Requests = defaultRequests
+	}
+	if p.Quick && p.Requests > quickRequestCap {
+		p.Requests = quickRequestCap
+	}
+	if p.LoadScale <= 0 {
+		p.LoadScale = defaultLoadScale
+	}
+	if p.SLOUs <= 0 {
+		p.SLOUs = defaultSLOUs
+	}
+	if p.MaxGenerations <= 0 {
+		p.MaxGenerations = defaultGenerations
+	}
+	if p.Patience <= 0 {
+		p.Patience = defaultPatience
+	}
+	if p.Proposals <= 0 {
+		p.Proposals = defaultProposals
+	}
+	return p
+}
+
+// Validate checks the parameters without running anything: strategy
+// and objective names, and the space spec (via Build).
+func (p Params) Validate() error {
+	p = p.withDefaults()
+	if p.Strategy != StrategyHill && p.Strategy != StrategyAnneal {
+		return fmt.Errorf("tune: unknown strategy %q (want %s or %s)", p.Strategy, StrategyHill, StrategyAnneal)
+	}
+	if !validObjective(p.Objective) {
+		return fmt.Errorf("tune: unknown objective %q (want p99, energy, or costperf)", p.Objective)
+	}
+	_, err := p.Space.Build()
+	return err
+}
+
+// Signature hashes the result-determining parameters. It guards
+// SearchState resume and names the serve layer's result-cache slot, so
+// it must cover exactly the fields that can change the trajectory:
+// defaulted search parameters plus the built space's canonical form
+// (built, not the raw spec, so map ordering in PEMix cannot matter).
+func (p Params) Signature() (string, error) {
+	p = p.withDefaults()
+	if err := p.Validate(); err != nil {
+		return "", err
+	}
+	sp, err := p.Space.Build()
+	if err != nil {
+		return "", err
+	}
+	id := struct {
+		Strategy       string  `json:"strategy"`
+		Objective      string  `json:"objective"`
+		Space          string  `json:"space"`
+		Seed           int64   `json:"seed"`
+		Requests       int     `json:"requests"`
+		LoadScale      float64 `json:"loadScale"`
+		SLOUs          float64 `json:"sloUs"`
+		MaxGenerations int     `json:"maxGenerations"`
+		Patience       int     `json:"patience"`
+		Proposals      int     `json:"proposals"`
+		Quick          bool    `json:"quick"`
+	}{p.Strategy, p.Objective, sp.Signature(), p.Seed, p.Requests, p.LoadScale,
+		p.SLOUs, p.MaxGenerations, p.Patience, p.Proposals, p.Quick}
+	b, err := json.Marshal(id)
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:]), nil
+}
+
+// Progress reports one completed generation to Hooks.OnGeneration; the
+// CLI and the serve layer render it as one NDJSON line.
+type Progress struct {
+	Gen       int     `json:"gen"`
+	Evaluated int     `json:"evaluated"` // candidates requested this generation
+	Cached    int     `json:"cached"`    // of those, served from the cell cache
+	Moved     bool    `json:"moved"`
+	CurKey    string  `json:"curKey"`
+	CurScore  float64 `json:"curScore"`
+	BestKey   string  `json:"bestKey"`
+	BestScore float64 `json:"bestScore"`
+	Stagnant  int     `json:"stagnant"`
+	// Radius (hill) and Temp (anneal) expose the strategy's own dial.
+	Radius int     `json:"radius,omitempty"`
+	Temp   float64 `json:"temp,omitempty"`
+
+	Frontier    []FrontierEntry `json:"frontier"`
+	TotalEvals  int             `json:"totalEvals"`
+	TotalCached int             `json:"totalCached"`
+}
+
+// Hooks are Run's observation and caching points. All are optional.
+type Hooks struct {
+	// OnGeneration fires after each generation with the progress record
+	// and the freshly serialized SearchState (the resume snapshot).
+	// Called from the driver goroutine, in generation order.
+	OnGeneration func(pr Progress, state []byte)
+	// OnEval forwards every sweep-cell event (concurrent; see
+	// experiments.Options.OnCell for the contract).
+	OnEval func(ev experiments.CellEvent)
+	// Cache memoizes candidate evaluations across generations and — when
+	// provided by the serve layer — across searches. Keys are candidate
+	// keys, so the caller must namespace the cache by Params.Signature()
+	// (the serve layer's cellCache prefix does exactly this). Nil gets a
+	// run-private cache: revisits within one search still hit.
+	Cache experiments.CellCache
+}
+
+// Result is a finished search.
+type Result struct {
+	BestKey    string            `json:"bestKey"`
+	BestScore  float64           `json:"bestScore"`
+	BestEval   Eval              `json:"bestEval"`
+	BestConfig map[string]string `json:"bestConfig"`
+	Objective  string            `json:"objective"`
+	Strategy   string            `json:"strategy"`
+
+	Generations int  `json:"generations"`
+	Evals       int  `json:"evals"`
+	CacheHits   int  `json:"cacheHits"` // environment-dependent: excluded from determinism comparisons
+	Converged   bool `json:"converged"`
+
+	// State is the final SearchState snapshot; resumed and
+	// uninterrupted searches produce identical bytes here.
+	State json.RawMessage `json:"state"`
+}
+
+// memoCache is the run-private Hooks.Cache default.
+type memoCache struct {
+	mu sync.Mutex
+	m  map[string]any
+}
+
+func (c *memoCache) GetCell(key string) (any, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	v, ok := c.m[key]
+	return v, ok
+}
+
+func (c *memoCache) PutCell(key string, v any) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.m[key] = v
+}
+
+// Run executes (or, when st is non-nil, resumes) the search to
+// completion and returns the result. st must come from LoadState with
+// the same Params; passing nil starts fresh. Determinism contract:
+// the full trajectory — every candidate visited, every score, the
+// final SearchState bytes — is a pure function of Params, regardless
+// of Parallelism, Shards, Check, cache warmth, or where a resumed
+// snapshot was taken. Only Result.CacheHits may differ.
+func Run(ctx context.Context, p Params, st *SearchState, h Hooks) (*Result, error) {
+	p = p.withDefaults()
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	sp, err := p.Space.Build()
+	if err != nil {
+		return nil, err
+	}
+	sig, err := p.Signature()
+	if err != nil {
+		return nil, err
+	}
+	if st == nil {
+		start := sp.Start()
+		st = &SearchState{
+			Version:  stateVersion,
+			Sig:      sig,
+			Strategy: p.Strategy,
+			Radius:   1,
+			Cur:      start,
+			CurKey:   sp.Key(start),
+		}
+	} else if st.Sig != sig {
+		return nil, fmt.Errorf("tune: search state signature mismatch (LoadState with the same Params first)")
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if h.Cache == nil {
+		h.Cache = &memoCache{m: map[string]any{}}
+	}
+
+	// The service mix evaluated against: the paper's SocialNetwork
+	// catalog, trimmed under Quick exactly like experiments does.
+	svcs := services.SocialNetwork()
+	if p.Quick && len(svcs) > 3 {
+		svcs = svcs[:3]
+	}
+
+	var totalCached atomic.Int64
+	var cacheHits int // driver-goroutine view, summed per generation
+
+	evaluate := func(batch [][]int) ([]Eval, int, error) {
+		cells := make([]experiments.Cell[Eval], len(batch))
+		for i, cand := range batch {
+			cand := cand
+			cells[i] = experiments.Cell[Eval]{
+				Key: sp.Key(cand),
+				Run: func(seed int64) (Eval, error) {
+					cfg, pol, err := sp.Materialize(cand)
+					if err != nil {
+						return Eval{}, err
+					}
+					spec := &workload.RunSpec{
+						Config:  cfg,
+						Policy:  pol,
+						Sources: workload.Mix(svcs, p.LoadScale, p.Requests),
+						Seed:    seed,
+						Shards:  p.Shards,
+					}
+					if p.Check {
+						spec.Check = check.New()
+					}
+					res, err := spec.RunCtx(ctx)
+					if err != nil {
+						return Eval{}, err
+					}
+					rep := energy.Integrate(energy.DefaultPower(), res.Engine, res.Elapsed)
+					ev := measure(res, rep)
+					ev.Score, err = scoreObjective(p.Objective, cfg, res, ev, p.SLOUs)
+					if err != nil {
+						return Eval{}, err
+					}
+					return ev, nil
+				},
+			}
+		}
+		genCached := int64(0)
+		evals, err := experiments.RunCells(experiments.Options{
+			Seed:        p.Seed,
+			Parallelism: p.Parallelism,
+			Ctx:         ctx,
+			Cache:       h.Cache,
+			OnCell: func(ev experiments.CellEvent) {
+				if ev.Cached {
+					atomic.AddInt64(&genCached, 1)
+					totalCached.Add(1)
+				}
+				if h.OnEval != nil {
+					h.OnEval(ev)
+				}
+			},
+		}, cells)
+		return evals, int(genCached), err
+	}
+
+	// validBatch drops candidates the space rejects and deduplicates by
+	// key (keeping first occurrence), so a batch never evaluates the
+	// same cell twice — cached counts stay parallelism-independent.
+	validBatch := func(cands [][]int, excludeKey string) [][]int {
+		seen := map[string]bool{}
+		var out [][]int
+		for _, c := range cands {
+			k := sp.Key(c)
+			if k == excludeKey || seen[k] {
+				continue
+			}
+			if _, _, err := sp.Materialize(c); err != nil {
+				continue
+			}
+			seen[k] = true
+			out = append(out, c)
+		}
+		return out
+	}
+
+	for !st.Done {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+
+		var batch [][]int
+		temp := 0.0
+		if st.Gen == 0 {
+			// Generation 0 scores the deterministic starting candidate
+			// (the first level of every dimension) to seed Cur and Best.
+			batch = validBatch([][]int{st.Cur}, "")
+			if len(batch) == 0 {
+				return nil, fmt.Errorf("tune: starting candidate %q is invalid", st.CurKey)
+			}
+		} else {
+			switch p.Strategy {
+			case StrategyHill:
+				batch = validBatch(sp.Neighbors(st.Cur, st.Radius), st.CurKey)
+			case StrategyAnneal:
+				temp = annealT0 * math.Pow(annealDecay, float64(st.Gen-1))
+				rng := sim.NewRNG(sim.DeriveSeed(p.Seed, fmt.Sprintf("tune/anneal/%d", st.Gen)))
+				var props [][]int
+				for i := 0; i < p.Proposals; i++ {
+					n := append([]int(nil), st.Cur...)
+					d := rng.Intn(len(sp.Dims))
+					n[d] = rng.Intn(len(sp.Dims[d].Levels))
+					props = append(props, n)
+				}
+				batch = validBatch(props, st.CurKey)
+			}
+		}
+
+		evals, genCached, err := evaluate(batch)
+		if err != nil {
+			return nil, err
+		}
+		st.Evals += len(batch)
+		cacheHits += genCached
+
+		// Fold the batch into Best/frontier, then apply the strategy's
+		// move rule. Ties break by candidate key so the outcome is
+		// independent of evaluation order.
+		improved := false
+		bestIdx := -1
+		for i := range batch {
+			key := sp.Key(batch[i])
+			if st.observe(batch[i], key, evals[i]) {
+				improved = true
+			}
+			if bestIdx < 0 || evals[i].Score < evals[bestIdx].Score ||
+				(evals[i].Score == evals[bestIdx].Score && key < sp.Key(batch[bestIdx])) {
+				bestIdx = i
+			}
+		}
+
+		moved := false
+		switch {
+		case st.Gen == 0:
+			st.CurScore = evals[0].Score
+		case bestIdx < 0:
+			// Nothing valid to evaluate this generation.
+		case p.Strategy == StrategyHill:
+			if evals[bestIdx].Score < st.CurScore {
+				st.Cur = append([]int(nil), batch[bestIdx]...)
+				st.CurKey = sp.Key(st.Cur)
+				st.CurScore = evals[bestIdx].Score
+				st.Radius = 1
+				moved = true
+			} else {
+				// Stuck: widen the neighborhood (bounded by the widest
+				// dimension, beyond which it cannot add candidates).
+				maxLevels := 0
+				for _, d := range sp.Dims {
+					if len(d.Levels) > maxLevels {
+						maxLevels = len(d.Levels)
+					}
+				}
+				if st.Radius < maxLevels {
+					st.Radius++
+				}
+			}
+		case p.Strategy == StrategyAnneal:
+			delta := evals[bestIdx].Score - st.CurScore
+			accept := delta < 0
+			if !accept && temp > 0 {
+				scale := math.Abs(st.CurScore)
+				if scale < 1 {
+					scale = 1
+				}
+				arng := sim.NewRNG(sim.DeriveSeed(p.Seed, fmt.Sprintf("tune/accept/%d", st.Gen)))
+				accept = arng.Float64() < math.Exp(-(delta/scale)/temp)
+			}
+			if accept {
+				st.Cur = append([]int(nil), batch[bestIdx]...)
+				st.CurKey = sp.Key(st.Cur)
+				st.CurScore = evals[bestIdx].Score
+				moved = true
+			}
+		}
+
+		if st.Gen == 0 || improved {
+			st.Stagnant = 0
+		} else {
+			st.Stagnant++
+		}
+		st.Trajectory = append(st.Trajectory, GenRecord{
+			Gen: st.Gen, Evaluated: len(batch), CurScore: st.CurScore,
+			BestScore: st.BestScore, Moved: moved,
+		})
+		st.Gen++
+		if st.Stagnant >= p.Patience {
+			st.Done, st.Converged = true, true
+		} else if st.Gen > p.MaxGenerations {
+			st.Done = true
+		}
+
+		if h.OnGeneration != nil {
+			snap, err := st.Marshal()
+			if err != nil {
+				return nil, err
+			}
+			pr := Progress{
+				Gen: st.Gen - 1, Evaluated: len(batch), Cached: genCached,
+				Moved: moved, CurKey: st.CurKey, CurScore: st.CurScore,
+				BestKey: st.BestKey, BestScore: st.BestScore,
+				Stagnant: st.Stagnant, Temp: temp,
+				Frontier:   append([]FrontierEntry(nil), st.Frontier...),
+				TotalEvals: st.Evals, TotalCached: int(totalCached.Load()),
+			}
+			if p.Strategy == StrategyHill {
+				pr.Radius = st.Radius
+			}
+			h.OnGeneration(pr, snap)
+		}
+	}
+
+	finalState, err := st.Marshal()
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		BestKey:     st.BestKey,
+		BestScore:   st.BestScore,
+		BestEval:    st.BestEval,
+		BestConfig:  sp.Levels(st.Best),
+		Objective:   p.Objective,
+		Strategy:    p.Strategy,
+		Generations: st.Gen,
+		Evals:       st.Evals,
+		CacheHits:   cacheHits,
+		Converged:   st.Converged,
+		State:       finalState,
+	}, nil
+}
