@@ -16,6 +16,7 @@ import (
 
 	"accelflow/internal/check"
 	"accelflow/internal/config"
+	"accelflow/internal/control"
 	"accelflow/internal/engine"
 	"accelflow/internal/experiments"
 	"accelflow/internal/obs"
@@ -200,6 +201,51 @@ func benchRunCheck(b *testing.B, checked bool) {
 
 func BenchmarkRunCheckDisabled(b *testing.B) { benchRunCheck(b, false) }
 func BenchmarkRunCheckEnabled(b *testing.B)  { benchRunCheck(b, true) }
+
+// benchRunControlled is the same guard for the dynamic-control
+// subsystem: with Control nil the runner takes the exact pre-control
+// scheduling path (scheduleSource, no decision tick), so the Disabled
+// benchmark must stay within noise (<2%) of the pre-control baseline.
+// The Enabled variant runs every policy — PE autoscaler, both shed
+// kinds, retry budgets — and so prices the controlled request path's
+// closure plus the decision tick. Compare with
+//
+//	go test -bench='BenchmarkRunControlled' -benchtime=20x -count=5
+var benchRunControlledResult *workload.RunResult
+
+func benchRunControlled(b *testing.B, controlled bool) {
+	svcs := services.SocialNetwork()
+	cfg := config.Default()
+	pol := engine.AccelFlow()
+	var events uint64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		spec := benchRunSpec(svcs, cfg, pol)
+		if controlled {
+			spec.Control = &control.Spec{
+				Autoscale: &control.AutoscaleSpec{
+					Target:   control.TargetPE,
+					UpUtil:   0.75,
+					DownUtil: 0.25,
+					MaxAdd:   8,
+				},
+				Shed:  &control.ShedSpec{Queue: 64, Prob: 0.01},
+				Retry: &control.RetrySpec{Budget: 8},
+			}
+		}
+		res, err := spec.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		events += res.Engine.K.Processed()
+		benchRunControlledResult = res
+	}
+	b.StopTimer()
+	reportRunMetrics(b, events)
+}
+
+func BenchmarkRunControlledDisabled(b *testing.B) { benchRunControlled(b, false) }
+func BenchmarkRunControlledEnabled(b *testing.B)  { benchRunControlled(b, true) }
 
 // benchFleetRequests is the fleet benchmark's request budget: 30x the
 // single-run budget, spread over benchFleetReplicas servers so each

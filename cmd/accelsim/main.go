@@ -42,6 +42,7 @@ import (
 	"strings"
 	"time"
 
+	"accelflow/internal/control"
 	"accelflow/internal/experiments"
 	"accelflow/internal/sim"
 	"accelflow/internal/tune"
@@ -60,6 +61,18 @@ type cliArgs struct {
 	faultLoss float64
 	check     bool
 	shards    int
+
+	// Dynamic-control knobs for the observed run (-trace/-report).
+	// ctlTarget enables the autoscaler; the shed/retry knobs enable
+	// independently, so -ctlshedq works without an autoscaler.
+	ctlTarget string
+	ctlUp     float64
+	ctlDown   float64
+	ctlSLO    float64
+	ctlMax    int
+	ctlShedQ  int
+	ctlShedP  float64
+	ctlRetry  int
 
 	tune         string // objective; "" disables the mode
 	tuneStrategy string
@@ -101,6 +114,18 @@ func (a cliArgs) validate() error {
 			return fmt.Errorf("unknown experiment %s\ntry -list", a.exp)
 		}
 	}
+	if spec := a.controlSpec(); spec != nil {
+		if a.tune != "" {
+			return fmt.Errorf("-ctl* flags apply to the observed run (-trace/-report), not -tune")
+		}
+		if err := spec.Validate(); err != nil {
+			return fmt.Errorf("-ctl*: %w", err)
+		}
+		if as := spec.Autoscale; as != nil && as.Target == control.TargetReplicas {
+			return fmt.Errorf("-ctl %q needs a fleet; the observed run scales %q or %q",
+				control.TargetReplicas, control.TargetPE, control.TargetCores)
+		}
+	}
 	if a.tune == "" {
 		// Tune-only flags require the mode, so a typo like -tuneresume
 		// without -tune cannot silently run the wrong mode.
@@ -129,6 +154,33 @@ func (a cliArgs) validate() error {
 		return err
 	}
 	return p.Validate()
+}
+
+// controlSpec maps the -ctl* flags onto a control spec, or nil when
+// every control knob is at its neutral value (no autoscale target, no
+// shedding, no retry budget) — a nil spec keeps the observed run on
+// the exact pre-control code path, byte-identical artifacts included.
+func (a cliArgs) controlSpec() *control.Spec {
+	if a.ctlTarget == "" && a.ctlShedQ == 0 && a.ctlShedP == 0 && a.ctlRetry == 0 {
+		return nil
+	}
+	spec := &control.Spec{}
+	if a.ctlTarget != "" {
+		spec.Autoscale = &control.AutoscaleSpec{
+			Target:   a.ctlTarget,
+			UpUtil:   a.ctlUp,
+			DownUtil: a.ctlDown,
+			SLOUs:    a.ctlSLO,
+			MaxAdd:   a.ctlMax,
+		}
+	}
+	if a.ctlShedQ != 0 || a.ctlShedP != 0 {
+		spec.Shed = &control.ShedSpec{Queue: a.ctlShedQ, Prob: a.ctlShedP}
+	}
+	if a.ctlRetry != 0 {
+		spec.Retry = &control.RetrySpec{Budget: a.ctlRetry}
+	}
+	return spec
 }
 
 // tuneParams maps the flags onto search parameters. The space comes
@@ -223,6 +275,14 @@ func main() {
 	flag.Float64Var(&a.faultLoss, "faultloss", 0, "remote-response loss rate override in [0,1] for the observed run")
 	flag.BoolVar(&a.check, "check", false, "run with runtime invariant checking (same results; violations fail the run)")
 	flag.IntVar(&a.shards, "shards", 0, "intra-run shard count for the sharded execution path (0/1 = serial kernel); results are identical at any value")
+	flag.StringVar(&a.ctlTarget, "ctl", "", "attach the autoscaler to the observed run, scaling this pool: pe or cores")
+	flag.Float64Var(&a.ctlUp, "ctlup", 0.75, "scale up when windowed utilization exceeds this (requires -ctl)")
+	flag.Float64Var(&a.ctlDown, "ctldown", 0.25, "scale down when windowed utilization falls below this (requires -ctl)")
+	flag.Float64Var(&a.ctlSLO, "ctlslo", 0, "P99 SLO target in microseconds the autoscaler also reacts to (0 = utilization only)")
+	flag.IntVar(&a.ctlMax, "ctlmax", 8, "autoscaler ceiling: servers it may add over the base pool")
+	flag.IntVar(&a.ctlShedQ, "ctlshedq", 0, "shed observed-run arrivals when this many requests are outstanding (0 = off)")
+	flag.Float64Var(&a.ctlShedP, "ctlshedp", 0, "shed observed-run arrivals with this probability in [0,1] (0 = off)")
+	flag.IntVar(&a.ctlRetry, "ctlretry", 0, "per-tenant retry budget for timed-out observed-run requests (0 = off)")
 	flag.StringVar(&a.tune, "tune", "", "run a design-space search for this objective: p99, energy, or costperf")
 	flag.StringVar(&a.tuneStrategy, "tunestrategy", "", "search strategy: hill (default) or anneal")
 	flag.IntVar(&a.tuneGens, "tunegens", 0, "max search generations (0 = default)")
@@ -252,7 +312,7 @@ func main() {
 	}
 
 	if *tracePath != "" || *reportPath != "" {
-		if err := observedRun(*tracePath, *reportPath, a.seed, a.n, a.quick, a.faultRate, *faultWin, a.faultLoss, a.check, a.shards); err != nil {
+		if err := observedRun(*tracePath, *reportPath, a, *faultWin); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -413,16 +473,17 @@ func fatalf(format string, args ...interface{}) {
 // The spec comes from workload.BuildObserved — the same builder the
 // accelsimd daemon uses — so a job submitted over HTTP with the same
 // parameters yields byte-identical artifacts.
-func observedRun(tracePath, reportPath string, seed int64, n int, quick bool, faultRate float64, faultWin time.Duration, faultLoss float64, check bool, shards int) error {
+func observedRun(tracePath, reportPath string, a cliArgs, faultWin time.Duration) error {
 	spec, sink, err := workload.BuildObserved(workload.ObservedParams{
-		Seed:        seed,
-		Requests:    n,
-		Quick:       quick,
-		FaultRate:   faultRate,
+		Seed:        a.seed,
+		Requests:    a.n,
+		Quick:       a.quick,
+		FaultRate:   a.faultRate,
 		FaultWindow: sim.FromNanos(float64(faultWin.Nanoseconds())),
-		FaultLoss:   faultLoss,
-		Check:       check,
-		Shards:      shards,
+		FaultLoss:   a.faultLoss,
+		Control:     a.controlSpec(),
+		Check:       a.check,
+		Shards:      a.shards,
 	})
 	if err != nil {
 		return err
@@ -436,6 +497,10 @@ func observedRun(tracePath, reportPath string, seed int64, n int, quick bool, fa
 	if inj := res.Engine.Faults; inj != nil {
 		fmt.Fprintf(os.Stderr, "[faults: %d windows applied, %d timeouts, %d fallbacks]\n",
 			inj.Stats.Windows, res.TimedOut, res.FellBack)
+	}
+	if res.Control != nil {
+		fmt.Fprintf(os.Stderr, "[control: %d ticks, +%d/-%d scale actions, %d shed, %d retries]\n",
+			res.Control.Ticks, res.Control.ScaleUps, res.Control.ScaleDowns, res.Shed, res.Retries)
 	}
 	if tracePath != "" {
 		if err := writeFile(tracePath, sink.WriteChromeTrace); err != nil {

@@ -8,7 +8,7 @@ import (
 // goodArgs mirrors the flag defaults so each row mutates exactly one
 // thing.
 func goodArgs() cliArgs {
-	return cliArgs{n: 2500, seed: 1}
+	return cliArgs{n: 2500, seed: 1, ctlUp: 0.75, ctlDown: 0.25, ctlMax: 8}
 }
 
 // TestValidateFlags pins the upfront-validation contract: every bad
@@ -33,6 +33,21 @@ func TestValidateFlags(t *testing.T) {
 		{"shards sharded", func(a *cliArgs) { a.shards = 4; a.exp = "area" }, ""},
 		{"negative shards", func(a *cliArgs) { a.shards = -2 }, "-shards"},
 		{"unknown experiment", func(a *cliArgs) { a.exp = "fig99" }, "unknown experiment"},
+
+		{"ctl pe", func(a *cliArgs) { a.ctlTarget = "pe" }, ""},
+		{"ctl cores with slo", func(a *cliArgs) { a.ctlTarget = "cores"; a.ctlSLO = 300 }, ""},
+		{"ctl shed without autoscaler", func(a *cliArgs) { a.ctlShedQ = 64 }, ""},
+		{"ctl retry without autoscaler", func(a *cliArgs) { a.ctlRetry = 4 }, ""},
+		{"ctl unknown target", func(a *cliArgs) { a.ctlTarget = "gpus" }, "autoscale target"},
+		{"ctl replicas needs fleet", func(a *cliArgs) { a.ctlTarget = "replicas" }, "needs a fleet"},
+		{"ctl down above up", func(a *cliArgs) { a.ctlTarget = "pe"; a.ctlDown = 0.9 }, "DownUtil"},
+		{"ctl nonpositive up", func(a *cliArgs) { a.ctlTarget = "pe"; a.ctlUp = 0 }, "UpUtil"},
+		{"ctl negative slo", func(a *cliArgs) { a.ctlTarget = "pe"; a.ctlSLO = -1 }, "SLOUs"},
+		{"ctl negative ceiling", func(a *cliArgs) { a.ctlTarget = "pe"; a.ctlMax = -1 }, "-ctl"},
+		{"ctl shed prob above one", func(a *cliArgs) { a.ctlShedP = 1.5 }, "shed probability"},
+		{"ctl negative shed queue", func(a *cliArgs) { a.ctlShedQ = -2 }, "shed queue"},
+		{"ctl negative retry budget", func(a *cliArgs) { a.ctlRetry = -3 }, "retry budget"},
+		{"ctl with tune", func(a *cliArgs) { a.tune = "p99"; a.ctlTarget = "pe" }, "-ctl"},
 
 		{"tune defaults", func(a *cliArgs) { a.tune = "p99" }, ""},
 		{"tune energy", func(a *cliArgs) { a.tune = "energy" }, ""},
@@ -82,6 +97,41 @@ func TestValidateFlags(t *testing.T) {
 				t.Fatalf("validate() = %v, want substring %q", err, tc.want)
 			}
 		})
+	}
+}
+
+// TestControlSpecSelection pins the nil-at-defaults contract: with
+// every control knob neutral the observed run must get a nil spec
+// (the exact pre-control code path), and each knob group enables
+// independently.
+func TestControlSpecSelection(t *testing.T) {
+	a := goodArgs()
+	if spec := a.controlSpec(); spec != nil {
+		t.Fatalf("default flags built a control spec: %+v", spec)
+	}
+
+	a.ctlTarget = "cores"
+	a.ctlSLO = 300
+	spec := a.controlSpec()
+	if spec == nil || spec.Autoscale == nil {
+		t.Fatal("-ctl cores did not build an autoscale spec")
+	}
+	if spec.Autoscale.Target != "cores" || spec.Autoscale.UpUtil != 0.75 || spec.Autoscale.SLOUs != 300 {
+		t.Fatalf("autoscale spec does not mirror the flags: %+v", spec.Autoscale)
+	}
+	if spec.Shed != nil || spec.Retry != nil {
+		t.Fatalf("-ctl alone must not enable shedding or retries: %+v", spec)
+	}
+
+	a = goodArgs()
+	a.ctlShedQ = 64
+	a.ctlRetry = 4
+	spec = a.controlSpec()
+	if spec == nil || spec.Autoscale != nil {
+		t.Fatalf("shed/retry knobs must work without an autoscaler: %+v", spec)
+	}
+	if spec.Shed == nil || spec.Shed.Queue != 64 || spec.Retry == nil || spec.Retry.Budget != 4 {
+		t.Fatalf("shed/retry spec does not mirror the flags: %+v", spec)
 	}
 }
 

@@ -30,14 +30,14 @@ import (
 	"accelflow/internal/benchfmt"
 )
 
-// defaultBench is the curated subset: the two single-run pairs that
-// guard the nil-observer/nil-checker fast paths, the serial sweep, the
-// sharded fleet scaling curve, and the end-to-end serving round trip.
-// Small enough to run on every CI push, load-bearing enough to anchor
-// every speed claim. BenchmarkRunSharded expands to one snapshot entry
-// per shard count (RunSharded/shards=N), so the trajectory records the
-// whole scaling curve, not one point.
-const defaultBench = "^(BenchmarkRunObsDisabled|BenchmarkRunObsEnabled|BenchmarkRunCheckDisabled|BenchmarkRunSharded|BenchmarkSweepSerial|BenchmarkServeSubmitQuick|BenchmarkServeSubmitCached)$"
+// defaultBench is the curated subset: the single-run pairs that guard
+// the nil-observer/nil-checker/nil-controller fast paths, the serial
+// sweep, the sharded fleet scaling curve, and the end-to-end serving
+// round trip. Small enough to run on every CI push, load-bearing
+// enough to anchor every speed claim. BenchmarkRunSharded expands to
+// one snapshot entry per shard count (RunSharded/shards=N), so the
+// trajectory records the whole scaling curve, not one point.
+const defaultBench = "^(BenchmarkRunObsDisabled|BenchmarkRunObsEnabled|BenchmarkRunCheckDisabled|BenchmarkRunControlledDisabled|BenchmarkRunControlledEnabled|BenchmarkRunSharded|BenchmarkSweepSerial|BenchmarkServeSubmitQuick|BenchmarkServeSubmitCached)$"
 
 func main() {
 	var (

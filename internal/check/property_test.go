@@ -25,6 +25,7 @@ import (
 
 	"accelflow/internal/check"
 	"accelflow/internal/config"
+	"accelflow/internal/control"
 	"accelflow/internal/engine"
 	"accelflow/internal/fault"
 	"accelflow/internal/services"
@@ -318,6 +319,171 @@ func TestMetamorphicFaultRateZero(t *testing.T) {
 	if a.Elapsed != b.Elapsed || a.All.Mean() != b.All.Mean() || a.All.P99() != b.All.P99() {
 		t.Errorf("timings diverge: no injector (%v, mean %v, p99 %v) vs rate-0 (%v, mean %v, p99 %v)",
 			a.Elapsed, a.All.Mean(), a.All.P99(), b.Elapsed, b.All.Mean(), b.All.P99())
+	}
+}
+
+// surgeSpec is the shared base for the control-layer metamorphic
+// properties: a 3x surge of the SocialNetwork mix with the invariant
+// checker attached, onto which each property grafts its controller.
+func surgeSpec(requests int, seed int64) *workload.RunSpec {
+	return &workload.RunSpec{
+		Config:  config.Default(),
+		Policy:  engine.AccelFlow(),
+		Sources: workload.Mix(services.SocialNetwork(), 3.0, requests),
+		Seed:    seed,
+		Check:   check.New(),
+	}
+}
+
+// TestMetamorphicMoreHeadroom: raising the autoscaler's add ceiling at
+// identical arrivals must not worsen the P99 — extra headroom lets the
+// controller relieve the same queues sooner, the control-layer twin of
+// TestMetamorphicMorePEs. The slack absorbs second-order shifts in
+// which requests contend after the earlier scale-ups.
+func TestMetamorphicMoreHeadroom(t *testing.T) {
+	if testing.Short() {
+		t.Skip("metamorphic properties run full simulations")
+	}
+	const slack = 1.10
+	run := func(maxAdd int) *workload.RunResult {
+		spec := surgeSpec(400, 13)
+		spec.Sources = workload.Mix(services.SocialNetwork(), 6.0, 400)
+		spec.Control = &control.Spec{Autoscale: &control.AutoscaleSpec{
+			Target:   control.TargetPE,
+			UpUtil:   0.1,
+			DownUtil: 0.02,
+			MaxAdd:   maxAdd,
+		}}
+		res, err := spec.Run()
+		if err != nil {
+			t.Fatalf("MaxAdd %d: %v", maxAdd, err)
+		}
+		return res
+	}
+	capped, roomy := run(2), run(8)
+	// The property is vacuous unless the surge actually drives the
+	// capped run into its ceiling and the roomy run past it.
+	if capped.Control.ScaleUps == 0 {
+		t.Fatal("surge produced no scale-ups — controller not engaged")
+	}
+	if roomy.Control.Level <= capped.Control.Level {
+		t.Fatalf("headroom unused: level %d with MaxAdd 8 vs %d with MaxAdd 2",
+			roomy.Control.Level, capped.Control.Level)
+	}
+	if roomy.All.P99().Micros() > capped.All.P99().Micros()*slack {
+		t.Errorf("P99 worsened with more headroom: MaxAdd 8 %.1fus vs MaxAdd 2 %.1fus",
+			roomy.All.P99().Micros(), capped.All.P99().Micros())
+	}
+}
+
+// TestMetamorphicShedConservation: a shed request vanishes before
+// submission and must never reappear in any downstream count. With
+// every control policy live (both shed kinds, retries under a fault
+// burst), engine completions equal arrivals - Shed + Retries and the
+// latency recorder sees exactly arrivals - Shed final attempts —
+// while the full invariant suite (whose conservation check compares
+// engine admissions against completions) stays green.
+func TestMetamorphicShedConservation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("metamorphic properties run full simulations")
+	}
+	const arrivals = 300
+	spec := surgeSpec(arrivals, 11)
+	// Short enqueue backoff plus a single timeout rearm make the lost
+	// remote responses (RemoteLossRate) actually surface as timeouts,
+	// the retry path's trigger.
+	spec.Config.EnqueueBackoff = 200 * sim.Nanosecond
+	spec.Config.TimeoutRearms = 1
+	spec.Faults = &fault.Spec{
+		Rate:           20000,
+		MeanWindow:     150 * sim.Microsecond,
+		Horizon:        sim.Second,
+		PEDegradeFrac:  0.75,
+		PEFail:         true,
+		RemoteLossRate: 0.05,
+	}
+	spec.Control = &control.Spec{
+		Autoscale: &control.AutoscaleSpec{
+			Target:   control.TargetPE,
+			UpUtil:   0.3,
+			DownUtil: 0.05,
+			SLOUs:    300,
+			MaxAdd:   8,
+		},
+		Shed:  &control.ShedSpec{Queue: 48, Prob: 0.02},
+		Retry: &control.RetrySpec{Budget: 16},
+	}
+	res, err := spec.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Vacuousness guards: both shed kinds and the retry path must fire.
+	if res.Control.ShedQueue == 0 || res.Control.ShedRandom == 0 {
+		t.Fatalf("shed kinds not exercised: queue %d, random %d",
+			res.Control.ShedQueue, res.Control.ShedRandom)
+	}
+	if res.Retries == 0 {
+		t.Fatal("retry path not exercised")
+	}
+	if res.Shed != res.Control.ShedQueue+res.Control.ShedRandom {
+		t.Errorf("Shed %d != queue %d + random %d",
+			res.Shed, res.Control.ShedQueue, res.Control.ShedRandom)
+	}
+	if res.Completed != arrivals-res.Shed+res.Retries {
+		t.Errorf("completions %d != arrivals %d - shed %d + retries %d",
+			res.Completed, arrivals, res.Shed, res.Retries)
+	}
+	if got := uint64(res.All.Count()); got != arrivals-res.Shed {
+		t.Errorf("recorder saw %d latencies, want arrivals %d - shed %d",
+			got, arrivals, res.Shed)
+	}
+}
+
+// TestMetamorphicControllerNeutral: an autoscaler whose thresholds are
+// unreachable (utilization is clamped to [0,1], so UpUtil 2 and
+// DownUtil -1 are the +-infinity spellings; SLOUs 0 disables breach
+// detection) with no shed or retry policy must leave every result
+// bit-identical to running with no controller at all — the zero-RNG
+// disabled contract. Only Elapsed may differ, by at most one decision
+// interval: the tick, like the obs sampler, observes the final state
+// once after the last completion.
+func TestMetamorphicControllerNeutral(t *testing.T) {
+	if testing.Short() {
+		t.Skip("metamorphic properties run full simulations")
+	}
+	const interval = 50 * sim.Microsecond
+	bare := surgeSpec(400, 29)
+	neutral := surgeSpec(400, 29)
+	neutral.Control = &control.Spec{Autoscale: &control.AutoscaleSpec{
+		Target:   control.TargetPE,
+		UpUtil:   2,
+		DownUtil: -1,
+		Interval: interval,
+	}}
+	a, err := bare.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := neutral.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := b.Control; st.ScaleUps != 0 || st.ScaleDowns != 0 || st.ShedQueue != 0 ||
+		st.ShedRandom != 0 || st.Retries != 0 || st.BreachTicks != 0 {
+		t.Errorf("neutral controller acted: %+v", *st)
+	}
+	if a.Completed != b.Completed || a.TimedOut != b.TimedOut || a.FellBack != b.FellBack {
+		t.Errorf("counters diverge: bare %d/%d/%d vs neutral %d/%d/%d",
+			a.Completed, a.TimedOut, a.FellBack, b.Completed, b.TimedOut, b.FellBack)
+	}
+	if a.All.Count() != b.All.Count() || a.All.Mean() != b.All.Mean() ||
+		a.All.P99() != b.All.P99() || a.All.Max() != b.All.Max() {
+		t.Errorf("latencies diverge: bare (n %d, mean %v, p99 %v, max %v) vs neutral (n %d, mean %v, p99 %v, max %v)",
+			a.All.Count(), a.All.Mean(), a.All.P99(), a.All.Max(),
+			b.All.Count(), b.All.Mean(), b.All.P99(), b.All.Max())
+	}
+	if b.Elapsed < a.Elapsed || b.Elapsed-a.Elapsed > interval {
+		t.Errorf("Elapsed moved beyond one final tick: bare %v vs neutral %v", a.Elapsed, b.Elapsed)
 	}
 }
 

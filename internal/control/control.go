@@ -1,0 +1,641 @@
+// Package control is the dynamic-control subsystem: deterministic,
+// seed-derived control loops that run inside the simulation clock and
+// close the loop the fault layer opened — where fault windows resize
+// resources on a fixed schedule, a controller reacts to what the run
+// actually observes.
+//
+// Three policies compose under one Spec:
+//
+//   - Autoscale: a periodic decision tick samples utilization (and,
+//     when an SLO is set, a sliding-window P99) and grows or shrinks a
+//     capacity pool — PE pools, the core pool, or a fleet's active
+//     replica set — through the same SetServers machinery fault
+//     windows use, with hysteresis (separate up/down thresholds plus a
+//     hold count), a cooldown between actions, and hard scale bounds.
+//   - Shed: request-layer load shedding, probabilistic (a dedicated
+//     DeriveSeed(seed, "control/shed") stream) and/or queue-depth
+//     triggered on the controller-observed outstanding count.
+//   - Retry: per-tenant retry budgets for timed-out requests with
+//     exponentially growing, capped backoff.
+//
+// Determinism contract, mirroring internal/fault: every decision is a
+// pure function of (Spec, seed, observed simulation state), so
+// controlled runs are bit-identical at any sweep parallelism or shard
+// count. A controller whose thresholds can never fire (UpUtil above 1,
+// negative DownUtil, MaxAdd/MaxRemove zero) performs zero actions and
+// draws from no RNG stream, and a ShedSpec with Prob 0 never creates
+// its stream — so an effectively-disabled controller leaves
+// latencies, counters, and recorders bit-identical to no controller
+// at all (the decision tick can only extend the run's final timestamp
+// by at most one interval, exactly like the obs utilization sampler).
+package control
+
+import (
+	"fmt"
+	"sort"
+
+	"accelflow/internal/obs"
+	"accelflow/internal/sim"
+)
+
+// Autoscale targets.
+const (
+	// TargetPE scales every accelerator kind's PE pool in lockstep
+	// (each pool offset by the same server count from its configured
+	// base, so per-kind PE mixes keep their shape).
+	TargetPE = "pe"
+	// TargetCores scales the CPU core pool.
+	TargetCores = "cores"
+	// TargetReplicas scales a fleet's active replica set at the
+	// ingress: deactivated replicas stop receiving new work and drain;
+	// reactivation is instant. Only valid on FleetSpec runs.
+	TargetReplicas = "replicas"
+)
+
+// Spec configures one run's controller. All three sections are
+// optional; a spec with none attached is inert. The spec is plain
+// data and joins workload.RunSpec.Hash(), so controller config is
+// part of a run's content identity.
+type Spec struct {
+	Autoscale *AutoscaleSpec `json:"autoscale,omitempty"`
+	Shed      *ShedSpec      `json:"shed,omitempty"`
+	Retry     *RetrySpec     `json:"retry,omitempty"`
+}
+
+// AutoscaleSpec configures the scaling loop.
+type AutoscaleSpec struct {
+	// Target is "pe", "cores", or (fleets only) "replicas".
+	Target string `json:"target"`
+	// Interval is the decision tick period. Default 50us.
+	Interval sim.Time `json:"interval,omitempty"`
+	// Window is the sliding signal window: utilization samples and
+	// completion latencies older than Window are evicted before each
+	// decision. A window shorter than the tick degenerates to the
+	// newest sample only. Default 4*Interval.
+	Window sim.Time `json:"window,omitempty"`
+	// UpUtil scales up when the windowed utilization reaches it. Must
+	// be positive; utilization is clamped to [0,1], so any value above
+	// 1 can never fire (the "+inf" disable spelling — JSON cannot
+	// carry real infinities).
+	UpUtil float64 `json:"upUtil"`
+	// DownUtil scales down when the windowed utilization falls to it
+	// (and no SLO breach is in progress). Must be below UpUtil; a
+	// negative value can never fire (the "-inf" spelling).
+	DownUtil float64 `json:"downUtil"`
+	// SLOUs, when positive, is the P99 target in microseconds: a
+	// windowed P99 above it counts as a scale-up signal regardless of
+	// utilization, and every breaching tick is recorded in Stats
+	// (BreachTicks/LastBreach), which is what the recovery experiment
+	// measures. 0 disables latency tracking entirely.
+	SLOUs float64 `json:"sloUs,omitempty"`
+	// Step is the number of servers (or replicas) moved per action.
+	// Default 1.
+	Step int `json:"step,omitempty"`
+	// MaxAdd is the scale-up ceiling: at most this many servers above
+	// each pool's base (for replicas, above the starting active set,
+	// clamped to the built replica count). 0 forbids scaling up.
+	MaxAdd int `json:"maxAdd"`
+	// MaxRemove is the scale-down depth below base. Pools are floored
+	// at one server regardless. 0 forbids scaling down.
+	MaxRemove int `json:"maxRemove"`
+	// Cooldown is the number of ticks after an action during which no
+	// further action fires. Default 2.
+	Cooldown int `json:"cooldown,omitempty"`
+	// Hold is the hysteresis depth: a signal must persist for this
+	// many consecutive ticks before acting. Default 1.
+	Hold int `json:"hold,omitempty"`
+	// ReplicaCap is, for the replicas target, the ingress-observed
+	// outstanding count per active replica treated as utilization 1.0
+	// (the ingress has no busy-time view of remote domains). Default 4.
+	ReplicaCap int `json:"replicaCap,omitempty"`
+}
+
+// ShedSpec configures request-layer load shedding.
+type ShedSpec struct {
+	// Prob sheds each arrival with this probability, drawn from the
+	// dedicated DeriveSeed(seed, "control/shed") stream. 0 disables
+	// and never creates the stream.
+	Prob float64 `json:"prob,omitempty"`
+	// Queue sheds arrivals while the controller-observed outstanding
+	// request count is at or above it. 0 disables.
+	Queue int `json:"queue,omitempty"`
+}
+
+// RetrySpec configures per-tenant retry budgets for timed-out
+// requests. Fleet runs do not support retries (the ingress would have
+// to replay jobs across domains); RunSpec runs do.
+type RetrySpec struct {
+	// Budget is each tenant's total retry allowance for the run.
+	Budget int `json:"budget"`
+	// MaxAttempts caps attempts per request, first try included.
+	// Default 2 (one retry).
+	MaxAttempts int `json:"maxAttempts,omitempty"`
+	// Backoff is the delay before the second attempt; it doubles per
+	// further attempt. Default 20us.
+	Backoff sim.Time `json:"backoff,omitempty"`
+	// BackoffCap bounds the exponential growth. Default 8*Backoff.
+	BackoffCap sim.Time `json:"backoffCap,omitempty"`
+}
+
+// Validate rejects out-of-range parameters with caller-facing
+// messages; both binaries and the serving plane call it before
+// admitting work.
+func (s *Spec) Validate() error {
+	if s == nil {
+		return nil
+	}
+	if a := s.Autoscale; a != nil {
+		switch a.Target {
+		case TargetPE, TargetCores, TargetReplicas:
+		default:
+			return fmt.Errorf("control: autoscale target must be %q, %q, or %q, got %q",
+				TargetPE, TargetCores, TargetReplicas, a.Target)
+		}
+		switch {
+		case a.Interval < 0 || a.Window < 0:
+			return fmt.Errorf("control: autoscale interval/window must be non-negative")
+		case a.UpUtil <= 0:
+			return fmt.Errorf("control: UpUtil must be positive (use a value above 1 to never scale up), got %v", a.UpUtil)
+		case a.DownUtil >= a.UpUtil:
+			return fmt.Errorf("control: DownUtil (%v) must be below UpUtil (%v)", a.DownUtil, a.UpUtil)
+		case a.SLOUs < 0:
+			return fmt.Errorf("control: SLOUs must be non-negative, got %v", a.SLOUs)
+		case a.Step < 0 || a.MaxAdd < 0 || a.MaxRemove < 0 || a.Cooldown < 0 || a.Hold < 0 || a.ReplicaCap < 0:
+			return fmt.Errorf("control: autoscale step/bounds/cooldown/hold must be non-negative")
+		}
+	}
+	if sh := s.Shed; sh != nil {
+		if sh.Prob < 0 || sh.Prob > 1 {
+			return fmt.Errorf("control: shed probability must be in [0,1], got %v", sh.Prob)
+		}
+		if sh.Queue < 0 {
+			return fmt.Errorf("control: shed queue depth must be non-negative, got %d", sh.Queue)
+		}
+	}
+	if r := s.Retry; r != nil {
+		switch {
+		case r.Budget < 0:
+			return fmt.Errorf("control: retry budget must be non-negative, got %d", r.Budget)
+		case r.MaxAttempts < 0:
+			return fmt.Errorf("control: retry maxAttempts must be non-negative, got %d", r.MaxAttempts)
+		case r.Backoff < 0 || r.BackoffCap < 0:
+			return fmt.Errorf("control: retry backoff/backoffCap must be non-negative")
+		case r.Backoff > 0 && r.BackoffCap > 0 && r.BackoffCap < r.Backoff:
+			return fmt.Errorf("control: retry backoffCap (%v) must be at least the base backoff (%v)", r.BackoffCap, r.Backoff)
+		}
+	}
+	return nil
+}
+
+// Stats counts controller activity over one run.
+type Stats struct {
+	// Ticks is the number of executed decision ticks.
+	Ticks uint64
+	// ScaleUps/ScaleDowns count applied actions; Level is the final
+	// offset from base in servers (or replicas).
+	ScaleUps   uint64
+	ScaleDowns uint64
+	Level      int
+	// ShedRandom/ShedQueue split shed requests by trigger.
+	ShedRandom uint64
+	ShedQueue  uint64
+	// Retries counts granted retries; RetriesExhausted counts
+	// timed-out completions denied a retry (budget or attempt cap).
+	Retries          uint64
+	RetriesExhausted uint64
+	// BreachTicks counts ticks whose windowed P99 exceeded SLOUs;
+	// LastBreach is the simulated time of the most recent such tick.
+	BreachTicks uint64
+	LastBreach  sim.Time
+}
+
+// Pool is one scalable capacity pool under the pe/cores targets. Set,
+// when non-nil, replaces Res.SetServers as the actuator — the
+// workload runner uses it to compose with an attached fault injector
+// (rebasing the injector so degrade windows revert to the scaled
+// level, and applying any currently-offline PEs to the new level).
+type Pool struct {
+	Res  *sim.Resource
+	Base int
+	Set  func(n int)
+}
+
+// Controller owns one run's control state. Build with New, wire the
+// actuator with AttachPools or AttachActive, then drive the decision
+// loop from the simulation clock (Periodic / Tick) and the request
+// path (Shed / NoteSubmit / NoteDone / RetryAfter). Controllers are
+// single-threaded like the kernel that feeds them and cover exactly
+// one run.
+type Controller struct {
+	Spec  Spec
+	Stats Stats
+
+	seed int64
+	sink *obs.Sink
+
+	shedRNG *sim.RNG // created only when Shed.Prob > 0 (zero-RNG contract)
+
+	outstanding int
+
+	// Autoscale state.
+	loop       loop
+	pools      []Pool
+	lastBusy   []sim.Time
+	activeBase int // replicas target: starting active count
+	applyFn    func(active int)
+	levelSince sim.Time
+
+	retryLeft map[int]int
+}
+
+// New builds a controller. Derive the seed from the run seed
+// (sim.DeriveSeed(runSeed, "control")) so the shed stream never
+// aliases workload or fault streams. The spec must already be
+// validated.
+func New(spec Spec, seed int64) *Controller {
+	c := &Controller{Spec: spec, seed: seed}
+	if a := spec.Autoscale; a != nil {
+		c.loop = newLoop(*a)
+	}
+	if sh := spec.Shed; sh != nil && sh.Prob > 0 {
+		c.shedRNG = sim.NewRNG(sim.DeriveSeed(seed, "control/shed"))
+	}
+	if r := spec.Retry; r != nil && r.Budget > 0 {
+		c.retryLeft = map[int]int{}
+	}
+	return c
+}
+
+// BindObs attaches the observability sink (nil-safe) so scaling
+// decisions export as root spans and the level/outstanding signals as
+// sampled series.
+func (c *Controller) BindObs(sink *obs.Sink) { c.sink = sink }
+
+// AttachPools wires the pe/cores actuator: each decision applies
+// base+offset (floored at one server by SetServers) to every pool.
+func (c *Controller) AttachPools(pools []Pool) {
+	c.pools = pools
+	c.lastBusy = make([]sim.Time, len(pools))
+	for i, p := range pools {
+		c.lastBusy[i] = p.Res.BusyTime
+	}
+}
+
+// AttachActive wires the replicas actuator: apply receives the new
+// active replica count after each decision. base is the built replica
+// count; the active set starts there and the scale-up ceiling is
+// clamped to it (replicas cannot be created mid-run).
+func (c *Controller) AttachActive(base int, apply func(active int)) {
+	c.activeBase = base
+	c.applyFn = apply
+	if c.loop.spec.MaxAdd > 0 {
+		// Active replicas can never exceed the built count.
+		c.loop.spec.MaxAdd = 0
+	}
+}
+
+// NeedsTick reports whether the controller has a decision loop to
+// drive (an autoscale section with an attached actuator).
+func (c *Controller) NeedsTick() bool {
+	return c.Spec.Autoscale != nil && (c.pools != nil || c.applyFn != nil)
+}
+
+// Interval is the decision tick period (after defaulting).
+func (c *Controller) Interval() sim.Time { return c.loop.spec.Interval }
+
+// Periodic packages the decision loop as a sim.Hooks entry for
+// single-kernel runs; the runner arms it after all arrivals are
+// scheduled, exactly like the obs sampler, so Kernel.Every's
+// self-termination ends the loop when the run ends.
+func (c *Controller) Periodic(k *sim.Kernel) sim.Periodic {
+	return sim.Periodic{Every: c.Interval(), Fn: func() { c.Tick(k.Now()) }}
+}
+
+// Outstanding is the controller-observed in-flight request count.
+func (c *Controller) Outstanding() int { return c.outstanding }
+
+// NoteSubmit records one request entering the system.
+func (c *Controller) NoteSubmit() { c.outstanding++ }
+
+// NoteDone records one request completing: the outstanding count
+// drops and, when SLO tracking is on, the latency joins the sliding
+// P99 window.
+func (c *Controller) NoteDone(now sim.Time, latency sim.Time) {
+	c.outstanding--
+	if a := c.Spec.Autoscale; a != nil && a.SLOUs > 0 {
+		c.loop.observeLatency(now, latency.Micros())
+	}
+}
+
+// Shed decides one arrival's fate. Queue-depth shedding is checked
+// first (it draws nothing); probabilistic shedding draws one value
+// from the dedicated stream per arrival that reaches it.
+func (c *Controller) Shed() bool {
+	sh := c.Spec.Shed
+	if sh == nil {
+		return false
+	}
+	if sh.Queue > 0 && c.outstanding >= sh.Queue {
+		c.Stats.ShedQueue++
+		return true
+	}
+	if sh.Prob > 0 && c.shedRNG.Float64() < sh.Prob {
+		c.Stats.ShedRandom++
+		return true
+	}
+	return false
+}
+
+// RetryAfter decides whether a timed-out request on its attempt-th
+// try (1-based) may go again, consuming the tenant's budget and
+// returning the backoff delay.
+func (c *Controller) RetryAfter(tenant, attempt int) (sim.Time, bool) {
+	r := c.Spec.Retry
+	if r == nil || r.Budget <= 0 {
+		return 0, false
+	}
+	maxAttempts := r.MaxAttempts
+	if maxAttempts <= 0 {
+		maxAttempts = 2
+	}
+	if attempt >= maxAttempts {
+		c.Stats.RetriesExhausted++
+		return 0, false
+	}
+	left, seen := c.retryLeft[tenant]
+	if !seen {
+		left = r.Budget
+	}
+	if left <= 0 {
+		c.Stats.RetriesExhausted++
+		return 0, false
+	}
+	c.retryLeft[tenant] = left - 1
+	c.Stats.Retries++
+	base := r.Backoff
+	if base <= 0 {
+		base = 20 * sim.Microsecond
+	}
+	cap := r.BackoffCap
+	if cap <= 0 {
+		cap = 8 * base
+	}
+	d := base << (attempt - 1)
+	if d > cap || d <= 0 {
+		d = cap
+	}
+	return d, true
+}
+
+// Tick executes one decision: sample the utilization signal, feed the
+// loop, and apply any resulting offset change through the actuator.
+func (c *Controller) Tick(now sim.Time) {
+	if !c.NeedsTick() {
+		return
+	}
+	c.Stats.Ticks++
+	util := c.sampleUtil()
+	delta := c.loop.tick(now, util)
+	c.Stats.BreachTicks = c.loop.breachTicks
+	c.Stats.LastBreach = c.loop.lastBreach
+	c.sink.Sample("control/util", now, util)
+	c.sink.Sample("control/level", now, float64(c.loop.off))
+	if delta == 0 {
+		return
+	}
+	if delta > 0 {
+		c.Stats.ScaleUps++
+	} else {
+		c.Stats.ScaleDowns++
+	}
+	c.Stats.Level = c.loop.off
+	c.applyLevel()
+	c.emitDecision(now, delta)
+	c.levelSince = now
+}
+
+// sampleUtil produces the current interval's utilization in [0,1]:
+// pooled busy-time delta over interval capacity for pe/cores, or the
+// outstanding-per-active-replica ratio for replicas.
+func (c *Controller) sampleUtil() float64 {
+	if c.applyFn != nil {
+		active := c.activeLevel()
+		cap := c.loop.spec.ReplicaCap
+		u := float64(c.outstanding) / (float64(active) * float64(cap))
+		if u > 1 {
+			u = 1
+		}
+		return u
+	}
+	var delta sim.Time
+	servers := 0
+	for i, p := range c.pools {
+		delta += p.Res.BusyTime - c.lastBusy[i]
+		c.lastBusy[i] = p.Res.BusyTime
+		servers += p.Res.Servers
+	}
+	if servers < 1 {
+		servers = 1
+	}
+	// BusyTime is charged up front at task start, so a delta can
+	// exceed the interval capacity; clamp to 1 (the same convention as
+	// the obs utilization sampler).
+	u := float64(delta) / (float64(c.loop.spec.Interval) * float64(servers))
+	if u > 1 {
+		u = 1
+	}
+	return u
+}
+
+// activeLevel is the current active replica count.
+func (c *Controller) activeLevel() int {
+	n := c.activeBase + c.loop.off
+	if n < 1 {
+		n = 1
+	}
+	if n > c.activeBase {
+		n = c.activeBase
+	}
+	return n
+}
+
+// applyLevel pushes the loop's offset through the actuator.
+func (c *Controller) applyLevel() {
+	if c.applyFn != nil {
+		c.applyFn(c.activeLevel())
+		return
+	}
+	for _, p := range c.pools {
+		n := p.Base + c.loop.off
+		if n < 1 {
+			n = 1
+		}
+		if p.Set != nil {
+			p.Set(n)
+		} else {
+			p.Res.SetServers(n)
+		}
+	}
+}
+
+// emitDecision exports one scaling action as a root span whose
+// segment covers the period spent at the previous level.
+func (c *Controller) emitDecision(now sim.Time, delta int) {
+	if c.sink == nil {
+		return
+	}
+	dir := "up"
+	if delta < 0 {
+		dir = "down"
+	}
+	name := fmt.Sprintf("control/scale-%s/%s@%+d", dir, c.loop.spec.Target, c.loop.off)
+	sp := c.sink.BeginControl(name)
+	sp.Seg(obs.SegControl, name, c.levelSince, now)
+	sp.End()
+}
+
+// loop is the pure autoscale decision state machine, split from the
+// Controller so hysteresis and cooldown edges are table-testable
+// without a kernel. All fields are in ticks except the sample rings.
+type loop struct {
+	spec AutoscaleSpec
+
+	off      int // current offset from base, in servers/replicas
+	cooldown int
+	upHold   int
+	downHold int
+
+	utils []sample
+	lats  []sample
+
+	breachTicks uint64
+	lastBreach  sim.Time
+}
+
+type sample struct {
+	at sim.Time
+	v  float64
+}
+
+// newLoop applies the spec's defaults.
+func newLoop(a AutoscaleSpec) loop {
+	if a.Interval <= 0 {
+		a.Interval = 50 * sim.Microsecond
+	}
+	if a.Window <= 0 {
+		a.Window = 4 * a.Interval
+	}
+	if a.Step <= 0 {
+		a.Step = 1
+	}
+	if a.Cooldown <= 0 {
+		a.Cooldown = 2
+	}
+	if a.Hold <= 0 {
+		a.Hold = 1
+	}
+	if a.ReplicaCap <= 0 {
+		a.ReplicaCap = 4
+	}
+	return loop{spec: a}
+}
+
+// observeLatency adds one completion latency (microseconds) to the
+// sliding P99 window.
+func (l *loop) observeLatency(now sim.Time, us float64) {
+	l.lats = append(l.lats, sample{at: now, v: us})
+}
+
+// evict drops samples older than the window from both rings.
+func evict(ss []sample, cutoff sim.Time) []sample {
+	keep := 0
+	for keep < len(ss) && ss[keep].at < cutoff {
+		keep++
+	}
+	if keep > 0 {
+		n := copy(ss, ss[keep:])
+		ss = ss[:n]
+	}
+	return ss
+}
+
+// windowP99 computes the P99 of the retained latency window (0 when
+// empty), using the same nearest-rank convention as metrics.Recorder.
+func (l *loop) windowP99() float64 {
+	n := len(l.lats)
+	if n == 0 {
+		return 0
+	}
+	vals := make([]float64, n)
+	for i, s := range l.lats {
+		vals[i] = s.v
+	}
+	sort.Float64s(vals)
+	idx := int(float64(n)*0.99+0.5) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= n {
+		idx = n - 1
+	}
+	return vals[idx]
+}
+
+// tick runs one decision on the latest utilization sample and returns
+// the applied offset change (0 = no action).
+func (l *loop) tick(now sim.Time, util float64) int {
+	cutoff := now - l.spec.Window
+	l.utils = evict(append(l.utils, sample{at: now, v: util}), cutoff)
+	var sum float64
+	for _, s := range l.utils {
+		sum += s.v
+	}
+	winUtil := sum / float64(len(l.utils))
+
+	breach := false
+	if l.spec.SLOUs > 0 {
+		l.lats = evict(l.lats, cutoff)
+		if p99 := l.windowP99(); p99 > l.spec.SLOUs {
+			breach = true
+			l.breachTicks++
+			l.lastBreach = now
+		}
+	}
+
+	switch {
+	case winUtil >= l.spec.UpUtil || breach:
+		l.upHold++
+		l.downHold = 0
+	case winUtil <= l.spec.DownUtil:
+		l.downHold++
+		l.upHold = 0
+	default:
+		l.upHold, l.downHold = 0, 0
+	}
+
+	if l.cooldown > 0 {
+		l.cooldown--
+		return 0
+	}
+	if l.upHold >= l.spec.Hold && l.off < l.spec.MaxAdd {
+		d := l.spec.Step
+		if l.off+d > l.spec.MaxAdd {
+			d = l.spec.MaxAdd - l.off
+		}
+		l.off += d
+		l.cooldown = l.spec.Cooldown
+		l.upHold = 0
+		return d
+	}
+	if l.downHold >= l.spec.Hold && l.off > -l.spec.MaxRemove {
+		d := l.spec.Step
+		if l.off-d < -l.spec.MaxRemove {
+			d = l.off + l.spec.MaxRemove
+		}
+		l.off -= d
+		l.cooldown = l.spec.Cooldown
+		l.downHold = 0
+		return -d
+	}
+	return 0
+}

@@ -1,0 +1,294 @@
+package control
+
+import (
+	"strings"
+	"testing"
+
+	"accelflow/internal/sim"
+)
+
+// TestLoopTable pins the decision state machine's hysteresis and
+// cooldown edges without a kernel: each row feeds a fixed utilization
+// sequence and asserts the exact action sequence.
+func TestLoopTable(t *testing.T) {
+	iv := 50 * sim.Microsecond
+	cases := []struct {
+		name  string
+		spec  AutoscaleSpec
+		utils []float64
+		want  []int
+	}{
+		{
+			// Hold 2 demands two consecutive high ticks; alternating
+			// high/low resets the hold every other tick, so a flapping
+			// signal never acts.
+			name: "flap suppression",
+			spec: AutoscaleSpec{UpUtil: 0.99, DownUtil: 0.01, MaxAdd: 8, MaxRemove: 8,
+				Hold: 2, Window: iv / 2},
+			utils: []float64{1, 0, 1, 0, 1, 0, 1, 0},
+			want:  []int{0, 0, 0, 0, 0, 0, 0, 0},
+		},
+		{
+			// The same signal held steady acts on the second tick, then
+			// every Cooldown+1 ticks (hold keeps accruing during
+			// cooldown, so the next action lands as soon as it expires).
+			name: "steady signal scales through cooldown",
+			spec: AutoscaleSpec{UpUtil: 0.8, DownUtil: 0.1, MaxAdd: 8,
+				Hold: 2, Cooldown: 2, Window: iv / 2},
+			utils: []float64{1, 1, 1, 1, 1, 1, 1, 1},
+			want:  []int{0, 1, 0, 0, 1, 0, 0, 1},
+		},
+		{
+			// MaxAdd truncates the final step and then pins the level:
+			// Step 3 against a ceiling of 4 yields +3, +1, nothing.
+			name: "ceiling clamps the last step",
+			spec: AutoscaleSpec{UpUtil: 0.8, DownUtil: 0.1, MaxAdd: 4, Step: 3,
+				Cooldown: 1, Window: iv / 2},
+			utils: []float64{1, 1, 1, 1, 1, 1},
+			want:  []int{3, 0, 1, 0, 0, 0},
+		},
+		{
+			// Scale-down mirrors scale-up, bounded by MaxRemove.
+			name: "idle drains to the removal bound",
+			spec: AutoscaleSpec{UpUtil: 0.8, DownUtil: 0.2, MaxRemove: 2,
+				Cooldown: 1, Window: iv / 2},
+			utils: []float64{0, 0, 0, 0, 0, 0},
+			want:  []int{-1, 0, -1, 0, 0, 0},
+		},
+		{
+			// MaxAdd 0 with UpUtil above 1 is the "never scale" spelling:
+			// saturated utilization still produces zero actions.
+			name:  "unreachable thresholds never act",
+			spec:  AutoscaleSpec{UpUtil: 2, DownUtil: -1, Window: iv / 2},
+			utils: []float64{1, 1, 1, 0, 0, 0},
+			want:  []int{0, 0, 0, 0, 0, 0},
+		},
+		{
+			// A window shorter than the tick degenerates to the newest
+			// sample: the high spike acts immediately even though the
+			// window-mean over a longer window would still be low.
+			name: "window shorter than tick uses newest sample",
+			spec: AutoscaleSpec{UpUtil: 0.9, DownUtil: -1, MaxAdd: 2,
+				Cooldown: 1, Window: iv / 4},
+			utils: []float64{0, 0, 0, 1},
+			want:  []int{0, 0, 0, 1},
+		},
+		{
+			// With a 4-interval window the same spike is averaged away.
+			name: "long window averages a spike away",
+			spec: AutoscaleSpec{UpUtil: 0.9, DownUtil: -1, MaxAdd: 2,
+				Cooldown: 1, Window: 4 * iv},
+			utils: []float64{0, 0, 0, 1},
+			want:  []int{0, 0, 0, 0},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			tc.spec.Target = TargetPE
+			tc.spec.Interval = iv
+			l := newLoop(tc.spec)
+			got := make([]int, 0, len(tc.utils))
+			for i, u := range tc.utils {
+				got = append(got, l.tick(sim.Millisecond+sim.Time(i)*iv, u))
+			}
+			if len(got) != len(tc.want) {
+				t.Fatalf("got %d deltas, want %d", len(got), len(tc.want))
+			}
+			for i := range got {
+				if got[i] != tc.want[i] {
+					t.Fatalf("deltas = %v, want %v", got, tc.want)
+				}
+			}
+		})
+	}
+}
+
+// TestLoopSLOBreachScalesDespiteLowUtil: a windowed P99 above the SLO
+// is a scale-up signal even at idle utilization, and breach
+// bookkeeping records the tick.
+func TestLoopSLOBreachScalesDespiteLowUtil(t *testing.T) {
+	iv := 50 * sim.Microsecond
+	l := newLoop(AutoscaleSpec{Target: TargetPE, Interval: iv, Window: 4 * iv,
+		UpUtil: 0.9, DownUtil: -1, SLOUs: 300, MaxAdd: 4, Cooldown: 1})
+	now := sim.Millisecond
+	l.observeLatency(now-iv/2, 500) // inside the window, above the SLO
+	if d := l.tick(now, 0.05); d != 1 {
+		t.Fatalf("breach tick applied delta %d, want 1", d)
+	}
+	if l.breachTicks != 1 || l.lastBreach != now {
+		t.Fatalf("breach bookkeeping = %d/%v, want 1/%v", l.breachTicks, l.lastBreach, now)
+	}
+	// Once the sample ages out of the window the breach clears and idle
+	// utilization takes over (cooldown swallows the first eligible tick).
+	if d := l.tick(now+5*iv, 0.05); d != 0 {
+		t.Fatalf("post-breach cooldown tick applied delta %d, want 0", d)
+	}
+	if l.breachTicks != 1 {
+		t.Fatalf("expired sample still counted as a breach (%d ticks)", l.breachTicks)
+	}
+}
+
+// TestControllerPoolFloor: scaling down never takes a pool below one
+// server, regardless of how deep the loop's offset goes.
+func TestControllerPoolFloor(t *testing.T) {
+	k := sim.NewKernel()
+	res := sim.NewResource(k, "pe", 2, sim.FIFO)
+	c := New(Spec{Autoscale: &AutoscaleSpec{Target: TargetPE,
+		UpUtil: 0.9, DownUtil: 0.2, MaxRemove: 8, Cooldown: 1, Window: sim.Microsecond}}, 1)
+	c.AttachPools([]Pool{{Res: res, Base: res.Servers}})
+	for i := 1; i <= 12; i++ {
+		k.At(sim.Time(i)*c.Interval(), func() {})
+		k.Run()
+		c.Tick(k.Now())
+	}
+	if res.Servers != 1 {
+		t.Fatalf("pool scaled to %d servers, want floor of 1", res.Servers)
+	}
+	if c.Stats.ScaleDowns == 0 {
+		t.Fatal("no scale-downs recorded")
+	}
+	if got := -c.loop.off; got > 8 {
+		t.Fatalf("offset %d exceeds MaxRemove", got)
+	}
+}
+
+// TestControllerZeroRNGContract: a shed section with Prob 0 and a
+// retry section with Budget 0 must not allocate their state — the
+// disabled controller's bit-identity to no controller depends on
+// drawing nothing from any stream.
+func TestControllerZeroRNGContract(t *testing.T) {
+	c := New(Spec{Shed: &ShedSpec{Queue: 10}, Retry: &RetrySpec{}}, 1)
+	if c.shedRNG != nil {
+		t.Error("Prob 0 created the shed RNG stream")
+	}
+	if c.retryLeft != nil {
+		t.Error("Budget 0 allocated retry state")
+	}
+	if c.Shed() {
+		t.Error("empty controller shed a request")
+	}
+	if _, ok := c.RetryAfter(0, 1); ok {
+		t.Error("Budget 0 granted a retry")
+	}
+}
+
+// TestControllerShedDeterminism: the same seed sheds the same
+// arrivals; queue-depth shedding draws nothing from the stream.
+func TestControllerShedDeterminism(t *testing.T) {
+	pattern := func() []bool {
+		c := New(Spec{Shed: &ShedSpec{Prob: 0.3}}, 42)
+		out := make([]bool, 200)
+		for i := range out {
+			out[i] = c.Shed()
+		}
+		return out
+	}
+	a, b := pattern(), pattern()
+	shed := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("shed decision %d differs across identical controllers", i)
+		}
+		if a[i] {
+			shed++
+		}
+	}
+	if shed == 0 || shed == len(a) {
+		t.Fatalf("shed %d of %d arrivals; probabilistic shedding looks broken", shed, len(a))
+	}
+
+	// Queue-triggered sheds must leave the random stream untouched: a
+	// controller that sheds 50 arrivals by depth first continues the
+	// random sequence exactly where a fresh one starts it.
+	c := New(Spec{Shed: &ShedSpec{Prob: 0.3, Queue: 5}}, 42)
+	for i := 0; i < 5; i++ {
+		c.NoteSubmit()
+	}
+	for i := 0; i < 50; i++ {
+		if !c.Shed() {
+			t.Fatal("queue at threshold did not shed")
+		}
+	}
+	for i := 0; i < 5; i++ {
+		c.NoteDone(0, 0)
+	}
+	for i := 0; i < 200; i++ {
+		if got := c.Shed(); got != a[i] {
+			t.Fatalf("random stream advanced by queue sheds (decision %d)", i)
+		}
+	}
+	if c.Stats.ShedQueue != 50 {
+		t.Fatalf("ShedQueue = %d, want 50", c.Stats.ShedQueue)
+	}
+}
+
+// TestRetryBudget pins the retry grant rules: per-tenant budgets,
+// the attempt cap, and exponential backoff growth up to the cap.
+func TestRetryBudget(t *testing.T) {
+	c := New(Spec{Retry: &RetrySpec{Budget: 2, MaxAttempts: 4,
+		Backoff: 10 * sim.Microsecond, BackoffCap: 30 * sim.Microsecond}}, 1)
+
+	d1, ok := c.RetryAfter(0, 1)
+	if !ok || d1 != 10*sim.Microsecond {
+		t.Fatalf("attempt 1 retry = %v/%t, want 10us grant", d1, ok)
+	}
+	d2, ok := c.RetryAfter(0, 2)
+	if !ok || d2 != 20*sim.Microsecond {
+		t.Fatalf("attempt 2 retry = %v/%t, want doubled 20us", d2, ok)
+	}
+	// Tenant 0's budget of 2 is spent; tenant 1's is untouched.
+	if _, ok := c.RetryAfter(0, 1); ok {
+		t.Fatal("exhausted budget granted a retry")
+	}
+	d3, ok := c.RetryAfter(1, 3)
+	if !ok || d3 != 30*sim.Microsecond {
+		t.Fatalf("attempt 3 retry = %v/%t, want capped 30us", d3, ok)
+	}
+	// Attempt cap: attempt 4 of max 4 is the last allowed try.
+	if _, ok := c.RetryAfter(1, 4); ok {
+		t.Fatal("attempt at MaxAttempts granted a retry")
+	}
+	if c.Stats.Retries != 3 || c.Stats.RetriesExhausted != 2 {
+		t.Fatalf("stats = %d granted / %d exhausted, want 3/2", c.Stats.Retries, c.Stats.RetriesExhausted)
+	}
+}
+
+// TestValidateTable exercises every rejection branch plus the
+// disable-spelling specs that must pass.
+func TestValidateTable(t *testing.T) {
+	cases := []struct {
+		name string
+		spec *Spec
+		want string // error substring; "" = valid
+	}{
+		{"nil spec", nil, ""},
+		{"empty spec", &Spec{}, ""},
+		{"valid autoscale", &Spec{Autoscale: &AutoscaleSpec{Target: TargetPE, UpUtil: 0.8, DownUtil: 0.2}}, ""},
+		{"disable spelling", &Spec{Autoscale: &AutoscaleSpec{Target: TargetCores, UpUtil: 2, DownUtil: -1}}, ""},
+		{"bad target", &Spec{Autoscale: &AutoscaleSpec{Target: "gpus", UpUtil: 0.8}}, "target"},
+		{"zero uputil", &Spec{Autoscale: &AutoscaleSpec{Target: TargetPE}}, "UpUtil"},
+		{"inverted thresholds", &Spec{Autoscale: &AutoscaleSpec{Target: TargetPE, UpUtil: 0.3, DownUtil: 0.5}}, "DownUtil"},
+		{"negative interval", &Spec{Autoscale: &AutoscaleSpec{Target: TargetPE, UpUtil: 0.8, Interval: -1}}, "interval"},
+		{"negative slo", &Spec{Autoscale: &AutoscaleSpec{Target: TargetPE, UpUtil: 0.8, SLOUs: -5}}, "SLOUs"},
+		{"negative bounds", &Spec{Autoscale: &AutoscaleSpec{Target: TargetPE, UpUtil: 0.8, MaxAdd: -1}}, "non-negative"},
+		{"shed prob above one", &Spec{Shed: &ShedSpec{Prob: 1.5}}, "probability"},
+		{"negative shed queue", &Spec{Shed: &ShedSpec{Queue: -1}}, "queue depth"},
+		{"negative retry budget", &Spec{Retry: &RetrySpec{Budget: -1}}, "budget"},
+		{"backoff cap below base", &Spec{Retry: &RetrySpec{Budget: 1,
+			Backoff: 40 * sim.Microsecond, BackoffCap: 10 * sim.Microsecond}}, "backoffCap"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.spec.Validate()
+			if tc.want == "" {
+				if err != nil {
+					t.Fatalf("Validate() = %v, want nil", err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("Validate() = %v, want substring %q", err, tc.want)
+			}
+		})
+	}
+}

@@ -7,10 +7,12 @@ import (
 )
 
 // checkGoldenIDs is the representative slice rerun with the invariant
-// checker attached: a latency sweep, a PE sensitivity sweep, and the
-// fault-injection experiment (the one whose golden values are most
-// exposed to a checker accidentally perturbing RNG or event order).
-var checkGoldenIDs = []string{"fig11", "fig19", "resilience"}
+// checker attached: a latency sweep, a PE sensitivity sweep, the
+// fault-injection experiment, and the controller SLO-surge experiment
+// (the ones whose golden values are most exposed to a checker
+// accidentally perturbing RNG or event order — slosurge pins the
+// checker+controller composition, shedding and scaling included).
+var checkGoldenIDs = []string{"fig11", "fig19", "resilience", "slosurge"}
 
 // TestGoldenUnchangedWithChecking is the determinism half of the
 // checker contract: -check must change results by exactly nothing.

@@ -200,6 +200,9 @@ var Registry = map[string]Runner{
 	"sens5":      Sens5Speedups,
 	"area":       AreaAccounting,
 	"resilience": Resilience,
+	"slosurge":   SLOSurge,
+	"overprov":   Overprovision,
+	"recovery":   Recovery,
 }
 
 // IDs returns the registered experiment names, sorted.

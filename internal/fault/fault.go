@@ -139,7 +139,36 @@ type Injector struct {
 	baseADMA int
 	baseMgr  int
 
+	// peOffline is, per kind, the number of PEs a currently-open
+	// degrade window is holding offline (0 when none). The autoscaler
+	// reads it so a scale action taken mid-window lands at
+	// (new level - offline), matching what the window's revert will
+	// restore.
+	peOffline [config.NumAccelKinds]int
+
 	active int
+}
+
+// RebasePEs updates the remembered base PE count for one accelerator
+// kind. The autoscaler calls it when it rescales a PE pool so that
+// subsequent degrade windows compute their offline fraction from — and
+// revert to — the controller's level instead of the boot-time count.
+// Nil-safe so the runner can wire the actuator without branching on
+// whether a fault layer is attached.
+func (in *Injector) RebasePEs(kind config.AccelKind, n int) {
+	if in == nil {
+		return
+	}
+	in.basePEs[kind] = n
+}
+
+// PEOffline reports how many PEs of the given kind an open degrade
+// window currently holds offline (0 when none, or on a nil injector).
+func (in *Injector) PEOffline(kind config.AccelKind) int {
+	if in == nil {
+		return 0
+	}
+	return in.peOffline[kind]
 }
 
 // New builds an injector for the given spec and seed. Derive the seed
@@ -279,6 +308,7 @@ func (in *Injector) apply(tg Targets, m mechanism, kind config.AccelKind) {
 		in.degradeDepth[kind]++
 		if in.degradeDepth[kind] == 1 && tg.Accels[kind] != nil {
 			off := int(math.Ceil(in.Spec.PEDegradeFrac * float64(in.basePEs[kind])))
+			in.peOffline[kind] = off
 			tg.Accels[kind].PEs.SetServers(in.basePEs[kind] - off)
 		}
 	case mechPEFail:
@@ -319,6 +349,7 @@ func (in *Injector) revert(tg Targets, m mechanism, kind config.AccelKind) {
 	case mechPEDegrade:
 		in.degradeDepth[kind]--
 		if in.degradeDepth[kind] == 0 && tg.Accels[kind] != nil {
+			in.peOffline[kind] = 0
 			tg.Accels[kind].PEs.SetServers(in.basePEs[kind])
 		}
 	case mechPEFail:

@@ -83,6 +83,20 @@ func (r *Recorder) Merge(other *Recorder) {
 	r.sorted = false
 }
 
+// Below counts samples at or under the threshold — the SLO-attainment
+// numerator. It shares Percentile's sort cache, so an already-sorted
+// recorder answers in O(log n).
+func (r *Recorder) Below(t sim.Time) int {
+	if len(r.samples) == 0 {
+		return 0
+	}
+	if !r.sorted {
+		sort.Slice(r.samples, func(i, j int) bool { return r.samples[i] < r.samples[j] })
+		r.sorted = true
+	}
+	return sort.Search(len(r.samples), func(i int) bool { return r.samples[i] > t })
+}
+
 // P99 is shorthand for the tail latency the paper reports everywhere.
 func (r *Recorder) P99() sim.Time { return r.Percentile(99) }
 

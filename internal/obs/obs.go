@@ -40,6 +40,10 @@ const (
 	// (degraded PEs, failed accelerator, removed A-DMA engines, stalled
 	// manager/ATM, inflated NoC latency). Not part of any request tree.
 	SpanFault
+	// SpanControl is a root span covering one controller scaling
+	// decision (internal/control); its segment spans the period spent
+	// at the previous level. Not part of any request tree.
+	SpanControl
 )
 
 // String names the span kind for exports.
@@ -55,6 +59,8 @@ func (k SpanKind) String() string {
 		return "entry"
 	case SpanFault:
 		return "fault"
+	case SpanControl:
+		return "control"
 	}
 	return "span"
 }
@@ -88,6 +94,9 @@ const (
 	// SegFault marks a fault-injection window on a SpanFault span, so
 	// Perfetto traces show when and where faults were active.
 	SegFault
+	// SegControl marks the interval a SpanControl decision covers (the
+	// time spent at the previous scaling level).
+	SegControl
 )
 
 // String names the segment kind for exports.
@@ -113,6 +122,8 @@ func (k SegKind) String() string {
 		return "cpu"
 	case SegFault:
 		return "fault"
+	case SegControl:
+		return "control"
 	}
 	return "seg"
 }
@@ -289,6 +300,17 @@ func (s *Sink) BeginFault(name string) *Span {
 		return nil
 	}
 	return s.newSpan(-1, SpanFault, name)
+}
+
+// BeginControl opens a root controller-decision span (e.g.
+// "control/scale-up/pe@+2"). The controller ends it after attaching a
+// SegControl segment covering the period at the previous level.
+// Returns nil on a nil sink.
+func (s *Sink) BeginControl(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	return s.newSpan(-1, SpanControl, name)
 }
 
 // Child opens a sub-span under sp. Returns nil on a nil span.

@@ -22,6 +22,7 @@ import (
 	"sync"
 	"time"
 
+	"accelflow/internal/control"
 	"accelflow/internal/experiments"
 	"accelflow/internal/obs"
 	"accelflow/internal/sim"
@@ -86,6 +87,12 @@ type JobRequest struct {
 	FaultRate     float64 `json:"faultRate,omitempty"`
 	FaultWindowUs float64 `json:"faultWindowUs,omitempty"`
 	FaultLoss     float64 `json:"faultLoss,omitempty"`
+	// Control attaches the dynamic-control subsystem (autoscaler,
+	// shedding, retry budgets) to an observed job; it mirrors the
+	// CLI's -ctl* flags. Observed jobs only, like the fault knobs.
+	// The spec joins the built RunSpec's content hash, so controlled
+	// jobs never collide with uncontrolled cache entries.
+	Control *control.Spec `json:"control,omitempty"`
 	// Tune knobs, tune jobs only; they mirror the CLI's -tune* flags.
 	// Strategy is "hill" (default) or "anneal"; Objective is "p99",
 	// "energy", or "costperf"; Space is the searched dimensions (nil
@@ -125,6 +132,9 @@ func (r JobRequest) Validate() error {
 		if r.FaultRate != 0 || r.FaultWindowUs != 0 || r.FaultLoss != 0 {
 			return badRequestf("serve: fault injection knobs only apply to observed jobs")
 		}
+		if r.Control != nil {
+			return badRequestf("serve: the control spec only applies to observed jobs")
+		}
 		if err := r.validateNoTuneKnobs(); err != nil {
 			return err
 		}
@@ -150,6 +160,9 @@ func (r JobRequest) Validate() error {
 		}
 		if r.FaultRate != 0 || r.FaultWindowUs != 0 || r.FaultLoss != 0 {
 			return badRequestf("serve: fault injection knobs only apply to observed jobs")
+		}
+		if r.Control != nil {
+			return badRequestf("serve: the control spec only applies to observed jobs")
 		}
 		if r.Requests < 0 {
 			return badRequestf("serve: requests must be non-negative, got %d", r.Requests)
@@ -258,6 +271,7 @@ func (r JobRequest) observedParams() workload.ObservedParams {
 		FaultRate:   r.FaultRate,
 		FaultWindow: sim.FromMicros(r.FaultWindowUs),
 		FaultLoss:   r.FaultLoss,
+		Control:     r.Control,
 		Shards:      r.Shards,
 	}
 }

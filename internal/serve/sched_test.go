@@ -5,6 +5,8 @@ import (
 	"errors"
 	"testing"
 	"time"
+
+	"accelflow/internal/control"
 )
 
 // stubReq is a valid request for stub-runner tests (never actually
@@ -43,6 +45,14 @@ func TestSubmitValidation(t *testing.T) {
 		{Type: JobExperiment, Experiment: "fig11", Parallelism: -2},
 		{Type: JobExperiment, Experiment: "fig11", Shards: -1}, // negative shard count
 		{Type: JobObserved, Shards: -4},                        // negative shard count
+		{Type: JobExperiment, Experiment: "fig11", // control on experiment
+			Control: &control.Spec{Shed: &control.ShedSpec{Queue: 64}}},
+		{Type: JobTune, Control: &control.Spec{Shed: &control.ShedSpec{Queue: 64}}},
+		{Type: JobObserved, // bad spec caught by control.Spec.Validate
+			Control: &control.Spec{Autoscale: &control.AutoscaleSpec{Target: control.TargetPE}}},
+		{Type: JobObserved, // replicas target needs a fleet
+			Control: &control.Spec{Autoscale: &control.AutoscaleSpec{
+				Target: control.TargetReplicas, UpUtil: 0.8, DownUtil: 0.2}}},
 	} {
 		if _, err := s.Submit(req); err == nil {
 			t.Errorf("Submit(%+v) accepted an invalid request", req)

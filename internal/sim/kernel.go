@@ -86,6 +86,11 @@ type Kernel struct {
 	// persists across runEpoch calls so a sharded run polls ctx at the
 	// same amortized cadence as a serial one.
 	ctxBatch uint64
+
+	// queuedTicks counts Every ticks currently in the event queue, so
+	// a ticker's liveness check can exclude other tickers' pending
+	// ticks (see Every).
+	queuedTicks int
 }
 
 // NewKernel returns an empty kernel at time zero.
@@ -262,23 +267,29 @@ func (k *Kernel) runEpoch(ctx context.Context, horizon Time, checkEvery uint64) 
 }
 
 // Every schedules fn to run repeatedly with period d, starting at
-// now+d. The tick reschedules itself only while other events are
-// pending, so a periodic sampler cannot keep an otherwise-finished
-// simulation alive: once the last real event has run, the next tick
-// fires (observing the final state) and stops. This is sound for
-// harnesses that schedule all their stimulus up front — the pending
-// count only reaches zero when the run is truly over.
+// now+d. The tick reschedules itself only while non-tick events are
+// pending, so periodic samplers cannot keep an otherwise-finished
+// simulation alive: once the last real event has run, each ticker
+// fires once more (observing the final state) and stops. Other
+// tickers' queued ticks deliberately do not count as pending work —
+// counting them would let two samplers (say the observability sampler
+// and the controller tick) sustain each other forever. This is sound
+// for harnesses that schedule all their stimulus up front — the
+// non-tick pending count only reaches zero when the run is truly over.
 func (k *Kernel) Every(d Time, fn func()) {
 	if d <= 0 {
 		panic(fmt.Sprintf("sim: non-positive period %v", d))
 	}
 	var tick func()
 	tick = func() {
+		k.queuedTicks--
 		fn()
-		if k.events.Len() > 0 {
+		if k.events.Len() > k.queuedTicks {
+			k.queuedTicks++
 			k.After(d, tick)
 		}
 	}
+	k.queuedTicks++
 	k.After(d, tick)
 }
 

@@ -102,6 +102,32 @@ func TestKernelRunUntil(t *testing.T) {
 	}
 }
 
+// TestKernelEverySelfTerminates pins Every's liveness rule: a single
+// ticker outlives the last real event by exactly one final tick, and
+// two tickers must not count each other's queued ticks as pending
+// work — before the queuedTicks exclusion, any two periodic samplers
+// on one kernel (e.g. the observability sampler plus the controller
+// tick) sustained each other forever.
+func TestKernelEverySelfTerminates(t *testing.T) {
+	k := NewKernel()
+	ticksA, ticksB := 0, 0
+	k.Every(10*Nanosecond, func() { ticksA++ })
+	k.Every(15*Nanosecond, func() { ticksB++ })
+	k.At(100*Nanosecond, func() {})
+	k.SetHooks(Hooks{MaxEvents: 100}) // tripwire: a livelock panics instead of hanging
+	k.Run()
+	// A's tick at 100ns runs after the real event there (same
+	// timestamp, later scheduling order), observes the final state,
+	// and stops: 10 ticks. B ticks at 15..90ns plus one final
+	// observation at 105ns: 7.
+	if ticksA != 10 || ticksB != 7 {
+		t.Errorf("ticks = %d/%d, want 10/7", ticksA, ticksB)
+	}
+	if k.Pending() != 0 {
+		t.Errorf("pending = %d after Run, want 0", k.Pending())
+	}
+}
+
 func TestKernelPastSchedulingPanics(t *testing.T) {
 	k := NewKernel()
 	k.At(10*Nanosecond, func() {

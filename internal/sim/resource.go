@@ -137,6 +137,12 @@ type Resource struct {
 	// so the two only agree at quiescence).
 	qArea    Time
 	busyArea Time
+	// srvArea is ∫(configured servers)dt — the exact capacity-time
+	// integral. With a static pool it is Servers × elapsed; under
+	// mid-run SetServers changes (fault windows, the autoscaler) it is
+	// the true provisioned capacity, which is what the
+	// cost-of-overprovisioning experiment charges for.
+	srvArea  Time
 	lastTick Time
 	// maxServers tracks the largest server count ever configured, so
 	// utilization bounds stay valid across mid-run SetServers changes.
@@ -206,6 +212,7 @@ func (r *Resource) advance() {
 	if dt := now - r.lastTick; dt > 0 {
 		r.qArea += Time(len(r.q.tasks)) * dt
 		r.busyArea += Time(r.busy) * dt
+		r.srvArea += Time(r.Servers) * dt
 		r.lastTick = now
 	}
 }
@@ -226,6 +233,10 @@ func (r *Resource) SetServers(n int) {
 	if n < 1 {
 		n = 1
 	}
+	// Accrue the capacity integral at the old server count before the
+	// change takes effect (advance is idempotent per instant, so the
+	// extra call is accounting-only and changes no event order).
+	r.advance()
 	r.Servers = n
 	if n > r.maxServers {
 		r.maxServers = n
@@ -332,6 +343,14 @@ func (r *Resource) QueuedWaitResidual() Time {
 		t += now - task.enq
 	}
 	return t
+}
+
+// ServerArea returns ∫(configured servers)dt up to now, in
+// server-picoseconds — the exact provisioned-capacity integral across
+// any sequence of mid-run SetServers changes.
+func (r *Resource) ServerArea() Time {
+	r.advance()
+	return r.srvArea
 }
 
 // MaxServers reports the largest server count the resource ever had,

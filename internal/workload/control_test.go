@@ -1,0 +1,208 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+
+	"accelflow/internal/config"
+	"accelflow/internal/control"
+	"accelflow/internal/engine"
+	"accelflow/internal/fault"
+	"accelflow/internal/services"
+	"accelflow/internal/sim"
+)
+
+// controlledSpec is a single-server run where every control policy is
+// live: a surge load pushes the PE autoscaler, a low queue threshold
+// forces sheds, and a fault burst forces timeouts that exercise the
+// retry budget (and the controller/injector SetServers composition).
+func controlledSpec(shards int) *RunSpec {
+	// Short enqueue backoff and a single timeout rearm make the fault
+	// windows actually produce timeouts (the retry path's trigger),
+	// mirroring the recovery experiment's configuration.
+	cfg := config.Default()
+	cfg.EnqueueBackoff = 200 * sim.Nanosecond
+	cfg.TimeoutRearms = 1
+	return &RunSpec{
+		Config:  cfg,
+		Policy:  engine.AccelFlow(),
+		Sources: Mix(services.SocialNetwork(), 3.0, 300),
+		Seed:    11,
+		Shards:  shards,
+		Faults: &fault.Spec{
+			Rate:          20000,
+			MeanWindow:    150 * sim.Microsecond,
+			Horizon:       sim.Second,
+			PEDegradeFrac: 0.75,
+			PEFail:        true,
+			// Lost remote responses are what actually produce TCP
+			// timeouts (PE faults only degrade or fall back), and
+			// timeouts are the retry path's trigger.
+			RemoteLossRate: 0.05,
+		},
+		Control: &control.Spec{
+			Autoscale: &control.AutoscaleSpec{
+				Target:   control.TargetPE,
+				UpUtil:   0.3,
+				DownUtil: 0.05,
+				SLOUs:    300,
+				MaxAdd:   8,
+			},
+			Shed:  &control.ShedSpec{Queue: 48, Prob: 0.02},
+			Retry: &control.RetrySpec{Budget: 16},
+		},
+	}
+}
+
+// runFingerprint flattens every controlled-run output a shard-count
+// change could plausibly disturb.
+type runFingerprint struct {
+	completed, timedOut, fellBack uint64
+	shed, retries                 uint64
+	mean, p99, max                sim.Time
+	count                         int
+	elapsed                       sim.Time
+	stats                         control.Stats
+}
+
+func controlledFingerprint(t *testing.T, res *RunResult) runFingerprint {
+	t.Helper()
+	if res.Control == nil {
+		t.Fatal("controlled run returned nil Control stats")
+	}
+	return runFingerprint{
+		completed: res.Completed, timedOut: res.TimedOut, fellBack: res.FellBack,
+		shed: res.Shed, retries: res.Retries,
+		mean: res.All.Mean(), p99: res.All.P99(), max: res.All.Max(),
+		count: res.All.Count(), elapsed: res.Elapsed,
+		stats: *res.Control,
+	}
+}
+
+// TestControlledRunShardInvariance: a run with every control policy
+// active (autoscaler + shedding + retries, composed with a fault
+// burst) is byte-identical at shard counts {1, 2, 4}.
+func TestControlledRunShardInvariance(t *testing.T) {
+	run := func(shards int) runFingerprint {
+		res, err := controlledSpec(shards).Run()
+		if err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		return controlledFingerprint(t, res)
+	}
+	ref := run(1)
+	// The test is vacuous unless every policy actually fired.
+	if ref.stats.ScaleUps == 0 {
+		t.Fatal("surge produced no scale-ups — controller not engaged")
+	}
+	if ref.shed == 0 || ref.retries == 0 {
+		t.Fatalf("shed=%d retries=%d — shedding/retry paths not exercised", ref.shed, ref.retries)
+	}
+	for _, shards := range []int{2, 4} {
+		if got := run(shards); got != ref {
+			t.Errorf("shards=%d diverged from serial:\n got %+v\nwant %+v", shards, got, ref)
+		}
+	}
+}
+
+// TestControlledFleetShardInvariance: a fleet with the replicas
+// autoscaler and ingress shedding is byte-identical at any shard
+// count, controller counters included.
+func TestControlledFleetShardInvariance(t *testing.T) {
+	mk := func(shards int) *FleetSpec {
+		return &FleetSpec{
+			Config:   config.Default(),
+			Policy:   engine.AccelFlow(),
+			Sources:  Mix(services.SocialNetwork(), 4.0, 240),
+			Seed:     11,
+			Replicas: 4,
+			Shards:   shards,
+			Control: &control.Spec{
+				Autoscale: &control.AutoscaleSpec{
+					Target:    control.TargetReplicas,
+					UpUtil:    0.9,
+					DownUtil:  0.3,
+					MaxRemove: 2,
+				},
+				Shed: &control.ShedSpec{Queue: 64},
+			},
+		}
+	}
+	type fleetCtl struct {
+		fp    fleetFingerprint
+		shed  uint64
+		stats control.Stats
+	}
+	run := func(shards int) fleetCtl {
+		res, err := mk(shards).Run()
+		if err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		if res.Control == nil {
+			t.Fatalf("shards=%d: nil Control stats", shards)
+		}
+		return fleetCtl{fp: fingerprint(t, res), shed: res.Shed, stats: *res.Control}
+	}
+	ref := run(1)
+	if ref.stats.Ticks == 0 {
+		t.Fatal("fleet controller never ticked")
+	}
+	if ref.fp.completed+ref.shed != 240 {
+		t.Fatalf("conservation: %d completed + %d shed != 240", ref.fp.completed, ref.shed)
+	}
+	for _, shards := range []int{2, 4} {
+		if got := run(shards); got != ref {
+			t.Errorf("shards=%d diverged from serial:\n got %+v\nwant %+v", shards, got, ref)
+		}
+	}
+}
+
+// TestFleetControlValidation: fleets reject control specs they cannot
+// honour before running anything.
+func TestFleetControlValidation(t *testing.T) {
+	base := func() *FleetSpec {
+		return &FleetSpec{
+			Config:   config.Default(),
+			Policy:   engine.AccelFlow(),
+			Sources:  Mix(services.SocialNetwork(), 1.0, 40),
+			Seed:     1,
+			Replicas: 2,
+		}
+	}
+	cases := []struct {
+		name string
+		spec *control.Spec
+		want string
+	}{
+		{"retry budgets unsupported", &control.Spec{Retry: &control.RetrySpec{Budget: 4}}, "retry budgets"},
+		{"pe target needs a single server", &control.Spec{Autoscale: &control.AutoscaleSpec{
+			Target: control.TargetPE, UpUtil: 0.8, DownUtil: 0.2}}, "autoscale target"},
+		{"invalid spec rejected", &control.Spec{Autoscale: &control.AutoscaleSpec{
+			Target: control.TargetReplicas}}, "UpUtil"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := base()
+			s.Control = tc.spec
+			_, err := s.Run()
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("Run() error = %v, want substring %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestRunControlValidation: single-server runs reject the replicas
+// target (no fleet to scale) and invalid specs.
+func TestRunControlValidation(t *testing.T) {
+	spec := controlledSpec(0)
+	spec.Control.Autoscale.Target = control.TargetReplicas
+	if _, err := spec.Run(); err == nil || !strings.Contains(err.Error(), "replicas") {
+		t.Fatalf("Run() error = %v, want replicas-target rejection", err)
+	}
+	spec = controlledSpec(0)
+	spec.Control.Shed.Prob = 1.5
+	if _, err := spec.Run(); err == nil || !strings.Contains(err.Error(), "probability") {
+		t.Fatalf("Run() error = %v, want shed-probability rejection", err)
+	}
+}

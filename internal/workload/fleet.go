@@ -6,6 +6,7 @@ import (
 
 	"accelflow/internal/check"
 	"accelflow/internal/config"
+	"accelflow/internal/control"
 	"accelflow/internal/engine"
 	"accelflow/internal/fault"
 	"accelflow/internal/metrics"
@@ -57,6 +58,16 @@ type FleetSpec struct {
 	// Faults, when non-nil, attaches an independently seeded injector
 	// to every replica.
 	Faults *fault.Spec
+	// Control, when non-nil, attaches the dynamic-control subsystem at
+	// the ingress, seeded with DeriveSeed(Seed, "control"): load
+	// shedding on arrival and an autoscaler over the active replica
+	// set (target must be "replicas"; the built replica count is the
+	// ceiling — deactivated replicas stop receiving new work and
+	// drain). Retry budgets are not supported in fleets: the ingress
+	// would have to replay jobs across domains. All controller state
+	// is ingress-domain-confined, so controlled fleets stay
+	// byte-identical at every Shards value.
+	Control *control.Spec
 	// Check attaches a runtime invariant checker to every replica and
 	// runs the end-of-run suite per replica after the fleet drains.
 	Check bool
@@ -72,6 +83,11 @@ type FleetResult struct {
 	Replicas []*RunResult
 	// Routed counts requests the balancer sent to each replica.
 	Routed []uint64
+	// Shed counts arrivals the controller rejected at the ingress
+	// (never routed, never submitted); Control carries the
+	// controller's activity counters when FleetSpec.Control was set.
+	Shed    uint64
+	Control *control.Stats
 	// Events is the total executed event count across all domains;
 	// Epochs and Mail are the coordinator's barrier statistics.
 	Events uint64
@@ -94,6 +110,17 @@ func (s *FleetSpec) RunCtx(ctx context.Context) (*FleetResult, error) {
 	case "", "rr", "least":
 	default:
 		return nil, fmt.Errorf("workload: unknown balance policy %q (want rr or least)", s.Balance)
+	}
+	if s.Control != nil {
+		if err := s.Control.Validate(); err != nil {
+			return nil, err
+		}
+		if s.Control.Retry != nil {
+			return nil, fmt.Errorf("workload: fleet runs do not support retry budgets (the ingress cannot replay jobs across domains)")
+		}
+		if a := s.Control.Autoscale; a != nil && a.Target != control.TargetReplicas {
+			return nil, fmt.Errorf("workload: fleet autoscale target must be %q, got %q", control.TargetReplicas, a.Target)
+		}
 	}
 	forward := s.Forward
 	if forward <= 0 {
@@ -149,6 +176,13 @@ func (s *FleetSpec) RunCtx(ctx context.Context) (*FleetResult, error) {
 	}
 
 	lb := newBalancer(s.Balance, s.Replicas)
+	var ctl *control.Controller
+	if s.Control != nil {
+		ctl = control.New(*s.Control, sim.DeriveSeed(s.Seed, "control"))
+		if s.Control.Autoscale != nil {
+			ctl.AttachActive(s.Replicas, lb.setActive)
+		}
+	}
 	rng := sim.NewRNG(s.Seed ^ 0x5eed)
 	total := 0
 	for si, src := range s.Sources {
@@ -162,10 +196,32 @@ func (s *FleetSpec) RunCtx(ctx context.Context) (*FleetResult, error) {
 			}
 		}
 		srcRNG := rng.Fork(int64(si) + 1)
-		scheduleFleetSource(sk, src, srcRNG, lb, engines, out, forward)
+		scheduleFleetSource(sk, src, srcRNG, lb, ctl, engines, out, forward)
 	}
 	if total == 0 {
 		return nil, fmt.Errorf("workload: no requests to run")
+	}
+	if ctl != nil && ctl.NeedsTick() {
+		// The decision loop is a manually rescheduled tick on the
+		// ingress domain, not Kernel.Every: an Every tick dies as soon
+		// as the ingress goes idle while replicas still work (its
+		// reschedule rule only sees its own domain's queue). The manual
+		// tick keeps itself alive while arrivals remain or requests are
+		// in flight — outstanding only reaches zero after every
+		// completion notice has been delivered back to the ingress — so
+		// it spans the run and stops at global quiescence. Everything it
+		// reads and writes is ingress-domain-confined, so the schedule
+		// is byte-identical at every Shards value.
+		ing := sk.Domain(0)
+		iv := ctl.Interval()
+		var tick func()
+		tick = func() {
+			ctl.Tick(ing.Now())
+			if ing.Pending() > 0 || ctl.Outstanding() > 0 {
+				ing.After(iv, tick)
+			}
+		}
+		ing.After(iv, tick)
 	}
 
 	if err := sk.RunCtx(ctx); err != nil {
@@ -199,10 +255,15 @@ func (s *FleetSpec) RunCtx(ctx context.Context) (*FleetResult, error) {
 	out.Events = sk.Processed()
 	out.Epochs = sk.Stats.Epochs
 	out.Mail = sk.Stats.Delivered
+	if ctl != nil {
+		out.Control = &ctl.Stats
+	}
 
-	if uint64(total) != merged.Completed {
-		return out, fmt.Errorf("workload: fleet lost requests: %d submitted, %d completed",
-			total, merged.Completed)
+	// Every arrival either sheds at the ingress or completes on a
+	// replica — a shed request must never reappear downstream.
+	if uint64(total) != merged.Completed+out.Shed {
+		return out, fmt.Errorf("workload: fleet lost requests: %d submitted, %d completed, %d shed",
+			total, merged.Completed, out.Shed)
 	}
 	if s.Check {
 		for i, chk := range checkers {
@@ -223,15 +284,26 @@ func (s *FleetSpec) RunCtx(ctx context.Context) (*FleetResult, error) {
 // callback runs on the replica's domain and owns that replica's
 // recorders (domain confinement keeps the merge deterministic and the
 // run race-free).
-func scheduleFleetSource(sk *sim.Sharded, src Source, rng *sim.RNG, lb *balancer, engines []*engine.Engine, out *FleetResult, forward sim.Time) {
+func scheduleFleetSource(sk *sim.Sharded, src Source, rng *sim.RNG, lb *balancer, ctl *control.Controller, engines []*engine.Engine, out *FleetResult, forward sim.Time) {
 	ing := sk.Domain(0)
+	// Completion notices flow back whenever anything at the ingress
+	// consumes them: the least-outstanding balancer's load view, or the
+	// controller's outstanding count and latency window.
+	notify := lb.tracksLoad() || ctl != nil
 	t := sim.Time(0)
 	for i := 0; i < src.Requests; i++ {
 		t += src.Arrivals.Next(rng)
 		at := t
 		ing.At(at, func() {
+			if ctl != nil && ctl.Shed() {
+				out.Shed++
+				return
+			}
 			ri := lb.pick()
 			out.Routed[ri]++
+			if ctl != nil {
+				ctl.NoteSubmit()
+			}
 			job := src.Service.Job(src.Tenant)
 			rr := out.Replicas[ri]
 			rec := rr.PerService[src.Service.Name]
@@ -254,11 +326,19 @@ func scheduleFleetSource(sk *sim.Sharded, src Source, rng *sim.RNG, lb *balancer
 						rr.FellBack++
 					}
 					addBreakdown(&rr.Breakdown, r.Breakdown)
-					if lb.tracksLoad() {
+					if notify {
 						// Completion notice travels back to the ingress
 						// over the same forwarding latency.
 						done := ri
-						repK.Send(0, repK.Now()+forward, func() { lb.done(done) })
+						lat := r.Latency
+						repK.Send(0, repK.Now()+forward, func() {
+							if lb.tracksLoad() {
+								lb.done(done)
+							}
+							if ctl != nil {
+								ctl.NoteDone(ing.Now(), lat)
+							}
+						})
 					}
 				})
 			})
@@ -272,17 +352,34 @@ func scheduleFleetSource(sk *sim.Sharded, src Source, rng *sim.RNG, lb *balancer
 type balancer struct {
 	least    bool
 	replicas int
+	active   int // routable prefix [0, active); the autoscaler moves it
 
 	next        int   // rr cursor
 	outstanding []int // least: in-flight per replica, as seen at ingress
 }
 
 func newBalancer(mode string, replicas int) *balancer {
-	b := &balancer{least: mode == "least", replicas: replicas}
+	b := &balancer{least: mode == "least", replicas: replicas, active: replicas}
 	if b.least {
 		b.outstanding = make([]int, replicas)
 	}
 	return b
+}
+
+// setActive resizes the routable replica prefix (the autoscaler's
+// actuator). Shrinking never cancels in-flight work: replicas outside
+// the prefix just stop receiving new requests and drain.
+func (b *balancer) setActive(n int) {
+	if n < 1 {
+		n = 1
+	}
+	if n > b.replicas {
+		n = b.replicas
+	}
+	b.active = n
+	if b.next >= n {
+		b.next = 0
+	}
 }
 
 // tracksLoad reports whether completions must be reported back to the
@@ -292,12 +389,13 @@ func (b *balancer) tracksLoad() bool { return b.least }
 func (b *balancer) pick() int {
 	if !b.least {
 		ri := b.next
-		b.next = (b.next + 1) % b.replicas
+		b.next = (b.next + 1) % b.active
 		return ri
 	}
-	// Minimum outstanding, ties to the lowest index: deterministic.
+	// Minimum outstanding over the active prefix, ties to the lowest
+	// index: deterministic.
 	best := 0
-	for i := 1; i < len(b.outstanding); i++ {
+	for i := 1; i < b.active; i++ {
 		if b.outstanding[i] < b.outstanding[best] {
 			best = i
 		}

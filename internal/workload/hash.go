@@ -12,8 +12,8 @@ import (
 
 // Hash returns a stable content hash of the spec's simulation inputs:
 // config, policy, sources (service definitions, arrival processes,
-// budgets, tenants), seed, shards, program/remote overrides, and the
-// fault spec. Two specs with equal hashes produce bit-identical
+// budgets, tenants), seed, shards, program/remote overrides, the
+// fault spec, and the control spec. Two specs with equal hashes produce bit-identical
 // results, so the hash is the spec identity that sharded-vs-serial
 // equivalence tests, golden files, and result caches key off.
 //
@@ -95,6 +95,11 @@ func (s *RunSpec) hash(shards int) string {
 	}
 	if s.Faults != nil {
 		section(h, "faults", mustJSON(s.Faults))
+	}
+	// Emitted only when set, like faults, so every pre-control spec
+	// keeps its hash (and its cache entries).
+	if s.Control != nil {
+		section(h, "control", mustJSON(s.Control))
 	}
 	return fmt.Sprintf("%x", h.Sum(nil))
 }

@@ -5,6 +5,7 @@ import (
 
 	"accelflow/internal/check"
 	"accelflow/internal/config"
+	"accelflow/internal/control"
 	"accelflow/internal/engine"
 	"accelflow/internal/fault"
 	"accelflow/internal/obs"
@@ -54,6 +55,7 @@ func TestHashSensitivity(t *testing.T) {
 		"tenant":  func(s *RunSpec) { s.Sources[0].Tenant++ },
 		"arrival": func(s *RunSpec) { s.Sources[0].Arrivals = Poisson{RPS: 123} },
 		"faults":  func(s *RunSpec) { s.Faults = &fault.Spec{Rate: 1} },
+		"control": func(s *RunSpec) { s.Control = &control.Spec{Shed: &control.ShedSpec{Queue: 8}} },
 		"sources": func(s *RunSpec) { s.Sources = s.Sources[:len(s.Sources)-1] },
 	}
 	for name, mutate := range cases {

@@ -5,7 +5,7 @@
 // build their observed runs through this file, which is what makes the
 // daemon's determinism contract checkable: the same ObservedParams
 // produce the same RunSpec, so the exported artifact bytes can only
-// depend on (Seed, Requests, Quick, fault knobs).
+// depend on (Seed, Requests, Quick, fault knobs, control spec).
 package workload
 
 import (
@@ -13,6 +13,7 @@ import (
 
 	"accelflow/internal/check"
 	"accelflow/internal/config"
+	"accelflow/internal/control"
 	"accelflow/internal/engine"
 	"accelflow/internal/fault"
 	"accelflow/internal/obs"
@@ -38,6 +39,14 @@ type ObservedParams struct {
 	// FaultLoss overrides the remote-response loss rate (in [0,1]; 0
 	// keeps the baked-in 3.2e-6).
 	FaultLoss float64
+
+	// Control, when non-nil, attaches the dynamic-control subsystem
+	// (the -ctl* flags on accelsim; the "control" job knob on
+	// accelsimd). The autoscale target must be "pe" or "cores" — an
+	// observed run simulates one server, so there are no replicas to
+	// scale. The spec joins the run's content hash, so controlled and
+	// uncontrolled runs never collide in result caches.
+	Control *control.Spec
 
 	// Check attaches the runtime invariant checker to the run (the
 	// -check flag on both binaries). Checking never changes results;
@@ -67,6 +76,15 @@ func (p ObservedParams) Validate() error {
 	case p.Shards < 0:
 		return fmt.Errorf("observed run: shards must be non-negative, got %d", p.Shards)
 	}
+	if p.Control != nil {
+		if err := p.Control.Validate(); err != nil {
+			return fmt.Errorf("observed run: %w", err)
+		}
+		if a := p.Control.Autoscale; a != nil && a.Target == control.TargetReplicas {
+			return fmt.Errorf("observed run: autoscale target %q needs a fleet; use %q or %q",
+				control.TargetReplicas, control.TargetPE, control.TargetCores)
+		}
+	}
 	return nil
 }
 
@@ -93,6 +111,7 @@ func BuildObserved(p ObservedParams) (*RunSpec, *obs.Sink, error) {
 		Seed:    p.Seed,
 		Shards:  p.Shards,
 		Obs:     sink,
+		Control: p.Control,
 	}
 	if p.Check {
 		spec.Check = check.New()

@@ -7,6 +7,7 @@ import (
 
 	"accelflow/internal/check"
 	"accelflow/internal/config"
+	"accelflow/internal/control"
 	"accelflow/internal/engine"
 	"accelflow/internal/fault"
 	"accelflow/internal/metrics"
@@ -40,6 +41,18 @@ type RunResult struct {
 	Completed  uint64
 	TimedOut   uint64
 	FellBack   uint64
+	// Shed counts arrivals the controller rejected before submission;
+	// Retries counts controller-granted re-submissions of timed-out
+	// requests. Latency recorders see neither: a shed request records
+	// nothing, and only a request's final attempt records its latency,
+	// so recorder counts equal (arrivals - Shed). Completed counts
+	// every engine completion, retries included, so conservation
+	// against the engine's admission counter still balances exactly.
+	Shed    uint64
+	Retries uint64
+	// Control carries the controller's activity counters when
+	// RunSpec.Control was set (nil otherwise).
+	Control *control.Stats
 
 	Elapsed sim.Time
 	Engine  *engine.Engine
@@ -65,6 +78,15 @@ type RunSpec struct {
 	// seeded with DeriveSeed(Seed, "faults"); a spec with Rate 0 (and
 	// RemoteLossRate 0) leaves results bit-identical to Faults == nil.
 	Faults *fault.Spec
+	// Control, when non-nil, attaches the dynamic-control subsystem
+	// seeded with DeriveSeed(Seed, "control"): an autoscaler over the
+	// PE pools or the core pool (target "replicas" needs a FleetSpec),
+	// request-layer load shedding, and per-tenant retry budgets. A
+	// controller whose policies can never fire draws from no RNG
+	// stream and leaves results bit-identical to Control == nil except
+	// that its decision tick, like the obs sampler, may extend Elapsed
+	// by up to one interval past the last completion.
+	Control *control.Spec
 	// Check, when non-nil, attaches a runtime invariant checker: the
 	// kernel verifies event-time monotonicity as it runs, the engine
 	// feeds request-conservation counters, and after the run drains the
@@ -134,6 +156,21 @@ func (s *RunSpec) RunCtx(ctx context.Context) (*RunResult, error) {
 	if err := e.Register(programs, remote); err != nil {
 		return nil, err
 	}
+	var ctl *control.Controller
+	if s.Control != nil {
+		if err := s.Control.Validate(); err != nil {
+			return nil, err
+		}
+		ctl = control.New(*s.Control, sim.DeriveSeed(s.Seed, "control"))
+		ctl.BindObs(s.Obs)
+		if a := s.Control.Autoscale; a != nil {
+			pools, err := e.ControlPools(a.Target)
+			if err != nil {
+				return nil, err
+			}
+			ctl.AttachPools(pools)
+		}
+	}
 
 	res := &RunResult{
 		PerService: map[string]*metrics.Recorder{},
@@ -152,10 +189,24 @@ func (s *RunSpec) RunCtx(ctx context.Context) (*RunResult, error) {
 		rec := metrics.NewRecorder(src.Service.Name)
 		res.PerService[src.Service.Name] = rec
 		srcRNG := rng.Fork(int64(si) + 1)
-		scheduleSource(k, e, src, srcRNG, rec, res)
+		if ctl != nil {
+			scheduleControlledSource(k, e, ctl, src, srcRNG, rec, res)
+		} else {
+			scheduleSource(k, e, src, srcRNG, rec, res)
+		}
 	}
 	if total == 0 {
 		return nil, fmt.Errorf("workload: no requests to run")
+	}
+	if ctl != nil && ctl.NeedsTick() {
+		// The decision tick arms like the obs sampler (below): after all
+		// arrivals are scheduled, through Kernel.Every's self-terminating
+		// reschedule, so the controller stops when the run drains. Armed
+		// first so its event-sequence position is fixed whether or not
+		// observability is on.
+		h := k.Hooks()
+		h.Periodic = append(h.Periodic, ctl.Periodic(k))
+		k.SetHooks(h)
 	}
 	if s.Obs != nil {
 		// Layered over the hooks the engine installed (checker OnEvent):
@@ -170,6 +221,9 @@ func (s *RunSpec) RunCtx(ctx context.Context) (*RunResult, error) {
 		return nil, fmt.Errorf("workload: run interrupted: %w", err)
 	}
 	res.Elapsed = k.Now()
+	if ctl != nil {
+		res.Control = &ctl.Stats
+	}
 	if s.Check.Enabled() {
 		// The heap has drained, so the quiescence-only invariants hold;
 		// the runner's own counters serve as the independent accounting
@@ -276,6 +330,64 @@ func scheduleSource(k *sim.Kernel, e *engine.Engine, src Source, rng *sim.RNG, r
 				}
 				addBreakdown(&res.Breakdown, r.Breakdown)
 			})
+		})
+	}
+}
+
+// scheduleControlledSource is scheduleSource with the controller on
+// the request path: arrivals may be shed before submission, and
+// timed-out completions may be re-submitted after a backoff. It is a
+// separate function (rather than a ctl != nil branch inside the
+// closure) so the uncontrolled hot path keeps its exact event
+// sequence, closure shape, and allocation profile.
+//
+// Accounting contract: Completed/TimedOut/FellBack/AccelCount and the
+// breakdown accrue on every engine completion (retries included), so
+// conservation against the engine's admission counter balances; the
+// latency recorders see only each request's final attempt, and shed
+// arrivals see nothing, so recorder counts equal arrivals - Shed.
+func scheduleControlledSource(k *sim.Kernel, e *engine.Engine, ctl *control.Controller, src Source, rng *sim.RNG, rec *metrics.Recorder, res *RunResult) {
+	t := sim.Time(0)
+	for i := 0; i < src.Requests; i++ {
+		t += src.Arrivals.Next(rng)
+		at := t
+		k.At(at, func() {
+			if ctl.Shed() {
+				res.Shed++
+				return
+			}
+			var submit func(attempt int)
+			submit = func(attempt int) {
+				job := src.Service.Job(src.Tenant)
+				ctl.NoteSubmit()
+				e.Submit(job, func(r engine.Result) {
+					res.Completed++
+					res.AccelCount += uint64(r.Accels)
+					if r.TimedOut {
+						res.TimedOut++
+					}
+					if r.FellBack {
+						res.FellBack++
+					}
+					addBreakdown(&res.Breakdown, r.Breakdown)
+					ctl.NoteDone(k.Now(), r.Latency)
+					if r.TimedOut {
+						if backoff, ok := ctl.RetryAfter(src.Tenant, attempt); ok {
+							res.Retries++
+							k.After(backoff, func() { submit(attempt + 1) })
+							return
+						}
+					}
+					rec.Add(r.Latency)
+					res.All.Add(r.Latency)
+					net := r.Latency - r.Breakdown.Remote
+					if net < r.Latency/4 {
+						net = r.Latency / 4
+					}
+					res.Net.Add(net)
+				})
+			}
+			submit(1)
 		})
 	}
 }
